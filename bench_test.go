@@ -1,0 +1,123 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (dispatched into internal/experiments), plus
+// micro-benchmarks of the library's hot paths. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+package slscost
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/cfs"
+	"slscost/internal/experiments"
+	"slscost/internal/platform"
+	"slscost/internal/trace"
+	"slscost/internal/workload"
+)
+
+// benchExperiment runs one registered experiment at bench scale.
+func benchExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opt := experiments.Options{Scale: scale, Seed: 20260613, W: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact. Scales are chosen so a single
+// iteration exercises the full pipeline in well under a second; cmd/
+// slsbench runs the full published configuration.
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1", 1) }
+func BenchmarkFigure1(b *testing.B)  { benchExperiment(b, "fig1", 1) }
+func BenchmarkFigure2(b *testing.B)  { benchExperiment(b, "fig2", 0.05) }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3", 0.05) }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4", 0.05) }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5", 0.05) }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6", 0.2) }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8", 0.3) }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "fig9", 0.5) }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2", 1) }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10", 0.2) }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11", 1) }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12", 0.2) }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3", 0.5) }
+func BenchmarkExploit(b *testing.B)  { benchExperiment(b, "exploit", 1) }
+
+// Extension / ablation benches (see DESIGN.md and EXPERIMENTS.md).
+
+func BenchmarkIntro(b *testing.B)           { benchExperiment(b, "intro", 1) }
+func BenchmarkExtBillingModes(b *testing.B) { benchExperiment(b, "ext-billing-modes", 0.25) }
+func BenchmarkExtRightsize(b *testing.B)    { benchExperiment(b, "ext-rightsize", 0.25) }
+func BenchmarkExtSchedulerAblation(b *testing.B) {
+	benchExperiment(b, "ext-sched", 0.2)
+}
+func BenchmarkExtComposition(b *testing.B) { benchExperiment(b, "ext-composition", 1) }
+func BenchmarkExtCoTenancy(b *testing.B)   { benchExperiment(b, "ext-cotenancy", 1) }
+
+// Micro-benchmarks of the hot paths behind the experiments.
+
+func BenchmarkBillInvocation(b *testing.B) {
+	inv := billing.Invocation{
+		Duration:   120 * time.Millisecond,
+		AllocCPU:   0.5,
+		AllocMemGB: 1,
+		CPUTime:    80 * time.Millisecond,
+		MemUsedGB:  0.4,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = billing.AWSLambda.Bill(inv)
+	}
+}
+
+func BenchmarkCFSSimulateShortTask(b *testing.B) {
+	cfg := cfs.ConfigFor(0.25, 20*time.Millisecond, 250, cfs.CFS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cfs.Simulate(cfg, 51800*time.Microsecond)
+	}
+}
+
+func BenchmarkCFSProfileSecond(b *testing.B) {
+	cfg := cfs.ConfigFor(0.072, 20*time.Millisecond, 250, cfs.CFS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cfs.Profile(cfg, time.Second)
+	}
+}
+
+func BenchmarkTraceGenerate10k(b *testing.B) {
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = trace.Generate(cfg)
+	}
+}
+
+func BenchmarkPlatformSim(b *testing.B) {
+	cfg := platform.Config{
+		Mode:      platform.SingleConcurrency,
+		Workload:  workload.PyAES,
+		VCPU:      1,
+		ColdStart: 250 * time.Millisecond,
+	}
+	arr := platform.UniformArrivals(10, 10*time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Run(cfg, arr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

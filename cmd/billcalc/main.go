@@ -1,0 +1,90 @@
+// Command billcalc prices one serverless workload across the Table 1
+// billing models.
+//
+// Usage:
+//
+//	billcalc -duration 120ms -init 400ms -mem 512 -cpu 0.5 \
+//	         -cputime 80ms -memused 200 -requests 1000000
+//
+// It prints, per platform, the billable time, billable resources, and the
+// monthly bill for the given request volume, highlighting the cheapest
+// option.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"slscost/internal/billing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "billcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("billcalc", flag.ContinueOnError)
+	duration := fs.Duration("duration", 120*time.Millisecond, "execution duration per request")
+	initDur := fs.Duration("init", 400*time.Millisecond, "cold-start initialization duration")
+	coldRate := fs.Float64("coldrate", 0.01, "fraction of requests that cold-start")
+	memMB := fs.Float64("mem", 512, "allocated memory in MB")
+	vcpu := fs.Float64("cpu", 0, "allocated vCPUs (0 = proportional to memory)")
+	cpuTime := fs.Duration("cputime", 80*time.Millisecond, "consumed CPU time per request")
+	memUsedMB := fs.Float64("memused", 200, "consumed memory in MB")
+	requests := fs.Float64("requests", 1e6, "requests per month")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *memMB <= 0 || *duration <= 0 || *requests <= 0 {
+		return fmt.Errorf("duration, mem, and requests must be positive")
+	}
+	cpu := *vcpu
+	if cpu <= 0 {
+		cpu = billing.ProportionalCPU(*memMB)
+	}
+
+	type row struct {
+		platform string
+		monthly  float64
+		charge   billing.Charge
+	}
+	var rows []row
+	for _, m := range billing.Catalog() {
+		warm := billing.Invocation{
+			Duration:   *duration,
+			AllocCPU:   cpu,
+			AllocMemGB: *memMB / 1024,
+			CPUTime:    *cpuTime,
+			MemUsedGB:  *memUsedMB / 1024,
+		}
+		cold := warm
+		cold.InitDuration = *initDur
+		wc := m.Bill(warm)
+		cc := m.Bill(cold)
+		perReq := wc.Total()*(1-*coldRate) + cc.Total()*(*coldRate)
+		rows = append(rows, row{m.Platform, perReq * *requests, wc})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].monthly < rows[j].monthly })
+
+	fmt.Printf("workload: %v exec, %v cpu, %.0f MB alloc (%.3f vCPU), %.0f MB used, %.2g req/month\n\n",
+		*duration, *cpuTime, *memMB, cpu, *memUsedMB, *requests)
+	fmt.Printf("%-22s %14s %14s %14s %12s\n",
+		"platform", "billable time", "vCPU-s/req", "GB-s/req", "$/month")
+	for i, r := range rows {
+		marker := "  "
+		if i == 0 {
+			marker = "* "
+		}
+		fmt.Printf("%s%-20s %14s %14.5f %14.5f %12.2f\n",
+			marker, r.platform, r.charge.BillableTime,
+			r.charge.CPUSeconds, r.charge.MemGBSeconds, r.monthly)
+	}
+	fmt.Println("\n* cheapest for this workload (instance-billed plans assume one request per instance-lifespan)")
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitWorkload(t *testing.T) {
+	args := []string{
+		"-duration", "5ms", "-init", "300ms", "-mem", "128",
+		"-cputime", "3ms", "-memused", "60", "-requests", "1000000",
+		"-coldrate", "0.02",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitCPU(t *testing.T) {
+	if err := run([]string{"-cpu", "2", "-mem", "4096"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mem", "0"},
+		{"-duration", "0s"},
+		{"-requests", "0"},
+		{"-bogus"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

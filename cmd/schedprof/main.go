@@ -1,0 +1,105 @@
+// Command schedprof runs the paper's Algorithm 1 scheduler profiler.
+//
+// By default it profiles the CPU bandwidth-control simulator under the
+// given period/quota/tick setting and prints the throttle-interval,
+// throttle-duration, and obtained-CPU distributions (Figure 12). With
+// -real it instead spins on the host's monotonic clock, which reveals the
+// host's own throttling if the process runs inside a CPU-limited cgroup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"slscost/internal/cfs"
+	"slscost/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "schedprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("schedprof", flag.ContinueOnError)
+	period := fs.Duration("period", 20*time.Millisecond, "CPU bandwidth control period")
+	vcpu := fs.Float64("vcpu", 0.25, "fractional vCPU allocation (quota = vcpu x period)")
+	hz := fs.Int("hz", 250, "scheduler tick frequency CONFIG_HZ")
+	sched := fs.String("sched", "cfs", "scheduler flavor: cfs or eevdf")
+	dur := fs.Duration("dur", 10*time.Second, "profiling duration per invocation")
+	invocations := fs.Int("n", 30, "number of invocations (phases rotated)")
+	real := fs.Bool("real", false, "profile the real host instead of the simulator")
+	infer := fs.Bool("infer", false, "infer (period, CONFIG_HZ) from the profile (Table 3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var set cfs.ProfileSet
+	if *real {
+		fmt.Printf("profiling host monotonic clock for %v...\n", *dur)
+		events := profileHost(*dur)
+		set.Intervals = cfs.ThrottleIntervals(events)
+		set.Durations = cfs.ThrottleDurations(events)
+		set.Obtained = cfs.ObtainedCPU(events)
+		if len(events) == 0 {
+			fmt.Println("no clock jumps above 500 us detected: the process is not CPU-throttled")
+			return nil
+		}
+	} else {
+		var flavor cfs.Scheduler
+		switch *sched {
+		case "cfs":
+			flavor = cfs.CFS
+		case "eevdf":
+			flavor = cfs.EEVDF
+		default:
+			return fmt.Errorf("unknown scheduler %q", *sched)
+		}
+		cfg := cfs.ConfigFor(*vcpu, *period, *hz, flavor)
+		fmt.Printf("simulating %s, P=%v Q=%v (%.3f vCPU), %d Hz, %d x %v\n",
+			flavor, cfg.Period, cfg.Quota, *vcpu, *hz, *invocations, *dur)
+		set = cfs.CollectProfiles(cfg, *dur, *invocations)
+	}
+
+	printSeries := func(name string, xs []float64) {
+		s, err := stats.Summarize(xs)
+		if err != nil {
+			fmt.Printf("%-22s (no samples)\n", name)
+			return
+		}
+		fmt.Printf("%-22s n=%-6d mean=%8.3fms p50=%8.3fms p95=%8.3fms max=%8.3fms\n",
+			name, s.N, s.Mean, s.Median, s.P95, s.Max)
+	}
+	printSeries("throttle intervals", set.Intervals)
+	printSeries("throttle durations", set.Durations)
+	printSeries("obtained CPU", set.Obtained)
+
+	if *infer {
+		inf := cfs.InferParams(set, []float64{*vcpu}, *dur, *invocations, cfs.CFS)
+		fmt.Printf("inferred: period=%v CONFIG_HZ=%d (KS distance %.4f)\n",
+			inf.Period, inf.TickHz, inf.Distance)
+	}
+	return nil
+}
+
+// profileHost is Algorithm 1 against the real monotonic clock: spin for
+// dur, record jumps above the 500 us threshold.
+func profileHost(dur time.Duration) []cfs.ProfileEvent {
+	var events []cfs.ProfileEvent
+	start := time.Now()
+	last := start
+	for {
+		now := time.Now()
+		if gap := now.Sub(last); gap >= cfs.JumpThreshold {
+			events = append(events, cfs.ProfileEvent{At: now.Sub(start), Gap: gap})
+		}
+		last = now
+		if now.Sub(start) >= dur {
+			return events
+		}
+	}
+}

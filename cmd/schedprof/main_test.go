@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/cfs"
+)
+
+func TestRunSimulatedProfile(t *testing.T) {
+	args := []string{"-period", "20ms", "-vcpu", "0.072", "-hz", "250",
+		"-dur", "1s", "-n", "4"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEEVDF(t *testing.T) {
+	if err := run([]string{"-sched", "eevdf", "-dur", "500ms", "-n", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithInference(t *testing.T) {
+	args := []string{"-period", "20ms", "-vcpu", "0.25", "-hz", "250",
+		"-dur", "1s", "-n", "4", "-infer"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownScheduler(t *testing.T) {
+	if err := run([]string{"-sched", "bogus"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestProfileHostRuns(t *testing.T) {
+	// The host profiler must terminate and produce well-formed events
+	// (usually none on an unthrottled test machine).
+	events := profileHost(30 * time.Millisecond)
+	for _, e := range events {
+		if e.Gap < cfs.JumpThreshold {
+			t.Errorf("event below threshold: %v", e.Gap)
+		}
+	}
+}
+
+func TestRunRealMode(t *testing.T) {
+	if err := run([]string{"-real", "-dur", "50ms"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Command slsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	slsbench -list
+//	slsbench [-scale 1.0] [-seed N] <experiment-id>...
+//	slsbench all
+//
+// Experiment ids follow the paper's artifact numbering (table1, fig2,
+// fig10, ...). Scale below 1.0 shrinks trace sizes and run lengths for
+// quick iterations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slscost/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slsbench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "experiment scale (1.0 = full published configuration)")
+	seed := fs.Uint64("seed", 20260613, "random seed for synthetic inputs")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment ids given (try -list or 'all')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	opt := experiments.Options{Scale: *scale, Seed: *seed, W: os.Stdout}
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		if err := e.Run(opt); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "0.02", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	if err := run([]string{"-scale", "0.02", "table1", "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing ids accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

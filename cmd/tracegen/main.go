@@ -1,0 +1,61 @@
+// Command tracegen generates the calibrated synthetic serverless trace
+// (the Huawei-trace stand-in of §2) and writes it as CSV.
+//
+// Usage:
+//
+//	tracegen -n 200000 -seed 20260613 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slscost/internal/stats"
+	"slscost/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	n := fs.Int("n", 200000, "number of request records")
+	seed := fs.Uint64("seed", 20260613, "random seed")
+	out := fs.String("o", "-", "output file ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = *n
+	cfg.Seed = *seed
+	tr := trace.Generate(cfg)
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, tr); err != nil {
+		return err
+	}
+
+	durs, err := stats.Summarize(tr.Durations())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d requests: duration %s; %d cold starts; %d pods\n",
+		tr.Len(), durs, len(tr.ColdStarts()), len(tr.ByPod()))
+	return nil
+}

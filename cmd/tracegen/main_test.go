@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slscost/internal/trace"
+)
+
+func TestRunToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-n", "500", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Errorf("wrote %d requests", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	err := run([]string{"-n", "10", "-o", filepath.Join(t.TempDir(), "no", "such", "dir", "t.csv")})
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("expected create error, got %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

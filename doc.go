@@ -1,0 +1,17 @@
+// Package slscost reproduces "Demystifying Serverless Costs on Public
+// Platforms: Bridging Billing, Architecture, and OS Scheduling"
+// (EuroSys '26) as a Go library: a top-down serverless cost analyzer
+// spanning user-facing billing models (internal/billing), request serving
+// architectures (internal/serving, internal/platform), keep-alive
+// behavior (internal/keepalive), and OS CPU bandwidth-control scheduling
+// (internal/cfs), tied together by the public analyzer in internal/core
+// and regenerated table-by-table and figure-by-figure by
+// internal/experiments.
+//
+// Start with examples/quickstart, or run:
+//
+//	go run ./cmd/slsbench all
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package slscost

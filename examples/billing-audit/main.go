@@ -1,0 +1,83 @@
+// Billing audit: price the same API-backend workload on every Table 1
+// billing model, decompose where the money goes (resources, fees,
+// rounding), and show how the ranking flips between long and short
+// functions — the paper's actionable advice of §5.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"slscost/internal/billing"
+)
+
+// scenario is one deployable workload.
+type scenario struct {
+	name      string
+	duration  time.Duration
+	cpuTime   time.Duration
+	allocMB   float64
+	usedMB    float64
+	coldRate  float64
+	initDur   time.Duration
+	monthlyRq float64
+}
+
+func main() {
+	scenarios := []scenario{
+		{
+			name:     "short API hook (5 ms)",
+			duration: 5 * time.Millisecond, cpuTime: 3 * time.Millisecond,
+			allocMB: 128, usedMB: 60, coldRate: 0.02,
+			initDur: 300 * time.Millisecond, monthlyRq: 50e6,
+		},
+		{
+			name:     "media transcode (4 s)",
+			duration: 4 * time.Second, cpuTime: 3800 * time.Millisecond,
+			allocMB: 2048, usedMB: 1400, coldRate: 0.05,
+			initDur: 900 * time.Millisecond, monthlyRq: 200e3,
+		},
+	}
+	for _, sc := range scenarios {
+		audit(sc)
+		fmt.Println()
+	}
+}
+
+func audit(sc scenario) {
+	fmt.Printf("=== %s: %.2g requests/month ===\n", sc.name, sc.monthlyRq)
+	type row struct {
+		platform        string
+		resources, fees float64
+		total           float64
+	}
+	var rows []row
+	for _, m := range billing.Catalog() {
+		warm := billing.Invocation{
+			Duration:   sc.duration,
+			AllocCPU:   billing.ProportionalCPU(sc.allocMB),
+			AllocMemGB: sc.allocMB / 1024,
+			CPUTime:    sc.cpuTime,
+			MemUsedGB:  sc.usedMB / 1024,
+		}
+		cold := warm
+		cold.InitDuration = sc.initDur
+		wc, cc := m.Bill(warm), m.Bill(cold)
+		resources := (wc.ResourceCost*(1-sc.coldRate) + cc.ResourceCost*sc.coldRate) * sc.monthlyRq
+		fees := m.InvocationFee * sc.monthlyRq
+		rows = append(rows, row{m.Platform, resources, fees, resources + fees})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total < rows[j].total })
+	fmt.Printf("  %-22s %12s %12s %12s %9s\n", "platform", "resources $", "fees $", "total $", "fee share")
+	for _, r := range rows {
+		share := 0.0
+		if r.total > 0 {
+			share = r.fees / r.total * 100
+		}
+		fmt.Printf("  %-22s %12.2f %12.2f %12.2f %8.1f%%\n",
+			r.platform, r.resources, r.fees, r.total, share)
+	}
+	fmt.Println("  (I5: for very short functions the fixed invocation fee dominates;")
+	fmt.Println("   usage-billed platforms win on short/bursty work, allocation-billed on steady long work)")
+}

@@ -1,0 +1,60 @@
+// Fusion advisor: given a workflow of serverless stages, decide whether to
+// merge them into one function (shedding invocation fees and serving
+// overhead) or keep them split (right-sizing each stage's memory) — the
+// §5 actionable built on the composition analyzer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/composition"
+)
+
+func main() {
+	// An image-processing pipeline: a light fetch, a heavy resize, and a
+	// light notify step.
+	pipeline := []composition.Stage{
+		{Name: "fetch", Duration: 40 * time.Millisecond, MemMB: 256, CPUTime: 10 * time.Millisecond},
+		{Name: "resize", Duration: 300 * time.Millisecond, MemMB: 3072, CPUTime: 280 * time.Millisecond},
+		{Name: "notify", Duration: 20 * time.Millisecond, MemMB: 128, CPUTime: 5 * time.Millisecond},
+	}
+	const overhead = 1170 * time.Microsecond // Figure 8's polling-path cost
+
+	fmt.Println("pipeline stages:")
+	for _, s := range pipeline {
+		fmt.Printf("  %-8s %8v wall, %8v CPU, %5.0f MB\n", s.Name, s.Duration, s.CPUTime, s.MemMB)
+	}
+
+	for _, m := range []billing.Model{billing.AWSLambda, billing.GCPRequest, billing.Cloudflare} {
+		an, err := composition.Analyze(pipeline, m, overhead)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "FUSE"
+		if an.FusionSavings < 0 {
+			verdict = "SPLIT"
+		}
+		fmt.Printf("\n%-20s fused $%.3e vs split $%.3e per execution -> %s (%+.1f%%)\n",
+			m.Platform, an.Fused.Total(), an.Split.Total(), verdict, an.FusionSavings*100)
+		fmt.Printf("%-20s fees: %.1e vs %.1e; billable GB-s: %.4f vs %.4f\n",
+			"", an.Fused.Fees, an.Split.Fees, an.Fused.BilledMemGBs, an.Split.BilledMemGBs)
+	}
+
+	// Sensitivity: how many cheap stages does it take around the hot one
+	// before splitting wins?
+	hot := pipeline[1]
+	cold := pipeline[2]
+	n, err := composition.CrossoverStageCount(cold, hot, billing.AWSLambda, overhead, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n > 0 {
+		fmt.Printf("\ncrossover: with %d+ light stages around the %s stage, splitting beats fusing on AWS\n",
+			n, hot.Name)
+	} else {
+		fmt.Println("\nno crossover within 64 stages: fusing wins throughout")
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: run the top-down cost analyzer on a synthetic production
+// trace and print the per-layer cost decomposition for AWS Lambda — the
+// library's one-screen introduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slscost/internal/core"
+	"slscost/internal/trace"
+)
+
+func main() {
+	// 1. A workload: 50k requests drawn from the calibrated synthetic
+	//    trace (the stand-in for the Huawei production trace).
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = 50000
+	tr := trace.Generate(cfg)
+
+	// 2. A platform profile: billing model + serving architecture +
+	//    keep-alive policy + OS scheduling parameters, all from the paper.
+	analyzer, err := core.NewAnalyzer(core.AWS())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The top-down decomposition.
+	rep, err := analyzer.AnalyzeTrace(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("platform: %s (%d requests)\n\n", rep.Platform, rep.Requests)
+	fmt.Println("billing layer (§2):")
+	fmt.Printf("  billable vs actual CPU:    %.0f vs %.0f vCPU-s  (%.2fx inflation)\n",
+		rep.Billing.BilledCPUSeconds, rep.Billing.ActualCPUSeconds, rep.Billing.CPUInflation)
+	fmt.Printf("  billable vs actual memory: %.0f vs %.0f GB-s    (%.2fx inflation)\n",
+		rep.Billing.BilledMemGBs, rep.Billing.ActualMemGBs, rep.Billing.MemInflation)
+	fmt.Printf("  total bill: $%.2f (invocation fees: %.1f%%)\n\n",
+		rep.Billing.TotalCost, rep.Billing.FeeShare*100)
+
+	fmt.Println("architecture layer (§3):")
+	fmt.Printf("  serving: %s, +%v per request (%.1f s billed across the trace)\n",
+		rep.Architecture.Architecture, rep.Architecture.OverheadPerRequest,
+		rep.Architecture.OverheadBilledSeconds)
+	fmt.Printf("  cold starts: %.2f%% of requests\n\n", rep.Architecture.ColdStartRate*100)
+
+	fmt.Println("scheduling layer (§4):")
+	fmt.Printf("  bandwidth control: period %v, %d Hz tick\n",
+		rep.Scheduling.Period, rep.Scheduling.TickHz)
+	fmt.Printf("  mean fractional allocation %.3f vCPU; overallocation factor %.2fx\n\n",
+		rep.Scheduling.MeanVCPUFraction, rep.Scheduling.OverallocationFactor)
+
+	fmt.Println("implications:")
+	for _, imp := range rep.Implications {
+		fmt.Println("  -", imp)
+	}
+}

@@ -1,0 +1,70 @@
+// Scheduler quantization: sweep fractional vCPU allocations for a
+// CPU-bound function under AWS-like bandwidth control, visualize the
+// Figure 10 quantization jumps in ASCII, and recommend the cheapest
+// allocation that meets a latency SLO — the rightsizing use case §4.3
+// says existing tools miss.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/cfs"
+	"slscost/internal/workload"
+)
+
+func main() {
+	job := workload.PyAES // ≈160 ms CPU per request
+	const (
+		period = 20 * time.Millisecond
+		hz     = 250
+		slo    = 400 * time.Millisecond
+	)
+	fmt.Printf("workload %q: %v CPU per request; SLO %v; P=%v, %d Hz\n\n",
+		job.Name, job.CPUTime, slo, period, hz)
+
+	fmt.Printf("%8s %8s %12s %12s %14s  duration (each # = 20 ms)\n",
+		"mem (MB)", "vCPU", "sim (ms)", "1/x (ms)", "$/1M requests")
+	type pick struct {
+		memMB float64
+		cost  float64
+	}
+	var best *pick
+	for mem := 128.0; mem <= 1769; mem += 64 {
+		frac := billing.ProportionalCPU(mem)
+		cfg := cfs.ConfigFor(frac, period, hz, cfs.CFS)
+		res := cfs.Simulate(cfg, job.CPUTime)
+		recip := cfs.ReciprocalDuration(job.CPUTime, frac)
+		inv := billing.Invocation{
+			Duration:   res.WallTime,
+			AllocCPU:   frac,
+			AllocMemGB: mem / 1024,
+			CPUTime:    job.CPUTime,
+			MemUsedGB:  job.MemoryMB / 1024,
+		}
+		cost := billing.AWSLambda.Bill(inv).Total() * 1e6
+		bar := ""
+		for i := 0; i < int(res.WallTime/(20*time.Millisecond)); i++ {
+			bar += "#"
+		}
+		meets := " "
+		if res.WallTime <= slo {
+			meets = "*"
+			if best == nil || cost < best.cost {
+				best = &pick{memMB: mem, cost: cost}
+			}
+		}
+		fmt.Printf("%8.0f %8.3f %12.1f %12.1f %14.2f %s %s\n",
+			mem, frac,
+			float64(res.WallTime)/float64(time.Millisecond),
+			float64(recip)/float64(time.Millisecond),
+			cost, meets, bar)
+	}
+	if best != nil {
+		fmt.Printf("\ncheapest allocation meeting the SLO: %.0f MB ($%.2f per 1M requests)\n",
+			best.memMB, best.cost)
+	}
+	fmt.Println("note the step-like drops (quantization jumps): right-sizing just above a jump")
+	fmt.Println("buys the same latency for less money than the next smooth point (I10)")
+}

@@ -1,0 +1,236 @@
+// Package autoscale implements the concurrency-based, windowed autoscaler
+// that multi-concurrency serverless platforms (GCP Cloud Run, IBM Code
+// Engine, Knative) use, and whose metric-aggregation lag §3.1 identifies
+// as a cost driver: scaling does not begin until the averaged concurrency
+// crosses the target, which takes tens of seconds under a sudden burst.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config parameterizes the autoscaler.
+type Config struct {
+	// ContainerConcurrency is the per-instance concurrency limit
+	// (Knative's containerConcurrency; GCP's default is 80, Knative's 100).
+	ContainerConcurrency int
+	// TargetUtilization is the fraction of the concurrency limit the
+	// autoscaler aims to use (GCP's 60% CPU-utilization-style target).
+	TargetUtilization float64
+	// StableWindow is the metric aggregation window (Knative default 60 s).
+	StableWindow time.Duration
+	// PanicWindow is the short window used when load spikes far beyond
+	// capacity (Knative default: 10% of the stable window).
+	PanicWindow time.Duration
+	// PanicThreshold is the ratio of panic-window demand to current
+	// capacity that triggers panic mode (Knative default 2.0).
+	PanicThreshold float64
+	// CPUTarget, when positive, adds GCP's CPU-utilization scaling
+	// signal (default 60%): desired = windowed-average busy cores /
+	// (CPUTarget × VCPUPerInstance). Because the average is taken over the
+	// full stable window (zeros before the burst), a fleet saturated at
+	// t=0 does not cross the one-instance target until CPUTarget ×
+	// StableWindow in — the paper's ~40 s scaling lag.
+	CPUTarget float64
+	// VCPUPerInstance is the per-sandbox CPU allocation the CPU signal
+	// scales against (default 1).
+	VCPUPerInstance float64
+	// MinInstances and MaxInstances bound the scale.
+	MinInstances, MaxInstances int
+}
+
+// DefaultConfig returns the Knative-like defaults the paper's GCP
+// measurements reflect.
+func DefaultConfig() Config {
+	return Config{
+		ContainerConcurrency: 80,
+		TargetUtilization:    0.6,
+		StableWindow:         60 * time.Second,
+		PanicWindow:          6 * time.Second,
+		PanicThreshold:       2.0,
+		CPUTarget:            0.6,
+		VCPUPerInstance:      1,
+		MinInstances:         0,
+		MaxInstances:         1000,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.ContainerConcurrency <= 0 {
+		return fmt.Errorf("autoscale: non-positive container concurrency")
+	}
+	if c.TargetUtilization <= 0 || c.TargetUtilization > 1 {
+		return fmt.Errorf("autoscale: target utilization %v outside (0, 1]", c.TargetUtilization)
+	}
+	if c.StableWindow <= 0 {
+		return fmt.Errorf("autoscale: non-positive stable window")
+	}
+	if c.PanicWindow <= 0 || c.PanicWindow > c.StableWindow {
+		return fmt.Errorf("autoscale: panic window %v outside (0, stable]", c.PanicWindow)
+	}
+	if c.CPUTarget < 0 || c.CPUTarget > 1 {
+		return fmt.Errorf("autoscale: CPU target %v outside [0, 1]", c.CPUTarget)
+	}
+	if c.MinInstances < 0 || c.MaxInstances < c.MinInstances {
+		return fmt.Errorf("autoscale: bad instance bounds [%d, %d]", c.MinInstances, c.MaxInstances)
+	}
+	return nil
+}
+
+// targetPerInstance is the concurrency one instance should carry.
+func (c Config) targetPerInstance() float64 {
+	return c.TargetUtilization * float64(c.ContainerConcurrency)
+}
+
+// sample is one observation of the scaling metrics.
+type sample struct {
+	at          time.Duration
+	concurrency float64 // in-sandbox plus queued concurrency
+	busyCores   float64 // vCPUs actively in use fleet-wide
+}
+
+// Autoscaler aggregates metric samples over its windows and computes the
+// desired instance count.
+type Autoscaler struct {
+	cfg     Config
+	samples []sample
+	panic   bool
+	// maxPanicDesired holds the scale floor while in panic mode (Knative
+	// never scales down during panic).
+	maxPanicDesired int
+}
+
+// New creates an autoscaler with the given configuration.
+func New(cfg Config) *Autoscaler {
+	return &Autoscaler{cfg: cfg}
+}
+
+// Record adds one observation at virtual time now: the concurrency (in-
+// sandbox plus queued) and the number of busy vCPUs fleet-wide. Samples
+// must arrive in non-decreasing time order.
+func (a *Autoscaler) Record(now time.Duration, concurrency, busyCores float64) {
+	a.samples = append(a.samples, sample{at: now, concurrency: concurrency, busyCores: busyCores})
+	// Drop samples older than the stable window to bound memory.
+	cut := now - a.cfg.StableWindow
+	i := 0
+	for i < len(a.samples) && a.samples[i].at < cut {
+		i++
+	}
+	if i > 0 {
+		a.samples = append(a.samples[:0], a.samples[i:]...)
+	}
+}
+
+// windowAverage averages a metric over the trailing window, dividing by
+// the full window span: missing data counts as zero, which is what
+// produces the paper's ~40 s scale-up lag after a burst begins.
+func (a *Autoscaler) windowAverage(now, window time.Duration, metric func(sample) float64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	cut := now - window
+	var sum float64
+	var n int
+	for _, s := range a.samples {
+		if s.at >= cut {
+			sum += metric(s)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// Scale by observed coverage: n samples represent n/total of the
+	// window only when the window has been fully observed; earlier than
+	// that, the un-observed remainder counts as zero.
+	elapsed := now
+	if elapsed > window {
+		elapsed = window
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	coverage := float64(elapsed) / float64(window)
+	return sum / float64(n) * coverage
+}
+
+func concMetric(s sample) float64 { return s.concurrency }
+func cpuMetric(s sample) float64  { return s.busyCores }
+
+// Desired returns the instance count the autoscaler wants at time now,
+// given the current fleet size (ready plus provisioning).
+func (a *Autoscaler) Desired(now time.Duration, current int) int {
+	target := a.cfg.targetPerInstance()
+	stableAvg := a.windowAverage(now, a.cfg.StableWindow, concMetric)
+	panicAvg := a.windowAverage(now, a.cfg.PanicWindow, concMetric)
+
+	desiredStable := int(math.Ceil(stableAvg / target))
+	desiredPanic := int(math.Ceil(panicAvg / target))
+
+	// GCP's CPU-utilization rule, demand-proportional and therefore
+	// stable: enough instances that the windowed-average busy cores sit
+	// at CPUTarget of each instance's allocation. Because busy cores are
+	// capacity-capped, the fleet grows by at most the window-fill rate —
+	// no compounding.
+	if a.cfg.CPUTarget > 0 {
+		vcpu := a.cfg.VCPUPerInstance
+		if vcpu <= 0 {
+			vcpu = 1
+		}
+		avgBusy := a.windowAverage(now, a.cfg.StableWindow, cpuMetric)
+		if d := int(math.Ceil(avgBusy / (a.cfg.CPUTarget * vcpu))); d > desiredStable {
+			desiredStable = d
+		}
+	}
+
+	// Enter panic mode when the short-window demand is PanicThreshold×
+	// beyond what the current fleet can absorb.
+	capacity := float64(current) * target
+	if capacity < target {
+		capacity = target
+	}
+	if panicAvg/capacity >= a.cfg.PanicThreshold {
+		a.panic = true
+	}
+	if a.panic {
+		if desiredPanic > a.maxPanicDesired {
+			a.maxPanicDesired = desiredPanic
+		}
+		// Leave panic mode once stable demand fits current capacity.
+		if desiredStable <= current {
+			a.panic = false
+			a.maxPanicDesired = 0
+		}
+	}
+
+	desired := desiredStable
+	if a.panic && a.maxPanicDesired > desired {
+		desired = a.maxPanicDesired
+	}
+	// Once scaling is underway the platform acts on recent metrics: the
+	// long stable window only gates the *start* of scaling (the metric-
+	// pipeline lag the paper observes); afterwards the backlog visible in
+	// the short window sizes the fleet, which is how GCP jumps to ~12
+	// instances right after its ~40 s of inaction.
+	if desiredStable >= 2 && desiredPanic > desired {
+		desired = desiredPanic
+	}
+	// Damping, as real autoscalers apply: grow at most ~2x per decision,
+	// shrink at most ~2x per decision (scale-down stabilization).
+	if max := 2*current + 2; desired > max {
+		desired = max
+	}
+	if current > 2 && desired < current/2 {
+		desired = current / 2
+	}
+	if desired < a.cfg.MinInstances {
+		desired = a.cfg.MinInstances
+	}
+	if desired > a.cfg.MaxInstances {
+		desired = a.cfg.MaxInstances
+	}
+	return desired
+}

@@ -1,0 +1,214 @@
+package billing
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/trace"
+)
+
+func testTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = 20000
+	return trace.Generate(cfg)
+}
+
+func TestMapRequestAWSProportional(t *testing.T) {
+	// vCPU-heavy flavor: memory implied by CPU dominates.
+	r := trace.Request{AllocCPU: 1, AllocMemMB: 512,
+		Duration: time.Second, CPUTime: 500 * time.Millisecond, MemUsedMB: 256}
+	inv := MapRequest(AWSLambda, r)
+	if inv.AllocMemGB*1024 < 1768 || inv.AllocMemGB*1024 > 1770 {
+		t.Errorf("AWS mapped memory = %.0f MB, want 1769", inv.AllocMemGB*1024)
+	}
+	if !almost(inv.AllocCPU, 1) {
+		t.Errorf("AWS mapped CPU = %v, want 1", inv.AllocCPU)
+	}
+	// Memory-heavy flavor: recorded memory dominates; CPU becomes
+	// proportional.
+	r2 := trace.Request{AllocCPU: 0.5, AllocMemMB: 4096,
+		Duration: time.Second, CPUTime: 100 * time.Millisecond, MemUsedMB: 1024}
+	inv2 := MapRequest(AWSLambda, r2)
+	if !almost(inv2.AllocMemGB, 4) {
+		t.Errorf("AWS mapped memory = %v GB, want 4", inv2.AllocMemGB)
+	}
+	if !almost(inv2.AllocCPU, 4096/AWSMemPerVCPUMB) {
+		t.Errorf("AWS mapped CPU = %v", inv2.AllocCPU)
+	}
+}
+
+func TestMapRequestFixedSandboxes(t *testing.T) {
+	r := trace.Request{AllocCPU: 4, AllocMemMB: 4096, Duration: time.Second}
+	az := MapRequest(AzureConsumption, r)
+	if az.AllocCPU != 1 || az.AllocMemGB != 1.5 {
+		t.Errorf("Azure sandbox = %v vCPU / %v GB", az.AllocCPU, az.AllocMemGB)
+	}
+	cf := MapRequest(Cloudflare, r)
+	if cf.AllocCPU != 1 || !almost(cf.AllocMemGB, MBToGB(128)) {
+		t.Errorf("Cloudflare sandbox = %v vCPU / %v GB", cf.AllocCPU, cf.AllocMemGB)
+	}
+	hw := MapRequest(Huawei, r)
+	if hw.AllocCPU != 4 || !almost(hw.AllocMemGB, 4) {
+		t.Errorf("Huawei should keep recorded allocation")
+	}
+}
+
+// TestAnalyzeInflationShape reproduces the Figure 2 headline: billable
+// resources exceed actual consumption, usage-based billing inflates least,
+// and GCP's coarse rounding inflates most.
+func TestAnalyzeInflationShape(t *testing.T) {
+	tr := testTrace(t)
+	models := []Model{Huawei, AWSLambda, GCPRequest, AzureConsumption, Cloudflare}
+	results := AnalyzeInflation(tr, models)
+	byName := map[string]InflationResult{}
+	for _, r := range results {
+		byName[r.Model] = r
+	}
+
+	// All allocation-based models inflate CPU and memory well above 1×.
+	for _, name := range []string{HuaweiName, AWSLambdaName, GCPRequestName} {
+		r := byName[name]
+		if r.MeanCPUInflation < 1.2 {
+			t.Errorf("%s CPU inflation = %.2f, want > 1.2", name, r.MeanCPUInflation)
+		}
+		if r.MeanMemInflation < 1.2 {
+			t.Errorf("%s memory inflation = %.2f, want > 1.2", name, r.MeanMemInflation)
+		}
+	}
+
+	// Usage-based billing inflates least: Cloudflare CPU close to 1×,
+	// Azure memory the lowest of the memory-billing models.
+	cf := byName[CloudflareName]
+	if cf.MeanCPUInflation < 1.0-1e-9 || cf.MeanCPUInflation > 1.3 {
+		t.Errorf("Cloudflare CPU inflation = %.3f, want ≈1.0", cf.MeanCPUInflation)
+	}
+	az := byName[AzureConsName]
+	for _, name := range []string{HuaweiName, AWSLambdaName, GCPRequestName} {
+		if az.MeanMemInflation >= byName[name].MeanMemInflation {
+			t.Errorf("Azure memory inflation %.2f not below %s's %.2f",
+				az.MeanMemInflation, name, byName[name].MeanMemInflation)
+		}
+	}
+
+	// GCP (coarse 100 ms rounding + turnaround billing) inflates the most.
+	gcp := byName[GCPRequestName]
+	for _, name := range []string{HuaweiName, AWSLambdaName} {
+		if gcp.MeanCPUInflation <= byName[name].MeanCPUInflation {
+			t.Errorf("GCP CPU inflation %.2f not above %s's %.2f",
+				gcp.MeanCPUInflation, name, byName[name].MeanCPUInflation)
+		}
+	}
+
+	// Azure bills no CPU; Cloudflare bills no memory.
+	if len(az.BillableCPUSeconds) != 0 {
+		t.Error("Azure Consumption should have no billable CPU series")
+	}
+	if len(cf.BillableMemGBSeconds) != 0 {
+		t.Error("Cloudflare should have no billable memory series")
+	}
+}
+
+func TestActualUsage(t *testing.T) {
+	tr := testTrace(t)
+	cpu, mem := ActualUsage(tr)
+	if len(cpu) != tr.Len() || len(mem) != tr.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := range cpu {
+		if cpu[i] < 0 || mem[i] < 0 {
+			t.Fatal("negative actual usage")
+		}
+	}
+}
+
+// TestAnalyzeColdStartsShape reproduces Figure 4: a substantial minority
+// of cold starts consume as much as or more than all subsequent requests.
+func TestAnalyzeColdStartsShape(t *testing.T) {
+	tr := testTrace(t)
+	diffs := AnalyzeColdStarts(tr)
+	if len(diffs) == 0 {
+		t.Fatal("no cold starts analyzed")
+	}
+	fracCPU := FractionNonPositive(diffs, func(d ColdStartDiff) float64 { return d.CPUDiff })
+	fracMem := FractionNonPositive(diffs, func(d ColdStartDiff) float64 { return d.MemDiff })
+	// Paper: 42.1%. The synthetic trace should land in a broad band around
+	// it: enough pods serve too few requests to amortize initialization.
+	for _, f := range []float64{fracCPU, fracMem} {
+		if f < 0.15 || f > 0.75 {
+			t.Errorf("non-positive cold-start diff fraction = %.3f, want ≈0.42", f)
+		}
+	}
+}
+
+func TestFractionNonPositiveEmpty(t *testing.T) {
+	if FractionNonPositive(nil, func(ColdStartDiff) float64 { return 0 }) != 0 {
+		t.Error("empty diffs should give 0")
+	}
+}
+
+// TestAnalyzeRoundingShape reproduces Figure 5 (right): mean rounded-up
+// time under a 100 ms granularity is several tens of milliseconds and
+// exceeds the 1 ms-granularity-with-cutoff policy.
+func TestAnalyzeRoundingShape(t *testing.T) {
+	tr := testTrace(t)
+	gran100 := AnalyzeRounding(tr, TimePolicy{Name: "granularity-100ms",
+		Granularity: 100 * time.Millisecond}, 0, time.Millisecond)
+	cutoff100 := AnalyzeRounding(tr, TimePolicy{Name: "min-cutoff-100ms",
+		Granularity: time.Millisecond, MinCutoff: 100 * time.Millisecond},
+		MBToGB(128), time.Millisecond)
+
+	if gran100.MeanRoundedUpTimeMs < 20 || gran100.MeanRoundedUpTimeMs > 95 {
+		t.Errorf("100ms-granularity mean round-up = %.2f ms, want tens of ms (paper 77.12)",
+			gran100.MeanRoundedUpTimeMs)
+	}
+	if cutoff100.MeanRoundedUpTimeMs <= 0 {
+		t.Errorf("cutoff mean round-up = %.2f ms, want > 0 (paper 61.35)",
+			cutoff100.MeanRoundedUpTimeMs)
+	}
+	if gran100.MeanRoundedUpTimeMs <= cutoff100.MeanRoundedUpTimeMs {
+		t.Errorf("granularity rounding (%.2f) should exceed cutoff rounding (%.2f)",
+			gran100.MeanRoundedUpTimeMs, cutoff100.MeanRoundedUpTimeMs)
+	}
+	// Memory rounding adds a positive amount on the order of the paper's
+	// 2.67e-2 GB-seconds.
+	if cutoff100.MeanRoundedUpMemGBSeconds <= 0 {
+		t.Error("memory rounding should add billable GB-seconds")
+	}
+	// Every per-request round-up is non-negative.
+	for _, v := range gran100.RoundedUpTimeMs {
+		if v < 0 {
+			t.Fatal("negative time round-up")
+		}
+	}
+	for _, v := range cutoff100.RoundedUpMemGBSeconds {
+		if v < -1e-12 {
+			t.Fatal("negative memory round-up")
+		}
+	}
+}
+
+// TestFeeEquivalents reproduces Figure 5 (left): fee-equivalent billable
+// time falls with vCPU allocation and is zero for fee-less platforms.
+func TestFeeEquivalents(t *testing.T) {
+	vcpus := []float64{0.25, 0.5, 0.75, 1.0}
+	eqs := FeeEquivalents([]Model{AWSLambda, IBMCodeEngine, Cloudflare}, vcpus)
+	if len(eqs) != 3*len(vcpus) {
+		t.Fatalf("got %d points", len(eqs))
+	}
+	var prev float64 = -1
+	for _, e := range eqs {
+		if e.Platform != AWSLambdaName {
+			continue
+		}
+		if prev >= 0 && e.EquivalentMs >= prev {
+			t.Errorf("AWS fee-equivalent time should fall with allocation: %v", eqs)
+		}
+		prev = e.EquivalentMs
+	}
+	for _, e := range eqs {
+		if e.Platform == IBMCodeEngineName && e.EquivalentMs != 0 {
+			t.Errorf("IBM has no invocation fee; equivalent = %v ms", e.EquivalentMs)
+		}
+	}
+}

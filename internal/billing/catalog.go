@@ -1,0 +1,224 @@
+package billing
+
+import "time"
+
+// This file encodes Table 1 of the paper: the billing models of major
+// public serverless platforms as of 2025-05-15. Unit prices are the
+// public list prices the paper's §1–§2 comparisons cite (us-east regions);
+// they matter only for Figure 1's scatter and the fee-equivalence
+// conversion — all inflation analyses are price-independent.
+
+// MBToGB converts megabytes to gigabytes.
+func MBToGB(mb float64) float64 { return mb / 1024 }
+
+// AWSMemPerVCPUMB is the memory size corresponding to one full vCPU on
+// AWS Lambda (1,769 MB).
+const AWSMemPerVCPUMB = 1769.0
+
+// ProportionalCPU returns the vCPU share AWS Lambda (and Vercel/Azure
+// Flex) allocates for a memory size in MB.
+func ProportionalCPU(memMB float64) float64 { return memMB / AWSMemPerVCPUMB }
+
+// Catalog model names.
+const (
+	AWSLambdaName     = "aws-lambda"
+	GCPRequestName    = "gcp-run-request"
+	GCPInstanceName   = "gcp-run-instance"
+	AzureConsName     = "azure-consumption"
+	AzureFlexName     = "azure-flex"
+	AzurePremiumName  = "azure-premium"
+	IBMCodeEngineName = "ibm-code-engine"
+	HuaweiName        = "huawei-functiongraph"
+	AlibabaName       = "alibaba-fc"
+	OracleName        = "oracle-functions"
+	VercelName        = "vercel-functions"
+	CloudflareName    = "cloudflare-workers"
+)
+
+// AWSLambda bills allocated memory (CPU allocated proportionally and
+// embedded in the memory price) over wall-clock turnaround time at 1 ms
+// granularity, plus a fixed invocation fee. The CPU rule below reports the
+// proportional vCPU allocation as billable CPU at zero marginal price so
+// inflation analyses can attribute it, matching §2.3's treatment.
+var AWSLambda = Model{
+	Platform:        AWSLambdaName,
+	Basis:           TurnaroundTime,
+	TimeGranularity: time.Millisecond,
+	Rules: []Rule{
+		{Resource: Memory, Source: FromAllocation, Granularity: MBToGB(1), UnitPrice: 1.6276e-5, PerDuration: true},
+		{Resource: CPU, Source: FromAllocation, Granularity: 0, UnitPrice: 0, PerDuration: true},
+	},
+	InvocationFee: 2e-7,
+	Notes:         "memory knob 1 MB steps, 128–10240 MB; CPU proportional (1769 MB = 1 vCPU); CPU cost embedded in memory price",
+}
+
+// GCPRequest is Google Cloud Run functions under request-based billing:
+// allocated memory and CPU over turnaround time at 100 ms granularity.
+var GCPRequest = Model{
+	Platform:        GCPRequestName,
+	Basis:           TurnaroundTime,
+	TimeGranularity: 100 * time.Millisecond,
+	Rules: []Rule{
+		{Resource: CPU, Source: FromAllocation, Granularity: 0.01, UnitPrice: 2.4e-5, PerDuration: true},
+		{Resource: Memory, Source: FromAllocation, Granularity: MBToGB(1), UnitPrice: 2.5e-6, PerDuration: true},
+	},
+	InvocationFee: 4e-7,
+	Notes:         "1st gen: CPU knob 0.01 vCPU steps; 2nd gen: whole vCPUs; memory 1 MB steps",
+}
+
+// GCPInstance is Google Cloud Run with instance-based billing: allocated
+// resources over the whole instance lifespan, no invocation fee, slightly
+// lower unit prices.
+var GCPInstance = Model{
+	Platform:        GCPInstanceName,
+	Basis:           InstanceTime,
+	TimeGranularity: 100 * time.Millisecond,
+	Rules: []Rule{
+		{Resource: CPU, Source: FromAllocation, Granularity: 1, UnitPrice: 1.8e-5, PerDuration: true},
+		{Resource: Memory, Source: FromAllocation, Granularity: MBToGB(1), UnitPrice: 2.0e-6, PerDuration: true},
+	},
+	Notes: "charges resource allocation over instance lifespan regardless of requests; whole-vCPU knob",
+}
+
+// AzureConsumption bills *consumed* memory (rounded up to 128 MB) over
+// execution time at 1 ms granularity with a 100 ms minimum cutoff; the
+// sandbox has a fixed 1.5 GB / 1 vCPU size.
+var AzureConsumption = Model{
+	Platform:        AzureConsName,
+	Basis:           ExecutionTime,
+	TimeGranularity: time.Millisecond,
+	MinBillableTime: 100 * time.Millisecond,
+	Rules: []Rule{
+		{Resource: Memory, Source: FromUsage, Granularity: MBToGB(128), UnitPrice: 1.6e-5, PerDuration: true},
+	},
+	InvocationFee: 2e-7,
+	Notes:         "fixed sandbox of 1.5 GB memory and 1 vCPU; bills consumed memory, 128 MB granularity",
+}
+
+// AzureFlex bills allocated memory (2 GB or 4 GB instance sizes, CPU
+// proportional) over execution time at 100 ms granularity with a 1 s
+// minimum cutoff.
+var AzureFlex = Model{
+	Platform:        AzureFlexName,
+	Basis:           ExecutionTime,
+	TimeGranularity: 100 * time.Millisecond,
+	MinBillableTime: time.Second,
+	Rules: []Rule{
+		{Resource: Memory, Source: FromAllocation, Granularity: 2.0, UnitPrice: 1.8e-5, PerDuration: true},
+	},
+	InvocationFee: 4e-7,
+	Notes:         "memory either 2 GB or 4 GB; CPU proportionally allocated",
+}
+
+// AzurePremium is instance-based billing with monthly minimums; modeled
+// here at per-second resolution over the instance lifespan for comparison
+// (the monthly-minimum cutoff is the 1-month granularity of Table 1).
+var AzurePremium = Model{
+	Platform:        AzurePremiumName,
+	Basis:           InstanceTime,
+	TimeGranularity: time.Second,
+	Rules: []Rule{
+		{Resource: CPU, Source: FromAllocation, Granularity: 1, UnitPrice: 4.6e-5, PerDuration: true},
+		{Resource: Memory, Source: FromAllocation, Granularity: 0.25, UnitPrice: 3.2e-6, PerDuration: true},
+	},
+	Notes: "always-ready instances, fixed CPU+memory combos, minimum monthly cost applies",
+}
+
+// IBMCodeEngine bills allocated memory and CPU (fixed combos) over
+// turnaround time at 100 ms granularity.
+var IBMCodeEngine = Model{
+	Platform:        IBMCodeEngineName,
+	Basis:           TurnaroundTime,
+	TimeGranularity: 100 * time.Millisecond,
+	Rules: []Rule{
+		{Resource: CPU, Source: FromAllocation, Granularity: 0.125, UnitPrice: 3.431e-5, PerDuration: true},
+		{Resource: Memory, Source: FromAllocation, Granularity: 0.25, UnitPrice: 3.56e-6, PerDuration: true},
+	},
+	InvocationFee: 0,
+	Notes:         "fixed CPU/memory combos",
+}
+
+// Huawei bills allocated memory (fixed CPU–memory combos) over execution
+// time at 1 ms granularity.
+var Huawei = Model{
+	Platform:        HuaweiName,
+	Basis:           ExecutionTime,
+	TimeGranularity: time.Millisecond,
+	Rules: []Rule{
+		{Resource: Memory, Source: FromAllocation, Granularity: MBToGB(128), UnitPrice: 1.668e-5, PerDuration: true},
+		{Resource: CPU, Source: FromAllocation, Granularity: 0, UnitPrice: 0, PerDuration: true},
+	},
+	InvocationFee: 1.5e-7,
+	Notes:         "fixed CPU-memory combos; CPU cost embedded in memory price",
+}
+
+// Alibaba bills allocated memory and CPU separately over execution time at
+// 1 ms granularity, with 0.05 vCPU and 64 MB knob steps.
+var Alibaba = Model{
+	Platform:        AlibabaName,
+	Basis:           ExecutionTime,
+	TimeGranularity: time.Millisecond,
+	Rules: []Rule{
+		{Resource: CPU, Source: FromAllocation, Granularity: 0.05, UnitPrice: 1.3875e-5, PerDuration: true},
+		{Resource: Memory, Source: FromAllocation, Granularity: MBToGB(64), UnitPrice: 1.5328e-6, PerDuration: true},
+	},
+	InvocationFee: 2e-7,
+	Notes:         "vCPU:memory(GB) ratio must stay between 1:1 and 1:4",
+}
+
+// Oracle bills allocated memory over execution time; its billing
+// granularity is not documented publicly, so 1 ms is assumed.
+var Oracle = Model{
+	Platform:        OracleName,
+	Basis:           ExecutionTime,
+	TimeGranularity: time.Millisecond,
+	Rules: []Rule{
+		{Resource: Memory, Source: FromAllocation, Granularity: MBToGB(128), UnitPrice: 1.417e-5, PerDuration: true},
+	},
+	InvocationFee: 2e-7,
+	Notes:         "fixed memory combos; granularity not documented publicly",
+}
+
+// Vercel bills allocated memory (CPU proportional) over execution time.
+var Vercel = Model{
+	Platform:        VercelName,
+	Basis:           ExecutionTime,
+	TimeGranularity: time.Millisecond,
+	Rules: []Rule{
+		{Resource: Memory, Source: FromAllocation, Granularity: MBToGB(1), UnitPrice: 1.8e-5, PerDuration: true},
+	},
+	InvocationFee: 6e-7,
+	Notes:         "memory 1 MB steps; CPU proportionally allocated",
+}
+
+// Cloudflare bills only consumed CPU time at 1 ms granularity (fixed
+// 128 MB sandboxes), the purest usage-based model in Table 1.
+var Cloudflare = Model{
+	Platform:        CloudflareName,
+	Basis:           ExecutionTime, // unused for resources; kept for BillableTime reporting
+	TimeGranularity: time.Millisecond,
+	Rules: []Rule{
+		{Resource: CPU, Source: FromUsage, Granularity: 0.001, UnitPrice: 2.0e-5, PerDuration: false},
+	},
+	InvocationFee: 3e-7,
+	Notes:         "fixed 128 MB memory; 10 MB artifact cap; bills consumed CPU time only",
+}
+
+// Catalog returns the Table 1 models in presentation order.
+func Catalog() []Model {
+	return []Model{
+		AWSLambda, GCPRequest, GCPInstance, AzureConsumption, AzureFlex,
+		AzurePremium, IBMCodeEngine, Huawei, Alibaba, Oracle, Vercel,
+		Cloudflare,
+	}
+}
+
+// ByName returns the catalog model with the given platform name.
+func ByName(name string) (Model, bool) {
+	for _, m := range Catalog() {
+		if m.Platform == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}

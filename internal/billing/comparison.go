@@ -1,0 +1,79 @@
+package billing
+
+// This file reproduces the paper's §1 motivation: the per-unit-time price
+// comparison between AWS Lambda, an EC2 VM, and a Fargate container on
+// identical ARM hardware in us-east-2 — the observation that serverless
+// unit prices run ~2-2.5x above VM prices, which the rest of the paper
+// traces to serving-architecture and scheduling overheads.
+
+// HostingOption is one non-serverless compute offering.
+type HostingOption struct {
+	// Name identifies the offering.
+	Name string
+	// VCPU and MemGB describe the allocated shape.
+	VCPU  float64
+	MemGB float64
+	// PerSecond is the list price in dollars per second.
+	PerSecond float64
+	// PerRequestFee is the per-request charge (zero for VMs/containers).
+	PerRequestFee float64
+}
+
+// The §1 comparison points (ARM, us-east-2, as of the paper's snapshot).
+var (
+	// LambdaARM is an AWS Lambda function with 1 vCPU (1,769 MB) and
+	// 512 MB of ephemeral storage on Graviton.
+	LambdaARM = HostingOption{
+		Name: "aws-lambda-arm (1 vCPU, 1769 MB)", VCPU: 1, MemGB: 1.769,
+		PerSecond: 2.3034e-5, PerRequestFee: 2e-7,
+	}
+	// EC2C6gMedium is a compute-optimized c6g.medium VM (1 vCPU, 2 GB).
+	EC2C6gMedium = HostingOption{
+		Name: "ec2-c6g.medium (1 vCPU, 2 GB)", VCPU: 1, MemGB: 2,
+		PerSecond: 9.4753e-6,
+	}
+	// FargateARM is a Fargate container with the same shape as the VM.
+	FargateARM = HostingOption{
+		Name: "fargate-arm (1 vCPU, 2 GB)", VCPU: 1, MemGB: 2,
+		PerSecond: 1.1003e-5,
+	}
+)
+
+// ComparisonRow is one row of the §1 table: an offering and its price
+// relative to the serverless baseline.
+type ComparisonRow struct {
+	Option HostingOption
+	// FractionOfServerless is option price / serverless price (the
+	// paper's 41.1% and 47.8%).
+	FractionOfServerless float64
+}
+
+// CompareHosting returns the §1 comparison: each alternative's per-second
+// price as a fraction of the serverless offering's.
+func CompareHosting(serverless HostingOption, alternatives ...HostingOption) []ComparisonRow {
+	out := make([]ComparisonRow, 0, len(alternatives))
+	for _, alt := range alternatives {
+		frac := 0.0
+		if serverless.PerSecond > 0 {
+			frac = alt.PerSecond / serverless.PerSecond
+		}
+		out = append(out, ComparisonRow{Option: alt, FractionOfServerless: frac})
+	}
+	return out
+}
+
+// BreakEvenUtilization returns the duty cycle at which renting the
+// always-on alternative costs the same as paying the serverless rate only
+// while busy: below this utilization serverless is cheaper despite its
+// higher unit price (ignoring fees); above it the VM wins. This is the
+// practical flip side of the paper's §1 observation.
+func BreakEvenUtilization(serverless, alwaysOn HostingOption) float64 {
+	if serverless.PerSecond <= 0 {
+		return 0
+	}
+	u := alwaysOn.PerSecond / serverless.PerSecond
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

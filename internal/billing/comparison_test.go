@@ -1,0 +1,50 @@
+package billing
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSection1Comparison checks the paper's §1 numbers: EC2 at 41.1% and
+// Fargate at 47.8% of the Lambda price for the same ARM shape.
+func TestSection1Comparison(t *testing.T) {
+	rows := CompareHosting(LambdaARM, EC2C6gMedium, FargateARM)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if got := rows[0].FractionOfServerless; math.Abs(got-0.411) > 0.003 {
+		t.Errorf("EC2 fraction = %.4f, want ≈0.411", got)
+	}
+	if got := rows[1].FractionOfServerless; math.Abs(got-0.478) > 0.003 {
+		t.Errorf("Fargate fraction = %.4f, want ≈0.478", got)
+	}
+	// And only the serverless offering charges per request.
+	if EC2C6gMedium.PerRequestFee != 0 || FargateARM.PerRequestFee != 0 {
+		t.Error("VMs and containers charge no request fees")
+	}
+	if LambdaARM.PerRequestFee != 2e-7 {
+		t.Errorf("Lambda fee = %v", LambdaARM.PerRequestFee)
+	}
+}
+
+func TestCompareHostingZeroBaseline(t *testing.T) {
+	rows := CompareHosting(HostingOption{}, EC2C6gMedium)
+	if rows[0].FractionOfServerless != 0 {
+		t.Error("zero-priced baseline should give fraction 0")
+	}
+}
+
+func TestBreakEvenUtilization(t *testing.T) {
+	u := BreakEvenUtilization(LambdaARM, EC2C6gMedium)
+	// Break-even equals the price fraction: ≈41% duty cycle.
+	if math.Abs(u-0.411) > 0.003 {
+		t.Errorf("break-even utilization = %.4f, want ≈0.411", u)
+	}
+	// A cheaper serverless offering can push break-even past 1: clamped.
+	if v := BreakEvenUtilization(HostingOption{PerSecond: 1e-6}, EC2C6gMedium); v != 1 {
+		t.Errorf("clamped break-even = %v", v)
+	}
+	if BreakEvenUtilization(HostingOption{}, EC2C6gMedium) != 0 {
+		t.Error("zero baseline should give 0")
+	}
+}

@@ -1,0 +1,331 @@
+package billing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeBasisString(t *testing.T) {
+	if ExecutionTime.String() != "execution" ||
+		TurnaroundTime.String() != "turnaround" ||
+		InstanceTime.String() != "instance" {
+		t.Error("TimeBasis names wrong")
+	}
+	if TimeBasis(9).String() == "" {
+		t.Error("unknown basis should still format")
+	}
+}
+
+func TestBillableTimeBases(t *testing.T) {
+	inv := Invocation{
+		Duration:         150 * time.Millisecond,
+		InitDuration:     250 * time.Millisecond,
+		InstanceLifespan: 10 * time.Second,
+	}
+	cases := []struct {
+		m    Model
+		want time.Duration
+	}{
+		{Model{Basis: ExecutionTime}, 150 * time.Millisecond},
+		{Model{Basis: TurnaroundTime}, 400 * time.Millisecond},
+		{Model{Basis: InstanceTime}, 10 * time.Second},
+	}
+	for _, c := range cases {
+		if got := c.m.BillableTime(inv); got != c.want {
+			t.Errorf("%v: BillableTime = %v, want %v", c.m.Basis, got, c.want)
+		}
+	}
+	// Instance basis floors at turnaround when the lifespan is unset.
+	short := inv
+	short.InstanceLifespan = 0
+	if got := (Model{Basis: InstanceTime}).BillableTime(short); got != 400*time.Millisecond {
+		t.Errorf("instance floor = %v", got)
+	}
+}
+
+func TestBillableTimeRoundingAndCutoff(t *testing.T) {
+	m := Model{Basis: ExecutionTime, TimeGranularity: 100 * time.Millisecond}
+	if got := m.BillableTime(Invocation{Duration: 101 * time.Millisecond}); got != 200*time.Millisecond {
+		t.Errorf("rounded = %v, want 200ms", got)
+	}
+	if got := m.BillableTime(Invocation{Duration: 200 * time.Millisecond}); got != 200*time.Millisecond {
+		t.Errorf("exact multiple changed: %v", got)
+	}
+	m.MinBillableTime = 100 * time.Millisecond
+	if got := m.BillableTime(Invocation{Duration: time.Millisecond}); got != 100*time.Millisecond {
+		t.Errorf("cutoff = %v, want 100ms", got)
+	}
+	// Azure-style: 1 ms granularity with 100 ms cutoff.
+	az := Model{Basis: ExecutionTime, TimeGranularity: time.Millisecond,
+		MinBillableTime: 100 * time.Millisecond}
+	if got := az.BillableTime(Invocation{Duration: 60 * time.Millisecond}); got != 100*time.Millisecond {
+		t.Errorf("azure cutoff = %v", got)
+	}
+	if got := az.BillableTime(Invocation{Duration: 123500 * time.Microsecond}); got != 124*time.Millisecond {
+		t.Errorf("azure rounding = %v", got)
+	}
+}
+
+func TestBillAllocationModel(t *testing.T) {
+	m := Model{
+		Platform:        "test",
+		Basis:           ExecutionTime,
+		TimeGranularity: time.Millisecond,
+		Rules: []Rule{
+			{Resource: CPU, Source: FromAllocation, UnitPrice: 1e-5, PerDuration: true},
+			{Resource: Memory, Source: FromAllocation, UnitPrice: 1e-6, PerDuration: true},
+		},
+		InvocationFee: 2e-7,
+	}
+	ch := m.Bill(Invocation{Duration: 2 * time.Second, AllocCPU: 0.5, AllocMemGB: 1})
+	if !almost(ch.CPUSeconds, 1.0) {
+		t.Errorf("CPUSeconds = %v, want 1", ch.CPUSeconds)
+	}
+	if !almost(ch.MemGBSeconds, 2.0) {
+		t.Errorf("MemGBSeconds = %v, want 2", ch.MemGBSeconds)
+	}
+	wantCost := 1.0*1e-5 + 2.0*1e-6
+	if !almost(ch.ResourceCost, wantCost) {
+		t.Errorf("ResourceCost = %v, want %v", ch.ResourceCost, wantCost)
+	}
+	if !almost(ch.Total(), wantCost+2e-7) {
+		t.Errorf("Total = %v", ch.Total())
+	}
+}
+
+func TestBillUsageModelCloudflare(t *testing.T) {
+	inv := Invocation{
+		Duration:   50 * time.Millisecond,
+		CPUTime:    10*time.Millisecond + 200*time.Microsecond,
+		AllocCPU:   1,
+		AllocMemGB: MBToGB(128),
+	}
+	ch := Cloudflare.Bill(inv)
+	// Consumed CPU rounds up to 11 ms = 0.011 vCPU-s regardless of the
+	// 50 ms wall-clock duration.
+	if !almost(ch.CPUSeconds, 0.011) {
+		t.Errorf("CPUSeconds = %v, want 0.011", ch.CPUSeconds)
+	}
+	if ch.MemGBSeconds != 0 {
+		t.Errorf("Cloudflare bills no memory, got %v", ch.MemGBSeconds)
+	}
+}
+
+func TestBillUsageModelAzure(t *testing.T) {
+	inv := Invocation{
+		Duration:  250 * time.Millisecond,
+		MemUsedGB: MBToGB(200), // rounds up to 256 MB
+	}
+	ch := AzureConsumption.Bill(inv)
+	wantMem := MBToGB(256) * 0.25
+	if !almost(ch.MemGBSeconds, wantMem) {
+		t.Errorf("MemGBSeconds = %v, want %v", ch.MemGBSeconds, wantMem)
+	}
+	// Short request hits the 100 ms cutoff.
+	short := AzureConsumption.Bill(Invocation{Duration: 3 * time.Millisecond, MemUsedGB: 0.1})
+	if short.BillableTime != 100*time.Millisecond {
+		t.Errorf("BillableTime = %v", short.BillableTime)
+	}
+}
+
+func TestCatalogValid(t *testing.T) {
+	models := Catalog()
+	if len(models) != 12 {
+		t.Fatalf("catalog has %d models, want 12 (Table 1)", len(models))
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Platform, err)
+		}
+		if seen[m.Platform] {
+			t.Errorf("duplicate platform %s", m.Platform)
+		}
+		seen[m.Platform] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, ok := ByName(AWSLambdaName)
+	if !ok || m.Platform != AWSLambdaName {
+		t.Fatal("ByName(aws-lambda) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown platform should not resolve")
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{},
+		{Platform: "x"},
+		{Platform: "x", TimeGranularity: -1, Rules: []Rule{{Resource: CPU, PerDuration: true}}},
+		{Platform: "x", InvocationFee: -1, Rules: []Rule{{Resource: CPU, PerDuration: true}}},
+		{Platform: "x", Rules: []Rule{{Resource: "disk", PerDuration: true}}},
+		{Platform: "x", Rules: []Rule{{Resource: CPU, UnitPrice: -1, PerDuration: true}}},
+		{Platform: "x", Rules: []Rule{{Resource: CPU, Source: FromAllocation, PerDuration: false}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+// TestPaperPriceAnchors checks the concrete price statements of §1–§2.2.
+func TestPaperPriceAnchors(t *testing.T) {
+	// §2.2: an AWS Lambda function with 1,769 MB (1 vCPU) costs about
+	// $2.8792e-5 per second.
+	aws := AWSLambda.PerSecondRate(1, AWSMemPerVCPUMB/1024)
+	if math.Abs(aws-2.8792e-5)/2.8792e-5 > 0.03 {
+		t.Errorf("AWS 1769MB rate = %.4e, want ≈2.8792e-5", aws)
+	}
+	// §2.2: a GCP gen-1 function with 1 vCPU + 1,769 MB costs about
+	// $2.8319e-5 per second.
+	gcp := GCPRequest.PerSecondRate(1, AWSMemPerVCPUMB/1024)
+	if math.Abs(gcp-2.8319e-5)/2.8319e-5 > 0.03 {
+		t.Errorf("GCP rate = %.4e, want ≈2.8319e-5", gcp)
+	}
+	// §2.2: CPU:memory unit price ratio lies in [9, 9.64] for platforms
+	// billing them separately.
+	for _, m := range []Model{GCPRequest, IBMCodeEngine, GCPInstance} {
+		var cpu, mem float64
+		for _, r := range m.Rules {
+			switch r.Resource {
+			case CPU:
+				cpu = r.UnitPrice
+			case Memory:
+				mem = r.UnitPrice
+			}
+		}
+		ratio := cpu / mem
+		if ratio < 8.5 || ratio > 10.1 {
+			t.Errorf("%s CPU:mem price ratio = %.2f, want ≈9–9.64", m.Platform, ratio)
+		}
+	}
+	// §2.5: the AWS fee equals ≈96 ms of billable time at 128 MB.
+	eq := AWSLambda.FeeEquivalentTime(ProportionalCPU(128), MBToGB(128))
+	ms := float64(eq) / float64(time.Millisecond)
+	if ms < 85 || ms > 110 {
+		t.Errorf("AWS fee-equivalent time at 128MB = %.1f ms, want ≈96", ms)
+	}
+}
+
+func TestFeeEquivalentTimeEdges(t *testing.T) {
+	free := Model{Platform: "free", Rules: []Rule{{Resource: CPU, PerDuration: true}}}
+	if free.FeeEquivalentTime(1, 1) != 0 {
+		t.Error("zero fee should give zero equivalent time")
+	}
+	if Cloudflare.FeeEquivalentTime(0, 0) != 0 {
+		t.Error("zero rate should give zero equivalent time")
+	}
+}
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// Property: billing is monotone — increasing duration, allocation, or
+// usage never decreases billable resources or cost.
+func TestBillMonotonicityProperty(t *testing.T) {
+	type in struct {
+		DurMs   uint16
+		InitMs  uint16
+		CPU8    uint8 // alloc vCPU in 1/32 steps
+		MemMB   uint16
+		UsedPct uint8
+	}
+	toInv := func(v in) Invocation {
+		alloc := float64(v.CPU8%128)/32 + 0.03125
+		memGB := (float64(v.MemMB%8192) + 64) / 1024
+		used := float64(v.UsedPct%101) / 100
+		dur := time.Duration(v.DurMs) * time.Millisecond
+		return Invocation{
+			Duration:     dur,
+			InitDuration: time.Duration(v.InitMs) * time.Millisecond,
+			AllocCPU:     alloc,
+			AllocMemGB:   memGB,
+			CPUTime:      time.Duration(used * float64(dur) * alloc),
+			MemUsedGB:    used * memGB,
+		}
+	}
+	for _, m := range Catalog() {
+		m := m
+		f := func(v in) bool {
+			inv := toInv(v)
+			ch := m.Bill(inv)
+			bigger := inv
+			bigger.Duration += 7 * time.Millisecond
+			bigger.AllocCPU += 0.25
+			bigger.AllocMemGB += 0.25
+			bigger.CPUTime += 3 * time.Millisecond
+			bigger.MemUsedGB += 0.25
+			ch2 := m.Bill(bigger)
+			return ch2.Total() >= ch.Total()-1e-15 &&
+				ch2.CPUSeconds >= ch.CPUSeconds-1e-12 &&
+				ch2.MemGBSeconds >= ch.MemGBSeconds-1e-12 &&
+				ch2.BillableTime >= ch.BillableTime
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: monotonicity violated: %v", m.Platform, err)
+		}
+	}
+}
+
+// Property: billable time is never below the raw basis time, and rounding
+// never adds more than one granule beyond the cutoff.
+func TestBillableTimeBoundsProperty(t *testing.T) {
+	f := func(durMs uint16, initMs uint16) bool {
+		inv := Invocation{
+			Duration:     time.Duration(durMs) * time.Millisecond,
+			InitDuration: time.Duration(initMs) * time.Millisecond,
+		}
+		for _, m := range Catalog() {
+			bt := m.BillableTime(inv)
+			var raw time.Duration
+			switch m.Basis {
+			case ExecutionTime:
+				raw = inv.Duration
+			case TurnaroundTime, InstanceTime:
+				raw = inv.Duration + inv.InitDuration
+			}
+			if bt < raw {
+				return false
+			}
+			floor := raw
+			if floor < m.MinBillableTime {
+				floor = m.MinBillableTime
+			}
+			if m.TimeGranularity > 0 && bt >= floor+m.TimeGranularity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundUpHelpers(t *testing.T) {
+	if got := roundUpDur(101*time.Millisecond, 100*time.Millisecond); got != 200*time.Millisecond {
+		t.Errorf("roundUpDur = %v", got)
+	}
+	if got := roundUpDur(-5, 100); got != 0 {
+		t.Errorf("negative duration should clamp to 0, got %v", got)
+	}
+	if got := roundUpDur(55, 0); got != 55 {
+		t.Errorf("zero granularity should keep value, got %v", got)
+	}
+	if got := roundUpF(0.13, 0.125); !almost(got, 0.25) {
+		t.Errorf("roundUpF = %v", got)
+	}
+	if got := roundUpF(0.25, 0.125); !almost(got, 0.25) {
+		t.Errorf("roundUpF exact multiple = %v", got)
+	}
+	if got := roundUpF(-1, 0.5); got != 0 {
+		t.Errorf("negative amount should clamp to 0, got %v", got)
+	}
+}

@@ -1,0 +1,375 @@
+// Package cfs simulates Linux CPU bandwidth control as used by the CFS and
+// EEVDF schedulers — the mechanism §4 of the paper identifies as the source
+// of CPU overallocation on public serverless platforms.
+//
+// The simulator models a single CPU-bound task inside one cgroup on one
+// logical CPU, with the kernel structures the paper describes: a global
+// runtime pool refilled to the quota once per period (the hrtimer
+// callback), a per-CPU local pool that acquires sched_cfs_bandwidth_slice
+// from the global pool, runtime accounting that happens only at scheduler
+// ticks (CONFIG_HZ), overrun debt from lagged accounting, and throttling
+// with repayment across periods.
+//
+// The package also provides the closed-form duration model of Equation (2),
+// the Algorithm 1 user-space profiler (run inside the simulation), and the
+// parameter-inference procedure behind Table 3.
+package cfs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scheduler selects the kernel scheduler flavor.
+type Scheduler int
+
+const (
+	// CFS is the Completely Fair Scheduler (kernels < 6.8): runtime
+	// accounting happens at scheduler ticks only, so a task can overrun
+	// its quota by up to a full tick interval.
+	CFS Scheduler = iota
+	// EEVDF is the Earliest Eligible Virtual Deadline First scheduler
+	// (default since 6.8): the same bandwidth-control interface, but the
+	// virtual-deadline hrtick bounds overrun near the minimal preemption
+	// granularity instead of a full tick.
+	EEVDF
+	// EventDriven is the quota-enforcement mechanism §4.3 proposes as a
+	// fix: a one-shot timer armed to expire exactly when the task's
+	// remaining runtime is exhausted, so accounting is precise and
+	// overrun disappears entirely. Sub-quota overallocation (a task
+	// shorter than its quota running at 100% CPU) still remains —
+	// "whenever required CPU time falls below the quota, overallocation
+	// cannot be avoided, regardless of scheduler or timer settings."
+	EventDriven
+)
+
+// String returns the scheduler's name.
+func (s Scheduler) String() string {
+	switch s {
+	case CFS:
+		return "cfs"
+	case EEVDF:
+		return "eevdf"
+	case EventDriven:
+		return "event-driven"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// DefaultSlice is the kernel's default sched_cfs_bandwidth_slice (5 ms).
+const DefaultSlice = 5 * time.Millisecond
+
+// MinGranularity is the kernel's default minimal preemption granularity
+// for CPU-bound tasks (0.75 ms), which bounds EEVDF's accounting lag.
+const MinGranularity = 750 * time.Microsecond
+
+// Config describes one cgroup's bandwidth-control environment.
+type Config struct {
+	// Period is the CPU bandwidth control enforcement period (cfs_period).
+	Period time.Duration
+	// Quota is the runtime refilled into the global pool each period
+	// (cfs_quota). Quota >= Period means an unthrottled full core.
+	Quota time.Duration
+	// TickHz is the scheduler tick frequency CONFIG_HZ (e.g. 250, 1000).
+	TickHz int
+	// Slice is the local-pool acquisition size; defaults to DefaultSlice.
+	Slice time.Duration
+	// Sched selects CFS or EEVDF accounting behavior.
+	Sched Scheduler
+	// StartOffset shifts the task's arrival relative to the period and
+	// tick grid, modeling the random phase of real invocations.
+	StartOffset time.Duration
+}
+
+// VCPUFraction returns the CPU limit Quota/Period the cgroup enforces.
+func (c Config) VCPUFraction() float64 {
+	if c.Period <= 0 {
+		return 1
+	}
+	f := float64(c.Quota) / float64(c.Period)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// tickInterval returns the scheduler tick interval 1/TickHz.
+func (c Config) tickInterval() time.Duration {
+	hz := c.TickHz
+	if hz <= 0 {
+		hz = 250
+	}
+	return time.Duration(int64(time.Second) / int64(hz))
+}
+
+func (c Config) slice() time.Duration {
+	if c.Slice <= 0 {
+		return DefaultSlice
+	}
+	return c.Slice
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("cfs: non-positive period %v", c.Period)
+	}
+	if c.Quota <= 0 {
+		return fmt.Errorf("cfs: non-positive quota %v", c.Quota)
+	}
+	if c.TickHz < 0 {
+		return fmt.Errorf("cfs: negative tick frequency %d", c.TickHz)
+	}
+	if c.StartOffset < 0 {
+		return fmt.Errorf("cfs: negative start offset %v", c.StartOffset)
+	}
+	return nil
+}
+
+// ConfigFor builds a Config for a fractional vCPU allocation under a
+// platform's period and tick frequency, the mapping the paper uses to
+// compare cloud deployments against local runs (quota = fraction × period).
+func ConfigFor(vcpuFraction float64, period time.Duration, tickHz int, sched Scheduler) Config {
+	if vcpuFraction <= 0 {
+		vcpuFraction = 0.01
+	}
+	if vcpuFraction > 1 {
+		vcpuFraction = 1
+	}
+	return Config{
+		Period: period,
+		Quota:  time.Duration(vcpuFraction * float64(period)),
+		TickHz: tickHz,
+		Sched:  sched,
+	}
+}
+
+// Burst is a continuous span during which the task ran on the CPU.
+type Burst struct {
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Throttle is a span during which the task was throttled.
+type Throttle struct {
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Result is the outcome of simulating one task to completion.
+type Result struct {
+	// WallTime is the task's wall-clock execution duration.
+	WallTime time.Duration
+	// CPUTime is the CPU time the task consumed (its demand, unless the
+	// simulation stopped at a wall-clock deadline first).
+	CPUTime time.Duration
+	// Bursts are the spans the task spent running.
+	Bursts []Burst
+	// Throttles are the spans the task spent throttled.
+	Throttles []Throttle
+	// Deadline reports whether the run stopped at the wall-clock deadline
+	// rather than completing its CPU demand.
+	Deadline bool
+}
+
+// Simulate runs a CPU-bound task that needs demand CPU time under cfg and
+// returns its schedule. The task starts at cfg.StartOffset on a shared
+// tick/period grid anchored at time zero.
+func Simulate(cfg Config, demand time.Duration) Result {
+	return simulate(cfg, demand, 0)
+}
+
+// SimulateUntil runs a CPU-bound task until it either consumes demand CPU
+// time or reaches the wall-clock deadline (whichever comes first). A zero
+// deadline means no deadline. Algorithm 1's fixed-duration spin loop uses
+// this with an effectively infinite demand.
+func SimulateUntil(cfg Config, demand, deadline time.Duration) Result {
+	return simulate(cfg, demand, deadline)
+}
+
+func simulate(cfg Config, demand, deadline time.Duration) Result {
+	var res Result
+	if demand <= 0 {
+		return res
+	}
+	// Quota at or above the period is an uncapped core: no throttling.
+	if cfg.Quota >= cfg.Period {
+		wall := demand
+		if deadline > 0 && wall > deadline-cfg.StartOffset {
+			wall = deadline - cfg.StartOffset
+			if wall < 0 {
+				wall = 0
+			}
+			res.Deadline = true
+		}
+		res.WallTime = wall
+		res.CPUTime = wall
+		if wall > 0 {
+			res.Bursts = []Burst{{Start: cfg.StartOffset, Dur: wall}}
+		}
+		return res
+	}
+
+	tick := cfg.tickInterval()
+	slice := cfg.slice()
+
+	now := cfg.StartOffset
+	var consumed time.Duration // total CPU time consumed
+	local := time.Duration(0)  // local pool (can go negative: overrun debt)
+	// Global pool: refilled to quota at every period boundary. The pool
+	// available at start is what remains of the current period's quota —
+	// a fresh period's worth, since no one else shares the cgroup.
+	global := cfg.Quota
+	nextRefill := nextBoundary(now, cfg.Period)
+
+	burstStart := now
+	running := true
+
+	// acquire pulls runtime from the global pool into the local pool.
+	acquire := func(want time.Duration) {
+		if global <= 0 {
+			return
+		}
+		amt := want
+		if amt > global {
+			amt = global
+		}
+		local += amt
+		global -= amt
+	}
+	acquire(slice)
+
+	for {
+		if running {
+			// Next accounting point: the next scheduler tick; under EEVDF
+			// additionally the hrtick armed near local-pool exhaustion;
+			// under event-driven enforcement, exactly at exhaustion.
+			acct := nextBoundary(now, tick)
+			switch {
+			case cfg.Sched == EEVDF && local > 0:
+				if hr := now + local + MinGranularity; hr < acct {
+					acct = hr
+				}
+			case cfg.Sched == EventDriven && local > 0:
+				if oneShot := now + local; oneShot < acct {
+					acct = oneShot
+				}
+			}
+			// Completion or deadline can land mid-span.
+			finish := now + (demand - consumed)
+			stop := acct
+			stopReason := "acct"
+			if finish <= stop {
+				stop = finish
+				stopReason = "done"
+			}
+			if deadline > 0 && deadline <= stop {
+				if deadline < stop {
+					stop = deadline
+					stopReason = "deadline"
+				} else if stopReason == "acct" {
+					stopReason = "deadline"
+				}
+			}
+			ran := stop - now
+			consumed += ran
+			local -= ran
+			now = stop
+			switch stopReason {
+			case "done", "deadline":
+				res.Bursts = append(res.Bursts, Burst{Start: burstStart, Dur: now - burstStart})
+				res.WallTime = now - cfg.StartOffset
+				res.CPUTime = consumed
+				res.Deadline = stopReason == "deadline"
+				return res
+			}
+			// Accounting: refill the local pool from the global pool; if
+			// both are exhausted, throttle.
+			if local <= 0 {
+				acquire(slice)
+				// Refills that happened exactly at this instant are
+				// processed before declaring a throttle.
+				for nextRefill <= now {
+					global = cfg.Quota
+					nextRefill += cfg.Period
+				}
+				if local <= 0 {
+					acquire(slice)
+				}
+				if local <= 0 {
+					res.Bursts = append(res.Bursts, Burst{Start: burstStart, Dur: now - burstStart})
+					running = false
+				}
+			}
+			continue
+		}
+
+		// Throttled: wait for period refills; each refill first repays the
+		// local pool's debt (the kernel's distribute_cfs_runtime), and the
+		// task unthrottles once its local runtime is positive.
+		throttleStart := now
+		for {
+			if deadline > 0 && nextRefill >= deadline {
+				now = deadline
+				res.Throttles = append(res.Throttles, Throttle{Start: throttleStart, Dur: now - throttleStart})
+				res.WallTime = now - cfg.StartOffset
+				res.CPUTime = consumed
+				res.Deadline = true
+				return res
+			}
+			now = nextRefill
+			nextRefill += cfg.Period
+			global = cfg.Quota
+			// Repay the debt plus one nanosecond so the task is runnable,
+			// mirroring distribute_cfs_runtime's "-runtime_remaining + 1".
+			need := -local + time.Nanosecond
+			acquire(need)
+			if local > 0 {
+				break
+			}
+		}
+		res.Throttles = append(res.Throttles, Throttle{Start: throttleStart, Dur: now - throttleStart})
+		burstStart = now
+		running = true
+	}
+}
+
+// nextBoundary returns the first multiple of step strictly after t.
+func nextBoundary(t, step time.Duration) time.Duration {
+	if step <= 0 {
+		return t
+	}
+	n := t/step + 1
+	return n * step
+}
+
+// IdealDuration is Equation (2): the wall-clock duration of a CPU-bound
+// task with CPU demand T under period P and quota Q, assuming perfectly
+// precise accounting (no ticks, no overrun).
+func IdealDuration(demand, period, quota time.Duration) time.Duration {
+	if demand <= 0 {
+		return 0
+	}
+	if quota >= period || quota <= 0 || period <= 0 {
+		return demand
+	}
+	full := demand / quota
+	rem := demand % quota
+	if rem != 0 {
+		return full*period + rem
+	}
+	return (full-1)*period + quota
+}
+
+// ReciprocalDuration is the naive expectation the paper plots as
+// "Expected Duration": demand divided by the fractional allocation.
+func ReciprocalDuration(demand time.Duration, vcpuFraction float64) time.Duration {
+	if vcpuFraction <= 0 {
+		return 0
+	}
+	if vcpuFraction > 1 {
+		vcpuFraction = 1
+	}
+	return time.Duration(float64(demand) / vcpuFraction)
+}

@@ -1,0 +1,354 @@
+package cfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const msec = time.Millisecond
+
+// awsSmall is the paper's running example: an AWS Lambda function with
+// 128 MB memory = 0.072 vCPUs → quota 1.45 ms over a 20 ms period, with a
+// 250 Hz scheduler tick.
+var awsSmall = Config{
+	Period: 20 * msec,
+	Quota:  1450 * time.Microsecond,
+	TickHz: 250,
+	Sched:  CFS,
+}
+
+func TestSchedulerString(t *testing.T) {
+	if CFS.String() != "cfs" || EEVDF.String() != "eevdf" {
+		t.Error("scheduler names wrong")
+	}
+	if Scheduler(7).String() == "" {
+		t.Error("unknown scheduler should format")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := awsSmall.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Quota: msec, TickHz: 250},
+		{Period: msec, TickHz: 250},
+		{Period: msec, Quota: msec, TickHz: -1},
+		{Period: msec, Quota: msec, StartOffset: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	c := ConfigFor(0.5, 20*msec, 250, CFS)
+	if c.Quota != 10*msec || c.Period != 20*msec || c.TickHz != 250 {
+		t.Errorf("ConfigFor = %+v", c)
+	}
+	if got := c.VCPUFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("VCPUFraction = %v", got)
+	}
+	// Clamped inputs.
+	if ConfigFor(0, 20*msec, 250, CFS).Quota <= 0 {
+		t.Error("zero fraction should clamp to a positive quota")
+	}
+	if ConfigFor(3, 20*msec, 250, CFS).Quota != 20*msec {
+		t.Error("fraction above 1 should clamp to a full core")
+	}
+}
+
+// TestPaperThrottleCadence reproduces §4.2's worked example exactly: under
+// P=20 ms, Q=1.45 ms, 250 Hz, a CPU-bound task first runs 4 ms (a full
+// tick of overrun), is throttled 36 ms, runs another 4 ms, and is then
+// throttled 56 ms, resuming at 100 ms.
+func TestPaperThrottleCadence(t *testing.T) {
+	res := Simulate(awsSmall, 12*msec)
+	if len(res.Bursts) < 2 || len(res.Throttles) < 2 {
+		t.Fatalf("bursts=%d throttles=%d", len(res.Bursts), len(res.Throttles))
+	}
+	b0, b1 := res.Bursts[0], res.Bursts[1]
+	t0, t1 := res.Throttles[0], res.Throttles[1]
+	if b0.Start != 0 || b0.Dur != 4*msec {
+		t.Errorf("burst 0 = %+v, want 0–4 ms", b0)
+	}
+	if t0.Start != 4*msec || t0.Dur != 36*msec {
+		t.Errorf("throttle 0 = %+v, want 4 ms + 36 ms", t0)
+	}
+	if b1.Start != 40*msec || b1.Dur != 4*msec {
+		t.Errorf("burst 1 = %+v, want 40–44 ms", b1)
+	}
+	if t1.Start != 44*msec || t1.Dur != 56*msec {
+		t.Errorf("throttle 1 = %+v, want 44 ms + 56 ms", t1)
+	}
+}
+
+// TestShortTaskOverallocation reproduces §4.2's other example: a task
+// needing 10 ms of CPU inside a 0.5-vCPU cgroup (Q=10 ms, P=20 ms) runs at
+// 100% CPU and finishes in 10 ms wall-clock despite the limit.
+func TestShortTaskOverallocation(t *testing.T) {
+	cfg := Config{Period: 20 * msec, Quota: 10 * msec, TickHz: 250, Sched: CFS}
+	res := Simulate(cfg, 10*msec)
+	if res.WallTime != 10*msec {
+		t.Errorf("WallTime = %v, want 10 ms (full-speed overallocation)", res.WallTime)
+	}
+	if len(res.Throttles) != 0 {
+		t.Errorf("unexpected throttles: %v", res.Throttles)
+	}
+	if res.CPUTime != 10*msec {
+		t.Errorf("CPUTime = %v", res.CPUTime)
+	}
+}
+
+func TestFullCoreNeverThrottles(t *testing.T) {
+	cfg := Config{Period: 20 * msec, Quota: 20 * msec, TickHz: 250}
+	res := Simulate(cfg, 500*msec)
+	if res.WallTime != 500*msec || len(res.Throttles) != 0 {
+		t.Errorf("full core: wall=%v throttles=%d", res.WallTime, len(res.Throttles))
+	}
+}
+
+func TestZeroDemand(t *testing.T) {
+	res := Simulate(awsSmall, 0)
+	if res.WallTime != 0 || res.CPUTime != 0 || len(res.Bursts) != 0 {
+		t.Errorf("zero demand: %+v", res)
+	}
+}
+
+func TestSimulateUntilDeadline(t *testing.T) {
+	res := SimulateUntil(awsSmall, 1<<60, 200*msec)
+	if !res.Deadline {
+		t.Error("expected deadline stop")
+	}
+	if res.WallTime != 200*msec {
+		t.Errorf("WallTime = %v", res.WallTime)
+	}
+	if res.CPUTime >= 200*msec {
+		t.Errorf("CPUTime = %v should be far below wall time", res.CPUTime)
+	}
+	// Full-core deadline path.
+	full := Config{Period: 20 * msec, Quota: 20 * msec, TickHz: 250}
+	r2 := SimulateUntil(full, 1<<60, 50*msec)
+	if !r2.Deadline || r2.WallTime != 50*msec || r2.CPUTime != 50*msec {
+		t.Errorf("full-core deadline: %+v", r2)
+	}
+}
+
+// TestIdealDuration checks Equation (2) against hand-computed values.
+func TestIdealDuration(t *testing.T) {
+	cases := []struct {
+		demand, period, quota, want time.Duration
+	}{
+		// T=51.8, P=20, Q=10: floor(5.18)=5 periods + 1.8 remainder.
+		{51800 * time.Microsecond, 20 * msec, 10 * msec, 5*20*msec + 1800*time.Microsecond},
+		// Exact multiple: (T/Q-1)*P + Q.
+		{40 * msec, 20 * msec, 10 * msec, 3*20*msec + 10*msec},
+		// Sub-quota task: unthrottled.
+		{5 * msec, 20 * msec, 10 * msec, 5 * msec},
+		// Quota = period: full core.
+		{100 * msec, 20 * msec, 20 * msec, 100 * msec},
+		// Zero demand.
+		{0, 20 * msec, 10 * msec, 0},
+	}
+	for _, c := range cases {
+		if got := IdealDuration(c.demand, c.period, c.quota); got != c.want {
+			t.Errorf("IdealDuration(%v,%v,%v) = %v, want %v",
+				c.demand, c.period, c.quota, got, c.want)
+		}
+	}
+}
+
+// Property (§4.1): Equation (2)'s duration is never above the reciprocal
+// expectation, and their difference is (T mod Q)(P−Q)/Q.
+func TestIdealBelowReciprocalProperty(t *testing.T) {
+	f := func(demandMs, quotaQ uint8) bool {
+		demand := time.Duration(int(demandMs)+1) * msec
+		period := 20 * msec
+		quota := time.Duration(int(quotaQ)%19+1) * msec
+		ideal := IdealDuration(demand, period, quota)
+		recip := ReciprocalDuration(demand, float64(quota)/float64(period))
+		if ideal > recip+time.Nanosecond {
+			return false
+		}
+		// The task always takes at least its CPU demand.
+		return ideal >= demand
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReciprocalDuration(t *testing.T) {
+	if got := ReciprocalDuration(100*msec, 0.5); got != 200*msec {
+		t.Errorf("ReciprocalDuration = %v", got)
+	}
+	if ReciprocalDuration(100*msec, 0) != 0 {
+		t.Error("zero fraction should give 0")
+	}
+	if got := ReciprocalDuration(100*msec, 2); got != 100*msec {
+		t.Errorf("fraction above 1 should clamp: %v", got)
+	}
+}
+
+// TestSimulatorApproachesIdealAtHighHz: with a very fine scheduler tick,
+// the simulator converges to the Equation (2) closed form.
+func TestSimulatorApproachesIdealAtHighHz(t *testing.T) {
+	demand := 51800 * time.Microsecond
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.8} {
+		cfg := ConfigFor(frac, 20*msec, 100000, CFS)
+		cfg.Slice = 100 * time.Microsecond
+		res := Simulate(cfg, demand)
+		ideal := IdealDuration(demand, cfg.Period, cfg.Quota)
+		diff := math.Abs(float64(res.WallTime - ideal))
+		if diff > float64(500*time.Microsecond) {
+			t.Errorf("frac=%.2f: sim %v vs ideal %v (diff %v)",
+				frac, res.WallTime, ideal, time.Duration(diff))
+		}
+	}
+}
+
+// TestLongRunFairness: over a long window the scheduler enforces the
+// Q/P CPU share despite per-period overruns.
+func TestLongRunFairness(t *testing.T) {
+	for _, cfg := range []Config{
+		awsSmall,
+		{Period: 10 * msec, Quota: 2500 * time.Microsecond, TickHz: 250},
+		{Period: 100 * msec, Quota: 25 * msec, TickHz: 1000},
+	} {
+		res := SimulateUntil(cfg, 1<<60, 10*time.Second)
+		share := res.CPUTime.Seconds() / res.WallTime.Seconds()
+		want := cfg.VCPUFraction()
+		if math.Abs(share-want) > 0.25*want+0.01 {
+			t.Errorf("P=%v Q=%v: long-run share %.4f, want ≈%.4f",
+				cfg.Period, cfg.Quota, share, want)
+		}
+	}
+}
+
+// TestOverrunBoundedByTick: each burst's CPU consumption exceeds what the
+// local pool held by at most one tick interval (CFS's lagged accounting),
+// per §4.2.
+func TestOverrunBoundedByTick(t *testing.T) {
+	res := SimulateUntil(awsSmall, 1<<60, 5*time.Second)
+	tick := awsSmall.tickInterval()
+	for _, b := range res.Bursts {
+		// A burst can hold at most slice + one tick of overrun beyond the
+		// quota available in its period (conservative bound: quota+tick).
+		if b.Dur > awsSmall.Quota+awsSmall.slice()+tick {
+			t.Fatalf("burst %v exceeds quota+slice+tick", b.Dur)
+		}
+	}
+}
+
+// TestEEVDFReducesOverrun (Figure 12(d)): at the same 250 Hz tick, EEVDF's
+// obtained CPU per burst is below CFS's, and raising the tick frequency to
+// 1000 Hz mitigates overrun for both.
+func TestEEVDFReducesOverrun(t *testing.T) {
+	mean := func(sched Scheduler, hz int) float64 {
+		cfg := awsSmall
+		cfg.Sched = sched
+		cfg.TickHz = hz
+		set := CollectProfiles(cfg, 10*time.Second, 20)
+		var sum float64
+		for _, v := range set.Obtained {
+			sum += v
+		}
+		if len(set.Obtained) == 0 {
+			t.Fatal("no obtained-CPU samples")
+		}
+		return sum / float64(len(set.Obtained))
+	}
+	cfs250 := mean(CFS, 250)
+	eevdf250 := mean(EEVDF, 250)
+	cfs1000 := mean(CFS, 1000)
+	eevdf1000 := mean(EEVDF, 1000)
+	if eevdf250 >= cfs250 {
+		t.Errorf("EEVDF@250 obtained %.3f ms not below CFS@250 %.3f ms", eevdf250, cfs250)
+	}
+	if cfs1000 >= cfs250 {
+		t.Errorf("CFS@1000 obtained %.3f ms not below CFS@250 %.3f ms", cfs1000, cfs250)
+	}
+	if eevdf1000 >= cfs250 {
+		t.Errorf("EEVDF@1000 obtained %.3f ms not below CFS@250 %.3f ms", eevdf1000, cfs250)
+	}
+	// Even at 1000 Hz the mean obtained CPU stays near the quota (the
+	// fundamental overallocation the paper notes persists for sub-quota
+	// bursts), within one tick of slack.
+	quotaMs := float64(awsSmall.Quota) / float64(msec)
+	if cfs1000 < quotaMs-1.0 || cfs1000 > quotaMs+1.0 {
+		t.Errorf("CFS@1000 obtained %.3f ms, want within 1 ms of the %.2f ms quota", cfs1000, quotaMs)
+	}
+}
+
+// TestBurstsAndThrottlesAlternate: schedule sanity — bursts and throttles
+// tile the timeline without overlap.
+func TestBurstsAndThrottlesAlternate(t *testing.T) {
+	res := SimulateUntil(awsSmall, 1<<60, 2*time.Second)
+	var spans []struct {
+		start, end time.Duration
+	}
+	bi, ti := 0, 0
+	for bi < len(res.Bursts) || ti < len(res.Throttles) {
+		switch {
+		case ti >= len(res.Throttles) || (bi < len(res.Bursts) && res.Bursts[bi].Start <= res.Throttles[ti].Start):
+			spans = append(spans, struct{ start, end time.Duration }{res.Bursts[bi].Start, res.Bursts[bi].Start + res.Bursts[bi].Dur})
+			bi++
+		default:
+			spans = append(spans, struct{ start, end time.Duration }{res.Throttles[ti].Start, res.Throttles[ti].Start + res.Throttles[ti].Dur})
+			ti++
+		}
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].start != spans[i-1].end {
+			t.Fatalf("span %d starts at %v but previous ended at %v",
+				i, spans[i].start, spans[i-1].end)
+		}
+	}
+}
+
+// Property: simulation invariants across random configurations — CPU time
+// equals demand on completion, wall time is bounded below by demand, and
+// the schedule is non-empty for positive demand.
+func TestSimulateInvariantsProperty(t *testing.T) {
+	f := func(demandMs, quotaStep, offsetMs uint8, eevdf bool) bool {
+		demand := time.Duration(int(demandMs)%200+1) * msec
+		quota := time.Duration(int(quotaStep)%19+1) * msec
+		sched := CFS
+		if eevdf {
+			sched = EEVDF
+		}
+		cfg := Config{
+			Period:      20 * msec,
+			Quota:       quota,
+			TickHz:      250,
+			Sched:       sched,
+			StartOffset: time.Duration(int(offsetMs)%20) * msec,
+		}
+		res := Simulate(cfg, demand)
+		if res.CPUTime != demand {
+			return false
+		}
+		if res.WallTime < demand {
+			return false
+		}
+		if len(res.Bursts) == 0 {
+			return false
+		}
+		// Burst durations sum to the demand.
+		var total time.Duration
+		for _, b := range res.Bursts {
+			if b.Dur < 0 {
+				return false
+			}
+			total += b.Dur
+		}
+		return total == demand
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package cfs
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file extends the single-cgroup simulator to a multi-tenant host:
+// several tasks, each inside its own cgroup with independent CPU bandwidth
+// control, share one logical CPU under fair scheduling — the high
+// co-tenancy §4 names as the defining deployment environment of
+// serverless. It lets experiments quantify how densely fractional-vCPU
+// sandboxes pack before bandwidth throttling and fair-share competition
+// interact.
+
+// HostConfig describes the shared host.
+type HostConfig struct {
+	// TickHz is the scheduler tick frequency shared by every cgroup.
+	TickHz int
+	// Sched selects the enforcement mechanism (CFS, EEVDF, EventDriven).
+	Sched Scheduler
+}
+
+// tickInterval mirrors Config.tickInterval for the host.
+func (h HostConfig) tickInterval() time.Duration {
+	hz := h.TickHz
+	if hz <= 0 {
+		hz = 250
+	}
+	return time.Duration(int64(time.Second) / int64(hz))
+}
+
+// HostTask is one tenant: a CPU-bound task in a cgroup with its own
+// period and quota.
+type HostTask struct {
+	// Period and Quota are the cgroup's bandwidth-control parameters.
+	Period time.Duration
+	Quota  time.Duration
+	// Demand is the task's required CPU time.
+	Demand time.Duration
+	// Arrival is when the task becomes runnable.
+	Arrival time.Duration
+}
+
+// HostResult is the outcome for the whole host.
+type HostResult struct {
+	// Tasks holds each tenant's schedule in input order.
+	Tasks []Result
+	// Makespan is the completion time of the last task.
+	Makespan time.Duration
+	// BusyTime is the total CPU time delivered to tenants.
+	BusyTime time.Duration
+}
+
+// hostTask is the runtime state of one tenant.
+type hostTask struct {
+	spec       HostTask
+	local      time.Duration // local pool (negative = overrun debt)
+	global     time.Duration
+	nextRefill time.Duration
+	consumed   time.Duration
+	vruntime   time.Duration
+	throttled  bool
+	done       bool
+	burstStart time.Duration
+	running    bool
+	throttleAt time.Duration
+	res        Result
+	slice      time.Duration
+}
+
+// acquire pulls up to want runtime from the cgroup's global pool.
+func (t *hostTask) acquire(want time.Duration) {
+	if t.global <= 0 {
+		return
+	}
+	amt := want
+	if amt > t.global {
+		amt = t.global
+	}
+	t.local += amt
+	t.global -= amt
+}
+
+// refillTo processes all period refills up to now, repaying throttle debt.
+func (t *hostTask) refillTo(now time.Duration) {
+	for t.nextRefill <= now {
+		t.global = t.spec.Quota
+		t.nextRefill += t.spec.Period
+		if t.throttled {
+			need := -t.local + time.Nanosecond
+			t.acquire(need)
+			if t.local > 0 {
+				t.throttled = false
+				t.res.Throttles = append(t.res.Throttles, Throttle{
+					Start: t.throttleAt,
+					// Unthrottle happens at the refill boundary just
+					// processed.
+					Dur: t.nextRefill - t.spec.Period - t.throttleAt,
+				})
+			}
+		}
+	}
+}
+
+// SimulateHost runs every task to completion on one shared CPU and
+// returns the per-task schedules. Tasks with Quota >= Period are
+// uncapped; fairness between runnable tasks follows least-vruntime.
+func SimulateHost(host HostConfig, tasks []HostTask) (HostResult, error) {
+	if len(tasks) == 0 {
+		return HostResult{}, fmt.Errorf("cfs: no tasks")
+	}
+	state := make([]*hostTask, len(tasks))
+	for i, spec := range tasks {
+		if spec.Period <= 0 || spec.Quota <= 0 {
+			return HostResult{}, fmt.Errorf("cfs: task %d: non-positive period/quota", i)
+		}
+		if spec.Demand < 0 || spec.Arrival < 0 {
+			return HostResult{}, fmt.Errorf("cfs: task %d: negative demand or arrival", i)
+		}
+		t := &hostTask{spec: spec, slice: DefaultSlice}
+		t.nextRefill = nextBoundary(spec.Arrival, spec.Period)
+		t.global = spec.Quota
+		if spec.Demand == 0 {
+			t.done = true
+		}
+		state[i] = t
+	}
+
+	tick := host.tickInterval()
+	now := time.Duration(0)
+	var busy time.Duration
+
+	runnable := func(t *hostTask) bool {
+		return !t.done && !t.throttled && t.spec.Arrival <= now
+	}
+
+	for {
+		// Process refills (and possible unthrottles) up to now.
+		for _, t := range state {
+			if !t.done {
+				t.refillTo(now)
+			}
+		}
+		// Pick the runnable task with least vruntime.
+		var cur *hostTask
+		for _, t := range state {
+			if runnable(t) && (cur == nil || t.vruntime < cur.vruntime) {
+				cur = t
+			}
+		}
+		if cur == nil {
+			// Idle: advance to the next event (arrival or refill).
+			next := time.Duration(1<<62 - 1)
+			allDone := true
+			for _, t := range state {
+				if t.done {
+					continue
+				}
+				allDone = false
+				if t.spec.Arrival > now && t.spec.Arrival < next {
+					next = t.spec.Arrival
+				}
+				if t.throttled && t.nextRefill < next {
+					next = t.nextRefill
+				}
+			}
+			if allDone {
+				break
+			}
+			now = next
+			continue
+		}
+
+		// The chosen task runs until the next accounting point: the tick,
+		// its completion, or (EEVDF/event-driven) its pool exhaustion.
+		if cur.local <= 0 {
+			cur.acquire(cur.slice)
+		}
+		acct := nextBoundary(now, tick)
+		switch {
+		case host.Sched == EEVDF && cur.local > 0:
+			if hr := now + cur.local + MinGranularity; hr < acct {
+				acct = hr
+			}
+		case host.Sched == EventDriven && cur.local > 0:
+			if oneShot := now + cur.local; oneShot < acct {
+				acct = oneShot
+			}
+		}
+		stop := acct
+		finish := now + (cur.spec.Demand - cur.consumed)
+		if finish < stop {
+			stop = finish
+		}
+		if !cur.running {
+			cur.running = true
+			cur.burstStart = now
+		}
+		ran := stop - now
+		cur.consumed += ran
+		cur.local -= ran
+		cur.vruntime += ran
+		busy += ran
+		now = stop
+
+		if cur.consumed >= cur.spec.Demand {
+			cur.done = true
+			cur.running = false
+			cur.res.Bursts = append(cur.res.Bursts, Burst{Start: cur.burstStart, Dur: now - cur.burstStart})
+			cur.res.WallTime = now - cur.spec.Arrival
+			cur.res.CPUTime = cur.consumed
+			continue
+		}
+		// Accounting: try to refill the local pool; throttle when both
+		// pools are dry.
+		if cur.local <= 0 {
+			cur.refillTo(now)
+			cur.acquire(cur.slice)
+			if cur.local <= 0 {
+				cur.throttled = true
+				cur.throttleAt = now
+				cur.running = false
+				cur.res.Bursts = append(cur.res.Bursts, Burst{Start: cur.burstStart, Dur: now - cur.burstStart})
+			}
+		}
+		// Preemption between runnable peers happens naturally at the next
+		// loop iteration via least-vruntime selection.
+		if cur.running {
+			cur.running = false
+			cur.res.Bursts = append(cur.res.Bursts, Burst{Start: cur.burstStart, Dur: now - cur.burstStart})
+		}
+	}
+
+	out := HostResult{Tasks: make([]Result, len(state)), BusyTime: busy}
+	for i, t := range state {
+		out.Tasks[i] = t.res
+		if end := t.spec.Arrival + t.res.WallTime; end > out.Makespan {
+			out.Makespan = end
+		}
+	}
+	return out, nil
+}

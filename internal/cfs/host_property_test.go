@@ -1,0 +1,83 @@
+package cfs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: host conservation — every task consumes exactly its demand,
+// the host never delivers more CPU than wall-clock time, and per-task
+// wall times are at least their solo ideal (a shared host cannot beat a
+// dedicated one).
+func TestHostConservationProperty(t *testing.T) {
+	f := func(demands [3]uint8, quotas [3]uint8, arrivals [3]uint8) bool {
+		period := 20 * msec
+		tasks := make([]HostTask, 0, 3)
+		for i := 0; i < 3; i++ {
+			tasks = append(tasks, HostTask{
+				Period:  period,
+				Quota:   time.Duration(int(quotas[i])%19+1) * msec,
+				Demand:  time.Duration(int(demands[i])%80+1) * msec,
+				Arrival: time.Duration(int(arrivals[i])%50) * msec,
+			})
+		}
+		res, err := SimulateHost(HostConfig{TickHz: 250}, tasks)
+		if err != nil {
+			return false
+		}
+		tick := 4 * msec // 250 Hz
+		var totalCPU time.Duration
+		for i, r := range res.Tasks {
+			if r.CPUTime != tasks[i].Demand {
+				return false
+			}
+			totalCPU += r.CPUTime
+			// Wall time can undercut the Eq. 2 ideal through per-period
+			// tick overrun (§4.2), but never below the overrun-adjusted
+			// rate of (quota + one tick) per period.
+			maxRate := float64(tasks[i].Quota+tick) / float64(period)
+			minWall := time.Duration(float64(tasks[i].Demand)/maxRate) - 2*period
+			if tasks[i].Demand < minWall {
+				minWall = tasks[i].Demand // full-speed floor
+			}
+			if r.WallTime < minWall {
+				return false
+			}
+			if r.WallTime < tasks[i].Demand {
+				return false // nothing beats a dedicated full core
+			}
+		}
+		return totalCPU <= res.Makespan && res.BusyTime == totalCPU
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a tenant never speeds up existing tenants.
+func TestHostMonotoneInterferenceProperty(t *testing.T) {
+	f := func(demand8, quota8 uint8) bool {
+		period := 20 * msec
+		base := HostTask{
+			Period: period,
+			Quota:  time.Duration(int(quota8)%19+1) * msec,
+			Demand: time.Duration(int(demand8)%60+5) * msec,
+		}
+		solo, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{base})
+		if err != nil {
+			return false
+		}
+		shared, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{
+			base,
+			{Period: period, Quota: period, Demand: 100 * msec},
+		})
+		if err != nil {
+			return false
+		}
+		return shared.Tasks[0].WallTime >= solo.Tasks[0].WallTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

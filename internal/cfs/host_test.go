@@ -1,0 +1,165 @@
+package cfs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSimulateHostValidation(t *testing.T) {
+	if _, err := SimulateHost(HostConfig{TickHz: 250}, nil); err == nil {
+		t.Error("empty task list accepted")
+	}
+	bad := [][]HostTask{
+		{{Period: 0, Quota: msec, Demand: msec}},
+		{{Period: msec, Quota: 0, Demand: msec}},
+		{{Period: msec, Quota: msec, Demand: -1}},
+		{{Period: msec, Quota: msec, Demand: msec, Arrival: -1}},
+	}
+	for i, tasks := range bad {
+		if _, err := SimulateHost(HostConfig{TickHz: 250}, tasks); err == nil {
+			t.Errorf("case %d: invalid task accepted", i)
+		}
+	}
+}
+
+func TestHostSingleUncappedTask(t *testing.T) {
+	res, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{
+		{Period: 20 * msec, Quota: 20 * msec, Demand: 100 * msec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks[0].WallTime != 100*msec {
+		t.Errorf("uncapped wall time = %v", res.Tasks[0].WallTime)
+	}
+	if res.Makespan != 100*msec || res.BusyTime != 100*msec {
+		t.Errorf("makespan %v busy %v", res.Makespan, res.BusyTime)
+	}
+}
+
+// TestHostFairSharing: two uncapped tenants halve the CPU; both finish
+// around twice their solo time and the CPU never idles.
+func TestHostFairSharing(t *testing.T) {
+	demand := 200 * msec
+	res, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{
+		{Period: 20 * msec, Quota: 20 * msec, Demand: demand},
+		{Period: 20 * msec, Quota: 20 * msec, Demand: demand},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2*demand {
+		t.Errorf("makespan = %v, want %v (work-conserving)", res.Makespan, 2*demand)
+	}
+	for i, r := range res.Tasks {
+		if r.CPUTime != demand {
+			t.Errorf("task %d consumed %v", i, r.CPUTime)
+		}
+		// Fairness: both finish within a few ticks of the makespan.
+		if r.WallTime < 2*demand-8*4*msec {
+			t.Errorf("task %d finished at %v — starved its peer", i, r.WallTime)
+		}
+	}
+}
+
+// TestHostDensityPacking: N tenants each capped at 1/N of a core all make
+// progress at their allocated rates; quotas slice the host exactly.
+func TestHostDensityPacking(t *testing.T) {
+	const n = 4
+	period := 20 * msec
+	demand := 50 * msec
+	tasks := make([]HostTask, n)
+	for i := range tasks {
+		tasks[i] = HostTask{Period: period, Quota: period / n, Demand: demand}
+	}
+	res, err := SimulateHost(HostConfig{TickHz: 1000}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := IdealDuration(demand, period, period/n)
+	for i, r := range res.Tasks {
+		ratio := float64(r.WallTime) / float64(solo)
+		if ratio < 0.8 || ratio > 1.5 {
+			t.Errorf("task %d wall %v vs solo ideal %v (ratio %.2f)", i, r.WallTime, solo, ratio)
+		}
+	}
+	// Conservation: the host cannot deliver more CPU than wall time.
+	if res.BusyTime > res.Makespan {
+		t.Errorf("busy %v exceeds makespan %v", res.BusyTime, res.Makespan)
+	}
+}
+
+// TestHostThrottledTenantDoesNotBlockPeers: a tiny-quota tenant's long
+// throttles leave the CPU to an uncapped peer.
+func TestHostThrottledTenantDoesNotBlockPeers(t *testing.T) {
+	res, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{
+		{Period: 20 * msec, Quota: 1450 * time.Microsecond, Demand: 20 * msec},
+		{Period: 20 * msec, Quota: 20 * msec, Demand: 300 * msec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, uncapped := res.Tasks[0], res.Tasks[1]
+	if len(capped.Throttles) == 0 {
+		t.Error("capped tenant never throttled")
+	}
+	// The uncapped tenant finishes close to its solo time: the capped
+	// tenant can only steal its own small quota share.
+	slack := float64(uncapped.WallTime-300*msec) / float64(300*msec)
+	if slack > 0.15 {
+		t.Errorf("uncapped tenant slowed %.0f%% by a 7%%-quota peer", slack*100)
+	}
+}
+
+func TestHostArrivalsAndIdleGaps(t *testing.T) {
+	res, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{
+		{Period: 20 * msec, Quota: 20 * msec, Demand: 10 * msec},
+		{Period: 20 * msec, Quota: 20 * msec, Demand: 10 * msec, Arrival: 100 * msec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks[0].WallTime != 10*msec {
+		t.Errorf("first task wall = %v", res.Tasks[0].WallTime)
+	}
+	if res.Tasks[1].WallTime != 10*msec {
+		t.Errorf("late task wall = %v (arrival-relative)", res.Tasks[1].WallTime)
+	}
+	if res.Makespan != 110*msec {
+		t.Errorf("makespan = %v, want 110ms", res.Makespan)
+	}
+	if res.BusyTime != 20*msec {
+		t.Errorf("busy = %v, want 20ms", res.BusyTime)
+	}
+}
+
+func TestHostZeroDemandTask(t *testing.T) {
+	res, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{
+		{Period: 20 * msec, Quota: 20 * msec, Demand: 0},
+		{Period: 20 * msec, Quota: 20 * msec, Demand: 5 * msec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks[0].CPUTime != 0 || res.Tasks[1].CPUTime != 5*msec {
+		t.Errorf("consumed = %v / %v", res.Tasks[0].CPUTime, res.Tasks[1].CPUTime)
+	}
+}
+
+// TestHostMatchesSingleTaskSimulator: a lone capped tenant on the host
+// should schedule like the single-cgroup simulator.
+func TestHostMatchesSingleTaskSimulator(t *testing.T) {
+	demand := 12 * msec
+	host, err := SimulateHost(HostConfig{TickHz: 250}, []HostTask{
+		{Period: 20 * msec, Quota: 1450 * time.Microsecond, Demand: demand},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := Simulate(awsSmall, demand)
+	diff := math.Abs(float64(host.Tasks[0].WallTime - single.WallTime))
+	if diff > float64(awsSmall.Period) {
+		t.Errorf("host %v vs single %v", host.Tasks[0].WallTime, single.WallTime)
+	}
+}

@@ -1,0 +1,168 @@
+package cfs
+
+import (
+	"math"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+// This file implements Algorithm 1 of the paper — the user-space scheduler
+// profiler — and the parameter-inference procedure behind Table 3.
+//
+// Algorithm 1 spins for a fixed wall-clock duration, repeatedly reading the
+// monotonic clock and recording any jump larger than 500 µs as a throttle
+// (the kernel's default minimal preemption granularity is 750 µs, so a
+// CPU-bound spinner only observes such gaps when its cgroup is throttled).
+// Running the algorithm inside the simulator is exact: the simulated
+// spinner observes precisely the simulator's throttle spans.
+
+// JumpThreshold is Algorithm 1's clock-jump detection threshold (500 µs).
+const JumpThreshold = 500 * time.Microsecond
+
+// ProfileEvent is one detected throttle: the monotonic-clock reading when
+// the jump was observed and the jump's size (the throttle duration).
+type ProfileEvent struct {
+	// At is the detection time (the clock reading after the jump).
+	At time.Duration
+	// Gap is the observed jump (time the task did not run).
+	Gap time.Duration
+}
+
+// Profile runs Algorithm 1 for execDur of wall-clock time under cfg and
+// returns the detected throttle events.
+func Profile(cfg Config, execDur time.Duration) []ProfileEvent {
+	// The spinner is CPU-bound for the whole window: infinite demand,
+	// stopped by the wall-clock deadline.
+	res := SimulateUntil(cfg, 1<<62, cfg.StartOffset+execDur)
+	events := make([]ProfileEvent, 0, len(res.Throttles))
+	for _, th := range res.Throttles {
+		if th.Dur > JumpThreshold {
+			events = append(events, ProfileEvent{At: th.Start + th.Dur, Gap: th.Dur})
+		}
+	}
+	return events
+}
+
+// ThrottleIntervals returns the time between consecutive throttle
+// detections in milliseconds — Figure 12's "Throttle Intervals".
+func ThrottleIntervals(events []ProfileEvent) []float64 {
+	if len(events) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(events)-1)
+	for i := 1; i < len(events); i++ {
+		out = append(out, ms(events[i].At-events[i-1].At))
+	}
+	return out
+}
+
+// ThrottleDurations returns the observed throttle durations in
+// milliseconds — Figure 12's "Throttle Duration".
+func ThrottleDurations(events []ProfileEvent) []float64 {
+	out := make([]float64, 0, len(events))
+	for _, e := range events {
+		out = append(out, ms(e.Gap))
+	}
+	return out
+}
+
+// ObtainedCPU returns the CPU time obtained between consecutive throttles
+// in milliseconds — Figure 12's "Obtained CPU Time": the gap between the
+// end of one throttle and the start of the next.
+func ObtainedCPU(events []ProfileEvent) []float64 {
+	if len(events) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(events)-1)
+	for i := 1; i < len(events); i++ {
+		run := (events[i].At - events[i].Gap) - events[i-1].At
+		out = append(out, ms(run))
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// PeriodCandidates are the CPU bandwidth control periods considered by the
+// Table 3 inference — the values observed across providers plus common
+// alternatives.
+var PeriodCandidates = []time.Duration{
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+}
+
+// TickCandidates are the plausible CONFIG_HZ settings.
+var TickCandidates = []int{100, 250, 1000}
+
+// InferredParams is the Table 3 output for one platform: the bandwidth
+// control period and scheduler tick frequency recovered from a profile.
+type InferredParams struct {
+	Period time.Duration
+	TickHz int
+	// Distance is the summed Kolmogorov–Smirnov distance between the
+	// observed and best-candidate profile distributions (0 = identical).
+	Distance float64
+}
+
+// ProfileSet is Algorithm 1 data pooled across invocations: throttle
+// intervals, throttle durations, and obtained CPU times in milliseconds.
+type ProfileSet struct {
+	Intervals []float64
+	Durations []float64
+	Obtained  []float64
+}
+
+// CollectProfiles runs Algorithm 1 for several invocations with rotating
+// start phases (the cloud measurements' 300 requests) and pools the
+// resulting distributions.
+func CollectProfiles(cfg Config, execDur time.Duration, invocations int) ProfileSet {
+	var set ProfileSet
+	if invocations <= 0 {
+		invocations = 1
+	}
+	for i := 0; i < invocations; i++ {
+		c := cfg
+		// Rotate the arrival phase across the period and tick grids.
+		c.StartOffset = cfg.StartOffset +
+			time.Duration(float64(i)/float64(invocations)*float64(cfg.Period))
+		events := Profile(c, execDur)
+		set.Intervals = append(set.Intervals, ThrottleIntervals(events)...)
+		set.Durations = append(set.Durations, ThrottleDurations(events)...)
+		set.Obtained = append(set.Obtained, ObtainedCPU(events)...)
+	}
+	return set
+}
+
+// InferParams recovers a platform's scheduling parameters from observed
+// Algorithm 1 profiles the way §4.3 does: it simulates local runs for
+// every (period, CONFIG_HZ) candidate at the same vCPU fractions and picks
+// the candidate whose throttle-interval, throttle-duration, and
+// obtained-CPU distributions best match the observation (summed
+// Kolmogorov–Smirnov distance).
+func InferParams(observed ProfileSet, vcpuFractions []float64, execDur time.Duration, invocations int, sched Scheduler) InferredParams {
+	best := InferredParams{Distance: math.Inf(1)}
+	for _, p := range PeriodCandidates {
+		for _, hz := range TickCandidates {
+			var cand ProfileSet
+			for _, f := range vcpuFractions {
+				cfg := ConfigFor(f, p, hz, sched)
+				set := CollectProfiles(cfg, execDur, invocations)
+				cand.Intervals = append(cand.Intervals, set.Intervals...)
+				cand.Durations = append(cand.Durations, set.Durations...)
+				cand.Obtained = append(cand.Obtained, set.Obtained...)
+			}
+			d := stats.KSDistance(observed.Intervals, cand.Intervals) +
+				stats.KSDistance(observed.Durations, cand.Durations) +
+				stats.KSDistance(observed.Obtained, cand.Obtained)
+			if d < best.Distance {
+				best = InferredParams{Period: p, TickHz: hz, Distance: d}
+			}
+		}
+	}
+	return best
+}

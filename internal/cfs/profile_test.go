@@ -1,0 +1,171 @@
+package cfs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestProfileDetectsThrottles(t *testing.T) {
+	events := Profile(awsSmall, 2*time.Second)
+	if len(events) == 0 {
+		t.Fatal("no throttle events detected")
+	}
+	for _, e := range events {
+		if e.Gap <= JumpThreshold {
+			t.Fatalf("event gap %v below threshold", e.Gap)
+		}
+		if e.At <= 0 {
+			t.Fatalf("event at %v", e.At)
+		}
+	}
+	// Throttle durations for the paper's AWS example are 36 ms / 56 ms
+	// style repayment throttles: all multiples of the 20 ms period minus
+	// the 4 ms run, i.e. ≥ one full period.
+	for _, e := range events {
+		if e.Gap < awsSmall.Period-awsSmall.tickInterval() {
+			t.Fatalf("throttle %v shorter than expected", e.Gap)
+		}
+	}
+}
+
+func TestProfileNoThrottleOnFullCore(t *testing.T) {
+	cfg := Config{Period: 20 * msec, Quota: 20 * msec, TickHz: 250}
+	if events := Profile(cfg, time.Second); len(events) != 0 {
+		t.Errorf("full core should never throttle, got %d events", len(events))
+	}
+}
+
+func TestProfileSeriesHelpers(t *testing.T) {
+	events := []ProfileEvent{
+		{At: 40 * msec, Gap: 36 * msec},
+		{At: 100 * msec, Gap: 56 * msec},
+		{At: 160 * msec, Gap: 56 * msec},
+	}
+	intervals := ThrottleIntervals(events)
+	if len(intervals) != 2 || intervals[0] != 60 || intervals[1] != 60 {
+		t.Errorf("intervals = %v", intervals)
+	}
+	durs := ThrottleDurations(events)
+	if len(durs) != 3 || durs[0] != 36 {
+		t.Errorf("durations = %v", durs)
+	}
+	obtained := ObtainedCPU(events)
+	if len(obtained) != 2 || obtained[0] != 4 || obtained[1] != 4 {
+		t.Errorf("obtained = %v", obtained)
+	}
+	if ThrottleIntervals(events[:1]) != nil || ObtainedCPU(nil) != nil {
+		t.Error("short inputs should give nil")
+	}
+}
+
+// TestAWSThrottleQuantization (Figure 12(a)): under the AWS-like P=20 ms /
+// 250 Hz setting, throttle intervals are multiples of 20 ms and obtained
+// CPU times are quantized at the 4 ms tick.
+func TestAWSThrottleQuantization(t *testing.T) {
+	set := CollectProfiles(awsSmall, 10*time.Second, 30)
+	if len(set.Intervals) == 0 || len(set.Obtained) == 0 {
+		t.Fatal("empty profile set")
+	}
+	assertMostlyMultiples(t, set.Intervals, 20, 0.9, "AWS throttle intervals")
+	assertMostlyMultiples(t, set.Obtained, 4, 0.9, "AWS obtained CPU")
+}
+
+// TestIBMThrottleQuantization (Figure 12(c)): P=10 ms / 250 Hz.
+func TestIBMThrottleQuantization(t *testing.T) {
+	cfg := ConfigFor(0.25, 10*msec, 250, CFS)
+	set := CollectProfiles(cfg, 10*time.Second, 30)
+	if len(set.Intervals) == 0 {
+		t.Fatal("no intervals")
+	}
+	// Intervals average around the 10 ms period even when individual
+	// detections land on the misaligned 4 ms tick grid.
+	var sum float64
+	for _, v := range set.Intervals {
+		sum += v
+	}
+	mean := sum / float64(len(set.Intervals))
+	if mean < 8 || mean > 22 {
+		t.Errorf("IBM mean throttle interval = %.2f ms, want ≈10–20", mean)
+	}
+}
+
+// TestGCPThrottleQuantization (Figure 12(b)): P=100 ms / 1000 Hz gives
+// 100 ms throttle intervals and finely quantized obtained CPU.
+func TestGCPThrottleQuantization(t *testing.T) {
+	cfg := ConfigFor(0.25, 100*msec, 1000, CFS)
+	set := CollectProfiles(cfg, 10*time.Second, 30)
+	assertMostlyMultiples(t, set.Intervals, 100, 0.9, "GCP throttle intervals")
+	// Obtained CPU near the 25 ms quota, quantized at 1 ms.
+	assertMostlyMultiples(t, set.Obtained, 1, 0.95, "GCP obtained CPU")
+}
+
+func assertMostlyMultiples(t *testing.T, samples []float64, stepMs float64, minFrac float64, what string) {
+	t.Helper()
+	if len(samples) == 0 {
+		t.Fatalf("%s: no samples", what)
+	}
+	n := 0
+	for _, s := range samples {
+		k := math.Round(s / stepMs)
+		if k >= 1 && math.Abs(s-k*stepMs) < 0.05 {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(samples))
+	if frac < minFrac {
+		t.Errorf("%s: only %.0f%% are multiples of %v ms", what, frac*100, stepMs)
+	}
+}
+
+// TestInferParamsTable3 recovers the Table 3 parameters for each provider
+// from profiles generated under the provider's true setting.
+func TestInferParamsTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inference sweep is slow")
+	}
+	cases := []struct {
+		name   string
+		period time.Duration
+		hz     int
+		fracs  []float64
+	}{
+		{"aws", 20 * msec, 250, []float64{0.072, 0.25, 0.5}},
+		{"gcp", 100 * msec, 1000, []float64{0.08, 0.25, 0.5}},
+		{"ibm", 10 * msec, 250, []float64{0.25, 0.5}},
+	}
+	const execDur = 3 * time.Second
+	const invocations = 12
+	for _, c := range cases {
+		var observed ProfileSet
+		for _, f := range c.fracs {
+			cfg := ConfigFor(f, c.period, c.hz, CFS)
+			set := CollectProfiles(cfg, execDur, invocations)
+			observed.Intervals = append(observed.Intervals, set.Intervals...)
+			observed.Durations = append(observed.Durations, set.Durations...)
+			observed.Obtained = append(observed.Obtained, set.Obtained...)
+		}
+		got := InferParams(observed, c.fracs, execDur, invocations, CFS)
+		if got.Period != c.period {
+			t.Errorf("%s: inferred period %v, want %v", c.name, got.Period, c.period)
+		}
+		if got.TickHz != c.hz {
+			t.Errorf("%s: inferred %d Hz, want %d", c.name, got.TickHz, c.hz)
+		}
+		if got.Distance > 1e-9 {
+			t.Errorf("%s: distance %v, want exact match", c.name, got.Distance)
+		}
+	}
+}
+
+func TestCollectProfilesRotatesPhase(t *testing.T) {
+	set := CollectProfiles(awsSmall, time.Second, 5)
+	if len(set.Durations) == 0 {
+		t.Fatal("no durations collected")
+	}
+	// Degenerate invocation count falls back to 1.
+	one := CollectProfiles(awsSmall, time.Second, 0)
+	if len(one.Durations) == 0 {
+		t.Fatal("zero invocations should still run once")
+	}
+}

@@ -1,0 +1,172 @@
+// Package composition implements the function-composition advice of the
+// paper's §5 actionables: "users may consider merging similar functions to
+// lower invocation fees, decomposing functions to better utilize
+// resources." It prices both directions:
+//
+//   - Fusing a chain of small functions into one removes N−1 invocation
+//     fees and N−1 serving-architecture overheads per workflow execution,
+//     but the fused function must be provisioned for the maximum of the
+//     stages' resource demands for its whole duration.
+//   - Splitting a mixed function into stages lets each stage run at its
+//     own right-sized allocation, at the cost of extra fees and overheads.
+package composition
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/billing"
+)
+
+// Stage is one step of a workflow: a function (or function fragment) with
+// its own duration and resource demand.
+type Stage struct {
+	// Name identifies the stage.
+	Name string
+	// Duration is the stage's wall-clock execution time.
+	Duration time.Duration
+	// MemMB is the memory the stage actually needs.
+	MemMB float64
+	// CPUTime is the stage's CPU demand (for usage-based models).
+	CPUTime time.Duration
+}
+
+// Validate reports whether the stage is usable.
+func (s Stage) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("composition: stage without name")
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("composition: stage %s: non-positive duration", s.Name)
+	}
+	if s.MemMB <= 0 {
+		return fmt.Errorf("composition: stage %s: non-positive memory", s.Name)
+	}
+	if s.CPUTime < 0 || s.CPUTime > s.Duration {
+		return fmt.Errorf("composition: stage %s: CPU time %v outside [0, %v]",
+			s.Name, s.CPUTime, s.Duration)
+	}
+	return nil
+}
+
+// Plan prices one composition choice for a workflow.
+type Plan struct {
+	// Kind is "fused" or "split".
+	Kind string
+	// Invocations per workflow execution.
+	Invocations int
+	// ResourceCost, Fees, and OverheadCost are dollars per execution;
+	// OverheadCost is the billed serving-architecture latency.
+	ResourceCost float64
+	Fees         float64
+	OverheadCost float64
+	// BilledMemGBs is the allocation-based billable memory per execution.
+	BilledMemGBs float64
+}
+
+// Total returns the plan's dollars per workflow execution.
+func (p Plan) Total() float64 { return p.ResourceCost + p.Fees + p.OverheadCost }
+
+// Analysis compares fusing against splitting a workflow on one billing
+// model.
+type Analysis struct {
+	Fused Plan
+	Split Plan
+	// FusionSavings is (split − fused) / split; negative when splitting
+	// is cheaper (resource right-sizing beats the extra fees).
+	FusionSavings float64
+}
+
+// Analyze prices the workflow both ways under model, charging the given
+// per-request serving overhead (Figure 8) as billed wall-clock time.
+func Analyze(stages []Stage, model billing.Model, servingOverhead time.Duration) (Analysis, error) {
+	if len(stages) == 0 {
+		return Analysis{}, fmt.Errorf("composition: no stages")
+	}
+	for _, s := range stages {
+		if err := s.Validate(); err != nil {
+			return Analysis{}, err
+		}
+	}
+
+	// Split: each stage is its own invocation at its own allocation.
+	split := Plan{Kind: "split", Invocations: len(stages)}
+	for _, s := range stages {
+		ch := model.Bill(billing.Invocation{
+			Duration:   s.Duration + servingOverhead,
+			AllocCPU:   billing.ProportionalCPU(s.MemMB),
+			AllocMemGB: s.MemMB / 1024,
+			CPUTime:    s.CPUTime,
+			MemUsedGB:  s.MemMB / 1024,
+		})
+		split.ResourceCost += ch.ResourceCost
+		split.Fees += ch.Fee
+		split.BilledMemGBs += ch.MemGBSeconds
+	}
+	// The overhead share of the resource cost: price the overhead span at
+	// each stage's rate.
+	for _, s := range stages {
+		split.OverheadCost += model.PerSecondRate(
+			billing.ProportionalCPU(s.MemMB), s.MemMB/1024) * servingOverhead.Seconds()
+	}
+	split.ResourceCost -= split.OverheadCost
+
+	// Fused: one invocation sized for the peak stage, running the summed
+	// duration, paying a single fee and a single overhead.
+	fused := Plan{Kind: "fused", Invocations: 1}
+	var total time.Duration
+	var peakMem float64
+	var cpuSum time.Duration
+	for _, s := range stages {
+		total += s.Duration
+		cpuSum += s.CPUTime
+		if s.MemMB > peakMem {
+			peakMem = s.MemMB
+		}
+	}
+	ch := model.Bill(billing.Invocation{
+		Duration:   total + servingOverhead,
+		AllocCPU:   billing.ProportionalCPU(peakMem),
+		AllocMemGB: peakMem / 1024,
+		CPUTime:    cpuSum,
+		MemUsedGB:  peakMem / 1024,
+	})
+	fused.Fees = ch.Fee
+	fused.BilledMemGBs = ch.MemGBSeconds
+	fused.OverheadCost = model.PerSecondRate(
+		billing.ProportionalCPU(peakMem), peakMem/1024) * servingOverhead.Seconds()
+	fused.ResourceCost = ch.ResourceCost - fused.OverheadCost
+
+	out := Analysis{Fused: fused, Split: split}
+	if split.Total() > 0 {
+		out.FusionSavings = 1 - fused.Total()/split.Total()
+	}
+	return out, nil
+}
+
+// CrossoverStageCount returns how many identical stages it takes before
+// fusing stops paying: with per-stage duration d and memory m, fusion
+// saves (n−1) fees+overheads but wastes nothing (uniform memory), so it
+// always wins for uniform stages; with one hot stage of hotMem, fusion
+// bills hotMem for every stage's duration, and the waste grows with n
+// until splitting wins. Returns 0 when fusing wins for every count up to
+// maxN.
+func CrossoverStageCount(coldStage, hotStage Stage, model billing.Model, servingOverhead time.Duration, maxN int) (int, error) {
+	for n := 2; n <= maxN; n++ {
+		stages := make([]Stage, 0, n)
+		stages = append(stages, hotStage)
+		for i := 1; i < n; i++ {
+			s := coldStage
+			s.Name = fmt.Sprintf("%s-%d", coldStage.Name, i)
+			stages = append(stages, s)
+		}
+		an, err := Analyze(stages, model, servingOverhead)
+		if err != nil {
+			return 0, err
+		}
+		if an.FusionSavings < 0 {
+			return n, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,120 @@
+package composition
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/billing"
+)
+
+func smallStage(name string) Stage {
+	return Stage{
+		Name:     name,
+		Duration: 5 * time.Millisecond,
+		MemMB:    128,
+		CPUTime:  3 * time.Millisecond,
+	}
+}
+
+func TestStageValidate(t *testing.T) {
+	if err := smallStage("ok").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Stage{
+		{},
+		{Name: "x", Duration: 0, MemMB: 1},
+		{Name: "x", Duration: time.Millisecond, MemMB: 0},
+		{Name: "x", Duration: time.Millisecond, MemMB: 1, CPUTime: time.Second},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid stage accepted", i)
+		}
+	}
+}
+
+// TestFusionWinsForShortUniformStages: for chains of tiny, equally-sized
+// functions, fusing removes fees and overheads with no allocation waste —
+// the §5 "merge similar functions to lower invocation fees" advice.
+func TestFusionWinsForShortUniformStages(t *testing.T) {
+	stages := []Stage{smallStage("a"), smallStage("b"), smallStage("c"), smallStage("d")}
+	an, err := Analyze(stages, billing.AWSLambda, 1170*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.FusionSavings <= 0 {
+		t.Errorf("fusion savings = %.3f, want positive for uniform short stages", an.FusionSavings)
+	}
+	if an.Fused.Invocations != 1 || an.Split.Invocations != 4 {
+		t.Errorf("invocations = %d / %d", an.Fused.Invocations, an.Split.Invocations)
+	}
+	// The split plan pays 4 fees, the fused plan 1.
+	if an.Split.Fees <= an.Fused.Fees {
+		t.Errorf("fees: split %.2e vs fused %.2e", an.Split.Fees, an.Fused.Fees)
+	}
+	// And 4x the serving overhead.
+	if an.Split.OverheadCost <= an.Fused.OverheadCost {
+		t.Error("split should pay more serving overhead")
+	}
+}
+
+// TestSplittingWinsForSkewedStages: one memory-hungry stage inside a long
+// cheap chain makes fusion bill the peak allocation for the whole
+// duration — §5's "decompose functions to better utilize resources".
+func TestSplittingWinsForSkewedStages(t *testing.T) {
+	hot := Stage{Name: "hot", Duration: 200 * time.Millisecond, MemMB: 8192,
+		CPUTime: 180 * time.Millisecond}
+	cheap := Stage{Name: "cheap", Duration: 3 * time.Second, MemMB: 128,
+		CPUTime: 100 * time.Millisecond}
+	an, err := Analyze([]Stage{hot, cheap}, billing.AWSLambda, 1170*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.FusionSavings >= 0 {
+		t.Errorf("fusion savings = %.3f, want negative (splitting cheaper)", an.FusionSavings)
+	}
+	// The fused plan bills far more memory GB-seconds.
+	if an.Fused.BilledMemGBs <= an.Split.BilledMemGBs {
+		t.Errorf("fused GB-s %.3f not above split %.3f",
+			an.Fused.BilledMemGBs, an.Split.BilledMemGBs)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, billing.AWSLambda, 0); err == nil {
+		t.Error("empty workflow accepted")
+	}
+	if _, err := Analyze([]Stage{{}}, billing.AWSLambda, 0); err == nil {
+		t.Error("invalid stage accepted")
+	}
+}
+
+func TestCrossoverStageCount(t *testing.T) {
+	hot := Stage{Name: "hot", Duration: 100 * time.Millisecond, MemMB: 8192,
+		CPUTime: 90 * time.Millisecond}
+	cold := Stage{Name: "cold", Duration: 400 * time.Millisecond, MemMB: 128,
+		CPUTime: 20 * time.Millisecond}
+	n, err := CrossoverStageCount(cold, hot, billing.AWSLambda, 1170*time.Microsecond, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("no crossover found within 32 stages: skewed chains should eventually favor splitting")
+	}
+	// Uniform chains never cross over: fusing always wins.
+	u, err := CrossoverStageCount(smallStage("cold"), smallStage("hot"), billing.AWSLambda,
+		1170*time.Microsecond, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0 {
+		t.Errorf("uniform chain crossed over at %d", u)
+	}
+}
+
+func TestPlanTotal(t *testing.T) {
+	p := Plan{ResourceCost: 1, Fees: 2, OverheadCost: 3}
+	if p.Total() != 6 {
+		t.Errorf("Total = %v", p.Total())
+	}
+}

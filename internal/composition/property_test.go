@@ -1,0 +1,68 @@
+package composition
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"slscost/internal/billing"
+)
+
+// Property: for any workflow, the fused plan pays exactly one invocation
+// fee and the split plan pays one per stage; billed memory GB-seconds of
+// the fused plan are never below the split plan's when all stages share
+// the peak memory.
+func TestCompositionFeeInvariant(t *testing.T) {
+	f := func(durs [4]uint8, memsRaw [4]uint8) bool {
+		stages := make([]Stage, 0, 4)
+		for i := 0; i < 4; i++ {
+			d := time.Duration(int(durs[i])%200+1) * time.Millisecond
+			m := float64(int(memsRaw[i])%4096 + 128)
+			stages = append(stages, Stage{
+				Name:     "s",
+				Duration: d,
+				MemMB:    m,
+				CPUTime:  d / 2,
+			})
+			stages[i].Name = string(rune('a' + i))
+		}
+		an, err := Analyze(stages, billing.AWSLambda, time.Millisecond)
+		if err != nil {
+			return false
+		}
+		if an.Fused.Fees != billing.AWSLambda.InvocationFee {
+			return false
+		}
+		wantSplit := billing.AWSLambda.InvocationFee * float64(len(stages))
+		if diff := an.Split.Fees - wantSplit; diff > 1e-18 || diff < -1e-18 {
+			return false
+		}
+		// All plans have positive totals.
+		return an.Fused.Total() > 0 && an.Split.Total() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with uniform memory across stages, fusing never loses — the
+// only differences are fees and overheads, both of which fusing reduces.
+func TestUniformFusionAlwaysSaves(t *testing.T) {
+	f := func(dur8, mem8, n8 uint8) bool {
+		n := int(n8)%6 + 2
+		d := time.Duration(int(dur8)%100+1) * time.Millisecond
+		m := float64(int(mem8)%2048 + 128)
+		stages := make([]Stage, n)
+		for i := range stages {
+			stages[i] = Stage{Name: string(rune('a' + i)), Duration: d, MemMB: m, CPUTime: d / 2}
+		}
+		an, err := Analyze(stages, billing.AWSLambda, time.Millisecond)
+		if err != nil {
+			return false
+		}
+		return an.FusionSavings >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

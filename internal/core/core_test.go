@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"slscost/internal/serving"
+	"slscost/internal/trace"
+)
+
+func testTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = 15000
+	return trace.Generate(cfg)
+}
+
+func TestProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("aws-lambda")
+	if !ok || p.Name != "aws-lambda" {
+		t.Fatal("ProfileByName failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestProfileValidateRejectsBad(t *testing.T) {
+	p := AWS()
+	p.Name = ""
+	if err := p.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	p = AWS()
+	p.SchedPeriod = 0
+	if err := p.Validate(); err == nil {
+		t.Error("missing sched period accepted")
+	}
+	p = AWS()
+	p.Concurrency = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+}
+
+func TestNewAnalyzerRejectsBadProfile(t *testing.T) {
+	if _, err := NewAnalyzer(Profile{}); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestAnalyzeTraceAWS(t *testing.T) {
+	a, err := NewAnalyzer(AWS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t)
+	rep, err := a.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != tr.Len() {
+		t.Errorf("Requests = %d", rep.Requests)
+	}
+	// §2.3: AWS inflates billable CPU ≈2.49× and memory ≈2.72×; accept a
+	// broad band around the paper's values for the synthetic trace.
+	if rep.Billing.CPUInflation < 1.5 || rep.Billing.CPUInflation > 5 {
+		t.Errorf("CPU inflation = %.2f, want ≈2.5", rep.Billing.CPUInflation)
+	}
+	if rep.Billing.MemInflation < 1.5 || rep.Billing.MemInflation > 6 {
+		t.Errorf("memory inflation = %.2f, want ≈2.7", rep.Billing.MemInflation)
+	}
+	if rep.Billing.TotalCost <= 0 {
+		t.Error("no cost computed")
+	}
+	if rep.Billing.FeeShare <= 0 || rep.Billing.FeeShare >= 1 {
+		t.Errorf("fee share = %.3f", rep.Billing.FeeShare)
+	}
+	// AWS bills turnaround: cold starts appear in billable time.
+	if rep.Billing.ColdStartBilledShare <= 0 {
+		t.Error("turnaround billing should attribute cold-start time")
+	}
+	// Architecture: single-concurrency polling with ≈1.17 ms overhead.
+	if rep.Architecture.MultiConcurrency {
+		t.Error("AWS should be single-concurrency")
+	}
+	if rep.Architecture.Architecture != serving.APIPolling {
+		t.Error("AWS serves via API polling")
+	}
+	if rep.Architecture.ColdStartRate <= 0 {
+		t.Error("cold-start rate missing")
+	}
+	// Scheduling: fractional mean allocation ⇒ overallocation above 1.
+	if rep.Scheduling.OverallocationFactor < 1 {
+		t.Errorf("overallocation factor = %.3f, want ≥ 1", rep.Scheduling.OverallocationFactor)
+	}
+	if len(rep.Scheduling.QuantizationJumpVCPUs) == 0 {
+		t.Error("no quantization jumps predicted")
+	}
+	// Implications include the headline ones.
+	joined := strings.Join(rep.Implications, "\n")
+	for _, want := range []string{"I3", "I5", "I10"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("implications missing %s:\n%s", want, joined)
+		}
+	}
+}
+
+func TestAnalyzeTraceGCPTriggersI6I7(t *testing.T) {
+	a, err := NewAnalyzer(GCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.AnalyzeTrace(testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rep.Implications, "\n")
+	for _, want := range []string{"I6", "I7"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("GCP implications missing %s:\n%s", want, joined)
+		}
+	}
+	// GCP inflates more than AWS (coarser granularity): §2.3's 3.63×/4.35×.
+	aws, _ := NewAnalyzer(AWS())
+	awsRep, err := aws.AnalyzeTrace(testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Billing.MemInflation <= awsRep.Billing.MemInflation {
+		t.Errorf("GCP memory inflation %.2f not above AWS %.2f",
+			rep.Billing.MemInflation, awsRep.Billing.MemInflation)
+	}
+}
+
+func TestAnalyzeTraceCloudflareLowInflation(t *testing.T) {
+	a, err := NewAnalyzer(Cloudflare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.AnalyzeTrace(testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Usage-based billing: CPU inflation ≈ 1 (paper: 1.01×).
+	if rep.Billing.CPUInflation < 0.99 || rep.Billing.CPUInflation > 1.5 {
+		t.Errorf("Cloudflare CPU inflation = %.3f, want ≈1.01", rep.Billing.CPUInflation)
+	}
+}
+
+func TestAnalyzeTraceEmpty(t *testing.T) {
+	a, _ := NewAnalyzer(AWS())
+	if _, err := a.AnalyzeTrace(&trace.Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := a.AnalyzeTrace(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestQuantizationJumpsHarmonic(t *testing.T) {
+	jumps := quantizationJumps(160_000_000, 20_000_000) // 160 ms demand, 20 ms period
+	if len(jumps) < 5 {
+		t.Fatalf("got %d jumps", len(jumps))
+	}
+	// The jump sequence is demand/(n·period): 8/n for n ≥ 9 ⇒ 0.889, 0.8…
+	if jumps[0] <= jumps[1] {
+		t.Error("jumps should be descending")
+	}
+	for i := 1; i < len(jumps); i++ {
+		if jumps[i] >= 1 || jumps[i] <= 0 {
+			t.Errorf("jump %d = %v outside (0,1)", i, jumps[i])
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/autoscale"
+	"slscost/internal/billing"
+	"slscost/internal/platform"
+	"slscost/internal/workload"
+)
+
+// This file runs a live workload through the platform simulator under the
+// profile's serving model and prices the outcome — the end-to-end path
+// from §3's serving behavior to §2's bill that a user deciding between
+// platforms actually cares about.
+
+// WorkloadReport is the simulated-and-priced outcome of serving one
+// workload on one platform profile.
+type WorkloadReport struct {
+	Platform string
+	// Requests served and cold-start rate observed.
+	Requests      int
+	ColdStartRate float64
+	// MeanExecMs is the mean provider-reported execution duration,
+	// including contention under multi-concurrency serving.
+	MeanExecMs float64
+	// SlowdownVsDedicated is MeanExecMs over the uncontended duration.
+	SlowdownVsDedicated float64
+	// RequestCost and InstanceCost price the run both ways (§2.1).
+	RequestCost  float64
+	InstanceCost float64
+	// FeeShare is the invocation fees' fraction of RequestCost.
+	FeeShare float64
+	// PeakInstances is the largest simulated fleet.
+	PeakInstances int
+}
+
+// AnalyzeWorkload serves arrivals of the given workload at rps for dur
+// through the profile's concurrency model and returns the priced outcome.
+func (a *Analyzer) AnalyzeWorkload(spec workload.Spec, rps float64, dur time.Duration) (WorkloadReport, error) {
+	if err := spec.Validate(); err != nil {
+		return WorkloadReport{}, err
+	}
+	if rps <= 0 || dur <= 0 {
+		return WorkloadReport{}, fmt.Errorf("core: non-positive rate or duration")
+	}
+	p := a.Profile
+	cfg := platform.Config{
+		Workload:          spec,
+		VCPU:              1,
+		KeepAlive:         p.KeepAlive,
+		ContentionPenalty: 0.02,
+		Seed:              7,
+	}
+	if p.Concurrency > 1 {
+		cfg.Mode = platform.MultiConcurrency
+		as := autoscale.DefaultConfig()
+		as.ContainerConcurrency = p.Concurrency
+		as.PanicThreshold = 10
+		cfg.Autoscale = as
+		cfg.ColdStart = 2 * time.Second
+	} else {
+		cfg.Mode = platform.SingleConcurrency
+		cfg.ColdStart = spec.InitTime
+	}
+
+	res, err := platform.Run(cfg, platform.UniformArrivals(rps, dur))
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+	if len(res.Requests) == 0 {
+		return WorkloadReport{}, fmt.Errorf("core: no requests served")
+	}
+	bill := platform.BillRun(res, p.Billing, billing.GCPInstance, cfg)
+
+	rep := WorkloadReport{
+		Platform:      p.Name,
+		Requests:      len(res.Requests),
+		ColdStartRate: float64(res.ColdStarts) / float64(len(res.Requests)),
+		MeanExecMs:    res.MeanExecMs(),
+		RequestCost:   bill.RequestCost,
+		InstanceCost:  bill.InstanceCost,
+		PeakInstances: res.MaxInstances(),
+	}
+	if base := float64(spec.Duration()) / float64(time.Millisecond); base > 0 {
+		rep.SlowdownVsDedicated = rep.MeanExecMs / base
+	}
+	if bill.RequestCost > 0 {
+		rep.FeeShare = bill.Fees / bill.RequestCost
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/workload"
+)
+
+func TestAnalyzeWorkloadAWSFlat(t *testing.T) {
+	a, err := NewAnalyzer(AWS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.AnalyzeWorkload(workload.PyAES, 10, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 200 {
+		t.Errorf("requests = %d", rep.Requests)
+	}
+	// Single-concurrency: no contention slowdown.
+	if rep.SlowdownVsDedicated > 1.05 {
+		t.Errorf("AWS slowdown = %.2f, want ≈1", rep.SlowdownVsDedicated)
+	}
+	if rep.RequestCost <= 0 || rep.InstanceCost <= 0 {
+		t.Error("costs missing")
+	}
+	if rep.FeeShare <= 0 {
+		t.Error("fee share missing")
+	}
+}
+
+func TestAnalyzeWorkloadGCPContends(t *testing.T) {
+	a, err := NewAnalyzer(GCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.AnalyzeWorkload(workload.PyAES, 15, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-concurrency under a burst: clear slowdown versus dedicated
+	// sandboxes (I6).
+	if rep.SlowdownVsDedicated < 1.5 {
+		t.Errorf("GCP slowdown = %.2f, want contention", rep.SlowdownVsDedicated)
+	}
+	if rep.PeakInstances < 1 {
+		t.Error("no instances observed")
+	}
+}
+
+func TestAnalyzeWorkloadValidation(t *testing.T) {
+	a, _ := NewAnalyzer(AWS())
+	if _, err := a.AnalyzeWorkload(workload.Spec{}, 1, time.Second); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := a.AnalyzeWorkload(workload.PyAES, 0, time.Second); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := a.AnalyzeWorkload(workload.PyAES, 1, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}

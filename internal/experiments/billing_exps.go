@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/stats"
+)
+
+// RunTable1 prints the billing-model catalog (Table 1).
+func RunTable1(opt Options) error {
+	header(opt.W, "Table 1: billing models of major public serverless platforms")
+	t := newTable("platform", "billable time", "granularity", "min cutoff", "fee ($)", "rules")
+	for _, m := range billing.Catalog() {
+		var rules []string
+		for _, r := range m.Rules {
+			src := "alloc"
+			if r.Source == billing.FromUsage {
+				src = "usage"
+			}
+			rules = append(rules, fmt.Sprintf("%s(%s)", r.Resource, src))
+		}
+		t.add(m.Platform, m.Basis.String(),
+			m.TimeGranularity.String(), m.MinBillableTime.String(),
+			fmt.Sprintf("%.1e", m.InvocationFee),
+			fmt.Sprintf("%v", rules))
+	}
+	t.write(opt.W)
+	return nil
+}
+
+// RunFigure1 prints each platform's effective vCPU and memory unit prices
+// (Figure 1's scatter): the per-second rate decomposed at a reference
+// 1 vCPU / 1 GB allocation.
+func RunFigure1(opt Options) error {
+	header(opt.W, "Figure 1: resource prices across platforms ($ per unit-second)")
+	t := newTable("platform", "cpu $/vCPU-s", "mem $/GB-s", "1vCPU+1.769GB $/s")
+	for _, m := range billing.Catalog() {
+		var cpu, mem float64
+		for _, r := range m.Rules {
+			switch r.Resource {
+			case billing.CPU:
+				cpu += r.UnitPrice
+			case billing.Memory:
+				mem += r.UnitPrice
+			}
+		}
+		t.add(m.Platform,
+			fmt.Sprintf("%.3e", cpu),
+			fmt.Sprintf("%.3e", mem),
+			fmt.Sprintf("%.3e", m.PerSecondRate(1, billing.AWSMemPerVCPUMB/1024)))
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "  note: memory-priced platforms embed the CPU cost in the memory rate (I2)")
+	return nil
+}
+
+// figure2Models are the representative billing models of Figure 2.
+func figure2Models() []billing.Model {
+	return []billing.Model{
+		billing.Huawei,           // fixed vCPU-memory combos
+		billing.AWSLambda,        // proportional vCPU allocation
+		billing.GCPRequest,       // wall-clock duration rounding
+		billing.AzureConsumption, // time and usage rounding
+		billing.Cloudflare,       // usage-based CPU time
+	}
+}
+
+// RunFigure2 prints the billable-resource distributions and inflation
+// factors under the representative billing models (Figure 2).
+func RunFigure2(opt Options) error {
+	tr := sharedTrace(opt)
+	header(opt.W, fmt.Sprintf("Figure 2: billable resources over %d requests", tr.Len()))
+	actCPU, actMem := billing.ActualUsage(tr)
+	fmt.Fprintf(opt.W, "  actual usage:    vCPU-s %s\n", cdfQuantiles(actCPU))
+	fmt.Fprintf(opt.W, "                   GB-s   %s\n", cdfQuantiles(actMem))
+	results := billing.AnalyzeInflation(tr, figure2Models())
+	t := newTable("model", "billable vCPU-s (CDF)", "billable GB-s (CDF)", "cpu x", "mem x")
+	for _, r := range results {
+		t.add(r.Model, cdfQuantiles(r.BillableCPUSeconds), cdfQuantiles(r.BillableMemGBSeconds),
+			fmt.Sprintf("%.2f", r.MeanCPUInflation), fmt.Sprintf("%.2f", r.MeanMemInflation))
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "  paper: billable vCPU 1.01x (Cloudflare) to 3.63x (GCP); memory 1.57x (Azure) to 4.35x (GCP)")
+	return nil
+}
+
+// RunFigure3 prints the utilization-rate distributions and their
+// correlation (Figure 3).
+func RunFigure3(opt Options) error {
+	tr := sharedTrace(opt)
+	header(opt.W, "Figure 3: resource utilization rates")
+	cpu := tr.CPUUtilizations()
+	mem := tr.MemUtilizations()
+	fmt.Fprintf(opt.W, "  cpu util: %s\n", cdfQuantiles(cpu))
+	fmt.Fprintf(opt.W, "  mem util: %s\n", cdfQuantiles(mem))
+	cpuBelow := stats.NewCDF(cpu).At(0.5)
+	memBelow := stats.NewCDF(mem).At(0.5)
+	fmt.Fprintf(opt.W, "  below 50%% of allocation: cpu %.1f%% (paper >65%%), mem %.1f%% (paper ~76%%)\n",
+		cpuBelow*100, memBelow*100)
+	pearson, err := stats.Pearson(cpu, mem)
+	if err != nil {
+		return err
+	}
+	spearman, err := stats.Spearman(cpu, mem)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.W, "  correlation: Pearson %.3f (paper 0.552), Spearman %.3f (paper 0.565)\n",
+		pearson, spearman)
+	return nil
+}
+
+// RunFigure4 prints the cold-start billable-resource difference CDF
+// (Figure 4).
+func RunFigure4(opt Options) error {
+	tr := sharedTrace(opt)
+	diffs := billing.AnalyzeColdStarts(tr)
+	header(opt.W, fmt.Sprintf("Figure 4: billable diffs over %d traceable cold starts", len(diffs)))
+	cpu := make([]float64, len(diffs))
+	mem := make([]float64, len(diffs))
+	for i, d := range diffs {
+		cpu[i] = d.CPUDiff
+		mem[i] = d.MemDiff
+	}
+	fmt.Fprintf(opt.W, "  cpu diff (vCPU-s): %s\n", cdfQuantiles(cpu))
+	fmt.Fprintf(opt.W, "  mem diff (GB-s):   %s\n", cdfQuantiles(mem))
+	fc := billing.FractionNonPositive(diffs, func(d billing.ColdStartDiff) float64 { return d.CPUDiff })
+	fm := billing.FractionNonPositive(diffs, func(d billing.ColdStartDiff) float64 { return d.MemDiff })
+	fmt.Fprintf(opt.W, "  zero-or-negative diff: cpu %.1f%%, mem %.1f%% (paper: 42.1%%)\n", fc*100, fm*100)
+	fmt.Fprintln(opt.W, "  I4: initialization often out-consumes all later requests, motivating turnaround-time billing")
+	return nil
+}
+
+// RunFigure5 prints the fee-equivalent times (left) and rounding
+// inflation (right) of Figure 5.
+func RunFigure5(opt Options) error {
+	header(opt.W, "Figure 5 (left): invocation fee as equivalent billable wall-clock time")
+	vcpus := []float64{0.072, 0.25, 0.5, 0.75, 1.0}
+	models := []billing.Model{billing.AWSLambda, billing.GCPRequest,
+		billing.AzureConsumption, billing.IBMCodeEngine, billing.Cloudflare,
+		billing.Huawei}
+	t := newTable(append([]string{"platform"}, fmtVCPUs(vcpus)...)...)
+	eqs := billing.FeeEquivalents(models, vcpus)
+	byPlatform := map[string][]string{}
+	for _, e := range eqs {
+		byPlatform[e.Platform] = append(byPlatform[e.Platform],
+			fmt.Sprintf("%.1fms", e.EquivalentMs))
+	}
+	for _, m := range models {
+		t.add(append([]string{m.Platform}, byPlatform[m.Platform]...)...)
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "  paper: AWS fee = 96 ms of billable time at 128 MB, above the 58.19 ms mean execution")
+
+	tr := sharedTrace(opt)
+	header(opt.W, "Figure 5 (right): rounded-up billable time and memory")
+	gran := billing.AnalyzeRounding(tr, billing.TimePolicy{Name: "granularity-100ms",
+		Granularity: 100 * time.Millisecond}, 0, time.Millisecond)
+	cut := billing.AnalyzeRounding(tr, billing.TimePolicy{Name: "1ms+min-cutoff-100ms",
+		Granularity: time.Millisecond, MinCutoff: 100 * time.Millisecond},
+		billing.MBToGB(128), time.Millisecond)
+	fmt.Fprintf(opt.W, "  100 ms granularity: mean rounded-up time %.2f ms (paper 77.12)\n",
+		gran.MeanRoundedUpTimeMs)
+	fmt.Fprintf(opt.W, "  1 ms + 100 ms cutoff: mean rounded-up time %.2f ms (paper 61.35)\n",
+		cut.MeanRoundedUpTimeMs)
+	fmt.Fprintf(opt.W, "  128 MB memory granularity: mean rounded-up memory %.3e GB-s (paper 2.67e-2)\n",
+		cut.MeanRoundedUpMemGBSeconds)
+	return nil
+}
+
+func fmtVCPUs(vcpus []float64) []string {
+	out := make([]string, len(vcpus))
+	for i, v := range vcpus {
+		out[i] = fmt.Sprintf("%.3gvCPU", v)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallOpts keeps every experiment fast enough for the test suite.
+func smallOpts(buf *bytes.Buffer) Options {
+	return Options{Scale: 0.02, Seed: 20260613, W: buf}
+}
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{
+		"intro", "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig8", "fig9", "table2", "fig10", "fig11", "fig12", "table3",
+		"exploit", "ext-billing-modes", "ext-rightsize", "ext-sched",
+		"ext-composition", "ext-cotenancy",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Run == nil {
+			t.Errorf("%s: incomplete registration", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig2"); !ok {
+		t.Error("fig2 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+// TestAllExperimentsRun executes every runner at reduced scale and spot-
+// checks the printed artifact for its key content.
+func TestAllExperimentsRun(t *testing.T) {
+	checks := map[string][]string{
+		"table1":            {"aws-lambda", "cloudflare-workers", "turnaround", "usage"},
+		"fig1":              {"cpu $/vCPU-s", "aws-lambda"},
+		"fig2":              {"billable", "cpu x", "cloudflare-workers"},
+		"fig3":              {"Pearson", "below 50%"},
+		"fig4":              {"zero-or-negative", "42.1%"},
+		"fig5":              {"equivalent billable", "rounded-up"},
+		"fig6":              {"RPS", "GCP-like mean", "instances"},
+		"fig8":              {"api-polling", "http-server", "direct-execution"},
+		"fig9":              {"idle", "aws", "gcp"},
+		"table2":            {"freeze-resume", "scale-down-cpu", "run-as-usual", "code-cache"},
+		"fig10":             {"overalloc", "MB", "vCPU"},
+		"fig11":             {"P=5ms", "P=100ms"},
+		"fig12":             {"throttle intervals", "eevdf", "cfs"},
+		"table3":            {"inferred period", "20ms", "250"},
+		"exploit":           {"GB-s reduction", "background"},
+		"ext-billing-modes": {"request-billed", "instance-billed", "cheaper"},
+		"ext-rightsize":     {"SLO", "overpay", "naive pick"},
+		"ext-sched":         {"event-driven", "max burst", "cfs"},
+		"intro":             {"ec2-c6g.medium", "fraction of Lambda", "break-even"},
+		"ext-composition":   {"fused", "split", "fusion savings"},
+		"ext-cotenancy":     {"tenants", "slowdown", "host busy"},
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(smallOpts(&buf)); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s: output too short:\n%s", e.ID, out)
+			}
+			for _, want := range checks[e.ID] {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s: output missing %q:\n%s", e.ID, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestOptionsScaled(t *testing.T) {
+	o := Options{Scale: 0.1}
+	if got := o.scaled(100, 5); got != 10 {
+		t.Errorf("scaled = %d", got)
+	}
+	if got := o.scaled(10, 5); got != 5 {
+		t.Errorf("floor = %d", got)
+	}
+	o.Scale = 0
+	if got := o.scaled(100, 5); got != 100 {
+		t.Errorf("zero scale should default to 1.0: %d", got)
+	}
+}
+
+func TestTablePrinter(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable("a", "bb")
+	tb.add("xxx", "y")
+	tb.addf("p|q")
+	tb.write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "xxx") || !strings.Contains(out, "bb") || !strings.Contains(out, "q") {
+		t.Errorf("table output:\n%s", out)
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	if cdfQuantiles(nil) != "n/a" {
+		t.Error("empty quantiles")
+	}
+	s := cdfQuantiles([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if !strings.Contains(s, "p50=") {
+		t.Errorf("quantile string: %s", s)
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+// Extension experiments beyond the paper's published artifacts: the
+// request- vs instance-based billing crossover its §2.1 taxonomy implies,
+// the quantization-aware rightsizing its §4.3 implications call for, and
+// the event-driven quota enforcement it proposes as the fix for overrun.
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/autoscale"
+	"slscost/internal/billing"
+	"slscost/internal/cfs"
+	"slscost/internal/platform"
+	"slscost/internal/rightsize"
+	"slscost/internal/stats"
+	"slscost/internal/workload"
+)
+
+// RunExtBillingModes compares request-based against instance-based billing
+// for the same workload at varying request rates. Request-based billing
+// wins at low, bursty utilization; instance-based billing takes over once
+// sandboxes stay busy (the crossover §2.1's "users can enable
+// instance-based billing" knob exists for).
+func RunExtBillingModes(opt Options) error {
+	header(opt.W, "Extension: request-based vs instance-based billing (GCP models)")
+	runFor := time.Duration(opt.scaled(120, 30)) * time.Second
+	as := autoscale.DefaultConfig()
+	as.PanicThreshold = 10
+	cfg := platform.Config{
+		Mode:              platform.MultiConcurrency,
+		Workload:          workload.PyAES,
+		VCPU:              1,
+		ColdStart:         2 * time.Second,
+		Autoscale:         as,
+		ContentionPenalty: 0.02,
+		Seed:              opt.Seed,
+	}
+	t := newTable("RPS", "request-billed $", "instance-billed $", "cheaper")
+	var lastCheaper string
+	crossed := false
+	for _, rps := range []float64{0.02, 0.1, 0.5, 2, 10, 25} {
+		res, err := platform.Run(cfg, platform.UniformArrivals(rps, runFor))
+		if err != nil {
+			return err
+		}
+		var reqCost float64
+		for _, r := range res.Requests {
+			inv := billing.Invocation{
+				Duration:   r.ExecDuration(),
+				AllocCPU:   1,
+				AllocMemGB: workload.PyAES.MemoryMB / 1024,
+			}
+			if r.Cold {
+				inv.InitDuration = cfg.ColdStart
+			}
+			reqCost += billing.GCPRequest.Bill(inv).Total()
+		}
+		// Instance billing charges allocation over every sandbox-second.
+		instInv := billing.Invocation{
+			InstanceLifespan: time.Duration(res.SandboxSeconds * float64(time.Second)),
+			AllocCPU:         1,
+			AllocMemGB:       workload.PyAES.MemoryMB / 1024,
+		}
+		instCost := billing.GCPInstance.Bill(instInv).Total()
+		cheaper := "request"
+		if instCost < reqCost {
+			cheaper = "instance"
+		}
+		if lastCheaper != "" && cheaper != lastCheaper {
+			crossed = true
+		}
+		lastCheaper = cheaper
+		t.add(fmt.Sprintf("%g", rps),
+			fmt.Sprintf("%.3e", reqCost), fmt.Sprintf("%.3e", instCost), cheaper)
+	}
+	t.write(opt.W)
+	if crossed {
+		fmt.Fprintln(opt.W, "  crossover observed: sparse traffic favors request billing; sustained load favors instance billing")
+	}
+	return nil
+}
+
+// RunExtRightsize contrasts quantization-aware rightsizing against the
+// reciprocal-model sizing existing tools use (§4.3's implication).
+func RunExtRightsize(opt Options) error {
+	header(opt.W, "Extension: quantization-aware rightsizing (PyAES on AWS-like scheduling)")
+	cfg := rightsize.Config{
+		Job:          workload.PyAES,
+		Model:        billing.AWSLambda,
+		Period:       20 * time.Millisecond,
+		TickHz:       250,
+		MinMemMB:     128,
+		MaxMemMB:     1769,
+		StepMB:       64,
+		PhaseSamples: opt.scaled(16, 4),
+	}
+	opts, err := rightsize.Sweep(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable("SLO", "sim pick (MB)", "sim $/1M", "naive pick (MB)", "naive $/1M", "overpay")
+	for _, sloMs := range []int{250, 300, 400, 550, 700} {
+		rec := rightsize.Recommend(opts, time.Duration(sloMs)*time.Millisecond)
+		simPick, simCost := "-", "-"
+		if rec.Simulated != nil {
+			simPick = fmt.Sprintf("%.0f", rec.Simulated.MemMB)
+			simCost = fmt.Sprintf("%.2f", rec.Simulated.CostPerMillion)
+		}
+		naivePick, naiveCost := "-", "-"
+		if rec.Naive != nil {
+			naivePick = fmt.Sprintf("%.0f", rec.Naive.MemMB)
+			naiveCost = fmt.Sprintf("%.2f", rec.Naive.CostPerMillion)
+		}
+		t.add(fmt.Sprintf("%dms", sloMs), simPick, simCost, naivePick, naiveCost,
+			fmt.Sprintf("%.1f%%", rec.Overpay*100))
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "  the reciprocal model ignores scheduler overallocation and buys more memory than the SLO needs")
+	return nil
+}
+
+// RunExtSchedEnforcement is the ablation over quota-enforcement
+// mechanisms: CFS ticks, EEVDF hrticks, and the paper's proposed
+// event-driven one-shot timers (§4.3).
+func RunExtSchedEnforcement(opt Options) error {
+	header(opt.W, "Extension: quota enforcement ablation at P=20ms Q=1.45ms (0.072 vCPU)")
+	execDur := time.Duration(opt.scaled(10, 2)) * time.Second
+	invocations := opt.scaled(100, 10)
+	t := newTable("mechanism", "tick", "mean obtained CPU (ms)", "max burst (ms)", "long-run share")
+	for _, s := range []cfs.Scheduler{cfs.CFS, cfs.EEVDF, cfs.EventDriven} {
+		for _, hz := range []int{250, 1000} {
+			cfg := cfs.Config{Period: 20 * time.Millisecond,
+				Quota: 1450 * time.Microsecond, TickHz: hz, Sched: s}
+			set := cfs.CollectProfiles(cfg, execDur, invocations)
+			res := cfs.SimulateUntil(cfg, 1<<60, execDur)
+			var maxBurst time.Duration
+			for _, b := range res.Bursts {
+				if b.Dur > maxBurst {
+					maxBurst = b.Dur
+				}
+			}
+			share := res.CPUTime.Seconds() / res.WallTime.Seconds()
+			t.add(s.String(), fmt.Sprintf("%dHz", hz),
+				fmt.Sprintf("%.3f", stats.Mean(set.Obtained)),
+				fmt.Sprintf("%.3f", float64(maxBurst)/float64(time.Millisecond)),
+				fmt.Sprintf("%.4f", share))
+		}
+	}
+	t.write(opt.W)
+	fmt.Fprintf(opt.W, "  quota/period = %.4f; event-driven enforcement pins the share to it and caps bursts at the quota,\n",
+		1.45/20.0)
+	fmt.Fprintln(opt.W, "  while sub-quota overallocation (short tasks at 100% CPU) remains for every mechanism")
+	return nil
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/cfs"
+	"slscost/internal/exploit"
+	"slscost/internal/keepalive"
+	"slscost/internal/stats"
+	"slscost/internal/workload"
+)
+
+// RunFigure10 sweeps fractional CPU allocations through the bandwidth-
+// control simulator for AWS-like and GCP-like settings (Figure 10).
+func RunFigure10(opt Options) error {
+	demand := workload.PyAES.CPUTime // ≈160 ms of CPU per request
+	reps := opt.scaled(40, 8)
+
+	run := func(title string, period time.Duration, hz int, fracs []float64, label func(float64) string) {
+		header(opt.W, title)
+		t := newTable("alloc", "vCPU", "sim mean (ms)", "expected 1/x (ms)", "ideal Eq2 (ms)", "overalloc x")
+		for _, f := range fracs {
+			var sum float64
+			for r := 0; r < reps; r++ {
+				cfg := cfs.ConfigFor(f, period, hz, cfs.CFS)
+				cfg.StartOffset = time.Duration(float64(r) / float64(reps) * float64(period))
+				res := cfs.Simulate(cfg, demand)
+				sum += float64(res.WallTime) / float64(time.Millisecond)
+			}
+			mean := sum / float64(reps)
+			recip := float64(cfs.ReciprocalDuration(demand, f)) / float64(time.Millisecond)
+			ideal := float64(cfs.IdealDuration(demand, period, time.Duration(f*float64(period)))) /
+				float64(time.Millisecond)
+			t.add(label(f), fmt.Sprintf("%.3f", f),
+				fmt.Sprintf("%.1f", mean), fmt.Sprintf("%.1f", recip),
+				fmt.Sprintf("%.1f", ideal), fmt.Sprintf("%.2f", recip/mean))
+		}
+		t.write(opt.W)
+	}
+
+	awsFracs := []float64{}
+	awsLabel := func(f float64) string {
+		return fmt.Sprintf("%.0fMB", f*billing.AWSMemPerVCPUMB)
+	}
+	for mem := 128.0; mem <= 1769; mem += 128 {
+		awsFracs = append(awsFracs, mem/billing.AWSMemPerVCPUMB)
+	}
+	run("Figure 10(a): AWS Lambda (P=20 ms, 250 Hz), PyAES 160 ms CPU",
+		20*time.Millisecond, 250, awsFracs, awsLabel)
+
+	gcpFracs := []float64{0.08, 0.12, 0.16, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	run("Figure 10(b): GCP gen1 (P=100 ms, 1000 Hz), PyAES 160 ms CPU",
+		100*time.Millisecond, 1000, gcpFracs,
+		func(f float64) string { return fmt.Sprintf("%.2fvCPU", f) })
+
+	fmt.Fprintln(opt.W, "  paper: empirical durations sit below the reciprocal expectation (overallocation),")
+	fmt.Fprintln(opt.W, "  with harmonic quantization jumps where demand/(n*period) crosses the allocation (I10)")
+	return nil
+}
+
+// RunFigure11 prints Equation (2)'s theoretical durations for the Huawei
+// mean request under several bandwidth-control periods (Figure 11).
+func RunFigure11(opt Options) error {
+	demand := workload.HuaweiMean.CPUTime // 51.8 ms
+	header(opt.W, "Figure 11: theoretical execution durations (Eq. 2), T = 51.8 ms CPU")
+	periods := []time.Duration{5, 10, 20, 40, 80, 100}
+	cols := []string{"vCPU"}
+	for _, p := range periods {
+		cols = append(cols, fmt.Sprintf("P=%dms", p))
+	}
+	t := newTable(cols...)
+	for f := 0.1; f <= 1.0001; f += 0.1 {
+		row := []string{fmt.Sprintf("%.1f", f)}
+		for _, p := range periods {
+			period := p * time.Millisecond
+			quota := time.Duration(f * float64(period))
+			d := cfs.IdealDuration(demand, period, quota)
+			row = append(row, fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)))
+		}
+		t.add(row...)
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "  paper: shorter periods converge to reciprocal scaling; longer periods quantize")
+	return nil
+}
+
+// figure12Configs are the provider settings of Figure 12(a)-(c).
+func figure12Configs() []struct {
+	name   string
+	period time.Duration
+	hz     int
+	fracs  []float64
+} {
+	return []struct {
+		name   string
+		period time.Duration
+		hz     int
+		fracs  []float64
+	}{
+		{"aws (P20, 250Hz)", 20 * time.Millisecond, 250, []float64{0.072, 0.25, 0.5}},
+		{"gcp (P100, 1000Hz)", 100 * time.Millisecond, 1000, []float64{0.08, 0.25, 0.5}},
+		{"ibm (P10, 250Hz)", 10 * time.Millisecond, 250, []float64{0.25, 0.5}},
+	}
+}
+
+// RunFigure12 prints the throttle-interval, throttle-duration, and
+// obtained-CPU distributions for each provider setting, plus the CFS vs
+// EEVDF comparison (Figure 12).
+func RunFigure12(opt Options) error {
+	execDur := time.Duration(opt.scaled(10, 2)) * time.Second
+	invocations := opt.scaled(300, 12)
+
+	header(opt.W, fmt.Sprintf("Figure 12(a-c): Algorithm 1 profiles (%v x %d invocations)", execDur, invocations))
+	t := newTable("setting", "vCPU", "throttle intervals (ms)", "obtained CPU (ms)", "throttle durations (ms)")
+	for _, c := range figure12Configs() {
+		for _, f := range c.fracs {
+			cfg := cfs.ConfigFor(f, c.period, c.hz, cfs.CFS)
+			set := cfs.CollectProfiles(cfg, execDur, invocations)
+			t.add(c.name, fmt.Sprintf("%.3f", f),
+				cdfQuantiles(set.Intervals), cdfQuantiles(set.Obtained),
+				cdfQuantiles(set.Durations))
+		}
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "  paper: AWS intervals are multiples of 20 ms, IBM of 10 ms, GCP ~100 ms;")
+	fmt.Fprintln(opt.W, "  obtained CPU quantizes at the 4 ms tick on 250 Hz hosts")
+
+	header(opt.W, "Figure 12(d): CFS vs EEVDF at P=20ms Q=1.45ms")
+	t2 := newTable("scheduler", "tick", "mean obtained CPU (ms)", "quota (ms)")
+	for _, s := range []cfs.Scheduler{cfs.CFS, cfs.EEVDF} {
+		for _, hz := range []int{250, 1000} {
+			cfg := cfs.Config{Period: 20 * time.Millisecond,
+				Quota: 1450 * time.Microsecond, TickHz: hz, Sched: s}
+			set := cfs.CollectProfiles(cfg, execDur, invocations)
+			t2.add(s.String(), fmt.Sprintf("%dHz", hz),
+				fmt.Sprintf("%.3f", stats.Mean(set.Obtained)), "1.45")
+		}
+	}
+	t2.write(opt.W)
+	fmt.Fprintln(opt.W, "  paper: overrun persists under EEVDF at 250 Hz; 1000 Hz mitigates but overallocation remains")
+	return nil
+}
+
+// RunTable3 infers each provider's scheduling parameters from its
+// Algorithm 1 profiles (Table 3).
+func RunTable3(opt Options) error {
+	execDur := time.Duration(opt.scaled(3, 2)) * time.Second
+	invocations := opt.scaled(24, 8)
+	header(opt.W, "Table 3: scheduling parameters inferred from profiles")
+	t := newTable("platform", "inferred period", "inferred CONFIG_HZ", "KS distance", "paper")
+	paper := map[string]string{
+		"aws (P20, 250Hz)":   "20 ms / 250",
+		"gcp (P100, 1000Hz)": "100 ms / 1000",
+		"ibm (P10, 250Hz)":   "10 ms / 250",
+	}
+	for _, c := range figure12Configs() {
+		var observed cfs.ProfileSet
+		for _, f := range c.fracs {
+			cfg := cfs.ConfigFor(f, c.period, c.hz, cfs.CFS)
+			set := cfs.CollectProfiles(cfg, execDur, invocations)
+			observed.Intervals = append(observed.Intervals, set.Intervals...)
+			observed.Durations = append(observed.Durations, set.Durations...)
+			observed.Obtained = append(observed.Obtained, set.Obtained...)
+		}
+		inf := cfs.InferParams(observed, c.fracs, execDur, invocations, cfs.CFS)
+		t.add(c.name, inf.Period.String(), fmt.Sprintf("%d", inf.TickHz),
+			fmt.Sprintf("%.4f", inf.Distance), paper[c.name])
+	}
+	t.write(opt.W)
+	return nil
+}
+
+// RunExploit evaluates the §4.3 intermittent-execution exploit and the
+// §3.3 background-task pattern.
+func RunExploit(opt Options) error {
+	header(opt.W, "Exploit (§4.3): intermittent execution of the video-processing job on AWS")
+	res, err := exploit.IntermittentExecution(workload.VideoProcessing, 512,
+		billing.AWSLambda, 20*time.Millisecond, 250)
+	if err != nil {
+		return err
+	}
+	t := newTable("metric", "baseline", "intermittent bursts")
+	t.add("invocations", "1", fmt.Sprintf("%d", res.Invocations))
+	t.add("wall time", res.BaselineWall.String(), res.BurstWall.String())
+	t.add("billable GB-s", fmt.Sprintf("%.3f", res.BaselineGBs), fmt.Sprintf("%.3f", res.ExploitGBs))
+	t.add("total cost ($)", fmt.Sprintf("%.3e", res.BaselineCost), fmt.Sprintf("%.3e", res.ExploitCost))
+	t.write(opt.W)
+	fmt.Fprintf(opt.W, "  GB-s reduction %.1f%% (paper 66.7%%); bill change %+.1f%% (paper +76.7%% from fees)\n",
+		res.GBsReduction()*100, res.CostChange()*100)
+
+	header(opt.W, "Exploit (§3.3): background task during Azure keep-alive")
+	bg, err := exploit.BackgroundTask(keepalive.Azure, billing.AzureConsumption,
+		60*time.Second, 200*time.Millisecond, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.W, "  billed %.4f GB-s ($%.3e) for %.0f s of background compute; naive request: %.3f GB-s ($%.3e)\n",
+		bg.BilledGBs, bg.BilledCost, bg.BackgroundSeconds, bg.NaiveGBs, bg.NaiveCost)
+	fmt.Fprintf(opt.W, "  savings %.1f%% versus running the work as a normal billed request\n", bg.Savings()*100)
+	return nil
+}

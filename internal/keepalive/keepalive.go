@@ -1,0 +1,228 @@
+// Package keepalive models the sandbox keep-alive policies and the
+// resource-allocation behaviors during keep-alive that §3.3 of the paper
+// measures (Figure 9 and Table 2).
+//
+// A Policy answers three questions about a platform: how long an idle
+// sandbox stays warm (the keep-alive window, possibly load-dependent), what
+// resources the sandbox holds while idle (frozen, scaled down, unchanged,
+// or cache-only), and whether the platform grants a graceful-shutdown
+// window when the sandbox is reclaimed.
+package keepalive
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+// ResourceBehavior is the Table 2 classification of what happens to a
+// sandbox's resources during the keep-alive phase.
+type ResourceBehavior int
+
+const (
+	// FreezeResume deallocates CPU and memory by freezing the microVM and
+	// resuming it on the next request (AWS Lambda).
+	FreezeResume ResourceBehavior = iota
+	// ScaleDownCPU keeps the sandbox but scales CPU to a sliver
+	// (about 0.01 vCPUs on GCP) while retaining memory.
+	ScaleDownCPU
+	// RunAsUsual leaves CPU and memory allocation unchanged, allowing
+	// background work to run during keep-alive (Azure Consumption).
+	RunAsUsual
+	// CodeCache retains only a code/bytecode cache; the sandbox itself
+	// holds no CPU or memory (Cloudflare Workers).
+	CodeCache
+)
+
+// String names the behavior as Table 2 does.
+func (b ResourceBehavior) String() string {
+	switch b {
+	case FreezeResume:
+		return "freeze-resume"
+	case ScaleDownCPU:
+		return "scale-down-cpu"
+	case RunAsUsual:
+		return "run-as-usual"
+	case CodeCache:
+		return "code-cache"
+	default:
+		return fmt.Sprintf("ResourceBehavior(%d)", int(b))
+	}
+}
+
+// Shutdown describes the graceful-shutdown behavior after keep-alive.
+type Shutdown int
+
+const (
+	// ShutdownGraceful waits for SIGTERM handling (AWS with extensions).
+	ShutdownGraceful Shutdown = iota
+	// ShutdownImmediate kills right after (or without) SIGTERM.
+	ShutdownImmediate
+	// ShutdownNone does not apply (no long-lived sandbox to kill).
+	ShutdownNone
+)
+
+// String names the shutdown mode.
+func (s Shutdown) String() string {
+	switch s {
+	case ShutdownGraceful:
+		return "graceful"
+	case ShutdownImmediate:
+		return "immediate"
+	case ShutdownNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Shutdown(%d)", int(s))
+	}
+}
+
+// Policy is one platform's keep-alive strategy.
+type Policy struct {
+	// Name identifies the platform.
+	Name string
+	// MinWindow and MaxWindow bound the keep-alive duration for an idle
+	// sandbox; the effective window is sampled uniformly between them
+	// (equal values give a deterministic window).
+	MinWindow, MaxWindow time.Duration
+	// ScaledOutWindow, when positive, replaces MaxWindow once the function
+	// has scaled out to ScaledOutInstances or more instances (Azure's
+	// longer keep-alive for multi-instance functions).
+	ScaledOutWindow    time.Duration
+	ScaledOutInstances int
+	// Behavior is the Table 2 resource-allocation behavior while idle.
+	Behavior ResourceBehavior
+	// Shutdown is the graceful-shutdown mode after keep-alive.
+	Shutdown Shutdown
+	// ResidualColdStart is the cold-start latency that remains even on a
+	// "cold" hit (Cloudflare's ~5 ms JIT/load masked by TLS pre-warming).
+	ResidualColdStart time.Duration
+}
+
+// Window samples the keep-alive window for a sandbox of a function
+// currently scaled to instances sandboxes.
+func (p Policy) Window(rng *stats.Rand, instances int) time.Duration {
+	max := p.MaxWindow
+	if p.ScaledOutWindow > 0 && p.ScaledOutInstances > 0 && instances >= p.ScaledOutInstances {
+		max = p.ScaledOutWindow
+	}
+	if max <= p.MinWindow {
+		return p.MinWindow
+	}
+	return p.MinWindow + time.Duration(rng.Float64()*float64(max-p.MinWindow))
+}
+
+// IdleCPU returns the vCPUs the sandbox holds during keep-alive given its
+// configured allocation.
+func (p Policy) IdleCPU(allocCPU float64) float64 {
+	switch p.Behavior {
+	case RunAsUsual:
+		return allocCPU
+	case ScaleDownCPU:
+		return 0.01
+	default:
+		return 0
+	}
+}
+
+// IdleMemGB returns the memory (GB) the sandbox holds during keep-alive.
+func (p Policy) IdleMemGB(allocMemGB float64) float64 {
+	switch p.Behavior {
+	case RunAsUsual, ScaleDownCPU:
+		return allocMemGB
+	default:
+		return 0
+	}
+}
+
+// SupportsBackgroundWork reports whether user code can make progress
+// during keep-alive — the enabler of the §3.3 background-task pattern.
+func (p Policy) SupportsBackgroundWork() bool { return p.Behavior == RunAsUsual }
+
+// Validate reports whether the policy is internally consistent.
+func (p Policy) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("keepalive: policy without name")
+	}
+	if p.MinWindow < 0 || p.MaxWindow < p.MinWindow {
+		return fmt.Errorf("keepalive: %s: bad window [%v, %v]", p.Name, p.MinWindow, p.MaxWindow)
+	}
+	if p.ResidualColdStart < 0 {
+		return fmt.Errorf("keepalive: %s: negative residual cold start", p.Name)
+	}
+	return nil
+}
+
+// The Table 2 / Figure 9 policy catalog (as of the paper's 2025-05-15
+// measurements).
+var (
+	// AWS keeps sandboxes 300–360 s and freezes them (no CPU or memory
+	// held); graceful shutdown is supported through Lambda extensions.
+	AWS = Policy{
+		Name:      "aws",
+		MinWindow: 300 * time.Second,
+		MaxWindow: 360 * time.Second,
+		Behavior:  FreezeResume,
+		Shutdown:  ShutdownGraceful,
+	}
+	// Azure uses an opportunistic 120–360 s window, stretched to ≈740 s
+	// once the function scales to 3+ instances, and leaves allocations
+	// untouched while idle.
+	Azure = Policy{
+		Name:               "azure",
+		MinWindow:          120 * time.Second,
+		MaxWindow:          360 * time.Second,
+		ScaledOutWindow:    740 * time.Second,
+		ScaledOutInstances: 3,
+		Behavior:           RunAsUsual,
+		Shutdown:           ShutdownImmediate,
+	}
+	// GCP keeps instances ≈900 s with CPU scaled down to ~0.01 vCPUs.
+	GCP = Policy{
+		Name:      "gcp",
+		MinWindow: 900 * time.Second,
+		MaxWindow: 900 * time.Second,
+		Behavior:  ScaleDownCPU,
+		Shutdown:  ShutdownImmediate,
+	}
+	// Cloudflare caches code only; cold hits cost ~5 ms, usually masked by
+	// pre-warming on the TLS handshake.
+	Cloudflare = Policy{
+		Name:              "cloudflare",
+		MinWindow:         0,
+		MaxWindow:         0,
+		Behavior:          CodeCache,
+		Shutdown:          ShutdownNone,
+		ResidualColdStart: 5 * time.Millisecond,
+	}
+)
+
+// Catalog returns the Table 2 policies.
+func Catalog() []Policy { return []Policy{AWS, Azure, GCP, Cloudflare} }
+
+// ColdStartProbability estimates P(cold start | idle time) for a policy by
+// Monte Carlo over its keep-alive window distribution — one point of the
+// Figure 9 curves. instances is the function's current scale.
+func ColdStartProbability(p Policy, idle time.Duration, instances, samples int, seed uint64) float64 {
+	if samples <= 0 {
+		samples = 100
+	}
+	rng := stats.NewRand(seed)
+	cold := 0
+	for i := 0; i < samples; i++ {
+		if p.Window(rng, instances) < idle {
+			cold++
+		}
+	}
+	return float64(cold) / float64(samples)
+}
+
+// Curve computes the Figure 9 cold-start probability curve over the given
+// idle times (the paper probes 60 s–1020 s in 60 s steps).
+func Curve(p Policy, idles []time.Duration, instances, samples int, seed uint64) []float64 {
+	out := make([]float64, len(idles))
+	for i, idle := range idles {
+		out[i] = ColdStartProbability(p, idle, instances, samples, seed+uint64(i))
+	}
+	return out
+}

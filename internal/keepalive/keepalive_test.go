@@ -1,0 +1,157 @@
+package keepalive
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+func TestCatalogValid(t *testing.T) {
+	ps := Catalog()
+	if len(ps) != 4 {
+		t.Fatalf("catalog has %d policies, want 4 (Table 2)", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadPolicies(t *testing.T) {
+	bad := []Policy{
+		{},
+		{Name: "x", MinWindow: -1},
+		{Name: "x", MinWindow: 10, MaxWindow: 5},
+		{Name: "x", ResidualColdStart: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid policy accepted", i)
+		}
+	}
+}
+
+func TestBehaviorAndShutdownStrings(t *testing.T) {
+	if FreezeResume.String() != "freeze-resume" || CodeCache.String() != "code-cache" {
+		t.Error("behavior names wrong")
+	}
+	if ScaleDownCPU.String() != "scale-down-cpu" || RunAsUsual.String() != "run-as-usual" {
+		t.Error("behavior names wrong")
+	}
+	if ResourceBehavior(9).String() == "" || Shutdown(9).String() == "" {
+		t.Error("unknown values should format")
+	}
+	if ShutdownGraceful.String() != "graceful" || ShutdownImmediate.String() != "immediate" ||
+		ShutdownNone.String() != "none" {
+		t.Error("shutdown names wrong")
+	}
+}
+
+func TestWindowSampling(t *testing.T) {
+	rng := stats.NewRand(1)
+	for i := 0; i < 1000; i++ {
+		w := AWS.Window(rng, 1)
+		if w < 300*time.Second || w > 360*time.Second {
+			t.Fatalf("AWS window %v outside [300s, 360s]", w)
+		}
+	}
+	// GCP's window is deterministic.
+	if w := GCP.Window(rng, 1); w != 900*time.Second {
+		t.Errorf("GCP window = %v", w)
+	}
+	// Azure stretches its window once scaled out to 3+ instances.
+	sawLong := false
+	for i := 0; i < 1000; i++ {
+		w := Azure.Window(rng, 3)
+		if w > 360*time.Second {
+			sawLong = true
+		}
+		if w > 740*time.Second {
+			t.Fatalf("Azure scaled-out window %v above 740s", w)
+		}
+	}
+	if !sawLong {
+		t.Error("Azure scaled-out sampling never exceeded the base window")
+	}
+	for i := 0; i < 100; i++ {
+		if w := Azure.Window(rng, 2); w > 360*time.Second {
+			t.Fatalf("Azure window %v too long below the scale-out threshold", w)
+		}
+	}
+}
+
+// TestTable2ResourceBehaviors checks the Table 2 matrix.
+func TestTable2ResourceBehaviors(t *testing.T) {
+	// AWS freezes: nothing held while idle.
+	if AWS.IdleCPU(2) != 0 || AWS.IdleMemGB(4) != 0 {
+		t.Error("AWS should deallocate CPU and memory during keep-alive")
+	}
+	// GCP scales CPU to ~0.01 vCPU and keeps memory.
+	if GCP.IdleCPU(1) != 0.01 || GCP.IdleMemGB(2) != 2 {
+		t.Errorf("GCP idle = %v vCPU / %v GB", GCP.IdleCPU(1), GCP.IdleMemGB(2))
+	}
+	// Azure runs as usual.
+	if Azure.IdleCPU(1) != 1 || Azure.IdleMemGB(1.5) != 1.5 {
+		t.Error("Azure should keep full allocation during keep-alive")
+	}
+	// Cloudflare holds only a cache.
+	if Cloudflare.IdleCPU(1) != 0 || Cloudflare.IdleMemGB(0.125) != 0 {
+		t.Error("Cloudflare should hold no resources")
+	}
+	// Only Azure enables the background-task pattern.
+	for _, p := range Catalog() {
+		want := p.Name == "azure"
+		if p.SupportsBackgroundWork() != want {
+			t.Errorf("%s: SupportsBackgroundWork = %v", p.Name, !want)
+		}
+	}
+	// Shutdown column.
+	if AWS.Shutdown != ShutdownGraceful || Azure.Shutdown != ShutdownImmediate ||
+		GCP.Shutdown != ShutdownImmediate || Cloudflare.Shutdown != ShutdownNone {
+		t.Error("Table 2 shutdown column mismatch")
+	}
+}
+
+// TestFigure9Shape: cold-start probability rises with idle time, pinned at
+// 0 below every platform's minimum window and at 1 above its maximum.
+func TestFigure9Shape(t *testing.T) {
+	idles := make([]time.Duration, 0, 17)
+	for s := 60; s <= 1020; s += 60 {
+		idles = append(idles, time.Duration(s)*time.Second)
+	}
+	for _, p := range []Policy{AWS, Azure, GCP} {
+		curve := Curve(p, idles, 1, 400, 7)
+		prev := -1.0
+		for i, v := range curve {
+			if v < prev-0.05 {
+				t.Errorf("%s: curve not (approximately) monotone at %v", p.Name, idles[i])
+			}
+			if v > prev {
+				prev = v
+			}
+		}
+		if curve[0] != 0 {
+			t.Errorf("%s: cold probability at 60s idle = %v, want 0", p.Name, curve[0])
+		}
+		if last := curve[len(curve)-1]; last != 1 {
+			t.Errorf("%s: cold probability at 1020s idle = %v, want 1", p.Name, last)
+		}
+	}
+	// Ordering at 10 minutes idle: AWS (≤360 s) is certainly cold, GCP
+	// (900 s) is certainly warm.
+	tenMin := []time.Duration{600 * time.Second}
+	if v := Curve(AWS, tenMin, 1, 200, 3)[0]; v != 1 {
+		t.Errorf("AWS at 600s idle = %v, want 1", v)
+	}
+	if v := Curve(GCP, tenMin, 1, 200, 3)[0]; v != 0 {
+		t.Errorf("GCP at 600s idle = %v, want 0", v)
+	}
+}
+
+func TestColdStartProbabilityDegenerateSamples(t *testing.T) {
+	if p := ColdStartProbability(AWS, time.Hour, 1, 0, 1); p != 1 {
+		t.Errorf("degenerate sample count should still estimate: %v", p)
+	}
+}

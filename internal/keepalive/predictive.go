@@ -1,0 +1,132 @@
+package keepalive
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements the histogram-based predictive keep-alive that the
+// paper attributes to Azure (§3.3: "Azure pre-warms the function if the
+// platform detects cold starts occurring at regular intervals (i.e.,
+// through idle time histograms)"), following the hybrid policy of the
+// "Serverless in the Wild" line of work the paper cites.
+//
+// The warmer tracks a per-function histogram of idle times (gaps between
+// the end of one invocation and the arrival of the next). Once it has seen
+// enough samples, it releases the sandbox right after each invocation and
+// schedules a pre-warm shortly before the predicted next arrival, keeping
+// the sandbox warm through the tail of the distribution. Regular traffic
+// whose period exceeds any fixed keep-alive window — always cold under
+// Table 2's static policies — becomes warm.
+
+// PredictiveWarmer learns a function's idle-time distribution and plans
+// pre-warming windows.
+type PredictiveWarmer struct {
+	// binWidth is the histogram resolution.
+	binWidth time.Duration
+	// bins counts idle times per binWidth bucket; the last bin absorbs
+	// the out-of-range tail.
+	bins  []int
+	total int
+	// minSamples gates predictions until the histogram is trustworthy.
+	minSamples int
+	// headroom widens the planned window on both sides.
+	headroom float64
+	// fallback is the static window used before enough data arrives.
+	fallback time.Duration
+}
+
+// NewPredictiveWarmer creates a warmer with the given histogram range and
+// resolution. Idle times beyond maxIdle land in the overflow bin, which
+// disables pre-warming for that tail (matching the hybrid policy's
+// fallback to keep-alive).
+func NewPredictiveWarmer(maxIdle, binWidth time.Duration, fallback time.Duration) (*PredictiveWarmer, error) {
+	if binWidth <= 0 || maxIdle < binWidth {
+		return nil, fmt.Errorf("keepalive: bad histogram shape (max %v, bin %v)", maxIdle, binWidth)
+	}
+	if fallback < 0 {
+		return nil, fmt.Errorf("keepalive: negative fallback window")
+	}
+	n := int(maxIdle/binWidth) + 1 // +1 overflow bin
+	return &PredictiveWarmer{
+		binWidth:   binWidth,
+		bins:       make([]int, n),
+		minSamples: 8,
+		headroom:   0.10,
+		fallback:   fallback,
+	}, nil
+}
+
+// ObserveIdle records one idle gap.
+func (w *PredictiveWarmer) ObserveIdle(idle time.Duration) {
+	if idle < 0 {
+		return
+	}
+	i := int(idle / w.binWidth)
+	if i >= len(w.bins) {
+		i = len(w.bins) - 1
+	}
+	w.bins[i]++
+	w.total++
+}
+
+// Samples returns the number of observations recorded.
+func (w *PredictiveWarmer) Samples() int { return w.total }
+
+// Plan returns the pre-warm and keep-alive bounds: the sandbox is released
+// immediately after an invocation, re-created preWarm into the idle period,
+// and kept until keepAlive. Before enough samples (or when the overflow
+// bin dominates), it returns (0, fallback): plain static keep-alive.
+func (w *PredictiveWarmer) Plan() (preWarm, keepAlive time.Duration) {
+	if w.total < w.minSamples {
+		return 0, w.fallback
+	}
+	// Overflow-dominated distributions are unpredictable.
+	if float64(w.bins[len(w.bins)-1]) > 0.5*float64(w.total) {
+		return 0, w.fallback
+	}
+	// 5th and 99th percentiles of the histogram.
+	lo := w.quantileBin(0.05)
+	hi := w.quantileBin(0.99)
+	preWarm = time.Duration(float64(lo) * (1 - w.headroom) * float64(w.binWidth))
+	keepAlive = time.Duration(float64(hi+1) * (1 + w.headroom) * float64(w.binWidth))
+	if preWarm < 0 {
+		preWarm = 0
+	}
+	return preWarm, keepAlive
+}
+
+// quantileBin returns the bin index at cumulative fraction q.
+func (w *PredictiveWarmer) quantileBin(q float64) int {
+	if w.total == 0 {
+		return 0
+	}
+	want := int(q * float64(w.total))
+	acc := 0
+	for i, c := range w.bins {
+		acc += c
+		if acc > want {
+			return i
+		}
+	}
+	return len(w.bins) - 1
+}
+
+// WouldBeCold reports whether an arrival after the given idle time hits a
+// cold sandbox under the current plan: cold when the arrival lands before
+// the pre-warm completes or after the keep-alive window closes.
+func (w *PredictiveWarmer) WouldBeCold(idle time.Duration) bool {
+	preWarm, keepAlive := w.Plan()
+	return idle < preWarm || idle > keepAlive
+}
+
+// IdleResourceSeconds returns the sandbox-seconds held per idle period
+// under the plan — the provider-side saving of predictive warming versus
+// holding the sandbox for the whole window.
+func (w *PredictiveWarmer) IdleResourceSeconds() float64 {
+	preWarm, keepAlive := w.Plan()
+	if keepAlive <= preWarm {
+		return 0
+	}
+	return (keepAlive - preWarm).Seconds()
+}

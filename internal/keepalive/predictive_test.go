@@ -1,0 +1,123 @@
+package keepalive
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+func newWarmer(t *testing.T) *PredictiveWarmer {
+	t.Helper()
+	w, err := NewPredictiveWarmer(4*time.Hour, time.Minute, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewPredictiveWarmerValidation(t *testing.T) {
+	if _, err := NewPredictiveWarmer(time.Hour, 0, time.Minute); err == nil {
+		t.Error("zero bin width accepted")
+	}
+	if _, err := NewPredictiveWarmer(time.Second, time.Minute, time.Minute); err == nil {
+		t.Error("max below bin accepted")
+	}
+	if _, err := NewPredictiveWarmer(time.Hour, time.Minute, -1); err == nil {
+		t.Error("negative fallback accepted")
+	}
+}
+
+func TestPlanFallsBackWithoutData(t *testing.T) {
+	w := newWarmer(t)
+	pre, keep := w.Plan()
+	if pre != 0 || keep != 10*time.Minute {
+		t.Errorf("cold-start plan = (%v, %v), want static fallback", pre, keep)
+	}
+}
+
+// TestRegularTrafficBecomesWarm: traffic every 10 minutes is always cold
+// under AWS's 300–360 s window; the predictive warmer learns the interval
+// and serves it warm.
+func TestRegularTrafficBecomesWarm(t *testing.T) {
+	w := newWarmer(t)
+	interval := 10 * time.Minute
+
+	// Static AWS policy: certainly cold at this interval.
+	if p := ColdStartProbability(AWS, interval, 1, 200, 1); p != 1 {
+		t.Fatalf("AWS at 10 min idle should always be cold, got %v", p)
+	}
+
+	// Training phase with slight jitter.
+	rng := stats.NewRand(3)
+	for i := 0; i < 40; i++ {
+		jitter := time.Duration(rng.Uniform(-30, 30)) * time.Second
+		w.ObserveIdle(interval + jitter)
+	}
+	cold := 0
+	const probes = 200
+	for i := 0; i < probes; i++ {
+		jitter := time.Duration(rng.Uniform(-30, 30)) * time.Second
+		if w.WouldBeCold(interval + jitter) {
+			cold++
+		}
+	}
+	if rate := float64(cold) / probes; rate > 0.02 {
+		t.Errorf("predictive cold rate = %.3f, want ≈0", rate)
+	}
+	// And the pre-warm window releases resources for most of the idle
+	// period: held seconds well below the full 10-minute gap.
+	if held := w.IdleResourceSeconds(); held > 0.6*interval.Seconds() {
+		t.Errorf("held %v s of a %v s gap: pre-warming saves little", held, interval.Seconds())
+	}
+}
+
+func TestUnpredictableTrafficFallsBack(t *testing.T) {
+	w := newWarmer(t)
+	// Most gaps beyond the histogram range: overflow-dominated.
+	for i := 0; i < 40; i++ {
+		w.ObserveIdle(10 * time.Hour)
+	}
+	pre, keep := w.Plan()
+	if pre != 0 || keep != 10*time.Minute {
+		t.Errorf("overflow-dominated plan = (%v, %v), want fallback", pre, keep)
+	}
+}
+
+func TestObserveIdleIgnoresNegative(t *testing.T) {
+	w := newWarmer(t)
+	w.ObserveIdle(-time.Minute)
+	if w.Samples() != 0 {
+		t.Error("negative idle recorded")
+	}
+}
+
+func TestWouldBeColdEdges(t *testing.T) {
+	w := newWarmer(t)
+	for i := 0; i < 40; i++ {
+		w.ObserveIdle(10 * time.Minute)
+	}
+	pre, keep := w.Plan()
+	if pre <= 0 || keep <= pre {
+		t.Fatalf("plan = (%v, %v)", pre, keep)
+	}
+	// An arrival before the pre-warm completes is cold (sandbox released).
+	if !w.WouldBeCold(pre / 2) {
+		t.Error("early arrival should be cold")
+	}
+	// An arrival far past the window is cold again.
+	if !w.WouldBeCold(keep + time.Hour) {
+		t.Error("late arrival should be cold")
+	}
+	// Inside the window: warm.
+	if w.WouldBeCold((pre + keep) / 2) {
+		t.Error("in-window arrival should be warm")
+	}
+}
+
+func TestQuantileBinEmpty(t *testing.T) {
+	w := newWarmer(t)
+	if w.quantileBin(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}

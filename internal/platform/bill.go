@@ -1,0 +1,76 @@
+package platform
+
+import (
+	"time"
+
+	"slscost/internal/billing"
+)
+
+// This file prices a simulated platform run under a billing model — the
+// bridge between §3's serving behavior and §2's billing practices that
+// makes the "dual penalty" of I6 quantifiable: contention stretches
+// execution durations, and wall-clock billing charges for the stretch.
+
+// Bill is the priced view of one RunResult.
+type Bill struct {
+	// RequestCost is the request-based total: per-request resource
+	// charges plus invocation fees.
+	RequestCost float64
+	// Fees is the invocation-fee portion of RequestCost.
+	Fees float64
+	// InstanceCost prices the same run under instance-based billing:
+	// the allocation held over every sandbox-second.
+	InstanceCost float64
+	// BillableSeconds is the summed billable wall-clock time.
+	BillableSeconds float64
+	// ColdStarts is carried over from the run.
+	ColdStarts int
+}
+
+// BillRun prices a run under requestModel (per request) and instanceModel
+// (per sandbox-second); allocCPU/allocMemGB describe each sandbox.
+func BillRun(res RunResult, requestModel, instanceModel billing.Model, cfg Config) Bill {
+	cfg = cfg.withDefaults()
+	allocMemGB := cfg.Workload.MemoryMB / 1024
+	var out Bill
+	out.ColdStarts = res.ColdStarts
+	for _, r := range res.Requests {
+		inv := billing.Invocation{
+			Duration:   r.ExecDuration(),
+			AllocCPU:   cfg.VCPU,
+			AllocMemGB: allocMemGB,
+			CPUTime:    cfg.Workload.CPUTime,
+			MemUsedGB:  allocMemGB,
+		}
+		if r.Cold {
+			inv.InitDuration = cfg.ColdStart
+		}
+		ch := requestModel.Bill(inv)
+		out.RequestCost += ch.Total()
+		out.Fees += ch.Fee
+		out.BillableSeconds += ch.BillableTime.Seconds()
+	}
+	instInv := billing.Invocation{
+		InstanceLifespan: time.Duration(res.SandboxSeconds * float64(time.Second)),
+		AllocCPU:         cfg.VCPU,
+		AllocMemGB:       allocMemGB,
+	}
+	out.InstanceCost = instanceModel.Bill(instInv).Total()
+	return out
+}
+
+// DualPenalty quantifies I6 for two runs of the same arrivals: the
+// slowdown factor (mean duration ratio) and the bill inflation factor
+// (request-cost ratio) of the contended run versus the baseline.
+func DualPenalty(baseline, contended RunResult, model billing.Model, cfg Config) (slowdown, billInflation float64) {
+	bm, cm := baseline.MeanExecMs(), contended.MeanExecMs()
+	if bm > 0 {
+		slowdown = cm / bm
+	}
+	bb := BillRun(baseline, model, billing.GCPInstance, cfg)
+	cb := BillRun(contended, model, billing.GCPInstance, cfg)
+	if bb.RequestCost > 0 {
+		billInflation = cb.RequestCost / bb.RequestCost
+	}
+	return slowdown, billInflation
+}

@@ -1,0 +1,59 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/billing"
+)
+
+func TestBillRun(t *testing.T) {
+	cfg := singleCfg()
+	res, err := Run(cfg, UniformArrivals(2, 5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BillRun(res, billing.GCPRequest, billing.GCPInstance, cfg)
+	if b.RequestCost <= 0 || b.InstanceCost <= 0 {
+		t.Fatalf("bill = %+v", b)
+	}
+	if b.Fees <= 0 || b.Fees >= b.RequestCost {
+		t.Errorf("fees = %v of %v", b.Fees, b.RequestCost)
+	}
+	// 10 requests of ≈160 ms at 100 ms granularity: 10 × 0.2 s billable
+	// (plus one cold start's turnaround).
+	if b.BillableSeconds < 1.9 || b.BillableSeconds > 3.0 {
+		t.Errorf("billable seconds = %v", b.BillableSeconds)
+	}
+	if b.ColdStarts != res.ColdStarts {
+		t.Error("cold starts not carried over")
+	}
+}
+
+// TestDualPenaltyI6: the same burst costs more *and* runs slower under
+// multi-concurrency than under single-concurrency — I6 quantified.
+func TestDualPenaltyI6(t *testing.T) {
+	arr := UniformArrivals(20, 20*time.Second)
+	base, err := Run(singleCfg(), arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := Run(multiCfg(), arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown, inflation := DualPenalty(base, cont, billing.GCPRequest, singleCfg())
+	if slowdown <= 1.5 {
+		t.Errorf("slowdown = %.2f, want well above 1 under contention", slowdown)
+	}
+	if inflation <= 1.2 {
+		t.Errorf("bill inflation = %.2f, want the dual penalty", inflation)
+	}
+}
+
+func TestDualPenaltyDegenerate(t *testing.T) {
+	s, i := DualPenalty(RunResult{}, RunResult{}, billing.GCPRequest, singleCfg())
+	if s != 0 || i != 0 {
+		t.Errorf("degenerate penalty = %v, %v", s, i)
+	}
+}

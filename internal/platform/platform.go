@@ -1,0 +1,623 @@
+// Package platform is a discrete-event simulator of a serverless request
+// serving platform: open-loop arrivals, sandbox provisioning with cold
+// starts, the single- and multi-concurrency serving models of §3.1,
+// processor-sharing CPU contention inside multi-concurrency sandboxes, a
+// Knative-style windowed autoscaler, and keep-alive expiry.
+//
+// It regenerates Figure 6: under the single-concurrency model (AWS-like),
+// execution duration stays flat as the request rate grows, while under the
+// multi-concurrency model (GCP-like) requests contend inside sandboxes
+// until the autoscaler's lagging metrics finally scale the fleet, yielding
+// the dual penalty of slowdowns and higher bills.
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"slscost/internal/autoscale"
+	"slscost/internal/keepalive"
+	"slscost/internal/simtime"
+	"slscost/internal/stats"
+	"slscost/internal/workload"
+)
+
+// Mode selects the concurrency model of §3.1.
+type Mode int
+
+const (
+	// SingleConcurrency gives every in-flight request its own sandbox
+	// (AWS Lambda, Cloudflare Workers).
+	SingleConcurrency Mode = iota
+	// MultiConcurrency packs requests into sandboxes up to the container
+	// concurrency limit (GCP, Azure, IBM, Knative).
+	MultiConcurrency
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case SingleConcurrency:
+		return "single-concurrency"
+	case MultiConcurrency:
+		return "multi-concurrency"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes one deployed function and its platform.
+type Config struct {
+	// Mode is the concurrency model.
+	Mode Mode
+	// Workload is the per-request resource profile.
+	Workload workload.Spec
+	// VCPU is the sandbox's CPU allocation.
+	VCPU float64
+	// ColdStart is the sandbox provisioning + initialization latency.
+	ColdStart time.Duration
+	// Autoscale configures the multi-concurrency autoscaler; its
+	// ContainerConcurrency is the per-sandbox limit.
+	Autoscale autoscale.Config
+	// MetricTick is how often the autoscaler samples and acts (default 2 s).
+	MetricTick time.Duration
+	// KeepAlive is the idle-sandbox policy (default: keepalive.GCP for
+	// multi-concurrency, keepalive.AWS for single).
+	KeepAlive keepalive.Policy
+	// ContentionPenalty adds slowdown per extra concurrent request beyond
+	// pure processor sharing (context switches, cache misses — §3.1 notes
+	// real contention is worse than ideal sharing). 0.02 means each extra
+	// in-flight request slows everyone by 2%.
+	ContentionPenalty float64
+	// Seed drives keep-alive sampling and arrival jitter.
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.VCPU <= 0 {
+		c.VCPU = 1
+	}
+	if c.MetricTick <= 0 {
+		c.MetricTick = 2 * time.Second
+	}
+	if c.Autoscale.ContainerConcurrency == 0 {
+		c.Autoscale = autoscale.DefaultConfig()
+	}
+	if c.KeepAlive.Name == "" {
+		if c.Mode == SingleConcurrency {
+			c.KeepAlive = keepalive.AWS
+		} else {
+			c.KeepAlive = keepalive.GCP
+		}
+	}
+	if c.ColdStart <= 0 {
+		c.ColdStart = c.Workload.InitTime
+	}
+	return c
+}
+
+// RequestResult records one simulated request.
+type RequestResult struct {
+	// Arrival is when the request entered the platform.
+	Arrival time.Duration
+	// Start is when execution began inside a sandbox.
+	Start time.Duration
+	// End is when execution finished.
+	End time.Duration
+	// Cold reports whether the request waited on sandbox provisioning.
+	Cold bool
+	// Sandbox is the serving sandbox's id.
+	Sandbox int
+}
+
+// ExecDuration is the provider-reported execution duration (in-sandbox).
+func (r RequestResult) ExecDuration() time.Duration { return r.End - r.Start }
+
+// QueueWait is time spent before execution began (queueing and/or cold
+// start).
+func (r RequestResult) QueueWait() time.Duration { return r.Start - r.Arrival }
+
+// InstancePoint samples the fleet size over time.
+type InstancePoint struct {
+	At    time.Duration
+	Count int
+}
+
+// RunResult is the outcome of one simulation.
+type RunResult struct {
+	Requests  []RequestResult
+	Instances []InstancePoint
+	// ColdStarts is the number of requests that triggered provisioning.
+	ColdStarts int
+	// SandboxSeconds accumulates sandbox lifetime (for instance billing).
+	SandboxSeconds float64
+}
+
+// ExecDurationsMs returns all execution durations in milliseconds.
+func (r *RunResult) ExecDurationsMs() []float64 {
+	out := make([]float64, len(r.Requests))
+	for i, q := range r.Requests {
+		out[i] = float64(q.ExecDuration()) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// MeanExecMs returns the mean execution duration in milliseconds.
+func (r *RunResult) MeanExecMs() float64 { return stats.Mean(r.ExecDurationsMs()) }
+
+// MaxInstances returns the peak fleet size.
+func (r *RunResult) MaxInstances() int {
+	max := 0
+	for _, p := range r.Instances {
+		if p.Count > max {
+			max = p.Count
+		}
+	}
+	return max
+}
+
+// UniformArrivals generates evenly spaced arrivals at rps for the given
+// duration.
+func UniformArrivals(rps float64, dur time.Duration) []time.Duration {
+	if rps <= 0 || dur <= 0 {
+		return nil
+	}
+	gap := time.Duration(float64(time.Second) / rps)
+	var out []time.Duration
+	for t := time.Duration(0); t < dur; t += gap {
+		out = append(out, t)
+	}
+	return out
+}
+
+// PoissonArrivals generates a Poisson arrival process at rps.
+func PoissonArrivals(rng *stats.Rand, rps float64, dur time.Duration) []time.Duration {
+	if rps <= 0 || dur <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	meanGapSec := 1 / rps
+	for t := time.Duration(0); ; {
+		t += time.Duration(rng.Exp(meanGapSec) * float64(time.Second))
+		if t >= dur {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// sandbox is one runtime instance.
+type sandbox struct {
+	id         int
+	ready      bool          // provisioned
+	readyAt    time.Duration // when provisioning completes
+	active     []*simRequest // CPU-sharing requests
+	blocked    []*simRequest // requests in their blocking phase
+	lastUpdate time.Duration
+	timer      *simtime.Timer
+	expire     *simtime.Timer
+	createdAt  time.Duration
+	removed    bool
+}
+
+func (sb *sandbox) inFlight() int { return len(sb.active) + len(sb.blocked) }
+
+// simRequest is the engine-side request state.
+type simRequest struct {
+	arrival   time.Duration
+	start     time.Duration
+	remaining float64 // CPU seconds left
+	blockEnd  time.Duration
+	cold      bool
+	sb        *sandbox
+}
+
+// engine runs one simulation.
+type engine struct {
+	cfg     Config
+	clock   *simtime.Clock
+	rng     *stats.Rand
+	scaler  *autoscale.Autoscaler
+	boxes   []*sandbox
+	queue   []*simRequest
+	results []RequestResult
+	points  []InstancePoint
+	nextID  int
+	cold    int
+	sbSecs  float64
+	pending int // requests not yet completed
+}
+
+// Run simulates the platform serving the given arrival times and returns
+// per-request results and the instance-count timeline.
+func Run(cfg Config, arrivals []time.Duration) (RunResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Workload.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if err := cfg.Autoscale.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	e := &engine{
+		cfg:    cfg,
+		clock:  simtime.NewClock(),
+		rng:    stats.NewRand(cfg.Seed + 1),
+		scaler: autoscale.New(cfg.Autoscale),
+	}
+	for _, at := range arrivals {
+		at := at
+		e.clock.At(at, func(now time.Duration) { e.arrive(now) })
+	}
+	if cfg.Mode == MultiConcurrency {
+		e.clock.Every(cfg.MetricTick, func(now time.Duration) { e.metricTick(now) })
+	}
+	// Run until all requests have completed; the horizon grows as needed.
+	horizon := 10 * time.Second
+	if len(arrivals) > 0 {
+		horizon += arrivals[len(arrivals)-1]
+	}
+	e.pending = len(arrivals)
+	for limit := 0; e.pending > 0 && limit < 1000; limit++ {
+		e.clock.RunUntil(horizon)
+		horizon += 30 * time.Second
+	}
+	res := RunResult{
+		Requests:       e.results,
+		Instances:      e.points,
+		ColdStarts:     e.cold,
+		SandboxSeconds: e.sbSecs,
+	}
+	// Account lifetimes of sandboxes still alive at the end.
+	for _, sb := range e.boxes {
+		if !sb.removed {
+			res.SandboxSeconds += (e.clock.Now() - sb.createdAt).Seconds()
+		}
+	}
+	sort.Slice(res.Requests, func(i, j int) bool {
+		return res.Requests[i].Arrival < res.Requests[j].Arrival
+	})
+	return res, nil
+}
+
+// liveCount counts sandboxes that exist (ready or provisioning).
+func (e *engine) liveCount() int {
+	n := 0
+	for _, sb := range e.boxes {
+		if !sb.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// totalInFlight counts executing plus queued requests.
+func (e *engine) totalInFlight() int {
+	n := len(e.queue)
+	for _, sb := range e.boxes {
+		if !sb.removed {
+			n += sb.inFlight()
+		}
+	}
+	return n
+}
+
+// arrive handles one request arrival.
+func (e *engine) arrive(now time.Duration) {
+	req := &simRequest{
+		arrival:   now,
+		remaining: e.cfg.Workload.CPUTime.Seconds(),
+	}
+	switch e.cfg.Mode {
+	case SingleConcurrency:
+		e.dispatchSingle(now, req)
+	case MultiConcurrency:
+		e.queue = append(e.queue, req)
+		e.drainQueue(now)
+	}
+}
+
+// dispatchSingle places a request in its own sandbox, reusing a warm idle
+// one or cold-starting a new one.
+func (e *engine) dispatchSingle(now time.Duration, req *simRequest) {
+	// Find a warm, idle, ready sandbox (most recently used first).
+	for i := len(e.boxes) - 1; i >= 0; i-- {
+		sb := e.boxes[i]
+		if !sb.removed && sb.ready && sb.inFlight() == 0 {
+			e.startOn(now, sb, req)
+			return
+		}
+	}
+	sb := e.newSandbox(now)
+	req.cold = true
+	e.cold++
+	e.clock.At(sb.readyAt, func(then time.Duration) {
+		sb.ready = true
+		e.startOn(then, sb, req)
+	})
+}
+
+// drainQueue assigns queued requests to multi-concurrency sandboxes with
+// free slots (least-loaded first).
+func (e *engine) drainQueue(now time.Duration) {
+	limit := e.cfg.Autoscale.ContainerConcurrency
+	for len(e.queue) > 0 {
+		var best *sandbox
+		for _, sb := range e.boxes {
+			if sb.removed || !sb.ready || sb.inFlight() >= limit {
+				continue
+			}
+			if best == nil || sb.inFlight() < best.inFlight() {
+				best = sb
+			}
+		}
+		if best == nil {
+			// No capacity: ensure at least one sandbox exists or is being
+			// provisioned (scale-from-zero), then wait for the autoscaler.
+			if e.liveCount() == 0 {
+				e.newSandbox(now)
+			}
+			return
+		}
+		req := e.queue[0]
+		e.queue = e.queue[1:]
+		if !best.createdBeforeArrival(req) {
+			req.cold = true
+			e.cold++
+		}
+		e.startOn(now, best, req)
+	}
+}
+
+// createdBeforeArrival reports whether the sandbox existed (ready) before
+// the request arrived — i.e. the request is a warm hit.
+func (sb *sandbox) createdBeforeArrival(req *simRequest) bool {
+	return sb.readyAt <= req.arrival
+}
+
+// newSandbox provisions a sandbox; it becomes ready after the cold-start
+// latency.
+func (e *engine) newSandbox(now time.Duration) *sandbox {
+	e.nextID++
+	sb := &sandbox{
+		id:         e.nextID,
+		readyAt:    now + e.cfg.ColdStart,
+		lastUpdate: now,
+		createdAt:  now,
+	}
+	e.boxes = append(e.boxes, sb)
+	e.point(now)
+	e.clock.At(sb.readyAt, func(then time.Duration) {
+		if sb.removed {
+			return
+		}
+		sb.ready = true
+		sb.lastUpdate = then
+		if e.cfg.Mode == MultiConcurrency {
+			e.drainQueue(then)
+		}
+		e.armExpiry(then, sb)
+	})
+	return sb
+}
+
+// point records an instance-count sample.
+func (e *engine) point(now time.Duration) {
+	e.points = append(e.points, InstancePoint{At: now, Count: e.liveCount()})
+}
+
+// startOn begins executing req on sb at time now.
+func (e *engine) startOn(now time.Duration, sb *sandbox, req *simRequest) {
+	e.advance(now, sb)
+	req.start = now
+	req.sb = sb
+	if sb.expire != nil {
+		sb.expire.Stop()
+		sb.expire = nil
+	}
+	if req.remaining > 0 {
+		sb.active = append(sb.active, req)
+	} else {
+		req.blockEnd = now + e.cfg.Workload.BlockTime
+		sb.blocked = append(sb.blocked, req)
+	}
+	e.reschedule(now, sb)
+}
+
+// shareRate returns each active request's CPU progress rate (CPU seconds
+// per wall second) with n active requests on this sandbox.
+func (e *engine) shareRate(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	rate := e.cfg.VCPU / float64(n)
+	if rate > 1 {
+		rate = 1 // a single-threaded request cannot use more than one core
+	}
+	// Context-switch and cache-miss overhead grows with co-runners but
+	// saturates: past a point, additional co-runners thrash what is
+	// already thrashed.
+	penalty := 1 + e.cfg.ContentionPenalty*float64(n-1)
+	if penalty > 2 {
+		penalty = 2
+	}
+	return rate / penalty
+}
+
+// advance applies CPU progress to sb's active requests up to now.
+func (e *engine) advance(now time.Duration, sb *sandbox) {
+	elapsed := (now - sb.lastUpdate).Seconds()
+	sb.lastUpdate = now
+	if elapsed <= 0 || len(sb.active) == 0 {
+		return
+	}
+	rate := e.shareRate(len(sb.active))
+	for _, r := range sb.active {
+		r.remaining -= elapsed * rate
+		if r.remaining < 0 {
+			r.remaining = 0
+		}
+	}
+}
+
+// reschedule computes sb's next event (a CPU completion or a block-phase
+// end) and arms a timer for it.
+func (e *engine) reschedule(now time.Duration, sb *sandbox) {
+	if sb.timer != nil {
+		sb.timer.Stop()
+		sb.timer = nil
+	}
+	if sb.removed {
+		return
+	}
+	var next time.Duration = -1
+	if len(sb.active) > 0 {
+		rate := e.shareRate(len(sb.active))
+		minRem := sb.active[0].remaining
+		for _, r := range sb.active[1:] {
+			if r.remaining < minRem {
+				minRem = r.remaining
+			}
+		}
+		if rate > 0 {
+			next = now + time.Duration(minRem/rate*float64(time.Second))
+		}
+	}
+	for _, r := range sb.blocked {
+		if next < 0 || r.blockEnd < next {
+			next = r.blockEnd
+		}
+	}
+	if next < 0 {
+		e.armExpiry(now, sb)
+		return
+	}
+	if next < now {
+		next = now
+	}
+	sb.timer = e.clock.At(next, func(then time.Duration) { e.sandboxEvent(then, sb) })
+}
+
+// sandboxEvent advances sb and retires any requests that finished their
+// CPU or blocking phase.
+func (e *engine) sandboxEvent(now time.Duration, sb *sandbox) {
+	e.advance(now, sb)
+	const eps = 1e-9
+	// CPU completions move to the blocking phase (or finish directly).
+	var stillActive []*simRequest
+	for _, r := range sb.active {
+		if r.remaining <= eps {
+			if e.cfg.Workload.BlockTime > 0 {
+				r.blockEnd = now + e.cfg.Workload.BlockTime
+				sb.blocked = append(sb.blocked, r)
+			} else {
+				e.complete(now, r)
+			}
+		} else {
+			stillActive = append(stillActive, r)
+		}
+	}
+	sb.active = stillActive
+	// Block-phase completions.
+	var stillBlocked []*simRequest
+	for _, r := range sb.blocked {
+		if r.blockEnd <= now {
+			e.complete(now, r)
+		} else {
+			stillBlocked = append(stillBlocked, r)
+		}
+	}
+	sb.blocked = stillBlocked
+	if e.cfg.Mode == MultiConcurrency {
+		e.drainQueue(now)
+	}
+	e.reschedule(now, sb)
+}
+
+// complete records a finished request.
+func (e *engine) complete(now time.Duration, r *simRequest) {
+	e.results = append(e.results, RequestResult{
+		Arrival: r.arrival,
+		Start:   r.start,
+		End:     now,
+		Cold:    r.cold,
+		Sandbox: r.sb.id,
+	})
+	e.pending--
+}
+
+// armExpiry schedules keep-alive expiry for an idle sandbox.
+func (e *engine) armExpiry(now time.Duration, sb *sandbox) {
+	if sb.removed || !sb.ready || sb.inFlight() > 0 || sb.expire != nil {
+		return
+	}
+	window := e.cfg.KeepAlive.Window(e.rng, e.liveCount())
+	sb.expire = e.clock.After(window, func(then time.Duration) {
+		if sb.removed || sb.inFlight() > 0 {
+			return
+		}
+		e.removeSandbox(then, sb)
+	})
+}
+
+// removeSandbox retires a sandbox and accounts its lifetime.
+func (e *engine) removeSandbox(now time.Duration, sb *sandbox) {
+	sb.removed = true
+	if sb.timer != nil {
+		sb.timer.Stop()
+	}
+	if sb.expire != nil {
+		sb.expire.Stop()
+	}
+	e.sbSecs += (now - sb.createdAt).Seconds()
+	e.point(now)
+}
+
+// metricTick runs the autoscaler loop. The concurrency metric counts
+// in-sandbox plus LB-queued requests (the activator's view), and the CPU
+// metric is the ready fleet's busy-core fraction.
+func (e *engine) metricTick(now time.Duration) {
+	conc := len(e.queue)
+	var busy, capacity float64
+	ready := 0
+	for _, sb := range e.boxes {
+		if sb.removed {
+			continue
+		}
+		ready++
+		if !sb.ready {
+			continue
+		}
+		conc += sb.inFlight()
+		capacity += e.cfg.VCPU
+		// Active CPU-phase requests saturate up to the sandbox's vCPUs.
+		use := float64(len(sb.active))
+		if use > e.cfg.VCPU {
+			use = e.cfg.VCPU
+		}
+		busy += use
+	}
+	_ = capacity
+	e.scaler.Record(now, float64(conc), busy)
+	desired := e.scaler.Desired(now, ready)
+	for i := ready; i < desired; i++ {
+		e.newSandbox(now)
+	}
+	if desired < ready {
+		// Scale down surplus idle sandboxes immediately (the keep-alive
+		// policy governs sandboxes the autoscaler leaves alone).
+		surplus := ready - desired
+		for _, sb := range e.boxes {
+			if surplus == 0 {
+				break
+			}
+			if !sb.removed && sb.ready && sb.inFlight() == 0 {
+				e.removeSandbox(now, sb)
+				surplus--
+			}
+		}
+	}
+	e.point(now)
+}

@@ -1,0 +1,289 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"slscost/internal/autoscale"
+	"slscost/internal/keepalive"
+	"slscost/internal/stats"
+	"slscost/internal/workload"
+)
+
+// pyaesLike is the Figure 6 workload: ≈160 ms of CPU per request, 1 vCPU.
+func pyaesLike() workload.Spec { return workload.PyAES }
+
+func singleCfg() Config {
+	return Config{
+		Mode:      SingleConcurrency,
+		Workload:  pyaesLike(),
+		VCPU:      1,
+		ColdStart: 250 * time.Millisecond,
+		Seed:      11,
+	}
+}
+
+func multiCfg() Config {
+	as := autoscale.DefaultConfig()
+	as.ContainerConcurrency = 80
+	as.PanicThreshold = 10 // GCP-like: no Knative panic mode
+	return Config{
+		Mode:              MultiConcurrency,
+		Workload:          pyaesLike(),
+		VCPU:              1,
+		ColdStart:         2 * time.Second,
+		Autoscale:         as,
+		ContentionPenalty: 0.02,
+		Seed:              11,
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SingleConcurrency.String() != "single-concurrency" ||
+		MultiConcurrency.String() != "multi-concurrency" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	a := UniformArrivals(10, time.Second)
+	if len(a) != 10 {
+		t.Fatalf("got %d arrivals", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i]-a[i-1] != 100*time.Millisecond {
+			t.Fatalf("gap = %v", a[i]-a[i-1])
+		}
+	}
+	if UniformArrivals(0, time.Second) != nil || UniformArrivals(1, 0) != nil {
+		t.Error("degenerate inputs should give nil")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	rng := stats.NewRand(5)
+	a := PoissonArrivals(rng, 50, 20*time.Second)
+	if len(a) < 700 || len(a) > 1300 {
+		t.Fatalf("got %d arrivals, want ≈1000", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestSingleConcurrencyBaseline(t *testing.T) {
+	res, err := Run(singleCfg(), UniformArrivals(1, 10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != 10 {
+		t.Fatalf("served %d requests", len(res.Requests))
+	}
+	// Each request gets a dedicated 1-vCPU sandbox: execution duration
+	// equals the workload's 160 ms CPU time.
+	for _, r := range res.Requests {
+		d := r.ExecDuration()
+		if math.Abs(float64(d-160*time.Millisecond)) > float64(time.Millisecond) {
+			t.Errorf("exec duration = %v, want ≈160 ms", d)
+		}
+	}
+	// Low steady rate with a long keep-alive: one cold start, then reuse.
+	if res.ColdStarts != 1 {
+		t.Errorf("cold starts = %d, want 1", res.ColdStarts)
+	}
+}
+
+// TestFigure6LeftShape: single-concurrency stays flat with RPS while
+// multi-concurrency degrades under a 2-minute burst.
+func TestFigure6LeftShape(t *testing.T) {
+	burst := 30 * time.Second // shortened burst; same dynamics
+	var singleMeans, multiMeans []float64
+	for _, rps := range []float64{1, 10, 25} {
+		arr := UniformArrivals(rps, burst)
+		s, err := Run(singleCfg(), arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleMeans = append(singleMeans, s.MeanExecMs())
+		m, err := Run(multiCfg(), arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multiMeans = append(multiMeans, m.MeanExecMs())
+	}
+	// AWS-like: flat at ≈160 ms across rates.
+	for i, v := range singleMeans {
+		if math.Abs(v-160) > 8 {
+			t.Errorf("single-concurrency mean at rate %d = %.1f ms, want ≈160", i, v)
+		}
+	}
+	// GCP-like: substantially slower at 25 RPS than at 1 RPS (paper: up
+	// to 9.65×).
+	if multiMeans[2] < 2*multiMeans[0] {
+		t.Errorf("multi-concurrency means %v: no contention slowdown", multiMeans)
+	}
+	// And the multi-concurrency mean at 1 RPS is near the baseline.
+	if multiMeans[0] > 250 {
+		t.Errorf("multi-concurrency at 1 RPS = %.1f ms, want near 160", multiMeans[0])
+	}
+}
+
+// TestFigure6RightShape: under steady 15 RPS the autoscaler takes tens of
+// seconds to start scaling, and the fleet eventually grows while the
+// steady-state duration stays above the uncontended baseline.
+func TestFigure6RightShape(t *testing.T) {
+	res, err := Run(multiCfg(), UniformArrivals(15, 150*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find when the fleet first exceeded one sandbox.
+	var firstScale time.Duration = -1
+	for _, p := range res.Instances {
+		if p.Count > 1 {
+			firstScale = p.At
+			break
+		}
+	}
+	if firstScale < 0 {
+		t.Fatal("fleet never scaled above 1")
+	}
+	if firstScale < 5*time.Second || firstScale > 90*time.Second {
+		t.Errorf("scaling began at %v, want tens of seconds (paper ≈40 s)", firstScale)
+	}
+	if res.MaxInstances() < 2 {
+		t.Errorf("max instances = %d", res.MaxInstances())
+	}
+	// Steady state (after 100 s): duration stabilizes above the 160 ms
+	// baseline due to residual contention (paper: ×1.43).
+	var late []float64
+	for _, r := range res.Requests {
+		if r.Arrival > 100*time.Second {
+			late = append(late, float64(r.ExecDuration())/float64(time.Millisecond))
+		}
+	}
+	if len(late) == 0 {
+		t.Fatal("no late-phase requests")
+	}
+	lateMean := stats.Mean(late)
+	if lateMean < 160 {
+		t.Errorf("steady-state mean = %.1f ms, below the uncontended baseline", lateMean)
+	}
+	if lateMean > 1200 {
+		t.Errorf("steady-state mean = %.1f ms: fleet did not absorb the load", lateMean)
+	}
+	// Early phase (before scaling) is slower than steady state.
+	var early []float64
+	for _, r := range res.Requests {
+		if r.Arrival < 30*time.Second {
+			early = append(early, float64(r.ExecDuration())/float64(time.Millisecond))
+		}
+	}
+	if stats.Mean(early) <= lateMean {
+		t.Errorf("early mean %.1f ms not above steady-state %.1f ms",
+			stats.Mean(early), lateMean)
+	}
+}
+
+func TestMultiConcurrencyQueueWhenAtLimit(t *testing.T) {
+	cfg := multiCfg()
+	cfg.Autoscale.ContainerConcurrency = 2
+	cfg.Autoscale.MaxInstances = 1
+	cfg.Autoscale.MinInstances = 1
+	res, err := Run(cfg, UniformArrivals(20, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != 40 {
+		t.Fatalf("served %d of 40 requests", len(res.Requests))
+	}
+	// With at most 2 in flight on one sandbox, later requests must queue.
+	var queued int
+	for _, r := range res.Requests {
+		if r.QueueWait() > 10*time.Millisecond {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Error("no request queued despite the concurrency limit")
+	}
+}
+
+func TestKeepAliveExpiryCreatesColdStarts(t *testing.T) {
+	cfg := singleCfg()
+	cfg.KeepAlive = keepalive.Policy{
+		Name:      "short",
+		MinWindow: time.Second,
+		MaxWindow: time.Second,
+		Behavior:  keepalive.FreezeResume,
+	}
+	// Two requests 5 s apart: the second must cold-start again.
+	res, err := Run(cfg, []time.Duration{0, 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdStarts != 2 {
+		t.Errorf("cold starts = %d, want 2 (keep-alive expired)", res.ColdStarts)
+	}
+	if res.SandboxSeconds <= 0 {
+		t.Error("sandbox lifetime not accounted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := singleCfg()
+	cfg.Workload = workload.Spec{} // invalid: empty name
+	if _, err := Run(cfg, UniformArrivals(1, time.Second)); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	cfg = multiCfg()
+	cfg.Autoscale.TargetUtilization = 5
+	if _, err := Run(cfg, UniformArrivals(1, time.Second)); err == nil {
+		t.Error("invalid autoscale config accepted")
+	}
+}
+
+func TestRunEmptyArrivals(t *testing.T) {
+	res, err := Run(singleCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) != 0 {
+		t.Error("no arrivals should give no results")
+	}
+}
+
+func TestBlockingPhaseExtendsDuration(t *testing.T) {
+	cfg := singleCfg()
+	cfg.Workload = workload.RemoteAPI // 5 ms CPU + 120 ms blocking
+	res, err := Run(cfg, UniformArrivals(1, 5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Requests {
+		d := r.ExecDuration()
+		if d < 124*time.Millisecond || d > 135*time.Millisecond {
+			t.Errorf("io-bound exec duration = %v, want ≈125 ms", d)
+		}
+	}
+}
+
+func TestFractionalVCPUSlowsRequests(t *testing.T) {
+	cfg := singleCfg()
+	cfg.VCPU = 0.5
+	res, err := Run(cfg, UniformArrivals(1, 3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Requests {
+		d := r.ExecDuration()
+		if math.Abs(float64(d-320*time.Millisecond)) > float64(5*time.Millisecond) {
+			t.Errorf("0.5 vCPU duration = %v, want ≈320 ms", d)
+		}
+	}
+}

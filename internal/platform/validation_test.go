@@ -1,0 +1,118 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"slscost/internal/autoscale"
+	"slscost/internal/stats"
+	"slscost/internal/workload"
+)
+
+// TestProcessorSharingMatchesQueueingTheory validates the DES against the
+// M/G/1-PS closed form: with Poisson arrivals at utilization ρ on one
+// processor-sharing sandbox, the mean sojourn time is S/(1−ρ),
+// insensitive to the service distribution.
+func TestProcessorSharingMatchesQueueingTheory(t *testing.T) {
+	service := 100 * time.Millisecond
+	wl := workload.Spec{Name: "ps-probe", CPUTime: service, MemoryMB: 64}
+	for _, rho := range []float64{0.3, 0.5, 0.7} {
+		rho := rho
+		lambda := rho / service.Seconds()
+		cfg := Config{
+			Mode:     MultiConcurrency,
+			Workload: wl,
+			VCPU:     1,
+			// Pin the fleet to exactly one sandbox with ideal sharing.
+			Autoscale: func() autoscale.Config {
+				a := autoscale.DefaultConfig()
+				a.MinInstances = 1
+				a.MaxInstances = 1
+				return a
+			}(),
+			ColdStart:         time.Millisecond,
+			ContentionPenalty: 0,
+			Seed:              7,
+		}
+		rng := stats.NewRand(42 + uint64(rho*10))
+		arrivals := PoissonArrivals(rng, lambda, 400*time.Second)
+		res, err := Run(cfg, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip the warm-up phase.
+		var sojourns []float64
+		for _, r := range res.Requests {
+			if r.Arrival > 20*time.Second {
+				sojourns = append(sojourns, (r.End - r.Arrival).Seconds())
+			}
+		}
+		mean := stats.Mean(sojourns)
+		want := service.Seconds() / (1 - rho)
+		if math.Abs(mean-want)/want > 0.20 {
+			t.Errorf("rho=%.1f: mean sojourn %.4f s, M/G/1-PS predicts %.4f s",
+				rho, mean, want)
+		}
+	}
+}
+
+// TestAllArrivalsComplete: conservation — the simulator never drops or
+// duplicates requests, across random loads and modes.
+func TestAllArrivalsComplete(t *testing.T) {
+	f := func(rps8, dur8, seed uint8, multi bool) bool {
+		rps := float64(rps8%30) + 1
+		dur := time.Duration(dur8%10+1) * time.Second
+		cfg := singleCfg()
+		if multi {
+			cfg = multiCfg()
+		}
+		cfg.Seed = uint64(seed)
+		arr := UniformArrivals(rps, dur)
+		res, err := Run(cfg, arr)
+		if err != nil {
+			return false
+		}
+		if len(res.Requests) != len(arr) {
+			return false
+		}
+		for _, r := range res.Requests {
+			if r.End < r.Start || r.Start < r.Arrival {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInstanceTimelineConsistent: instance counts never go negative and
+// sandbox-seconds stay within the run's envelope.
+func TestInstanceTimelineConsistent(t *testing.T) {
+	res, err := Run(multiCfg(), UniformArrivals(10, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Instances {
+		if p.Count < 0 {
+			t.Fatalf("negative instance count at %v", p.At)
+		}
+	}
+	if res.SandboxSeconds < 0 {
+		t.Fatal("negative sandbox seconds")
+	}
+	// No sandbox can have lived longer than the whole simulation span.
+	var lastEnd time.Duration
+	for _, r := range res.Requests {
+		if r.End > lastEnd {
+			lastEnd = r.End
+		}
+	}
+	maxPossible := (lastEnd + time.Hour).Seconds() * float64(res.MaxInstances())
+	if res.SandboxSeconds > maxPossible {
+		t.Fatalf("sandbox seconds %v exceed envelope %v", res.SandboxSeconds, maxPossible)
+	}
+}

@@ -1,0 +1,187 @@
+// Package rightsize implements the quantization-aware function
+// rightsizing that §4.3 of the paper says existing tools miss: picking a
+// memory/CPU allocation for a serverless function by simulating its
+// execution under the platform's actual CPU bandwidth-control parameters
+// (period, tick frequency) instead of assuming smooth reciprocal scaling.
+//
+// Near a quantization jump, the naive reciprocal model either
+// over-provisions (paying for allocation the scheduler would have granted
+// anyway) or mispredicts latency (violating an SLO the simulation would
+// have caught). Sweep/Recommend quantify both.
+package rightsize
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/cfs"
+	"slscost/internal/workload"
+)
+
+// Option is one candidate allocation with its predicted behavior.
+type Option struct {
+	// MemMB is the memory allocation; VCPU is the (proportional or
+	// explicit) CPU fraction it implies.
+	MemMB float64
+	VCPU  float64
+	// SimDuration is the bandwidth-control-simulated execution duration.
+	SimDuration time.Duration
+	// NaiveDuration is the reciprocal-model prediction (demand / fraction)
+	// existing rightsizing tools use.
+	NaiveDuration time.Duration
+	// CostPerMillion is the dollar cost of one million invocations at the
+	// simulated duration.
+	CostPerMillion float64
+	// NaiveCostPerMillion prices the naive duration instead.
+	NaiveCostPerMillion float64
+}
+
+// Config parameterizes a rightsizing sweep.
+type Config struct {
+	// Job is the function's resource profile; Job.CPUTime drives the
+	// scheduling simulation.
+	Job workload.Spec
+	// Model is the billing model the costs are computed under.
+	Model billing.Model
+	// Period and TickHz are the platform's Table 3 scheduling parameters.
+	Period time.Duration
+	TickHz int
+	// MinMemMB, MaxMemMB, and StepMB define the allocation grid.
+	MinMemMB, MaxMemMB, StepMB float64
+	// MemPerVCPU converts memory to the proportional CPU fraction
+	// (default: AWS's 1,769 MB per vCPU).
+	MemPerVCPU float64
+	// PhaseSamples averages the simulation over rotated arrival phases
+	// (default 16), smoothing grid-alignment artifacts.
+	PhaseSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemPerVCPU <= 0 {
+		c.MemPerVCPU = billing.AWSMemPerVCPUMB
+	}
+	if c.MinMemMB <= 0 {
+		c.MinMemMB = 128
+	}
+	if c.MaxMemMB <= 0 {
+		c.MaxMemMB = c.MemPerVCPU
+	}
+	if c.StepMB <= 0 {
+		c.StepMB = 64
+	}
+	if c.PhaseSamples <= 0 {
+		c.PhaseSamples = 16
+	}
+	if c.Period <= 0 {
+		c.Period = 20 * time.Millisecond
+	}
+	if c.TickHz <= 0 {
+		c.TickHz = 250
+	}
+	return c
+}
+
+// Validate reports whether the sweep configuration is usable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Job.Validate(); err != nil {
+		return err
+	}
+	if c.Job.CPUTime <= 0 {
+		return fmt.Errorf("rightsize: job %s has no CPU demand", c.Job.Name)
+	}
+	if c.MaxMemMB < c.MinMemMB {
+		return fmt.Errorf("rightsize: memory range [%v, %v] inverted", c.MinMemMB, c.MaxMemMB)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sweep evaluates every allocation on the grid.
+func Sweep(cfg Config) ([]Option, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	var out []Option
+	for mem := cfg.MinMemMB; mem <= cfg.MaxMemMB+1e-9; mem += cfg.StepMB {
+		frac := mem / cfg.MemPerVCPU
+		if frac > 1 {
+			frac = 1
+		}
+		var sum time.Duration
+		for p := 0; p < cfg.PhaseSamples; p++ {
+			sc := cfs.ConfigFor(frac, cfg.Period, cfg.TickHz, cfs.CFS)
+			sc.StartOffset = time.Duration(float64(p) / float64(cfg.PhaseSamples) * float64(cfg.Period))
+			sum += cfs.Simulate(sc, cfg.Job.CPUTime).WallTime
+		}
+		sim := sum/time.Duration(cfg.PhaseSamples) + cfg.Job.BlockTime
+		naive := cfs.ReciprocalDuration(cfg.Job.CPUTime, frac) + cfg.Job.BlockTime
+		out = append(out, Option{
+			MemMB:               mem,
+			VCPU:                frac,
+			SimDuration:         sim,
+			NaiveDuration:       naive,
+			CostPerMillion:      cost(cfg, mem, frac, sim),
+			NaiveCostPerMillion: cost(cfg, mem, frac, naive),
+		})
+	}
+	return out, nil
+}
+
+// cost prices one million invocations at the given duration.
+func cost(cfg Config, memMB, frac float64, dur time.Duration) float64 {
+	inv := billing.Invocation{
+		Duration:   dur,
+		AllocCPU:   frac,
+		AllocMemGB: memMB / 1024,
+		CPUTime:    cfg.Job.CPUTime,
+		MemUsedGB:  cfg.Job.MemoryMB / 1024,
+	}
+	return cfg.Model.Bill(inv).Total() * 1e6
+}
+
+// Recommendation compares the simulation-aware pick against the naive
+// reciprocal-model pick for one latency SLO.
+type Recommendation struct {
+	// SLO is the latency bound both pickers optimize under.
+	SLO time.Duration
+	// Simulated is the cheapest option whose *simulated* duration meets
+	// the SLO (nil when none does).
+	Simulated *Option
+	// Naive is the option a reciprocal-model tool would pick: cheapest
+	// whose *naive* duration meets the SLO.
+	Naive *Option
+	// NaiveSLOViolated reports whether the naive pick's actual
+	// (simulated) duration breaks the SLO it was chosen for.
+	NaiveSLOViolated bool
+	// Overpay is how much more the naive pick costs than the simulation-
+	// aware pick at actual durations (0 when either is missing).
+	Overpay float64
+}
+
+// Recommend picks allocations for an SLO from a sweep.
+func Recommend(options []Option, slo time.Duration) Recommendation {
+	rec := Recommendation{SLO: slo}
+	for i := range options {
+		o := &options[i]
+		if o.SimDuration <= slo &&
+			(rec.Simulated == nil || o.CostPerMillion < rec.Simulated.CostPerMillion) {
+			rec.Simulated = o
+		}
+		if o.NaiveDuration <= slo &&
+			(rec.Naive == nil || o.NaiveCostPerMillion < rec.Naive.NaiveCostPerMillion) {
+			rec.Naive = o
+		}
+	}
+	if rec.Naive != nil {
+		rec.NaiveSLOViolated = rec.Naive.SimDuration > slo
+	}
+	if rec.Naive != nil && rec.Simulated != nil && rec.Simulated.CostPerMillion > 0 {
+		rec.Overpay = rec.Naive.CostPerMillion/rec.Simulated.CostPerMillion - 1
+	}
+	return rec
+}

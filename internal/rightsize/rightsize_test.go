@@ -1,0 +1,136 @@
+package rightsize
+
+import (
+	"testing"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/workload"
+)
+
+func sweepConfig() Config {
+	return Config{
+		Job:          workload.PyAES,
+		Model:        billing.AWSLambda,
+		Period:       20 * time.Millisecond,
+		TickHz:       250,
+		MinMemMB:     128,
+		MaxMemMB:     1769,
+		StepMB:       64,
+		PhaseSamples: 8,
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	opts, err := Sweep(sweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) < 20 {
+		t.Fatalf("sweep produced %d options", len(opts))
+	}
+	for i, o := range opts {
+		// §4.1's central observation: simulated duration never exceeds
+		// the naive reciprocal expectation (overallocation).
+		if o.SimDuration > o.NaiveDuration+time.Millisecond {
+			t.Errorf("option %d (%v MB): sim %v above naive %v",
+				i, o.MemMB, o.SimDuration, o.NaiveDuration)
+		}
+		if o.CostPerMillion <= 0 {
+			t.Errorf("option %d: non-positive cost", i)
+		}
+		// Larger allocations are never slower.
+		if i > 0 && o.SimDuration > opts[i-1].SimDuration+2*time.Millisecond {
+			t.Errorf("option %d: duration rose with allocation (%v -> %v)",
+				i, opts[i-1].SimDuration, o.SimDuration)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	bad := sweepConfig()
+	bad.Job = workload.Spec{}
+	if _, err := Sweep(bad); err == nil {
+		t.Error("invalid job accepted")
+	}
+	bad = sweepConfig()
+	bad.Job = workload.Spec{Name: "idle", BlockTime: time.Second}
+	if _, err := Sweep(bad); err == nil {
+		t.Error("zero-CPU job accepted")
+	}
+	bad = sweepConfig()
+	bad.MinMemMB, bad.MaxMemMB = 1000, 500
+	if _, err := Sweep(bad); err == nil {
+		t.Error("inverted range accepted")
+	}
+	bad = sweepConfig()
+	bad.Model = billing.Model{}
+	if _, err := Sweep(bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	cfg := Config{Job: workload.PyAES, Model: billing.AWSLambda}
+	opts, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) == 0 {
+		t.Fatal("defaults produced no options")
+	}
+	if opts[0].MemMB != 128 {
+		t.Errorf("default grid starts at %v MB", opts[0].MemMB)
+	}
+}
+
+// TestRecommendQuantizationAware: because the scheduler overallocates, the
+// simulation-aware pick meets an SLO with less memory (and money) than the
+// reciprocal model believes necessary.
+func TestRecommendQuantizationAware(t *testing.T) {
+	opts, err := Sweep(sweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep SLOs; at least one must show the naive model over-paying.
+	sawOverpay := false
+	for _, slo := range []time.Duration{250, 300, 400, 550, 700} {
+		rec := Recommend(opts, slo*time.Millisecond)
+		if rec.Simulated == nil {
+			t.Fatalf("SLO %v ms: no feasible option", slo)
+		}
+		if rec.Naive == nil {
+			continue
+		}
+		// The simulated pick is never more expensive than the naive pick
+		// at actual durations.
+		if rec.Simulated.CostPerMillion > rec.Naive.CostPerMillion+1e-9 {
+			t.Errorf("SLO %v ms: simulated pick costs more than naive", slo)
+		}
+		if rec.Overpay > 1e-9 {
+			sawOverpay = true
+		}
+		// The naive pick never violates its SLO here (it under-estimates
+		// speed, never over-estimates), per the overallocation direction.
+		if rec.NaiveSLOViolated {
+			t.Errorf("SLO %v ms: naive pick violated the SLO despite overallocation", slo)
+		}
+	}
+	if !sawOverpay {
+		t.Error("no SLO showed the reciprocal model over-paying; quantization awareness buys nothing?")
+	}
+}
+
+func TestRecommendInfeasible(t *testing.T) {
+	opts, err := Sweep(sweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recommend(opts, time.Millisecond) // impossible SLO
+	if rec.Simulated != nil || rec.Naive != nil {
+		t.Error("impossible SLO should yield no picks")
+	}
+	if rec.Overpay != 0 {
+		t.Error("overpay without picks should be 0")
+	}
+}

@@ -1,0 +1,292 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file implements the AWS Lambda Extensions API (the
+// /2020-01-01/extension endpoints) on the same RuntimeAPI server. Table 2
+// notes that graceful shutdown on AWS is "supported with Lambda Extensions
+// (wait for SIGTERM handling)": an extension registers for INVOKE and
+// SHUTDOWN events, long-polls event/next, and the platform delays sandbox
+// reclamation until registered extensions have observed SHUTDOWN.
+
+// Extensions API paths and headers (AWS contract).
+const (
+	extAPIVersion     = "2020-01-01"
+	extRegisterPath   = "/" + extAPIVersion + "/extension/register"
+	extNextPath       = "/" + extAPIVersion + "/extension/event/next"
+	headerExtName     = "Lambda-Extension-Name"
+	headerExtIdentity = "Lambda-Extension-Identifier"
+)
+
+// ExtensionEventType is the event class delivered to extensions.
+type ExtensionEventType string
+
+const (
+	// ExtensionInvoke is delivered for every function invocation.
+	ExtensionInvoke ExtensionEventType = "INVOKE"
+	// ExtensionShutdown is delivered once when the sandbox is reclaimed.
+	ExtensionShutdown ExtensionEventType = "SHUTDOWN"
+)
+
+// ExtensionEvent is the JSON document served by event/next.
+type ExtensionEvent struct {
+	EventType      ExtensionEventType `json:"eventType"`
+	RequestID      string             `json:"requestId,omitempty"`
+	ShutdownReason string             `json:"shutdownReason,omitempty"`
+	DeadlineMs     int64              `json:"deadlineMs"`
+}
+
+// registeredExtension is the server-side state of one extension.
+type registeredExtension struct {
+	id     string
+	name   string
+	events map[ExtensionEventType]bool
+	queue  chan ExtensionEvent
+	// sawShutdown flips once the SHUTDOWN event has been *delivered*.
+	sawShutdown bool
+}
+
+// extensionRegistry lives inside RuntimeAPI.
+type extensionRegistry struct {
+	mu     sync.Mutex
+	nextID int
+	exts   map[string]*registeredExtension
+}
+
+func newExtensionRegistry() *extensionRegistry {
+	return &extensionRegistry{exts: make(map[string]*registeredExtension)}
+}
+
+// register adds an extension subscribed to the given events.
+func (r *extensionRegistry) register(name string, events []ExtensionEventType) *registeredExtension {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	ext := &registeredExtension{
+		id:     fmt.Sprintf("ext-%d", r.nextID),
+		name:   name,
+		events: make(map[ExtensionEventType]bool, len(events)),
+		queue:  make(chan ExtensionEvent, 64),
+	}
+	for _, e := range events {
+		ext.events[e] = true
+	}
+	r.exts[ext.id] = ext
+	return ext
+}
+
+// byID looks an extension up.
+func (r *extensionRegistry) byID(id string) (*registeredExtension, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ext, ok := r.exts[id]
+	return ext, ok
+}
+
+// broadcast delivers an event to every subscribed extension, dropping it
+// for extensions whose queue is full (slow consumers must not stall the
+// invocation path).
+func (r *extensionRegistry) broadcast(ev ExtensionEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ext := range r.exts {
+		if !ext.events[ev.EventType] {
+			continue
+		}
+		select {
+		case ext.queue <- ev:
+		default:
+		}
+	}
+}
+
+// allShutdownDelivered reports whether every extension subscribed to
+// SHUTDOWN has received it.
+func (r *extensionRegistry) allShutdownDelivered() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ext := range r.exts {
+		if ext.events[ExtensionShutdown] && !ext.sawShutdown {
+			return false
+		}
+	}
+	return true
+}
+
+// handleExtensionRegister serves POST /extension/register.
+func (a *RuntimeAPI) handleExtensionRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.Header.Get(headerExtName)
+	if name == "" {
+		http.Error(w, "missing "+headerExtName, http.StatusBadRequest)
+		return
+	}
+	var body struct {
+		Events []ExtensionEventType `json:"events"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, e := range body.Events {
+		if e != ExtensionInvoke && e != ExtensionShutdown {
+			http.Error(w, fmt.Sprintf("unknown event %q", e), http.StatusBadRequest)
+			return
+		}
+	}
+	ext := a.extensions.register(name, body.Events)
+	w.Header().Set(headerExtIdentity, ext.id)
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(`{"functionName":"slscost","handler":"handler"}`)) //nolint:errcheck
+}
+
+// handleExtensionNext serves GET /extension/event/next: a blocking long
+// poll for the extension's next event.
+func (a *RuntimeAPI) handleExtensionNext(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.Header.Get(headerExtIdentity)
+	ext, ok := a.extensions.byID(id)
+	if !ok {
+		http.Error(w, "unknown extension identifier", http.StatusForbidden)
+		return
+	}
+	select {
+	case ev := <-ext.queue:
+		if ev.EventType == ExtensionShutdown {
+			a.extensions.mu.Lock()
+			ext.sawShutdown = true
+			a.extensions.mu.Unlock()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ev) //nolint:errcheck
+	case <-r.Context().Done():
+		http.Error(w, "client gone", http.StatusRequestTimeout)
+	}
+}
+
+// notifyExtensionsShutdown broadcasts SHUTDOWN and waits (bounded by ctx)
+// for every subscribed extension to receive it — the "wait for SIGTERM
+// handling" of Table 2.
+func (a *RuntimeAPI) notifyExtensionsShutdown(ctx context.Context, reason string) error {
+	a.extensions.broadcast(ExtensionEvent{
+		EventType:      ExtensionShutdown,
+		ShutdownReason: reason,
+		DeadlineMs:     time.Now().Add(2 * time.Second).UnixMilli(),
+	})
+	for !a.extensions.allShutdownDelivered() {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serving: extension shutdown: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// ExtensionClient is the extension-side helper: it registers with the
+// Runtime API and runs a polling loop delivering events to a callback,
+// mirroring how real Lambda extensions are written.
+type ExtensionClient struct {
+	api    string
+	id     string
+	client *http.Client
+	stop   chan struct{}
+	done   sync.WaitGroup
+}
+
+// StartExtension registers an extension for the given events and starts
+// its event loop. The callback runs sequentially; returning from a
+// SHUTDOWN event ends the loop.
+func StartExtension(apiURL, name string, events []ExtensionEventType, onEvent func(ExtensionEvent)) (*ExtensionClient, error) {
+	body, err := json.Marshal(map[string][]ExtensionEventType{"events": events})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, apiURL+extRegisterPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(headerExtName, name)
+	c := &http.Client{}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serving: extension register: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serving: extension register: status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get(headerExtIdentity)
+	if id == "" {
+		return nil, fmt.Errorf("serving: extension register: missing identifier")
+	}
+	ec := &ExtensionClient{api: apiURL, id: id, client: c, stop: make(chan struct{})}
+	ec.done.Add(1)
+	go ec.loop(onEvent)
+	return ec, nil
+}
+
+// ID returns the platform-assigned extension identifier.
+func (ec *ExtensionClient) ID() string { return ec.id }
+
+func (ec *ExtensionClient) loop(onEvent func(ExtensionEvent)) {
+	defer ec.done.Done()
+	for {
+		select {
+		case <-ec.stop:
+			return
+		default:
+		}
+		req, err := http.NewRequest(http.MethodGet, ec.api+extNextPath, nil)
+		if err != nil {
+			return
+		}
+		req.Header.Set(headerExtIdentity, ec.id)
+		resp, err := ec.client.Do(req)
+		if err != nil {
+			select {
+			case <-ec.stop:
+				return
+			default:
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		var ev ExtensionEvent
+		decodeErr := json.NewDecoder(resp.Body).Decode(&ev)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		onEvent(ev)
+		if ev.EventType == ExtensionShutdown {
+			return
+		}
+	}
+}
+
+// Stop terminates the event loop without waiting for SHUTDOWN.
+func (ec *ExtensionClient) Stop() {
+	close(ec.stop)
+	ec.client.CloseIdleConnections()
+}
+
+// Wait blocks until the event loop exits (after SHUTDOWN or Stop).
+func (ec *ExtensionClient) Wait() { ec.done.Wait() }

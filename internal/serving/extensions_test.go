@@ -1,0 +1,186 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExtensionReceivesInvokeEvents: a registered extension observes one
+// INVOKE event per function invocation, with matching request ids.
+func TestExtensionReceivesInvokeEvents(t *testing.T) {
+	d, err := DeployPolling(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	var mu sync.Mutex
+	var got []ExtensionEvent
+	ext, err := StartExtension(d.api.URL(), "telemetry",
+		[]ExtensionEventType{ExtensionInvoke, ExtensionShutdown},
+		func(ev ExtensionEvent) {
+			mu.Lock()
+			got = append(got, ev)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Stop()
+	if ext.ID() == "" {
+		t.Fatal("no extension identifier assigned")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := d.Invoke(ctx, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		count := len(got)
+		mu.Unlock()
+		if count >= n || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("extension saw %d events, want %d", len(got), n)
+	}
+	seen := map[string]bool{}
+	for _, ev := range got {
+		if ev.EventType != ExtensionInvoke {
+			t.Fatalf("unexpected event %q", ev.EventType)
+		}
+		if ev.RequestID == "" || seen[ev.RequestID] {
+			t.Fatalf("bad or duplicate request id %q", ev.RequestID)
+		}
+		seen[ev.RequestID] = true
+	}
+}
+
+// TestExtensionShutdownDelivery: Shutdown waits until the extension has
+// received its SHUTDOWN event (Table 2's graceful column).
+func TestExtensionShutdownDelivery(t *testing.T) {
+	d, err := DeployPolling(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawShutdown bool
+	var mu sync.Mutex
+	ext, err := StartExtension(d.api.URL(), "flusher",
+		[]ExtensionEventType{ExtensionShutdown},
+		func(ev ExtensionEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.EventType == ExtensionShutdown {
+				if ev.ShutdownReason == "" {
+					t.Error("missing shutdown reason")
+				}
+				sawShutdown = true
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := d.Invoke(ctx, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ext.Wait() // loop exits after SHUTDOWN
+	mu.Lock()
+	defer mu.Unlock()
+	if !sawShutdown {
+		t.Fatal("extension never received SHUTDOWN")
+	}
+}
+
+// TestExtensionInvokeOnlySubscription: an INVOKE-only extension never
+// blocks shutdown.
+func TestExtensionInvokeOnlySubscription(t *testing.T) {
+	d, err := DeployPolling(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := StartExtension(d.api.URL(), "invoke-only",
+		[]ExtensionEventType{ExtensionInvoke}, func(ExtensionEvent) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown blocked by an INVOKE-only extension: %v", err)
+	}
+}
+
+func TestExtensionRegisterValidation(t *testing.T) {
+	api, err := NewRuntimeAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+
+	post := func(name, body string) int {
+		req, err := http.NewRequest(http.MethodPost, api.URL()+extRegisterPath,
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "" {
+			req.Header.Set(headerExtName, name)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("", `{"events":["INVOKE"]}`); code != http.StatusBadRequest {
+		t.Errorf("missing name: status %d", code)
+	}
+	if code := post("x", `not json`); code != http.StatusBadRequest {
+		t.Errorf("bad body: status %d", code)
+	}
+	if code := post("x", `{"events":["BOGUS"]}`); code != http.StatusBadRequest {
+		t.Errorf("unknown event: status %d", code)
+	}
+	if code := post("x", `{"events":["INVOKE","SHUTDOWN"]}`); code != http.StatusOK {
+		t.Errorf("valid registration: status %d", code)
+	}
+	// event/next with an unknown identifier is rejected.
+	req, _ := http.NewRequest(http.MethodGet, api.URL()+extNextPath, nil)
+	req.Header.Set(headerExtIdentity, "nope")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("unknown identifier: status %d", resp.StatusCode)
+	}
+}
+
+func TestStartExtensionAgainstDeadAPI(t *testing.T) {
+	if _, err := StartExtension("http://127.0.0.1:1", "x",
+		[]ExtensionEventType{ExtensionInvoke}, func(ExtensionEvent) {}); err == nil {
+		t.Fatal("registration against a dead API should fail")
+	}
+}

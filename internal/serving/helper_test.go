@@ -1,0 +1,16 @@
+package serving
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// newPost issues a plain POST for tests that poke the raw Runtime API.
+func newPost(url string, body []byte) (*http.Response, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	return resp, nil
+}

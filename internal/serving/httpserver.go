@@ -1,0 +1,237 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the HTTP server architecture of Figure 7(b): the
+// user function runs a standard HTTP server on a port, and a queue-proxy
+// sidecar (as in Knative, which Azure/GCP/IBM build on) receives requests
+// from the ingress, enforces the container concurrency limit, records the
+// scaling metrics, and reverse-proxies to the user server.
+
+// HTTPFunction adapts a Handler into the user-side HTTP server: the
+// standard "HTTP handler wrapping the user logic" of the model.
+type HTTPFunction struct {
+	handler Handler
+}
+
+// ServeHTTP implements http.Handler.
+func (f *HTTPFunction) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	resp, err := f.handler(r.Context(), payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(resp) //nolint:errcheck
+}
+
+// QueueProxyStats are the metrics the autoscaler scrapes from the
+// queue-proxy in Knative-style platforms.
+type QueueProxyStats struct {
+	// Requests is the number of proxied requests.
+	Requests int64
+	// Rejected is the number of requests rejected at the concurrency gate.
+	Rejected int64
+	// InFlight is the current concurrency.
+	InFlight int64
+}
+
+// QueueProxy is the sidecar between the ingress and the user HTTP server.
+type QueueProxy struct {
+	target      string
+	client      *http.Client
+	gate        chan struct{}
+	server      *http.Server
+	listener    net.Listener
+	requests    atomic.Int64
+	rejected    atomic.Int64
+	inFlight    atomic.Int64
+	concurrency int
+}
+
+// NewQueueProxy starts a queue-proxy in front of targetURL with the given
+// container concurrency limit (0 means unlimited — Knative's default of
+// unbounded soft concurrency).
+func NewQueueProxy(targetURL string, concurrency int) (*QueueProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serving: queue-proxy listen: %w", err)
+	}
+	qp := &QueueProxy{
+		target:      targetURL,
+		client:      &http.Client{},
+		concurrency: concurrency,
+	}
+	if concurrency > 0 {
+		qp.gate = make(chan struct{}, concurrency)
+	}
+	qp.listener = ln
+	qp.server = &http.Server{Handler: http.HandlerFunc(qp.proxy)}
+	go qp.server.Serve(ln) //nolint:errcheck
+	return qp, nil
+}
+
+// URL returns the proxy's base URL.
+func (qp *QueueProxy) URL() string { return "http://" + qp.listener.Addr().String() }
+
+// Stats returns a snapshot of the proxy metrics.
+func (qp *QueueProxy) Stats() QueueProxyStats {
+	return QueueProxyStats{
+		Requests: qp.requests.Load(),
+		Rejected: qp.rejected.Load(),
+		InFlight: qp.inFlight.Load(),
+	}
+}
+
+// proxy forwards one request to the user server, enforcing concurrency.
+func (qp *QueueProxy) proxy(w http.ResponseWriter, r *http.Request) {
+	if qp.gate != nil {
+		select {
+		case qp.gate <- struct{}{}:
+			defer func() { <-qp.gate }()
+		case <-r.Context().Done():
+			qp.rejected.Add(1)
+			http.Error(w, "request cancelled in queue", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	qp.requests.Add(1)
+	qp.inFlight.Add(1)
+	defer qp.inFlight.Add(-1)
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, qp.target+r.URL.Path,
+		bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "build upstream request", http.StatusInternalServerError)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := qp.client.Do(req)
+	if err != nil {
+		http.Error(w, "upstream unavailable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck
+}
+
+// Close shuts the proxy down.
+func (qp *QueueProxy) Close() error {
+	qp.client.CloseIdleConnections()
+	return qp.server.Close()
+}
+
+// HTTPDeployment is a user HTTP server behind a queue-proxy, as one
+// Knative-style sandbox.
+type HTTPDeployment struct {
+	userServer *http.Server
+	userLn     net.Listener
+	proxy      *QueueProxy
+	client     *http.Client
+	mu         sync.Mutex
+	closed     bool
+}
+
+// DeployHTTPServer deploys handler under the HTTP server architecture
+// with the given container concurrency limit.
+func DeployHTTPServer(handler Handler, concurrency int) (*HTTPDeployment, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serving: user server listen: %w", err)
+	}
+	us := &http.Server{Handler: &HTTPFunction{handler: handler}}
+	go us.Serve(ln) //nolint:errcheck
+	proxy, err := NewQueueProxy("http://"+ln.Addr().String(), concurrency)
+	if err != nil {
+		us.Close()
+		return nil, err
+	}
+	return &HTTPDeployment{
+		userServer: us,
+		userLn:     ln,
+		proxy:      proxy,
+		client:     &http.Client{},
+	}, nil
+}
+
+// Architecture returns HTTPServer.
+func (d *HTTPDeployment) Architecture() Architecture { return HTTPServer }
+
+// Stats exposes the queue-proxy metrics.
+func (d *HTTPDeployment) Stats() QueueProxyStats { return d.proxy.Stats() }
+
+// Invoke sends one request through the ingress path: queue-proxy → user
+// HTTP server → back. The reported duration covers the full proxied
+// round trip, which is what providers using this architecture bill.
+func (d *HTTPDeployment) Invoke(ctx context.Context, payload []byte) (Invocation, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return Invocation{}, ErrClosed
+	}
+	d.mu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.proxy.URL()+"/",
+		bytes.NewReader(payload))
+	if err != nil {
+		return Invocation{}, err
+	}
+	start := time.Now()
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return Invocation{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	inv := Invocation{Duration: time.Since(start)}
+	if err != nil {
+		return inv, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		inv.Err = fmt.Errorf("serving: function error: status %d: %s",
+			resp.StatusCode, bytes.TrimSpace(body))
+		return inv, nil
+	}
+	inv.Response = body
+	return inv, nil
+}
+
+// Close shuts down the proxy and user server.
+func (d *HTTPDeployment) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.client.CloseIdleConnections()
+	perr := d.proxy.Close()
+	uerr := d.userServer.Close()
+	if perr != nil {
+		return perr
+	}
+	return uerr
+}

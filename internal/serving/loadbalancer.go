@@ -1,0 +1,85 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the ingress/load-balancer tier of Figure 7(b): in the
+// HTTP-server architecture, requests traverse an ingress that spreads them
+// across replica sandboxes, each fronted by its own queue-proxy. The extra
+// hop is part of the per-request overhead §3.2 attributes to the model.
+
+// HTTPPool is a replicated HTTP-server deployment behind a round-robin
+// ingress.
+type HTTPPool struct {
+	replicas []*HTTPDeployment
+	next     atomic.Uint64
+	perRep   []atomic.Int64
+	mu       sync.Mutex
+	closed   bool
+}
+
+// DeployHTTPServerPool deploys handler on n replicas, each behind its own
+// queue-proxy with the given per-replica concurrency limit.
+func DeployHTTPServerPool(handler Handler, n, concurrency int) (*HTTPPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serving: pool needs at least one replica")
+	}
+	pool := &HTTPPool{perRep: make([]atomic.Int64, n)}
+	for i := 0; i < n; i++ {
+		d, err := DeployHTTPServer(handler, concurrency)
+		if err != nil {
+			pool.Close() //nolint:errcheck // best-effort cleanup
+			return nil, err
+		}
+		pool.replicas = append(pool.replicas, d)
+	}
+	return pool, nil
+}
+
+// Architecture returns HTTPServer: the pool is the same serving model,
+// scaled out.
+func (p *HTTPPool) Architecture() Architecture { return HTTPServer }
+
+// Replicas returns the pool size.
+func (p *HTTPPool) Replicas() int { return len(p.replicas) }
+
+// RequestsPerReplica returns how many requests each replica served.
+func (p *HTTPPool) RequestsPerReplica() []int64 {
+	out := make([]int64, len(p.perRep))
+	for i := range p.perRep {
+		out[i] = p.perRep[i].Load()
+	}
+	return out
+}
+
+// Invoke routes one request through the ingress (round-robin) to a
+// replica's queue-proxy and user server.
+func (p *HTTPPool) Invoke(ctx context.Context, payload []byte) (Invocation, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Invocation{}, ErrClosed
+	}
+	p.mu.Unlock()
+	i := int(p.next.Add(1)-1) % len(p.replicas)
+	p.perRep[i].Add(1)
+	return p.replicas[i].Invoke(ctx, payload)
+}
+
+// Close tears every replica down.
+func (p *HTTPPool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for _, d := range p.replicas {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,110 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestHTTPPoolRoundRobin(t *testing.T) {
+	pool, err := DeployHTTPServerPool(echoHandler, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Replicas() != 3 {
+		t.Fatalf("replicas = %d", pool.Replicas())
+	}
+	ctx := context.Background()
+	const n = 30
+	for i := 0; i < n; i++ {
+		inv, err := pool.Invoke(ctx, []byte("x"))
+		if err != nil || inv.Err != nil {
+			t.Fatal(err, inv.Err)
+		}
+		if string(inv.Response) != "echo:x" {
+			t.Fatalf("response = %q", inv.Response)
+		}
+	}
+	// Round-robin spreads requests evenly.
+	for i, c := range pool.RequestsPerReplica() {
+		if c != n/3 {
+			t.Errorf("replica %d served %d, want %d", i, c, n/3)
+		}
+	}
+	if pool.Architecture() != HTTPServer {
+		t.Error("pool architecture mismatch")
+	}
+}
+
+func TestHTTPPoolConcurrentClients(t *testing.T) {
+	pool, err := DeployHTTPServerPool(echoHandler, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inv, err := pool.Invoke(context.Background(), []byte("y"))
+			if err == nil && inv.Err != nil {
+				err = inv.Err
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHTTPPoolValidationAndClose(t *testing.T) {
+	if _, err := DeployHTTPServerPool(echoHandler, 0, 0); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	pool, err := DeployHTTPServerPool(echoHandler, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Invoke(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("invoke after close = %v", err)
+	}
+}
+
+// TestHTTPPoolOverheadComparable: the pool's per-request overhead stays in
+// the HTTP-server class (above polling/direct) — the ingress hop does not
+// change the Figure 8 ordering.
+func TestHTTPPoolOverheadComparable(t *testing.T) {
+	pool, err := DeployHTTPServerPool(MinimalHandler, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res, err := MeasureOverhead(pool, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := DeployDirect(MinimalHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	dres, err := MeasureOverhead(direct, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean <= dres.Mean {
+		t.Errorf("pool overhead %.4f ms not above direct %.4f ms", res.Mean, dres.Mean)
+	}
+}

@@ -1,0 +1,89 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+// This file is the Figure 8 probe: deploy the same minimal function under
+// all three serving architectures and compare the provider-reported
+// execution duration, which captures the latency the serving path itself
+// adds (polling, HTTP routing, proxying, response forwarding).
+
+// MinimalHandler is the empty function of the Figure 8 measurement: it
+// returns an empty body and success immediately.
+func MinimalHandler(ctx context.Context, payload []byte) ([]byte, error) {
+	return []byte{}, nil
+}
+
+// OverheadResult is one architecture's measured serving overhead.
+type OverheadResult struct {
+	Architecture Architecture
+	Samples      []float64 // reported execution durations, milliseconds
+	Mean         float64
+	P95          float64
+}
+
+// MeasureOverhead deploys the minimal function under the given invoker
+// and measures n provider-reported execution durations, after warming the
+// path with a few unrecorded requests.
+func MeasureOverhead(inv Invoker, n int) (OverheadResult, error) {
+	res := OverheadResult{Architecture: inv.Architecture()}
+	if n <= 0 {
+		n = 100
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ { // warm-up: connections, caches, pools
+		if _, err := inv.Invoke(ctx, []byte(`{}`)); err != nil {
+			return res, fmt.Errorf("serving: warm-up: %w", err)
+		}
+	}
+	res.Samples = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := inv.Invoke(ctx, []byte(`{}`))
+		if err != nil {
+			return res, fmt.Errorf("serving: probe %d: %w", i, err)
+		}
+		if r.Err != nil {
+			return res, fmt.Errorf("serving: probe %d: %w", i, r.Err)
+		}
+		res.Samples = append(res.Samples, float64(r.Duration)/float64(time.Millisecond))
+	}
+	res.Mean = stats.Mean(res.Samples)
+	res.P95 = stats.Percentile(res.Samples, 95)
+	return res, nil
+}
+
+// CompareArchitectures runs the Figure 8 probe across all three
+// architectures with n samples each and returns the results in the
+// figure's order (polling, HTTP server, direct execution).
+func CompareArchitectures(n int) ([]OverheadResult, error) {
+	polling, err := DeployPolling(MinimalHandler)
+	if err != nil {
+		return nil, err
+	}
+	defer polling.Close()
+	httpDep, err := DeployHTTPServer(MinimalHandler, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer httpDep.Close()
+	direct, err := DeployDirect(MinimalHandler, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer direct.Close()
+
+	var out []OverheadResult
+	for _, inv := range []Invoker{polling, httpDep, direct} {
+		r, err := MeasureOverhead(inv, n)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", inv.Architecture(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

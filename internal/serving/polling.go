@@ -1,0 +1,472 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the API long-polling architecture of Figure 7(a):
+// a faithful AWS Lambda Runtime API. The control plane (RuntimeAPI) serves
+// the HTTP endpoints the real service exposes under
+// /2018-06-01/runtime/..., and the runtime client (PollingRuntime) is the
+// provider-supplied loop that blocking-polls the next invocation, calls
+// the user handler, and posts the result back — mirroring aws-lambda-go.
+
+// Runtime API paths and headers (AWS Lambda custom-runtime contract).
+const (
+	apiVersion       = "2018-06-01"
+	nextPath         = "/" + apiVersion + "/runtime/invocation/next"
+	responsePathFmt  = "/" + apiVersion + "/runtime/invocation/%s/response"
+	errorPathFmt     = "/" + apiVersion + "/runtime/invocation/%s/error"
+	initErrorPath    = "/" + apiVersion + "/runtime/init/error"
+	headerRequestID  = "Lambda-Runtime-Aws-Request-Id"
+	headerDeadlineMs = "Lambda-Runtime-Deadline-Ms"
+	headerFuncARN    = "Lambda-Runtime-Invoked-Function-Arn"
+)
+
+// pendingInvocation tracks one event through the polling cycle.
+type pendingInvocation struct {
+	id       string
+	payload  []byte
+	enqueued time.Time
+	started  time.Time // when the runtime picked it up
+	done     chan Invocation
+}
+
+// RuntimeAPI is the control-plane half of the polling architecture: it
+// queues invocation events and serves the Lambda Runtime API over a real
+// TCP listener.
+type RuntimeAPI struct {
+	server   *http.Server
+	listener net.Listener
+
+	mu       sync.Mutex
+	queue    chan *pendingInvocation
+	inflight map[string]*pendingInvocation
+	nextID   uint64
+	draining bool // queue closed; pollers see 410 once it empties
+	closed   bool // HTTP server shut down
+
+	// extensions holds the Lambda Extensions API registry.
+	extensions *extensionRegistry
+
+	// InitErr records a runtime-reported initialization failure.
+	initErr error
+}
+
+// NewRuntimeAPI starts a Runtime API server on a loopback port.
+func NewRuntimeAPI() (*RuntimeAPI, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serving: listen: %w", err)
+	}
+	api := &RuntimeAPI{
+		listener:   ln,
+		queue:      make(chan *pendingInvocation, 128),
+		inflight:   make(map[string]*pendingInvocation),
+		extensions: newExtensionRegistry(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(nextPath, api.handleNext)
+	mux.HandleFunc("/"+apiVersion+"/runtime/invocation/", api.handleResult)
+	mux.HandleFunc(initErrorPath, api.handleInitError)
+	mux.HandleFunc(extRegisterPath, api.handleExtensionRegister)
+	mux.HandleFunc(extNextPath, api.handleExtensionNext)
+	api.server = &http.Server{Handler: mux}
+	go api.server.Serve(ln) //nolint:errcheck // Serve returns on Close.
+	return api, nil
+}
+
+// URL returns the Runtime API base URL (http://127.0.0.1:port).
+func (a *RuntimeAPI) URL() string { return "http://" + a.listener.Addr().String() }
+
+// handleNext is GET /runtime/invocation/next: a blocking long poll that
+// returns the next queued event with the Lambda headers set.
+func (a *RuntimeAPI) handleNext(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case inv, ok := <-a.queue:
+		if !ok {
+			http.Error(w, "runtime api closed", http.StatusGone)
+			return
+		}
+		a.mu.Lock()
+		inv.started = time.Now()
+		a.inflight[inv.id] = inv
+		a.mu.Unlock()
+		a.extensions.broadcast(ExtensionEvent{
+			EventType:  ExtensionInvoke,
+			RequestID:  inv.id,
+			DeadlineMs: time.Now().Add(15 * time.Minute).UnixMilli(),
+		})
+		w.Header().Set(headerRequestID, inv.id)
+		w.Header().Set(headerDeadlineMs,
+			strconv.FormatInt(time.Now().Add(15*time.Minute).UnixMilli(), 10))
+		w.Header().Set(headerFuncARN, "arn:aws:lambda:local:000000000000:function:slscost")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(inv.payload) //nolint:errcheck
+	case <-r.Context().Done():
+		http.Error(w, "client gone", http.StatusRequestTimeout)
+	}
+}
+
+// handleResult serves POST …/invocation/{id}/response and …/{id}/error.
+func (a *RuntimeAPI) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var id string
+	var isErr bool
+	if n, err := fmt.Sscanf(r.URL.Path, "/"+apiVersion+"/runtime/invocation/%s", &id); n != 1 || err != nil {
+		http.Error(w, "bad path", http.StatusNotFound)
+		return
+	}
+	switch {
+	case len(id) > len("/response") && id[len(id)-len("/response"):] == "/response":
+		id = id[:len(id)-len("/response")]
+	case len(id) > len("/error") && id[len(id)-len("/error"):] == "/error":
+		id = id[:len(id)-len("/error")]
+		isErr = true
+	default:
+		http.Error(w, "bad path", http.StatusNotFound)
+		return
+	}
+
+	a.mu.Lock()
+	inv, ok := a.inflight[id]
+	if ok {
+		delete(a.inflight, id)
+	}
+	a.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown request id", http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	result := Invocation{Duration: time.Since(inv.started)}
+	if isErr {
+		var e runtimeError
+		if jsonErr := json.Unmarshal(body, &e); jsonErr == nil && e.Message != "" {
+			result.Err = fmt.Errorf("serving: function error: %s (%s)", e.Message, e.Type)
+		} else {
+			result.Err = fmt.Errorf("serving: function error: %s", body)
+		}
+	} else {
+		result.Response = body
+	}
+	inv.done <- result
+	w.WriteHeader(http.StatusAccepted)
+	w.Write([]byte(`{"status":"OK"}`)) //nolint:errcheck
+}
+
+// handleInitError serves POST /runtime/init/error.
+func (a *RuntimeAPI) handleInitError(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	a.mu.Lock()
+	a.initErr = fmt.Errorf("serving: runtime init error: %s", body)
+	a.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// InitError returns the initialization error the runtime reported, if any.
+func (a *RuntimeAPI) InitError() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.initErr
+}
+
+// Invoke enqueues an event and blocks until the runtime posts its result.
+func (a *RuntimeAPI) Invoke(ctx context.Context, payload []byte) (Invocation, error) {
+	a.mu.Lock()
+	if a.closed || a.draining {
+		a.mu.Unlock()
+		return Invocation{}, ErrClosed
+	}
+	a.nextID++
+	inv := &pendingInvocation{
+		id:       fmt.Sprintf("req-%d", a.nextID),
+		payload:  payload,
+		enqueued: time.Now(),
+		done:     make(chan Invocation, 1),
+	}
+	a.mu.Unlock()
+
+	// Enqueue under the lock so a concurrent Drain cannot close the queue
+	// between the state check and the send; retry while the buffer is full.
+	for {
+		a.mu.Lock()
+		if a.closed || a.draining {
+			a.mu.Unlock()
+			return Invocation{}, ErrClosed
+		}
+		select {
+		case a.queue <- inv:
+			a.mu.Unlock()
+			goto queued
+		default:
+			a.mu.Unlock()
+		}
+		select {
+		case <-ctx.Done():
+			return Invocation{}, ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+queued:
+	select {
+	case res := <-inv.done:
+		return res, nil
+	case <-ctx.Done():
+		return Invocation{}, ctx.Err()
+	}
+}
+
+// Drain begins graceful shutdown: new Invoke calls are rejected, queued
+// and in-flight invocations run to completion, and polling runtimes then
+// observe 410 Gone (triggering their SIGTERM handlers). Drain returns when
+// the API is idle or ctx expires.
+func (a *RuntimeAPI) Drain(ctx context.Context) error {
+	a.mu.Lock()
+	if !a.draining {
+		a.draining = true
+		close(a.queue) // pollers past the queued events see 410
+	}
+	a.mu.Unlock()
+	for {
+		a.mu.Lock()
+		idle := len(a.inflight) == 0 && len(a.queue) == 0
+		a.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serving: drain: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close shuts the Runtime API server down.
+func (a *RuntimeAPI) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	return a.server.Close()
+}
+
+// runtimeError is the Lambda error document posted to the error endpoint.
+type runtimeError struct {
+	Message string `json:"errorMessage"`
+	Type    string `json:"errorType"`
+}
+
+// PollingRuntime is the in-sandbox runtime program: an infinite loop that
+// long-polls the Runtime API for the next event, calls the user handler,
+// and posts back the response or error.
+type PollingRuntime struct {
+	api     string
+	handler Handler
+	client  *http.Client
+	stop    chan struct{}
+	stopped sync.WaitGroup
+
+	// onShutdown, when set, runs once when the runtime observes the API
+	// draining (HTTP 410) — the SIGTERM handler a Lambda extension waits
+	// for (Table 2's graceful-shutdown column).
+	onShutdown   func()
+	shutdownOnce sync.Once
+	shutdownDone atomic.Bool
+}
+
+// shutdownRan reports whether the SIGTERM path has executed (true also
+// when no handler was registered but the drain was observed).
+func (rt *PollingRuntime) shutdownRan() bool { return rt.shutdownDone.Load() }
+
+// StartPollingRuntime launches the runtime loop against the given Runtime
+// API base URL, mirroring lambda.Start(handler).
+func StartPollingRuntime(apiURL string, handler Handler) *PollingRuntime {
+	rt := &PollingRuntime{
+		api:     apiURL,
+		handler: handler,
+		client:  &http.Client{},
+		stop:    make(chan struct{}),
+	}
+	rt.stopped.Add(1)
+	go rt.loop()
+	return rt
+}
+
+// OnShutdown registers a SIGTERM-style handler invoked once when the
+// Runtime API drains. It must be called before the drain begins.
+func (rt *PollingRuntime) OnShutdown(fn func()) { rt.onShutdown = fn }
+
+func (rt *PollingRuntime) loop() {
+	defer rt.stopped.Done()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		default:
+		}
+		id, payload, err := rt.next()
+		if err != nil {
+			select {
+			case <-rt.stop:
+				return
+			default:
+			}
+			if errors.Is(err, errAPIDraining) {
+				// The platform is reclaiming the sandbox: run the SIGTERM
+				// handler and exit the loop (graceful shutdown).
+				rt.shutdownOnce.Do(func() {
+					if rt.onShutdown != nil {
+						rt.onShutdown()
+					}
+					rt.shutdownDone.Store(true)
+				})
+				return
+			}
+			// Transient polling failure: back off briefly and retry, as
+			// the real runtime interface client does.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		resp, herr := rt.handler(context.Background(), payload)
+		if herr != nil {
+			rt.post(fmt.Sprintf(errorPathFmt, id), mustJSON(runtimeError{
+				Message: herr.Error(), Type: "HandlerError",
+			}))
+			continue
+		}
+		rt.post(fmt.Sprintf(responsePathFmt, id), resp)
+	}
+}
+
+// errAPIDraining signals that the Runtime API returned 410 Gone: the
+// control plane is reclaiming the sandbox.
+var errAPIDraining = errors.New("serving: runtime api draining")
+
+// next long-polls GET /runtime/invocation/next.
+func (rt *PollingRuntime) next() (id string, payload []byte, err error) {
+	resp, err := rt.client.Get(rt.api + nextPath)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return "", nil, errAPIDraining
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, fmt.Errorf("serving: next: status %d", resp.StatusCode)
+	}
+	id = resp.Header.Get(headerRequestID)
+	if id == "" {
+		return "", nil, fmt.Errorf("serving: next: missing request id header")
+	}
+	payload, err = io.ReadAll(resp.Body)
+	return id, payload, err
+}
+
+func (rt *PollingRuntime) post(path string, body []byte) {
+	resp, err := rt.client.Post(rt.api+path, "application/json", bytes.NewReader(body))
+	if err == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+}
+
+// Stop terminates the polling loop. In-flight polls are abandoned.
+func (rt *PollingRuntime) Stop() {
+	close(rt.stop)
+	rt.client.CloseIdleConnections()
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// PollingDeployment bundles a Runtime API and its runtime loop into an
+// Invoker.
+type PollingDeployment struct {
+	api *RuntimeAPI
+	rt  *PollingRuntime
+}
+
+// DeployPolling deploys handler under the API long-polling architecture.
+func DeployPolling(handler Handler) (*PollingDeployment, error) {
+	api, err := NewRuntimeAPI()
+	if err != nil {
+		return nil, err
+	}
+	rt := StartPollingRuntime(api.URL(), handler)
+	return &PollingDeployment{api: api, rt: rt}, nil
+}
+
+// Runtime exposes the deployment's runtime loop (for SIGTERM handler
+// registration via OnShutdown).
+func (d *PollingDeployment) Runtime() *PollingRuntime { return d.rt }
+
+// Shutdown gracefully reclaims the deployment, Table 2's AWS row: stop
+// accepting requests, finish in-flight work, let the runtime observe the
+// drain and run its SIGTERM handler, then tear the servers down.
+func (d *PollingDeployment) Shutdown(ctx context.Context) error {
+	if err := d.api.Drain(ctx); err != nil {
+		d.api.Close() //nolint:errcheck // best-effort teardown on timeout
+		return err
+	}
+	// Registered extensions receive SHUTDOWN and are waited for — the
+	// Lambda-Extensions mechanism behind Table 2's graceful column.
+	if err := d.api.notifyExtensionsShutdown(ctx, "spindown"); err != nil {
+		d.api.Close() //nolint:errcheck
+		return err
+	}
+	// Give the poller a moment to observe 410 and run its handler.
+	deadline := time.Now().Add(time.Second)
+	for !d.rt.shutdownRan() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.rt.Stop()
+	return d.api.Close()
+}
+
+// Architecture returns APIPolling.
+func (d *PollingDeployment) Architecture() Architecture { return APIPolling }
+
+// Invoke runs one request through the runtime API and polling loop.
+func (d *PollingDeployment) Invoke(ctx context.Context, payload []byte) (Invocation, error) {
+	return d.api.Invoke(ctx, payload)
+}
+
+// Close stops the runtime loop and the API server.
+func (d *PollingDeployment) Close() error {
+	d.rt.Stop()
+	return d.api.Close()
+}

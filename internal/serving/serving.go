@@ -1,0 +1,62 @@
+// Package serving implements the three mainstream serverless request
+// serving architectures of Figure 7, as real programs over net/http:
+//
+//   - API long polling (AWS Lambda): a faithful Lambda Runtime API server
+//     and the runtime client loop that polls it (polling.go).
+//   - HTTP server (Azure/GCP/Knative): user code as an http.Handler behind
+//     a queue-proxy sidecar (httpserver.go).
+//   - Code/binary execution (Cloudflare Workers): handlers invoked
+//     directly from an in-process module cache (direct.go).
+//
+// Each architecture exposes the same Invoker interface so the Figure 8
+// overhead probe can deploy one minimal function under all three and
+// compare the provider-reported execution duration.
+package serving
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Architecture names the serving architectures of Figure 7.
+type Architecture string
+
+const (
+	// APIPolling is the runtime-API long-polling model (AWS Lambda).
+	APIPolling Architecture = "api-polling"
+	// HTTPServer is the HTTP server + queue-proxy model (Azure, GCP,
+	// IBM, Knative).
+	HTTPServer Architecture = "http-server"
+	// DirectExecution is the code/binary execution model (Cloudflare).
+	DirectExecution Architecture = "direct-execution"
+)
+
+// Handler is the user function: it receives a request payload and returns
+// a response payload. It mirrors aws-lambda-go's simplest handler form.
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
+
+// Invocation is the provider-side record of one served request.
+type Invocation struct {
+	// Response is the user function's output.
+	Response []byte
+	// Duration is the execution duration the provider reports (and
+	// bills): the time between handing the event to the runtime and
+	// receiving its response, including all serving-architecture overhead.
+	Duration time.Duration
+	// Err is the user function's error, if any.
+	Err error
+}
+
+// Invoker is a deployed function under some serving architecture.
+type Invoker interface {
+	// Architecture identifies the serving model.
+	Architecture() Architecture
+	// Invoke runs one request through the full serving path.
+	Invoke(ctx context.Context, payload []byte) (Invocation, error)
+	// Close releases servers and sockets.
+	Close() error
+}
+
+// ErrClosed is returned when invoking a closed deployment.
+var ErrClosed = errors.New("serving: deployment closed")

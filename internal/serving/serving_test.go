@@ -1,0 +1,376 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func echoHandler(ctx context.Context, payload []byte) ([]byte, error) {
+	return append([]byte("echo:"), payload...), nil
+}
+
+func failingHandler(ctx context.Context, payload []byte) ([]byte, error) {
+	return nil, errors.New("boom")
+}
+
+func TestPollingRoundTrip(t *testing.T) {
+	d, err := DeployPolling(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		inv, err := d.Invoke(ctx, []byte(fmt.Sprintf("p%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.Err != nil {
+			t.Fatal(inv.Err)
+		}
+		if string(inv.Response) != fmt.Sprintf("echo:p%d", i) {
+			t.Fatalf("response = %q", inv.Response)
+		}
+		if inv.Duration <= 0 {
+			t.Fatal("non-positive reported duration")
+		}
+	}
+	if d.Architecture() != APIPolling {
+		t.Error("architecture mismatch")
+	}
+}
+
+func TestPollingHandlerErrorPath(t *testing.T) {
+	d, err := DeployPolling(failingHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	inv, err := d.Invoke(ctx, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Err == nil || !strings.Contains(inv.Err.Error(), "boom") {
+		t.Fatalf("expected handler error through the error endpoint, got %v", inv.Err)
+	}
+	// The deployment survives the error and keeps serving.
+	inv2, err := d.Invoke(ctx, []byte(`{}`))
+	if err != nil || inv2.Err == nil {
+		t.Fatalf("second invoke after error: %v, %v", err, inv2.Err)
+	}
+}
+
+func TestPollingConcurrentInvokes(t *testing.T) {
+	d, err := DeployPolling(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const n = 20
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			inv, err := d.Invoke(ctx, []byte(fmt.Sprintf("c%d", i)))
+			if err == nil && inv.Err != nil {
+				err = inv.Err
+			}
+			if err == nil && string(inv.Response) != fmt.Sprintf("echo:c%d", i) {
+				err = fmt.Errorf("wrong response %q", inv.Response)
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPollingInvokeAfterClose(t *testing.T) {
+	d, err := DeployPolling(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := d.Invoke(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("invoke after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPollingContextCancellation(t *testing.T) {
+	// A runtime that never picks events up: the API alone, no loop.
+	api, err := NewRuntimeAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := api.Invoke(ctx, []byte(`{}`)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expected deadline error, got %v", err)
+	}
+}
+
+func TestHTTPServerRoundTrip(t *testing.T) {
+	d, err := DeployHTTPServer(echoHandler, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	inv, err := d.Invoke(ctx, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Err != nil {
+		t.Fatal(inv.Err)
+	}
+	if string(inv.Response) != "echo:hi" {
+		t.Fatalf("response = %q", inv.Response)
+	}
+	if d.Architecture() != HTTPServer {
+		t.Error("architecture mismatch")
+	}
+	st := d.Stats()
+	if st.Requests != 1 || st.InFlight != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHTTPServerErrorPath(t *testing.T) {
+	d, err := DeployHTTPServer(failingHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	inv, err := d.Invoke(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Err == nil || !strings.Contains(inv.Err.Error(), "boom") {
+		t.Fatalf("expected error surfaced through HTTP 500, got %v", inv.Err)
+	}
+}
+
+func TestHTTPServerConcurrencyGate(t *testing.T) {
+	block := make(chan struct{})
+	slow := func(ctx context.Context, payload []byte) ([]byte, error) {
+		<-block
+		return []byte("done"), nil
+	}
+	d, err := DeployHTTPServer(slow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// First request occupies the single slot.
+	first := make(chan error, 1)
+	go func() {
+		_, err := d.Invoke(context.Background(), nil)
+		first <- err
+	}()
+	// Give the first request time to reach the user server.
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Stats().InFlight == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := d.Stats().InFlight; got != 1 {
+		t.Fatalf("in-flight = %d, want 1", got)
+	}
+	// Second request waits at the gate and gives up.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	inv, err := d.Invoke(ctx, nil)
+	if err == nil && inv.Err == nil {
+		t.Fatal("second request should have been gated")
+	}
+	close(block)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPServerInvokeAfterClose(t *testing.T) {
+	d, err := DeployHTTPServer(echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := d.Invoke(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("invoke after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDirectExecution(t *testing.T) {
+	d, err := DeployDirect(echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	inv, err := d.Invoke(context.Background(), []byte("x"))
+	if err != nil || inv.Err != nil {
+		t.Fatal(err, inv.Err)
+	}
+	if string(inv.Response) != "echo:x" {
+		t.Fatalf("response = %q", inv.Response)
+	}
+	if d.Architecture() != DirectExecution {
+		t.Error("architecture mismatch")
+	}
+}
+
+func TestDirectExecutionErrorPath(t *testing.T) {
+	d, err := DeployDirect(failingHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	inv, err := d.Invoke(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Err == nil {
+		t.Fatal("expected function error")
+	}
+}
+
+func TestDirectEngineCompileOncePerModule(t *testing.T) {
+	e := NewEngine()
+	if err := e.Upload(Module{Name: "m", CompileCost: 5 * time.Millisecond,
+		Handler: echoHandler}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first, err := e.Execute(ctx, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Execute(ctx, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Duration < 5*time.Millisecond {
+		t.Errorf("cold execution %v should include the compile cost", first.Duration)
+	}
+	if second.Duration >= 5*time.Millisecond {
+		t.Errorf("warm execution %v should skip the compile cost", second.Duration)
+	}
+	loads, hits := e.CacheStats()
+	if loads != 1 || hits != 1 {
+		t.Errorf("cache stats = %d loads, %d hits", loads, hits)
+	}
+	if _, err := e.Execute(ctx, "unknown", nil); err == nil {
+		t.Error("unknown module should fail")
+	}
+	if err := e.Upload(Module{}); err == nil {
+		t.Error("empty module should be rejected")
+	}
+	e.Close()
+	if _, err := e.Execute(ctx, "m", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("execute after close = %v", err)
+	}
+	if err := e.Upload(Module{Name: "n", Handler: echoHandler}); !errors.Is(err, ErrClosed) {
+		t.Errorf("upload after close = %v", err)
+	}
+}
+
+// TestFigure8Ordering is the paper's Figure 8 shape: the HTTP server
+// architecture has the highest serving overhead, API polling sits in the
+// middle with a stable ~1 ms-scale cost, and direct execution is near
+// zero.
+func TestFigure8Ordering(t *testing.T) {
+	results, err := CompareArchitectures(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	byArch := map[Architecture]OverheadResult{}
+	for _, r := range results {
+		byArch[r.Architecture] = r
+	}
+	httpMean := byArch[HTTPServer].Mean
+	pollMean := byArch[APIPolling].Mean
+	directMean := byArch[DirectExecution].Mean
+	if !(httpMean > pollMean) {
+		t.Errorf("HTTP overhead %.3f ms not above polling %.3f ms", httpMean, pollMean)
+	}
+	if !(pollMean > directMean) {
+		t.Errorf("polling overhead %.3f ms not above direct %.3f ms", pollMean, directMean)
+	}
+	if directMean > 0.5 {
+		t.Errorf("direct execution overhead %.3f ms, want near zero", directMean)
+	}
+}
+
+func TestMeasureOverheadDefaultSamples(t *testing.T) {
+	d, err := DeployDirect(MinimalHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	r, err := MeasureOverhead(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples) != 100 {
+		t.Errorf("default sample count = %d", len(r.Samples))
+	}
+}
+
+func TestRuntimeAPIInitError(t *testing.T) {
+	api, err := NewRuntimeAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	resp, err := api.URL()+"", error(nil)
+	_ = resp
+	_ = err
+	// Post an init error the way a crashing runtime would.
+	req, err := newPost(api.URL()+initErrorPath, []byte(`{"errorMessage":"bad init","errorType":"Init"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.StatusCode != 202 {
+		t.Fatalf("init error status = %d", req.StatusCode)
+	}
+	if api.InitError() == nil {
+		t.Fatal("init error not recorded")
+	}
+}
+
+func TestRuntimeAPIRejectsBadPaths(t *testing.T) {
+	api, err := NewRuntimeAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	// Unknown request id.
+	resp, err := newPost(api.URL()+fmt.Sprintf(responsePathFmt, "nope"), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown id status = %d, want 404", resp.StatusCode)
+	}
+	// Bad suffix.
+	resp, err = newPost(api.URL()+"/"+apiVersion+"/runtime/invocation/abc/bogus", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("bad suffix status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,142 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownRunsSIGTERMHandler exercises Table 2's AWS row: a
+// drain lets in-flight work finish and the runtime's SIGTERM handler run
+// before teardown.
+func TestGracefulShutdownRunsSIGTERMHandler(t *testing.T) {
+	var sigterm atomic.Bool
+	release := make(chan struct{})
+	slow := func(ctx context.Context, payload []byte) ([]byte, error) {
+		<-release
+		return []byte("done"), nil
+	}
+	d, err := DeployPolling(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Runtime().OnShutdown(func() { sigterm.Store(true) })
+
+	// Start an in-flight request.
+	resCh := make(chan Invocation, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		inv, err := d.Invoke(context.Background(), []byte(`{}`))
+		resCh <- inv
+		errCh <- err
+	}()
+	// Wait until the runtime picked it up.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		d.api.mu.Lock()
+		n := len(d.api.inflight)
+		d.api.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Begin the graceful shutdown concurrently; it must wait for the
+	// in-flight request.
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutDone <- d.Shutdown(ctx)
+	}()
+	// New invokes are rejected once draining begins.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := d.Invoke(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("invoke during drain = %v, want ErrClosed", err)
+	}
+	if sigterm.Load() {
+		t.Error("SIGTERM handler ran before in-flight work finished")
+	}
+
+	close(release)
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	inv := <-resCh
+	if err := <-errCh; err != nil || inv.Err != nil {
+		t.Fatalf("in-flight request failed: %v / %v", err, inv.Err)
+	}
+	if string(inv.Response) != "done" {
+		t.Errorf("in-flight response = %q", inv.Response)
+	}
+	if !sigterm.Load() {
+		t.Error("SIGTERM handler never ran (graceful shutdown not observed)")
+	}
+}
+
+func TestShutdownIdleDeployment(t *testing.T) {
+	d, err := DeployPolling(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve one request so the poller is mid-long-poll, then shut down.
+	if _, err := d.Invoke(context.Background(), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Invoke(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("invoke after shutdown = %v", err)
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	d, err := DeployPolling(func(ctx context.Context, p []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	go d.Invoke(context.Background(), nil) //nolint:errcheck // stuck on purpose
+	// Wait for pickup.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		d.api.mu.Lock()
+		n := len(d.api.inflight)
+		d.api.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := d.api.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("drain with stuck handler = %v, want deadline exceeded", err)
+	}
+}
+
+func TestDrainIdempotent(t *testing.T) {
+	api, err := NewRuntimeAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	ctx := context.Background()
+	if err := api.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.Drain(ctx); err != nil {
+		t.Fatal(err) // second drain must not re-close the channel
+	}
+}

@@ -1,0 +1,170 @@
+// Package simtime provides the discrete-event simulation core used by the
+// platform and scheduler simulators: a virtual clock and an event queue.
+//
+// The simulators in this repository model wall-clock phenomena (autoscaling
+// lag, CFS period boundaries, keep-alive windows) far faster than real time
+// by advancing a virtual clock from event to event. Events scheduled for
+// the same instant fire in scheduling order (FIFO), which makes simulations
+// deterministic.
+package simtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func(now time.Duration)
+
+type item struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   Event
+	idx  int
+	dead bool
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	it      *item
+	stopped bool
+}
+
+// Stop cancels the timer. For recurring timers it prevents all future
+// runs. It reports whether a pending event was cancelled.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.it != nil && !t.it.dead {
+		t.it.dead = true
+		return true
+	}
+	return false
+}
+
+// Clock is a virtual clock with an event queue. The zero value is not
+// usable; create one with NewClock.
+type Clock struct {
+	now time.Duration
+	q   eventHeap
+	seq uint64
+}
+
+// NewClock returns a clock starting at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not been drained yet).
+func (c *Clock) Pending() int { return len(c.q) }
+
+// At schedules fn to run at virtual time at. Events in the past fire on the
+// next Run/Step at the current time.
+func (c *Clock) At(at time.Duration, fn Event) *Timer {
+	if at < c.now {
+		at = c.now
+	}
+	it := &item{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.q, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn to run d from now.
+func (c *Clock) After(d time.Duration, fn Event) *Timer {
+	return c.At(c.now+d, fn)
+}
+
+// Every schedules fn to run every d, starting d from now, until the
+// returned Timer is stopped. fn runs before the next occurrence is queued,
+// so stopping the timer inside fn prevents further runs.
+func (c *Clock) Every(d time.Duration, fn Event) *Timer {
+	if d <= 0 {
+		panic("simtime: Every with non-positive interval")
+	}
+	t := &Timer{}
+	var tick Event
+	tick = func(now time.Duration) {
+		fn(now)
+		if !t.stopped {
+			t.it = c.After(d, tick).it
+		}
+	}
+	t.it = c.After(d, tick).it
+	return t
+}
+
+// Step runs the single earliest event, advancing the clock to its time.
+// It reports whether an event was run.
+func (c *Clock) Step() bool {
+	for len(c.q) > 0 {
+		it := heap.Pop(&c.q).(*item)
+		if it.dead {
+			continue
+		}
+		c.now = it.at
+		it.dead = true
+		it.fn(c.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil runs events in order until the queue is empty or the next event
+// is after deadline. The clock finishes exactly at deadline.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for len(c.q) > 0 {
+		// Peek; heap root is the earliest event.
+		root := c.q[0]
+		if root.dead {
+			heap.Pop(&c.q)
+			continue
+		}
+		if root.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Run drains the entire event queue. Use with care: self-rescheduling
+// events (Every) make this run forever; prefer RunUntil.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}

@@ -1,0 +1,160 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockOrdering(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.At(30*time.Millisecond, func(time.Duration) { order = append(order, 3) })
+	c.At(10*time.Millisecond, func(time.Duration) { order = append(order, 1) })
+	c.At(20*time.Millisecond, func(time.Duration) { order = append(order, 2) })
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestClockFIFOAtSameInstant(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestClockAfterChaining(t *testing.T) {
+	c := NewClock()
+	var fired []time.Duration
+	c.After(5*time.Millisecond, func(now time.Duration) {
+		fired = append(fired, now)
+		c.After(5*time.Millisecond, func(now time.Duration) {
+			fired = append(fired, now)
+		})
+	})
+	c.Run()
+	if len(fired) != 2 || fired[0] != 5*time.Millisecond || fired[1] != 10*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestClockPastEventFiresNow(t *testing.T) {
+	c := NewClock()
+	c.After(10*time.Millisecond, func(time.Duration) {})
+	c.Run()
+	var at time.Duration
+	c.At(1*time.Millisecond, func(now time.Duration) { at = now }) // in the past
+	c.Run()
+	if at != 10*time.Millisecond {
+		t.Errorf("past event fired at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := NewClock()
+	fired := false
+	tm := c.After(time.Second, func(time.Duration) { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	c.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() {
+		t.Error("nil timer Stop should be false")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	c := NewClock()
+	var ticks []time.Duration
+	var tm *Timer
+	tm = c.Every(100*time.Millisecond, func(now time.Duration) {
+		ticks = append(ticks, now)
+		if len(ticks) == 4 {
+			tm.Stop()
+		}
+	})
+	c.RunUntil(time.Second)
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks, want 4", len(ticks))
+	}
+	for i, tk := range ticks {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if tk != want {
+			t.Errorf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}
+
+func TestEveryPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewClock().Every(0, func(time.Duration) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	c := NewClock()
+	var fired []int
+	c.At(10*time.Millisecond, func(time.Duration) { fired = append(fired, 1) })
+	c.At(50*time.Millisecond, func(time.Duration) { fired = append(fired, 2) })
+	c.RunUntil(20 * time.Millisecond)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want only first", fired)
+	}
+	if c.Now() != 20*time.Millisecond {
+		t.Errorf("Now = %v, want clamp to deadline", c.Now())
+	}
+	c.RunUntil(time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v after full run", fired)
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	c := NewClock()
+	if c.Step() {
+		t.Error("Step on empty queue should be false")
+	}
+	c.After(time.Millisecond, func(time.Duration) {})
+	c.After(2*time.Millisecond, func(time.Duration) {})
+	if c.Pending() != 2 {
+		t.Errorf("Pending = %d", c.Pending())
+	}
+	if !c.Step() {
+		t.Error("Step should run an event")
+	}
+	if c.Now() != time.Millisecond {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestStoppedEventsDrainedByRunUntil(t *testing.T) {
+	c := NewClock()
+	tm := c.After(time.Millisecond, func(time.Duration) { t.Error("should not fire") })
+	tm.Stop()
+	c.RunUntil(time.Second)
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d, want drained", c.Pending())
+	}
+}

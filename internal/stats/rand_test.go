@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different streams")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandUniform(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(5, 9)
+		if v < 5 || v >= 9 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(4)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(10)
+		if v < 0 {
+			t.Fatal("Exp returned negative")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Errorf("Exp mean = %v, want ~10", mean)
+	}
+}
+
+func TestRandNormalMoments(t *testing.T) {
+	r := NewRand(5)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(3, 2)
+	}
+	if m := Mean(xs); math.Abs(m-3) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~3", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.05 {
+		t.Errorf("Normal stddev = %v, want ~2", s)
+	}
+}
+
+func TestRandLogNormalPositive(t *testing.T) {
+	r := NewRand(6)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}
+
+func TestRandParetoBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below minimum: %v", v)
+		}
+	}
+}
+
+func TestRandBetaRangeAndMean(t *testing.T) {
+	r := NewRand(8)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Beta(2, 5)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta out of range: %v", v)
+		}
+		sum += v
+	}
+	// Mean of Beta(2,5) is 2/7 ≈ 0.2857.
+	if mean := sum / n; math.Abs(mean-2.0/7) > 0.01 {
+		t.Errorf("Beta mean = %v, want ~0.2857", mean)
+	}
+}
+
+func TestRandPoisson(t *testing.T) {
+	r := NewRand(9)
+	const n = 100000
+	var sum int
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(4)
+	}
+	if mean := float64(sum) / n; math.Abs(mean-4) > 0.1 {
+		t.Errorf("Poisson mean = %v, want ~4", mean)
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+	// Large-mean path (normal approximation).
+	var big float64
+	for i := 0; i < 10000; i++ {
+		big += float64(r.Poisson(100))
+	}
+	if mean := big / 10000; math.Abs(mean-100) > 2 {
+		t.Errorf("Poisson(100) mean = %v", mean)
+	}
+}

@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanSum(t *testing.T) {
+	cases := []struct {
+		xs       []float64
+		mean, sm float64
+	}{
+		{nil, 0, 0},
+		{[]float64{4}, 4, 4},
+		{[]float64{1, 2, 3, 4}, 2.5, 10},
+		{[]float64{-1, 1}, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.mean, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.mean)
+		}
+		if got := Sum(c.xs); !almostEqual(got, c.sm, 1e-12) {
+			t.Errorf("Sum(%v) = %v, want %v", c.xs, got, c.sm)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+		{10, 1.4}, // interpolated
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile of empty should be 0")
+	}
+	// Percentile must not mutate its input.
+	orig := []float64{5, 1, 3}
+	Percentile(orig, 50)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+	s, err := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 || !almostEqual(s.Mean, 5.5, 1e-12) || !almostEqual(s.Median, 5.5, 1e-12) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points = %d entries", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Errorf("Points not monotone at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+	if NewCDF(nil).At(1) != 0 {
+		t.Error("empty CDF At should be 0")
+	}
+}
+
+func TestCDFPropertyMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		// CDF is monotone over sorted probe points and hits 1 at the max.
+		probes := append([]float64(nil), xs...)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, p := range probes {
+			v := c.At(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return almostEqual(c.At(probes[len(probes)-1]), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want -1", r, err)
+	}
+	if _, err := Pearson(xs, xs[:2]); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err != ErrEmpty {
+		t.Errorf("expected ErrEmpty, got %v", err)
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected zero-variance error")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but non-linear relation: Spearman should be exactly 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Spearman = %v, %v; want 1", r, err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Counts[4])
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.under, h.over)
+	}
+	if !almostEqual(h.BinWidth(), 2, 1e-12) {
+		t.Errorf("BinWidth = %v", h.BinWidth())
+	}
+	if !almostEqual(h.Fraction(0), 2.0/7, 1e-12) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+	// Degenerate constructors must not panic.
+	d := NewHistogram(5, 5, 0)
+	d.Add(5)
+	if d.Total() != 1 {
+		t.Error("degenerate histogram broken")
+	}
+}
+
+func TestMeanRatioAndRatioOfSums(t *testing.T) {
+	num := []float64{2, 4, 6}
+	den := []float64{1, 2, 3}
+	if got := MeanRatio(num, den); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("MeanRatio = %v", got)
+	}
+	if got := RatioOfSums(num, den); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("RatioOfSums = %v", got)
+	}
+	if MeanRatio(num, den[:2]) != 0 {
+		t.Error("length mismatch should return 0")
+	}
+	if MeanRatio([]float64{1}, []float64{0}) != 0 {
+		t.Error("all-zero denominators should return 0")
+	}
+	if RatioOfSums([]float64{1}, []float64{0}) != 0 {
+		t.Error("zero denominator sum should return 0")
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout of the on-disk trace format, one request
+// per row. Durations are in microseconds, memory in MB.
+var csvHeader = []string{
+	"fn_id", "pod_id", "start_us", "duration_us", "cpu_time_us",
+	"mem_used_mb", "alloc_cpu", "alloc_mem_mb", "cold_start", "init_us",
+}
+
+// WriteCSV writes the trace to w in the package's CSV format.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for i, r := range t.Requests {
+		row[0] = strconv.Itoa(r.FnID)
+		row[1] = strconv.Itoa(r.PodID)
+		row[2] = strconv.FormatInt(r.Start.Microseconds(), 10)
+		row[3] = strconv.FormatInt(r.Duration.Microseconds(), 10)
+		row[4] = strconv.FormatInt(r.CPUTime.Microseconds(), 10)
+		row[5] = strconv.FormatFloat(r.MemUsedMB, 'g', -1, 64)
+		row[6] = strconv.FormatFloat(r.AllocCPU, 'g', -1, 64)
+		row[7] = strconv.FormatFloat(r.AllocMemMB, 'g', -1, 64)
+		row[8] = strconv.FormatBool(r.ColdStart)
+		row[9] = strconv.FormatInt(r.InitDuration.Microseconds(), 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, name := range csvHeader {
+		if header[i] != name {
+			return nil, fmt.Errorf("trace: unexpected header column %d: %q (want %q)",
+				i, header[i], name)
+		}
+	}
+	t := &Trace{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		req, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Requests = append(t.Requests, req)
+	}
+	return t, nil
+}
+
+func parseRow(row []string) (Request, error) {
+	var r Request
+	ints := []struct {
+		idx  int
+		dst  *int
+		name string
+	}{
+		{0, &r.FnID, "fn_id"},
+		{1, &r.PodID, "pod_id"},
+	}
+	for _, f := range ints {
+		v, err := strconv.Atoi(row[f.idx])
+		if err != nil {
+			return r, fmt.Errorf("%s: %w", f.name, err)
+		}
+		*f.dst = v
+	}
+	durs := []struct {
+		idx  int
+		dst  *time.Duration
+		name string
+	}{
+		{2, &r.Start, "start_us"},
+		{3, &r.Duration, "duration_us"},
+		{4, &r.CPUTime, "cpu_time_us"},
+		{9, &r.InitDuration, "init_us"},
+	}
+	for _, f := range durs {
+		v, err := strconv.ParseInt(row[f.idx], 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("%s: %w", f.name, err)
+		}
+		*f.dst = time.Duration(v) * time.Microsecond
+	}
+	floats := []struct {
+		idx  int
+		dst  *float64
+		name string
+	}{
+		{5, &r.MemUsedMB, "mem_used_mb"},
+		{6, &r.AllocCPU, "alloc_cpu"},
+		{7, &r.AllocMemMB, "alloc_mem_mb"},
+	}
+	for _, f := range floats {
+		v, err := strconv.ParseFloat(row[f.idx], 64)
+		if err != nil {
+			return r, fmt.Errorf("%s: %w", f.name, err)
+		}
+		*f.dst = v
+	}
+	cold, err := strconv.ParseBool(row[8])
+	if err != nil {
+		return r, fmt.Errorf("cold_start: %w", err)
+	}
+	r.ColdStart = cold
+	return r, nil
+}

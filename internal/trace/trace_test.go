@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+func smallTrace(t testing.TB) *Trace {
+	t.Helper()
+	cfg := DefaultGeneratorConfig()
+	cfg.Requests = 30000
+	tr := Generate(cfg)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateCount(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Requests = 5000
+	tr := Generate(cfg)
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", tr.Len())
+	}
+}
+
+func TestGenerateEmptyAndDegenerate(t *testing.T) {
+	if Generate(GeneratorConfig{}).Len() != 0 {
+		t.Error("zero requests should give empty trace")
+	}
+	// Degenerate knobs fall back to defaults without panicking.
+	tr := Generate(GeneratorConfig{Requests: 100, Functions: -1,
+		MeanDurationMs: -5, UtilCorrelation: 7, ColdStartRate: 2})
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Requests = 2000
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs between runs with the same seed", i)
+		}
+	}
+	cfg.Seed++
+	c := Generate(cfg)
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i] != c.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestGenerateCalibration checks the published Huawei-trace marginals the
+// §2 analyses depend on (see DESIGN.md substitution table).
+func TestGenerateCalibration(t *testing.T) {
+	tr := smallTrace(t)
+
+	// Mean execution duration rescaled to exactly 58.19 ms.
+	meanDur := stats.Mean(tr.Durations())
+	if math.Abs(meanDur-58.19) > 0.5 {
+		t.Errorf("mean duration = %.2f ms, want ≈58.19", meanDur)
+	}
+
+	// Low utilization: ≥60% of requests below 50% CPU utilization and
+	// ≥65% below 50% memory utilization (paper: 65% and 76%).
+	cpuU := tr.CPUUtilizations()
+	memU := tr.MemUtilizations()
+	cpuBelow := stats.NewCDF(cpuU).At(0.5)
+	memBelow := stats.NewCDF(memU).At(0.5)
+	if cpuBelow < 0.60 {
+		t.Errorf("fraction below 50%% CPU utilization = %.2f, want ≥0.60", cpuBelow)
+	}
+	if memBelow < 0.65 {
+		t.Errorf("fraction below 50%% memory utilization = %.2f, want ≥0.65", memBelow)
+	}
+
+	// Moderate positive utilization correlation (paper: Pearson 0.552).
+	pearson, err := stats.Pearson(cpuU, memU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pearson < 0.40 || pearson > 0.72 {
+		t.Errorf("utilization Pearson = %.3f, want ≈0.55", pearson)
+	}
+	spearman, err := stats.Spearman(cpuU, memU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spearman < 0.35 || spearman > 0.75 {
+		t.Errorf("utilization Spearman = %.3f, want ≈0.57", spearman)
+	}
+
+	// Heavy tail: p99 duration far above the mean.
+	sum, err := stats.Summarize(tr.Durations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.P99 < 3*sum.Mean {
+		t.Errorf("p99 = %.1f ms vs mean %.1f ms: tail not heavy enough", sum.P99, sum.Mean)
+	}
+
+	// Cold starts exist and are a small fraction.
+	cold := len(tr.ColdStarts())
+	frac := float64(cold) / float64(tr.Len())
+	if frac < 0.005 || frac > 0.25 {
+		t.Errorf("cold-start fraction = %.3f, want small but non-trivial", frac)
+	}
+}
+
+func TestGeneratePodStructure(t *testing.T) {
+	tr := smallTrace(t)
+	pods := tr.ByPod()
+	if len(pods) == 0 {
+		t.Fatal("no pods")
+	}
+	for pod, idxs := range pods {
+		// Exactly the first request of each pod is a cold start.
+		for k, i := range idxs {
+			isCold := tr.Requests[i].ColdStart
+			if k == 0 && !isCold {
+				t.Fatalf("pod %d: first request not cold", pod)
+			}
+			if k > 0 && isCold {
+				t.Fatalf("pod %d: request %d cold mid-pod", pod, k)
+			}
+		}
+		// Single function per pod.
+		fn := tr.Requests[idxs[0]].FnID
+		for _, i := range idxs {
+			if tr.Requests[i].FnID != fn {
+				t.Fatalf("pod %d mixes functions", pod)
+			}
+		}
+	}
+}
+
+func TestRequestAccessors(t *testing.T) {
+	r := Request{
+		Duration:     2 * time.Second,
+		CPUTime:      500 * time.Millisecond,
+		MemUsedMB:    512,
+		AllocCPU:     0.5,
+		AllocMemMB:   1024,
+		ColdStart:    true,
+		InitDuration: time.Second,
+	}
+	if got := r.CPUUtilization(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CPUUtilization = %v", got)
+	}
+	if got := r.MemUtilization(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MemUtilization = %v", got)
+	}
+	if got := r.ActualCPUSeconds(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ActualCPUSeconds = %v", got)
+	}
+	if got := r.ActualMemGBSeconds(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("ActualMemGBSeconds = %v", got)
+	}
+	if got := r.AllocCPUSeconds(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("AllocCPUSeconds = %v", got)
+	}
+	if got := r.AllocMemGBSeconds(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("AllocMemGBSeconds = %v", got)
+	}
+	if got := r.Turnaround(); got != 3*time.Second {
+		t.Errorf("Turnaround = %v", got)
+	}
+	// Zero allocations yield zero utilization, not NaN/Inf.
+	var zero Request
+	if zero.CPUUtilization() != 0 || zero.MemUtilization() != 0 {
+		t.Error("zero-value request should report zero utilization")
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	ok := Request{Duration: time.Millisecond, CPUTime: time.Millisecond,
+		AllocCPU: 1, AllocMemMB: 128}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	bad := []Request{
+		{Duration: -1, AllocCPU: 1, AllocMemMB: 1},
+		{AllocCPU: 0, AllocMemMB: 1},
+		{AllocCPU: 1, AllocMemMB: 1, MemUsedMB: -1},
+		{AllocCPU: 1, AllocMemMB: 1, InitDuration: time.Second}, // warm with init
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid request accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Requests = 500
+	tr := Generate(cfg)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round-trip length %d vs %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Requests {
+		a, b := tr.Requests[i], got.Requests[i]
+		// Durations are stored at microsecond resolution.
+		if a.FnID != b.FnID || a.PodID != b.PodID || a.ColdStart != b.ColdStart {
+			t.Fatalf("row %d identity mismatch: %+v vs %+v", i, a, b)
+		}
+		if d := a.Duration - b.Duration; d < 0 || d >= time.Microsecond {
+			t.Fatalf("row %d duration mismatch: %v vs %v", i, a.Duration, b.Duration)
+		}
+		if a.AllocCPU != b.AllocCPU || a.AllocMemMB != b.AllocMemMB {
+			t.Fatalf("row %d allocation mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"bogus\n",               // wrong column count
+		"a,b,c,d,e,f,g,h,i,j\n", // wrong header names
+		"fn_id,pod_id,start_us,duration_us,cpu_time_us,mem_used_mb,alloc_cpu,alloc_mem_mb,cold_start,init_us\nx,1,1,1,1,1,1,1,true,0\n",  // bad int
+		"fn_id,pod_id,start_us,duration_us,cpu_time_us,mem_used_mb,alloc_cpu,alloc_mem_mb,cold_start,init_us\n1,1,1,1,1,1,1,1,maybe,0\n", // bad bool
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: utilization rates from the generator are always within [0, 1]
+// plus a tiny numeric tolerance, and turnaround ≥ duration.
+func TestGeneratorInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := DefaultGeneratorConfig()
+		cfg.Requests = 300
+		cfg.Seed = seed
+		tr := Generate(cfg)
+		for _, r := range tr.Requests {
+			if r.CPUUtilization() < 0 || r.CPUUtilization() > 1.0001 {
+				return false
+			}
+			if r.MemUtilization() < 0 || r.MemUtilization() > 1.0001 {
+				return false
+			}
+			if r.Turnaround() < r.Duration {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package workload provides the serverless workloads used by the paper's
+// experiments, in two forms:
+//
+//   - Real, executable kernels (an AES-CTR encryption loop standing in for
+//     FunctionBench's PyAES, a minimal echo function, and an I/O-blocking
+//     sleeper) that run on the host and are used by the serving-architecture
+//     overhead probes (Figure 8).
+//   - Abstract profiles (Spec) describing CPU time, memory footprint, and
+//     blocking phases, consumed by the platform and scheduler simulators
+//     (Figures 6, 10, 11, 12).
+package workload
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"time"
+)
+
+// Kind classifies a workload's dominant resource.
+type Kind int
+
+const (
+	// CPUBound workloads consume CPU for their whole duration (PyAES-like).
+	CPUBound Kind = iota
+	// IOBound workloads block most of the time (remote API calls).
+	IOBound
+	// Minimal workloads do essentially nothing (the Figure 8 probe).
+	Minimal
+	// Mixed workloads alternate compute and blocking phases.
+	Mixed
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPUBound:
+		return "cpu-bound"
+	case IOBound:
+		return "io-bound"
+	case Minimal:
+		return "minimal"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is the abstract profile of a serverless function used by the
+// simulators. All durations are at full (1 vCPU) allocation; the scheduler
+// and contention models stretch them.
+type Spec struct {
+	// Name identifies the workload in reports.
+	Name string
+	// Kind is the dominant resource class.
+	Kind Kind
+	// CPUTime is the CPU time required per request at 1 vCPU.
+	CPUTime time.Duration
+	// BlockTime is time spent blocked (not consuming CPU) per request.
+	BlockTime time.Duration
+	// MemoryMB is the peak working-set size in MB.
+	MemoryMB float64
+	// InitTime is the cold-start initialization duration (runtime +
+	// dependency loading) at 1 vCPU.
+	InitTime time.Duration
+	// InitCPUTime is the CPU consumed during initialization.
+	InitCPUTime time.Duration
+}
+
+// Duration returns the ideal wall-clock execution duration at 1 vCPU:
+// CPU time plus blocking time.
+func (s Spec) Duration() time.Duration { return s.CPUTime + s.BlockTime }
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec has empty name")
+	}
+	if s.CPUTime < 0 || s.BlockTime < 0 || s.InitTime < 0 || s.InitCPUTime < 0 {
+		return fmt.Errorf("workload %s: negative duration", s.Name)
+	}
+	if s.MemoryMB < 0 {
+		return fmt.Errorf("workload %s: negative memory", s.Name)
+	}
+	if s.InitCPUTime > s.InitTime {
+		return fmt.Errorf("workload %s: init CPU time %v exceeds init time %v",
+			s.Name, s.InitCPUTime, s.InitTime)
+	}
+	return nil
+}
+
+// The canonical workloads referenced throughout the paper's evaluation.
+var (
+	// PyAES mirrors the FunctionBench PyAES function used in §3.1 and §4.1:
+	// a single-threaded, compute-bound request of ≈160 ms CPU time.
+	PyAES = Spec{
+		Name:        "pyaes",
+		Kind:        CPUBound,
+		CPUTime:     160 * time.Millisecond,
+		MemoryMB:    64,
+		InitTime:    250 * time.Millisecond,
+		InitCPUTime: 120 * time.Millisecond,
+	}
+
+	// MinimalFn is the empty-body function from the Figure 8 overhead probe.
+	MinimalFn = Spec{
+		Name:        "minimal",
+		Kind:        Minimal,
+		CPUTime:     50 * time.Microsecond,
+		MemoryMB:    16,
+		InitTime:    80 * time.Millisecond,
+		InitCPUTime: 40 * time.Millisecond,
+	}
+
+	// HuaweiMean matches the mean request in the Huawei traces used by the
+	// §4.2 theoretical analysis: 51.8 ms CPU time, 58.19 ms duration.
+	HuaweiMean = Spec{
+		Name:        "huawei-mean",
+		Kind:        Mixed,
+		CPUTime:     51800 * time.Microsecond,
+		BlockTime:   6390 * time.Microsecond,
+		MemoryMB:    180,
+		InitTime:    400 * time.Millisecond,
+		InitCPUTime: 200 * time.Millisecond,
+	}
+
+	// VideoProcessing mirrors the SeBS video-processing application the
+	// §4.3 intermittent-execution exploit decomposes: a long CPU-heavy job.
+	VideoProcessing = Spec{
+		Name:        "video-processing",
+		Kind:        CPUBound,
+		CPUTime:     4 * time.Second,
+		BlockTime:   300 * time.Millisecond,
+		MemoryMB:    512,
+		InitTime:    900 * time.Millisecond,
+		InitCPUTime: 500 * time.Millisecond,
+	}
+
+	// RemoteAPI is an I/O-dominated function that blocks on a downstream
+	// call, used to show wall-clock billing charging for idle waiting.
+	RemoteAPI = Spec{
+		Name:        "remote-api",
+		Kind:        IOBound,
+		CPUTime:     5 * time.Millisecond,
+		BlockTime:   120 * time.Millisecond,
+		MemoryMB:    96,
+		InitTime:    300 * time.Millisecond,
+		InitCPUTime: 150 * time.Millisecond,
+	}
+)
+
+// Catalog lists the canonical workloads.
+func Catalog() []Spec {
+	return []Spec{PyAES, MinimalFn, HuaweiMean, VideoProcessing, RemoteAPI}
+}
+
+// ByName returns the canonical workload with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// AESKernel is a real compute kernel: AES-CTR over an in-memory buffer,
+// standing in for FunctionBench's PyAES. Calling Run(n) performs n
+// encryption passes; the kernel is single-threaded and CPU-bound, exactly
+// the profile the paper's scheduling experiments need.
+type AESKernel struct {
+	stream cipher.Stream
+	buf    []byte
+	sink   byte
+}
+
+// NewAESKernel creates a kernel over a bufSize-byte buffer. bufSize
+// defaults to 64 KiB if non-positive.
+func NewAESKernel(bufSize int) (*AESKernel, error) {
+	if bufSize <= 0 {
+		bufSize = 64 << 10
+	}
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("workload: aes init: %w", err)
+	}
+	iv := make([]byte, block.BlockSize())
+	buf := make([]byte, bufSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	return &AESKernel{stream: cipher.NewCTR(block, iv), buf: buf}, nil
+}
+
+// Run performs passes encryption passes over the buffer and returns a
+// checksum byte so the compiler cannot elide the work.
+func (k *AESKernel) Run(passes int) byte {
+	for i := 0; i < passes; i++ {
+		k.stream.XORKeyStream(k.buf, k.buf)
+		k.sink ^= k.buf[len(k.buf)-1]
+	}
+	return k.sink
+}
+
+// Calibrate measures how many passes the host executes per millisecond of
+// CPU time, so callers can convert a Spec.CPUTime into real work.
+func (k *AESKernel) Calibrate() (passesPerMs float64) {
+	const probe = 64
+	start := time.Now()
+	k.Run(probe)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return float64(probe)
+	}
+	return float64(probe) / (float64(elapsed) / float64(time.Millisecond))
+}
+
+// Burn spins the kernel for approximately d of CPU time using the supplied
+// calibration. It returns the number of passes executed.
+func (k *AESKernel) Burn(d time.Duration, passesPerMs float64) int {
+	if passesPerMs <= 0 {
+		passesPerMs = k.Calibrate()
+	}
+	passes := int(passesPerMs * float64(d) / float64(time.Millisecond))
+	if passes < 1 {
+		passes = 1
+	}
+	k.Run(passes)
+	return passes
+}
