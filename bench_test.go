@@ -6,13 +6,16 @@
 package slscost
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
 	"slscost/internal/billing"
 	"slscost/internal/cfs"
+	"slscost/internal/core"
 	"slscost/internal/experiments"
+	"slscost/internal/fleet"
 	"slscost/internal/platform"
 	"slscost/internal/trace"
 	"slscost/internal/workload"
@@ -64,6 +67,46 @@ func BenchmarkExtSchedulerAblation(b *testing.B) {
 }
 func BenchmarkExtComposition(b *testing.B) { benchExperiment(b, "ext-composition", 1) }
 func BenchmarkExtCoTenancy(b *testing.B)   { benchExperiment(b, "ext-cotenancy", 1) }
+func BenchmarkExtFleet(b *testing.B)       { benchExperiment(b, "ext-fleet", 0.1) }
+
+// BenchmarkFleetReplay measures cluster-replay throughput (requests/sec)
+// as the host shards spread over 1, 4, and 8 workers. The report is
+// identical at every width (the shards are keyed by host, not worker);
+// only wall-clock changes, tracking available cores.
+func BenchmarkFleetReplay(b *testing.B) {
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 100000
+	tr := trace.Generate(gen)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			policy, err := fleet.NewPolicy("least-loaded")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := fleet.Config{
+				Hosts:      32,
+				Host:       fleet.DefaultHostSpec(),
+				Policy:     policy,
+				Profile:    core.AWS(),
+				Workers:    workers,
+				Overcommit: 2,
+				Seed:       20260613,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Simulate(cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Served == 0 {
+					b.Fatal("no requests served")
+				}
+			}
+			b.SetBytes(int64(tr.Len())) // bytes/sec doubles as requests/sec
+		})
+	}
+}
 
 // Micro-benchmarks of the hot paths behind the experiments.
 

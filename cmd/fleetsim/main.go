@@ -1,0 +1,113 @@
+// Command fleetsim replays a serverless request trace through a
+// simulated multi-host cluster (internal/fleet) and prints the
+// cluster-wide cost, latency, and utilization report.
+//
+// Usage:
+//
+//	fleetsim -hosts 32 -requests 1000000 -policy least-loaded
+//	fleetsim -trace trace.csv -platform gcp-cloud-run -policy bin-pack
+//
+// The report is deterministic for a given seed regardless of -workers:
+// host shards simulate on private clocks and random streams and merge in
+// host order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"slscost/internal/core"
+	"slscost/internal/fleet"
+	"slscost/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 32, "number of hosts in the cluster")
+	policy := fs.String("policy", "least-loaded",
+		"placement policy: "+strings.Join(fleet.PolicyNames(), ", "))
+	requests := fs.Int("requests", 200000, "synthetic trace size (ignored with -trace)")
+	seed := fs.Uint64("seed", 20260613, "random seed for trace generation and simulation")
+	platform := fs.String("platform", "aws-lambda", "platform profile (see internal/core.Profiles)")
+	workers := fs.Int("workers", 0, "host shards simulated concurrently (0 = GOMAXPROCS)")
+	hostVCPU := fs.Float64("host-vcpu", fleet.DefaultHostSpec().VCPU, "per-host vCPU capacity")
+	hostMem := fs.Float64("host-mem", fleet.DefaultHostSpec().MemMB, "per-host memory capacity (MB)")
+	overcommit := fs.Float64("overcommit", 2, "CPU oversubscription ratio the placer packs against (>= 1)")
+	elastic := fs.Bool("elastic", false, "autoscale the active host pool between 1 and -hosts")
+	tracePath := fs.String("trace", "", "replay a CSV trace (tracegen format) instead of generating one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	prof, ok := core.ProfileByName(*platform)
+	if !ok {
+		names := make([]string, 0, len(core.Profiles()))
+		for _, p := range core.Profiles() {
+			names = append(names, p.Name)
+		}
+		return fmt.Errorf("unknown platform %q (have %s)", *platform, strings.Join(names, ", "))
+	}
+	pol, err := fleet.NewPolicy(*policy)
+	if err != nil {
+		return err
+	}
+	// Config treats 0 as "unset"; an explicit CLI value below 1 (0
+	// included) is a user error, not a default.
+	if *overcommit < 1 {
+		return fmt.Errorf("-overcommit %v below 1", *overcommit)
+	}
+
+	var tr *trace.Trace
+	genStart := time.Now()
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if tr, err = trace.ReadCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "replaying %d requests from %s (loaded in %v)\n",
+			tr.Len(), *tracePath, time.Since(genStart).Round(time.Millisecond))
+	} else {
+		gen := trace.DefaultGeneratorConfig()
+		gen.Requests = *requests
+		gen.Seed = *seed
+		tr = trace.Generate(gen)
+		fmt.Fprintf(w, "generated %d-request synthetic trace (seed %d) in %v\n",
+			tr.Len(), *seed, time.Since(genStart).Round(time.Millisecond))
+	}
+
+	cfg := fleet.Config{
+		Hosts:      *hosts,
+		Host:       fleet.HostSpec{VCPU: *hostVCPU, MemMB: *hostMem},
+		Policy:     pol,
+		Profile:    prof,
+		Workers:    *workers,
+		Overcommit: *overcommit,
+		Elastic:    *elastic,
+		Seed:       *seed,
+	}
+	simStart := time.Now()
+	rep, err := fleet.Simulate(cfg, tr)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(simStart)
+	fmt.Fprintf(w, "simulated in %v (%.0f requests/sec)\n\n",
+		elapsed.Round(time.Millisecond), float64(tr.Len())/elapsed.Seconds())
+	rep.WriteText(w)
+	return nil
+}

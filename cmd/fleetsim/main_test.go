@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"slscost/internal/trace"
+)
+
+func TestRunGeneratedTrace(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-hosts", "8", "-requests", "3000", "-policy", "least-loaded"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet: 8 hosts, policy least-loaded", "cost:", "latency ms:", "makespan:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// The acceptance-criteria invariant at CLI level: the same seed prints
+// the same report for any worker count (only the worker line differs).
+func TestRunWorkerCountIndependentOutput(t *testing.T) {
+	report := func(workers string) string {
+		var out bytes.Buffer
+		err := run([]string{"-hosts", "4", "-requests", "2000", "-workers", workers}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		// Strip timing lines and the worker count, which legitimately vary.
+		s = regexp.MustCompile(`(?m)^(generated|simulated).*$`).ReplaceAllString(s, "")
+		return regexp.MustCompile(`\d+ workers`).ReplaceAllString(s, "W workers")
+	}
+	if a, b := report("1"), report("4"); a != b {
+		t.Errorf("reports differ between 1 and 4 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunReplayCSV(t *testing.T) {
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = 1500
+	tr := trace.Generate(cfg)
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-hosts", "4", "-platform", "gcp-cloud-run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replaying 1500 requests") {
+		t.Errorf("missing replay banner:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "platform gcp-cloud-run") {
+		t.Errorf("missing platform name:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-policy", "nope"},
+		{"-platform", "nope"},
+		{"-trace", filepath.Join(t.TempDir(), "missing.csv")},
+		{"-hosts", "0"},
+		{"-overcommit", "0.5"},
+		{"-overcommit", "0"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -6,11 +6,14 @@
 // behavior (internal/keepalive), and OS CPU bandwidth-control scheduling
 // (internal/cfs), tied together by the public analyzer in internal/core
 // and regenerated table-by-table and figure-by-figure by
-// internal/experiments.
+// internal/experiments. On top of the per-host models, internal/fleet
+// simulates a sharded multi-host cluster with pluggable placement
+// policies and cluster-wide cost reports.
 //
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/slsbench all
+//	go run ./cmd/fleetsim -hosts 32 -requests 1000000 -policy least-loaded
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.

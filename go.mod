@@ -1,0 +1,3 @@
+module slscost
+
+go 1.24

@@ -78,6 +78,7 @@ func All() []Experiment {
 		{"ext-sched", "Quota-enforcement ablation (CFS/EEVDF/event-driven)", RunExtSchedEnforcement},
 		{"ext-composition", "Function fusion vs decomposition advisor (§5)", RunExtComposition},
 		{"ext-cotenancy", "Multi-tenant host density and interference", RunExtCoTenancy},
+		{"ext-fleet", "Cluster-scale placement policies' cost/latency trade-offs", RunFleetExperiment},
 	}
 }
 

@@ -1,0 +1,379 @@
+// Package fleet scales the repository's per-host models to a cluster: N
+// simulated hosts serving a request trace under a pluggable sandbox
+// placement policy, with per-host sandbox lifecycle (cold start,
+// keep-alive expiry, reclaim), CPU contention, and a cluster-wide cost
+// and latency report.
+//
+// The paper analyzes billing (§2), serving architecture (§3), and CFS
+// scheduling (§4) one sandbox or host at a time, but its trace is 558M
+// requests from a production fleet. This package lets those layers
+// interact under multi-tenant load: a keep-alive policy (Table 2) holds
+// capacity that the placer can no longer use, contention stretches
+// wall-clock durations that wall-clock billing (Table 1) then charges
+// for, and the placement policy decides how much of either happens.
+//
+// The simulation is sharded for speed and determinism. A cheap
+// sequential placement pass assigns every sandbox to a host; then each
+// host replays its own sub-stream on a private simtime.Clock with a
+// private stats.Rand stream, hosts running in parallel across a worker
+// pool. Because per-host state is keyed by (seed, host index) and
+// results merge in host order, the report is bit-identical for any
+// worker count.
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"slscost/internal/autoscale"
+	"slscost/internal/core"
+	"slscost/internal/stats"
+	"slscost/internal/trace"
+)
+
+// HostSpec is one host's capacity.
+type HostSpec struct {
+	// VCPU is the host's schedulable vCPU capacity.
+	VCPU float64
+	// MemMB is the host's memory capacity in MB.
+	MemMB float64
+}
+
+// DefaultHostSpec returns a 16-vCPU / 32 GB worker node, the shape the
+// paper's co-tenancy densities (§4) assume.
+func DefaultHostSpec() HostSpec { return HostSpec{VCPU: 16, MemMB: 32768} }
+
+// Config parameterizes one cluster simulation.
+type Config struct {
+	// Hosts is the number of hosts in the cluster.
+	Hosts int
+	// Host is the per-host capacity.
+	Host HostSpec
+	// Policy places sandboxes onto hosts. Use NewPolicy; stateful
+	// policies must not be reused across simulations.
+	Policy Policy
+	// Profile supplies the platform's billing model, serving overhead,
+	// and keep-alive policy.
+	Profile core.Profile
+	// Workers is the number of host shards simulated concurrently.
+	// Zero means GOMAXPROCS. The report is identical for any value.
+	Workers int
+	// Overcommit is the CPU oversubscription ratio the placer packs
+	// against: a host advertises VCPU × Overcommit schedulable vCPUs,
+	// the bet providers make on the trace's low utilization rates
+	// (Figure 3). Memory is never oversubscribed. Zero means 1 (no
+	// oversubscription); values below 1 are invalid.
+	Overcommit float64
+	// Elastic, when true, puts the host pool behind a cluster
+	// autoscaler (internal/autoscale): placement starts with one active
+	// host and the windowed concurrency signal grows or shrinks the
+	// pool between 1 and Hosts. Inactive hosts keep serving sandboxes
+	// already placed on them but receive no new ones. The §3.1 metric-
+	// aggregation lag applies, so a burst can reject sandboxes a fixed
+	// fleet would have absorbed.
+	Elastic bool
+	// Seed drives every random stream in the simulation.
+	Seed uint64
+}
+
+// overcommit returns the effective CPU oversubscription ratio.
+func (c Config) overcommit() float64 {
+	if c.Overcommit == 0 {
+		return 1
+	}
+	return c.Overcommit
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Hosts <= 0 {
+		return fmt.Errorf("fleet: non-positive host count %d", c.Hosts)
+	}
+	if c.Host.VCPU <= 0 || c.Host.MemMB <= 0 {
+		return fmt.Errorf("fleet: non-positive host capacity %+v", c.Host)
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("fleet: nil placement policy")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fleet: negative worker count %d", c.Workers)
+	}
+	if c.Overcommit != 0 && c.Overcommit < 1 {
+		return fmt.Errorf("fleet: overcommit ratio %v below 1", c.Overcommit)
+	}
+	return c.Profile.Validate()
+}
+
+// pod is one sandbox's worth of trace requests: the placement unit.
+type pod struct {
+	id     int
+	fnID   int
+	vcpu   float64
+	memMB  float64
+	initMs time.Duration // cold-start init of the pod's first request
+	first  time.Duration // first request arrival
+	last   time.Duration // last request turnaround end
+	reqs   []int         // indices into the trace, in arrival order
+	host   int           // assigned host, -1 = rejected
+}
+
+// buildPods groups the trace into pods in order of first arrival.
+// Requests must arrive sorted by Start (grouping preserves per-pod
+// order), and a pod's flavor must be constant across its requests — the
+// sandbox is placed once with that flavor. Both are properties of
+// generator output; a hand-assembled replay CSV that violates them is
+// rejected rather than silently mis-simulated.
+func buildPods(tr *trace.Trace) ([]*pod, error) {
+	byID := make(map[int]*pod)
+	var pods []*pod
+	for i, r := range tr.Requests {
+		if i > 0 && r.Start < tr.Requests[i-1].Start {
+			return nil, fmt.Errorf("fleet: trace not sorted by arrival (request %d at %v after %v)",
+				i, r.Start, tr.Requests[i-1].Start)
+		}
+		p := byID[r.PodID]
+		if p == nil {
+			p = &pod{
+				id:     r.PodID,
+				fnID:   r.FnID,
+				vcpu:   r.AllocCPU,
+				memMB:  r.AllocMemMB,
+				initMs: r.InitDuration,
+				first:  r.Start,
+				last:   r.Start + r.Turnaround(),
+				host:   -1,
+			}
+			byID[r.PodID] = p
+			pods = append(pods, p)
+		} else if r.AllocCPU != p.vcpu || r.AllocMemMB != p.memMB {
+			return nil, fmt.Errorf("fleet: pod %d changes flavor mid-stream (request %d: %gx%gMB vs %gx%gMB)",
+				r.PodID, i, r.AllocCPU, r.AllocMemMB, p.vcpu, p.memMB)
+		}
+		if end := r.Start + r.Turnaround(); end > p.last {
+			p.last = end
+		}
+		p.reqs = append(p.reqs, i)
+	}
+	sort.SliceStable(pods, func(a, b int) bool { return pods[a].first < pods[b].first })
+	return pods, nil
+}
+
+// release is a scheduled reduction of a pod's placement commitment: the
+// downgrade to the keep-alive idle holdings when the pod goes idle, and
+// the final release when the window elapses.
+type release struct {
+	at         time.Duration
+	host       int
+	vcpu, mem  float64
+	endSandbox bool
+}
+
+// releaseHeap is a min-heap of pending releases by time.
+type releaseHeap []release
+
+func (h releaseHeap) Len() int           { return len(h) }
+func (h releaseHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	top := old[n]
+	*h = old[:n]
+	return top
+}
+
+// placeStats is the placement pass's contribution to the report.
+type placeStats struct {
+	rejected   int
+	meanActive float64
+	peakActive int
+}
+
+// placeAll runs the sequential placement pass: pods are offered to the
+// policy in order of first arrival. A placed pod commits its full flavor
+// while it serves requests; once its last request finishes, the
+// commitment downgrades to what the platform's keep-alive policy
+// actually retains while idle (Table 2: AWS freeze-resume holds nothing,
+// GCP holds memory plus a CPU sliver, Azure holds everything), and the
+// rest releases when the *expected* keep-alive window elapses — the
+// placer works on the policy mean, while each host later samples actual
+// windows from its own stream, as a real scheduler estimates what it
+// cannot observe. Commitments never exceed host capacity: a pod no host
+// fits is rejected.
+//
+// Under Elastic, policies only see the autoscaled prefix of the host
+// pool, sized by a windowed autoscaler fed the committed-vCPU signal
+// (one "instance" = one host's schedulable vCPUs).
+func placeAll(cfg Config, pods []*pod) (view View, ps placeStats) {
+	view = View{Hosts: make([]HostLoad, cfg.Hosts)}
+	schedulable := cfg.Host
+	schedulable.VCPU *= cfg.overcommit()
+	for i := range view.Hosts {
+		view.Hosts[i].Spec = schedulable
+	}
+	rng := stats.NewRand(mix(cfg.Seed, 0x706c616365)) // "place"
+	ka := cfg.Profile.KeepAlive
+	window := expectedWindow(cfg.Profile)
+
+	active := cfg.Hosts
+	var scaler *autoscale.Autoscaler
+	var nextDecision time.Duration
+	var committedVCPU, committedMemMB float64
+	if cfg.Elastic {
+		active = 1
+		// One autoscaler "instance" is one host; the concurrency signal
+		// is demand in host units — committed share of whichever
+		// resource binds first (memory is not oversubscribed, so it
+		// usually does). Scaled by 100 because the autoscaler's
+		// concurrency is integral per instance.
+		scaler = autoscale.New(autoscale.Config{
+			ContainerConcurrency: 100,
+			TargetUtilization:    0.7,
+			StableWindow:         60 * time.Second,
+			PanicWindow:          6 * time.Second,
+			PanicThreshold:       2,
+			MinInstances:         1,
+			MaxInstances:         cfg.Hosts,
+		})
+	}
+	ps.peakActive = active
+	var activeIntegral float64 // host-seconds
+	var lastAt, firstAt time.Duration
+	if len(pods) > 0 {
+		firstAt, lastAt = pods[0].first, pods[0].first
+	}
+
+	var pending releaseHeap
+
+	for _, p := range pods {
+		for len(pending) > 0 && pending[0].at <= p.first {
+			rel := heap.Pop(&pending).(release)
+			h := &view.Hosts[rel.host]
+			h.CommittedVCPU -= rel.vcpu
+			h.CommittedMemMB -= rel.mem
+			committedVCPU -= rel.vcpu
+			committedMemMB -= rel.mem
+			if rel.endSandbox {
+				h.Sandboxes--
+			}
+		}
+		if scaler != nil {
+			demandHosts := committedVCPU / schedulable.VCPU
+			if m := committedMemMB / schedulable.MemMB; m > demandHosts {
+				demandHosts = m
+			}
+			scaler.Record(p.first, demandHosts*100, 0)
+			if p.first >= nextDecision {
+				// Knative's 2 s decision tick.
+				active = scaler.Desired(p.first, active)
+				nextDecision = p.first + 2*time.Second
+				if active > ps.peakActive {
+					ps.peakActive = active
+				}
+			}
+		}
+		activeIntegral += float64(active) * (p.first - lastAt).Seconds()
+		lastAt = p.first
+
+		sub := View{Hosts: view.Hosts[:active]}
+		idx := cfg.Policy.Place(&sub, p.vcpu, p.memMB, rng)
+		if idx < 0 {
+			ps.rejected++
+			continue
+		}
+		p.host = idx
+		h := &view.Hosts[idx]
+		h.CommittedVCPU += p.vcpu
+		h.CommittedMemMB += p.memMB
+		committedVCPU += p.vcpu
+		committedMemMB += p.memMB
+		h.Sandboxes++
+		idleCPU := ka.IdleCPU(p.vcpu)
+		idleMem := ka.IdleMemGB(p.memMB/1024) * 1024
+		heap.Push(&pending, release{at: p.last, host: idx, vcpu: p.vcpu - idleCPU, mem: p.memMB - idleMem})
+		heap.Push(&pending, release{at: p.last + window, host: idx, vcpu: idleCPU, mem: idleMem, endSandbox: true})
+	}
+	if span := (lastAt - firstAt).Seconds(); span > 0 {
+		ps.meanActive = activeIntegral / span
+	} else {
+		ps.meanActive = float64(active)
+	}
+	return view, ps
+}
+
+// expectedWindow is the placement-time keep-alive estimate: the midpoint
+// of the policy's window bounds.
+func expectedWindow(p core.Profile) time.Duration {
+	return (p.KeepAlive.MinWindow + p.KeepAlive.MaxWindow) / 2
+}
+
+// mix derives an independent splitmix-style seed from (seed, salt) so
+// each host shard and the placer get decorrelated streams.
+func mix(seed, salt uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(salt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Simulate replays the trace through the cluster and returns the
+// cluster-wide report. The trace must be sorted by arrival time with
+// per-pod flavors constant (trace.Generate output satisfies both;
+// malformed replay input is rejected with an error).
+func Simulate(cfg Config, tr *trace.Trace) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return Report{}, fmt.Errorf("fleet: empty trace")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	pods, err := buildPods(tr)
+	if err != nil {
+		return Report{}, err
+	}
+	_, ps := placeAll(cfg, pods)
+
+	// Bucket pods by host; per-host pod order follows first arrival.
+	perHost := make([][]*pod, cfg.Hosts)
+	rejectedReqs := 0
+	for _, p := range pods {
+		if p.host < 0 {
+			rejectedReqs += len(p.reqs)
+			continue
+		}
+		perHost[p.host] = append(perHost[p.host], p)
+	}
+
+	// Shard the hosts across the worker pool. Each host simulates on its
+	// own clock and stream; results land in a slice indexed by host so
+	// the merge below is independent of completion order.
+	results := make([]hostResult, cfg.Hosts)
+	hostCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range hostCh {
+				results[h] = simulateHost(cfg, h, perHost[h], tr)
+			}
+		}()
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		hostCh <- h
+	}
+	close(hostCh)
+	wg.Wait()
+
+	return mergeReport(cfg, workers, tr.Len(), ps, rejectedReqs, results)
+}

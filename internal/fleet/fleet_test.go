@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"slscost/internal/core"
+	"slscost/internal/trace"
+)
+
+// testTrace builds a small deterministic trace.
+func testTrace(t testing.TB, requests int, seed uint64) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = requests
+	cfg.Seed = seed
+	tr := trace.Generate(cfg)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testConfig(t testing.TB, policy string) Config {
+	t.Helper()
+	p, err := NewPolicy(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Hosts:   8,
+		Host:    DefaultHostSpec(),
+		Policy:  p,
+		Profile: core.AWS(),
+		Seed:    42,
+	}
+}
+
+func TestSimulateBasicSanity(t *testing.T) {
+	tr := testTrace(t, 5000, 7)
+	rep, err := Simulate(testConfig(t, "least-loaded"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served+rep.RejectedRequests != tr.Len() {
+		t.Errorf("served %d + rejected %d != %d requests",
+			rep.Served, rep.RejectedRequests, tr.Len())
+	}
+	if rep.ColdStarts < rep.Sandboxes {
+		t.Errorf("cold starts %d below sandbox creations %d", rep.ColdStarts, rep.Sandboxes)
+	}
+	if rep.TotalCost <= 0 {
+		t.Errorf("non-positive total cost %v", rep.TotalCost)
+	}
+	if rep.Latency.N != rep.Served {
+		t.Errorf("latency sample count %d != served %d", rep.Latency.N, rep.Served)
+	}
+	if rep.Latency.Median <= 0 {
+		t.Errorf("non-positive median latency %v", rep.Latency.Median)
+	}
+	if rep.Makespan <= 0 {
+		t.Errorf("non-positive makespan %v", rep.Makespan)
+	}
+	if rep.MeanHostUtilization <= 0 || rep.MeanHostUtilization > 1 {
+		t.Errorf("mean utilization %v outside (0, 1]", rep.MeanHostUtilization)
+	}
+	if rep.MaxHostUtilization < rep.MeanHostUtilization ||
+		rep.MinHostUtilization > rep.MeanHostUtilization {
+		t.Errorf("utilization spread inconsistent: min %v mean %v max %v",
+			rep.MinHostUtilization, rep.MeanHostUtilization, rep.MaxHostUtilization)
+	}
+}
+
+// The tentpole guarantee: the report is bit-identical for any worker
+// count, because host shards are keyed by (seed, host index) and merge
+// in host order.
+func TestSimulateWorkerCountIndependent(t *testing.T) {
+	tr := testTrace(t, 8000, 11)
+	base := make(map[string]Report)
+	for i, workers := range []int{1, 2, 3, 4, 8, 16} {
+		for _, policy := range PolicyNames() {
+			cfg := testConfig(t, policy)
+			cfg.Workers = workers
+			rep, err := Simulate(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep.Workers = 0 // the only field allowed to differ
+			if i == 0 {
+				base[policy] = rep
+				continue
+			}
+			if rep != base[policy] {
+				t.Errorf("%s, workers=%d: report differs from workers=1:\n%+v\nvs\n%+v",
+					policy, workers, rep, base[policy])
+			}
+		}
+	}
+}
+
+// Same seed, same report; different seed, different report.
+func TestSimulateSeedStable(t *testing.T) {
+	tr := testTrace(t, 4000, 3)
+	run := func(seed uint64) Report {
+		cfg := testConfig(t, "random")
+		cfg.Seed = seed
+		rep, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(1)
+	if a != b {
+		t.Errorf("same seed produced different reports:\n%+v\nvs\n%+v", a, b)
+	}
+	c := run(2)
+	if a == c {
+		t.Error("different seeds produced identical reports (random policy + keep-alive sampling should differ)")
+	}
+}
+
+func TestSimulateTinyClusterRejects(t *testing.T) {
+	tr := testTrace(t, 5000, 7)
+	cfg := testConfig(t, "bin-pack")
+	cfg.Hosts = 1
+	cfg.Host = HostSpec{VCPU: 0.5, MemMB: 1024} // too small for most flavors
+	rep, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RejectedSandboxes == 0 {
+		t.Error("expected sandbox rejections on a half-vCPU cluster")
+	}
+	if rep.Served+rep.RejectedRequests != tr.Len() {
+		t.Errorf("served %d + rejected %d != %d", rep.Served, rep.RejectedRequests, tr.Len())
+	}
+}
+
+func TestSimulateContentionStretchesLatency(t *testing.T) {
+	tr := testTrace(t, 5000, 7)
+	roomy := testConfig(t, "least-loaded")
+	roomy.Hosts = 64
+	cramped := testConfig(t, "bin-pack")
+	cramped.Hosts = 2
+	// Tiny on CPU, roomy on memory, heavily oversubscribed: in-flight
+	// demand exceeds the physical vCPUs, so contention must appear.
+	cramped.Host = HostSpec{VCPU: 2, MemMB: 1 << 20}
+	cramped.Overcommit = 8
+	repRoomy, err := Simulate(roomy, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCramped, err := Simulate(cramped, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repCramped.ContentionDelaySeconds <= repRoomy.ContentionDelaySeconds {
+		t.Errorf("cramped cluster contention %.2fs not above roomy %.2fs",
+			repCramped.ContentionDelaySeconds, repRoomy.ContentionDelaySeconds)
+	}
+	// The oversubscribed cluster must have run the cfs.SimulateHost
+	// cross-check probe and seen real slowdown.
+	if repCramped.CFSCheckLinear <= 1 || repCramped.CFSCheckMeasured <= 1 {
+		t.Errorf("cfs cross-check missing on an oversubscribed cluster: measured %.2f, linear %.2f",
+			repCramped.CFSCheckMeasured, repCramped.CFSCheckLinear)
+	}
+	// Contention-stretched wall clock must show up in the wall-clock bill.
+	if repCramped.Served == repRoomy.Served &&
+		repCramped.TotalCost <= repRoomy.TotalCost {
+		t.Errorf("cramped bill $%.4f not above roomy $%.4f despite contention",
+			repCramped.TotalCost, repRoomy.TotalCost)
+	}
+}
+
+// Elastic mode autoscales the active host pool via internal/autoscale:
+// a sparse trace should never need the whole fleet, and the report must
+// stay deterministic across worker counts (the autoscaler lives entirely
+// in the sequential placement pass).
+func TestSimulateElastic(t *testing.T) {
+	tr := testTrace(t, 6000, 13)
+	run := func(workers int) Report {
+		cfg := testConfig(t, "least-loaded")
+		cfg.Hosts = 16
+		cfg.Elastic = true
+		cfg.Workers = workers
+		rep, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run(1)
+	if !rep.Elastic {
+		t.Error("report not marked elastic")
+	}
+	if rep.PeakActiveHosts < 1 || rep.PeakActiveHosts > 16 {
+		t.Errorf("peak active hosts %d outside [1, 16]", rep.PeakActiveHosts)
+	}
+	if rep.MeanActiveHosts <= 0 || rep.MeanActiveHosts > float64(rep.PeakActiveHosts) {
+		t.Errorf("mean active hosts %.2f inconsistent with peak %d",
+			rep.MeanActiveHosts, rep.PeakActiveHosts)
+	}
+	if rep.MeanActiveHosts >= 16 {
+		t.Errorf("sparse trace kept the whole fleet active (mean %.2f)", rep.MeanActiveHosts)
+	}
+	other := run(4)
+	other.Workers = rep.Workers
+	if other != rep {
+		t.Errorf("elastic report depends on worker count:\n%+v\nvs\n%+v", other, rep)
+	}
+
+	// Fixed-fleet runs report the full pool as active.
+	fixed, err := Simulate(testConfig(t, "least-loaded"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Elastic || fixed.PeakActiveHosts != fixed.Hosts {
+		t.Errorf("fixed fleet misreported active hosts: %+v", fixed)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	tr := testTrace(t, 100, 1)
+	good := testConfig(t, "random")
+	cases := []func(*Config){
+		func(c *Config) { c.Hosts = 0 },
+		func(c *Config) { c.Host.VCPU = 0 },
+		func(c *Config) { c.Host.MemMB = -1 },
+		func(c *Config) { c.Policy = nil },
+		func(c *Config) { c.Workers = -1 },
+		func(c *Config) { c.Overcommit = 0.5 },
+		func(c *Config) { c.Profile = core.Profile{} },
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if _, err := Simulate(cfg, tr); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Simulate(good, &trace.Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewPolicy("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+
+	// Malformed replay input is rejected, not silently mis-simulated.
+	unsorted := testTrace(t, 50, 1)
+	unsorted.Requests[0], unsorted.Requests[1] = unsorted.Requests[1], unsorted.Requests[0]
+	if _, err := Simulate(good, unsorted); err == nil {
+		t.Error("unsorted trace accepted")
+	}
+	mixed := testTrace(t, 50, 1)
+	// Force two same-pod requests to disagree on flavor.
+	pod := mixed.Requests[0].PodID
+	for i := range mixed.Requests[1:] {
+		if mixed.Requests[i+1].PodID == pod {
+			mixed.Requests[i+1].AllocCPU *= 2
+			if _, err := Simulate(good, mixed); err == nil {
+				t.Error("mid-stream flavor change accepted")
+			}
+			return
+		}
+	}
+	t.Skip("no multi-request pod in the sample trace")
+}
+
+func TestCostPerMillionAndColdRate(t *testing.T) {
+	r := Report{Served: 2_000_000, TotalCost: 50, ColdStarts: 100_000}
+	if got := r.CostPerMillion(); math.Abs(got-25) > 1e-9 {
+		t.Errorf("CostPerMillion = %v, want 25", got)
+	}
+	if got := r.ColdStartRate(); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("ColdStartRate = %v, want 0.05", got)
+	}
+	var zero Report
+	if zero.CostPerMillion() != 0 || zero.ColdStartRate() != 0 {
+		t.Error("zero report should yield zero rates")
+	}
+}

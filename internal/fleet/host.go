@@ -1,0 +1,302 @@
+package fleet
+
+import (
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/cfs"
+	"slscost/internal/simtime"
+	"slscost/internal/stats"
+	"slscost/internal/trace"
+)
+
+// This file is the phase-2 shard: one host replaying its assigned pods
+// on a private simtime.Clock with a private stats.Rand stream. Nothing
+// here touches shared state, so hosts simulate concurrently and, because
+// every draw is keyed by (seed, host index) and event ties break in
+// scheduling order, a host's result depends only on its inputs — never
+// on which worker ran it or when.
+
+// hostResult is one host's contribution to the cluster report.
+type hostResult struct {
+	served    int
+	cold      int
+	reCold    int // warm-marked requests that found their sandbox expired
+	sandboxes int
+	expired   int
+
+	cost             float64
+	fees             float64
+	billedCPUSeconds float64
+	billedMemGBs     float64
+
+	latencyMs       []float64
+	contentionSecs  float64
+	busyVCPUSecs    float64
+	idleHeldCPUSecs float64
+	makespan        time.Duration
+
+	// CFS cross-check probe (see probe below): the event-driven
+	// multi-tenant host's measured slowdown at this host's peak
+	// co-tenancy instant, against the linear fair-share prediction.
+	probeLinear   float64
+	probeMeasured float64
+}
+
+// inflightReq is one executing request, tracked for the peak capture.
+type inflightReq struct {
+	id    int
+	alloc float64
+	cpu   time.Duration
+}
+
+// sandbox is one live pod runtime on the host.
+type sandbox struct {
+	pod        *pod
+	activeReqs int
+	idle       bool
+	idleTimer  *simtime.Timer
+}
+
+// hostSim is the mutable state of one host shard.
+type hostSim struct {
+	cfg   Config
+	clock *simtime.Clock
+	rng   *stats.Rand
+	res   hostResult
+
+	live        map[int]*sandbox // by pod ID
+	fnInstances map[int]int      // live sandboxes per function
+	inFlight    float64          // vCPUs of executing requests
+	idleHeldCPU float64          // vCPUs held by idle sandboxes (Table 2)
+	lastAccount time.Duration
+
+	// In-flight request set with deterministic (event-order) layout,
+	// plus the snapshot taken at the host's peak-demand instant.
+	inflight    []inflightReq
+	inflightPos map[int]int // request id → index in inflight
+	nextReqID   int
+	peakDemand  float64
+	peakTasks   []inflightReq
+}
+
+// account integrates the busy/idle-held vCPU curves up to now. The host
+// delivers at most its physical capacity even when the placer
+// oversubscribed it, so busy time is capped there.
+func (s *hostSim) account(now time.Duration) {
+	dt := (now - s.lastAccount).Seconds()
+	if dt > 0 {
+		delivered := s.inFlight
+		if delivered > s.cfg.Host.VCPU {
+			delivered = s.cfg.Host.VCPU
+		}
+		s.res.busyVCPUSecs += delivered * dt
+		s.res.idleHeldCPUSecs += s.idleHeldCPU * dt
+	}
+	s.lastAccount = now
+}
+
+// simulateHost replays the host's pods to completion.
+func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostResult {
+	s := &hostSim{
+		cfg:         cfg,
+		clock:       simtime.NewClock(),
+		rng:         stats.NewRand(mix(cfg.Seed, uint64(hostIdx)+1)),
+		live:        make(map[int]*sandbox),
+		fnInstances: make(map[int]int),
+		inflightPos: make(map[int]int),
+	}
+	n := 0
+	for _, p := range pods {
+		n += len(p.reqs)
+	}
+	s.res.latencyMs = make([]float64, 0, n)
+
+	for _, p := range pods {
+		for _, ri := range p.reqs {
+			r := tr.Requests[ri]
+			s.clock.At(r.Start, func(now time.Duration) { s.arrive(now, p, r) })
+		}
+	}
+	s.clock.Run()
+	s.account(s.clock.Now())
+	s.res.makespan = s.clock.Now()
+	s.probe()
+	return s.res
+}
+
+// probe cross-checks the linear contention model against the event-
+// driven multi-tenant CFS host (internal/cfs.SimulateHost): the tasks in
+// flight at the host's peak-demand instant are replayed, squeezed onto
+// one shared CPU with quotas scaled to their share of this host, and the
+// measured mean slowdown over each task's solo wall time is reported
+// next to the linear model's demand/capacity prediction.
+func (s *hostSim) probe() {
+	if s.peakDemand <= s.cfg.Host.VCPU || len(s.peakTasks) < 2 {
+		return
+	}
+	const maxTasks = 64
+	tasks := s.peakTasks
+	if len(tasks) > maxTasks {
+		tasks = tasks[:maxTasks]
+	}
+	period := s.cfg.Profile.SchedPeriod
+	host := cfs.HostConfig{TickHz: s.cfg.Profile.SchedTickHz, Sched: cfs.CFS}
+	specs := make([]cfs.HostTask, 0, len(tasks))
+	var slowSum, n float64
+	for _, q := range tasks {
+		quota := time.Duration(q.alloc / s.cfg.Host.VCPU * float64(period))
+		if quota <= 0 || q.cpu <= 0 {
+			continue
+		}
+		demand := q.cpu
+		if demand > 250*time.Millisecond {
+			demand = 250 * time.Millisecond // bound the probe's cost
+		}
+		specs = append(specs, cfs.HostTask{Period: period, Quota: quota, Demand: demand})
+	}
+	if len(specs) < 2 {
+		return
+	}
+	res, err := cfs.SimulateHost(host, specs)
+	if err != nil {
+		return
+	}
+	for i, spec := range specs {
+		solo := cfs.IdealDuration(spec.Demand, spec.Period, spec.Quota)
+		if solo <= 0 {
+			continue
+		}
+		slowSum += float64(res.Tasks[i].WallTime) / float64(solo)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	s.res.probeMeasured = slowSum / n
+	s.res.probeLinear = s.peakDemand / s.cfg.Host.VCPU
+}
+
+// arrive serves one request: sandbox lookup or cold start, contention-
+// stretched execution, billing, and completion scheduling.
+func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
+	s.account(now)
+	ka := s.cfg.Profile.KeepAlive
+
+	sb := s.live[p.id]
+	cold := false
+	var init time.Duration
+	switch {
+	case sb == nil:
+		// Cold start: either the pod's trace-recorded first request or a
+		// later request whose sandbox this platform's keep-alive window
+		// already reclaimed (a "re-cold" start the recording platform
+		// never saw). Both pay the pod's initialization time.
+		cold = true
+		init = p.initMs
+		if init <= 0 {
+			init = ka.ResidualColdStart
+		}
+		if !r.ColdStart {
+			s.res.reCold++
+		}
+		sb = &sandbox{pod: p}
+		s.live[p.id] = sb
+		s.fnInstances[p.fnID]++
+		s.res.sandboxes++
+	case sb.idle:
+		// Warm hit during keep-alive: cancel the pending expiry.
+		sb.idleTimer.Stop()
+		sb.idleTimer = nil
+		sb.idle = false
+		s.idleHeldCPU -= ka.IdleCPU(p.vcpu)
+	}
+
+	// Contention: when executing requests demand more vCPUs than the
+	// host has, fair sharing stretches everyone. The factor is fixed at
+	// admission (a deliberate approximation: re-deriving it on every
+	// overlap change would make each host an O(n²) simulation).
+	demand := s.inFlight + p.vcpu
+	factor := 1.0
+	if demand > s.cfg.Host.VCPU {
+		factor = demand / s.cfg.Host.VCPU
+	}
+	effective := time.Duration(float64(r.Duration) * factor)
+	s.res.contentionSecs += (effective - r.Duration).Seconds()
+	// Remember the host's worst co-tenancy instant for the post-run CFS
+	// cross-check probe.
+	reqID := s.nextReqID
+	s.nextReqID++
+	s.inflightPos[reqID] = len(s.inflight)
+	s.inflight = append(s.inflight, inflightReq{id: reqID, alloc: p.vcpu, cpu: r.CPUTime})
+	if demand > s.peakDemand {
+		s.peakDemand = demand
+		s.peakTasks = append(s.peakTasks[:0], s.inflight...)
+	}
+
+	s.inFlight += p.vcpu
+	sb.activeReqs++
+	s.res.served++
+	if cold {
+		s.res.cold++
+	}
+	latency := s.cfg.Profile.ServingOverhead + init + effective
+	s.res.latencyMs = append(s.res.latencyMs, float64(latency)/float64(time.Millisecond))
+
+	// Bill what the platform observed: the contention-stretched wall
+	// clock, and this cluster's cold starts rather than the trace's.
+	billed := r
+	billed.Duration = effective
+	billed.ColdStart = cold
+	billed.InitDuration = 0
+	if cold {
+		billed.InitDuration = init
+	}
+	ch := s.cfg.Profile.Billing.Bill(billing.MapRequest(s.cfg.Profile.Billing, billed))
+	s.res.cost += ch.Total()
+	s.res.fees += ch.Fee
+	s.res.billedCPUSeconds += ch.CPUSeconds
+	s.res.billedMemGBs += ch.MemGBSeconds
+
+	s.clock.At(now+init+effective, func(end time.Duration) { s.complete(end, sb, reqID) })
+}
+
+// complete finishes one request; the sandbox goes idle when it was the
+// last in flight, drawing its keep-alive window from the host's stream.
+func (s *hostSim) complete(now time.Duration, sb *sandbox, reqID int) {
+	s.account(now)
+	p := sb.pod
+	s.inFlight -= p.vcpu
+	sb.activeReqs--
+	// Swap-remove from the in-flight set (deterministic: completions
+	// fire in event order).
+	pos := s.inflightPos[reqID]
+	last := len(s.inflight) - 1
+	s.inflight[pos] = s.inflight[last]
+	s.inflightPos[s.inflight[pos].id] = pos
+	s.inflight = s.inflight[:last]
+	delete(s.inflightPos, reqID)
+	if sb.activeReqs > 0 {
+		return
+	}
+	ka := s.cfg.Profile.KeepAlive
+	sb.idle = true
+	s.idleHeldCPU += ka.IdleCPU(p.vcpu)
+	window := ka.Window(s.rng, s.fnInstances[p.fnID])
+	sb.idleTimer = s.clock.At(now+window, func(at time.Duration) { s.expire(at, sb) })
+}
+
+// expire reclaims an idle sandbox at the end of its keep-alive window.
+func (s *hostSim) expire(now time.Duration, sb *sandbox) {
+	s.account(now)
+	p := sb.pod
+	sb.idle = false
+	sb.idleTimer = nil
+	s.idleHeldCPU -= s.cfg.Profile.KeepAlive.IdleCPU(p.vcpu)
+	delete(s.live, p.id)
+	s.fnInstances[p.fnID]--
+	if s.fnInstances[p.fnID] == 0 {
+		delete(s.fnInstances, p.fnID)
+	}
+	s.res.expired++
+}

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"fmt"
+
+	"slscost/internal/stats"
+)
+
+// This file implements the pluggable sandbox placement policies the
+// cluster scheduler chooses hosts with. Placement happens at sandbox
+// (pod) granularity: a pod is placed once, on its first request, and
+// every later request of the pod routes to the same host — mirroring how
+// production FaaS schedulers bind a sandbox to a machine for its
+// lifetime.
+
+// HostLoad is the placement-time view of one host: its capacity and the
+// resources currently committed to live sandboxes.
+type HostLoad struct {
+	// Spec is the host's capacity.
+	Spec HostSpec
+	// CommittedVCPU and CommittedMemMB are the flavor resources of every
+	// sandbox currently placed (running or in keep-alive) on the host.
+	CommittedVCPU  float64
+	CommittedMemMB float64
+	// Sandboxes is the number of live sandboxes on the host.
+	Sandboxes int
+}
+
+// Fits reports whether a sandbox of the given flavor can be added without
+// over-committing either resource.
+func (h HostLoad) Fits(vcpu, memMB float64) bool {
+	return h.CommittedVCPU+vcpu <= h.Spec.VCPU+capacityEpsilon &&
+		h.CommittedMemMB+memMB <= h.Spec.MemMB+capacityEpsilon
+}
+
+// capacityEpsilon absorbs float rounding when summed flavor fractions
+// (e.g. ten 0.1-vCPU sandboxes) meet an integral capacity exactly.
+const capacityEpsilon = 1e-9
+
+// VCPUFraction returns committed vCPUs over capacity.
+func (h HostLoad) VCPUFraction() float64 {
+	if h.Spec.VCPU <= 0 {
+		return 0
+	}
+	return h.CommittedVCPU / h.Spec.VCPU
+}
+
+// View is the cluster state a policy chooses from.
+type View struct {
+	Hosts []HostLoad
+}
+
+// Policy decides which host a new sandbox lands on.
+//
+// Place returns the index of a host in v that Fits the flavor, or -1 when
+// no host can take it (the sandbox is then rejected). rng is the
+// placer's deterministic stream; policies must not keep hidden global
+// state, so that a simulation is reproducible from its seed alone.
+type Policy interface {
+	Name() string
+	Place(v *View, vcpu, memMB float64, rng *stats.Rand) int
+}
+
+// randomPolicy picks uniformly among the hosts with room.
+type randomPolicy struct{}
+
+func (randomPolicy) Name() string { return "random" }
+
+func (randomPolicy) Place(v *View, vcpu, memMB float64, rng *stats.Rand) int {
+	fit := make([]int, 0, len(v.Hosts))
+	for i, h := range v.Hosts {
+		if h.Fits(vcpu, memMB) {
+			fit = append(fit, i)
+		}
+	}
+	if len(fit) == 0 {
+		return -1
+	}
+	return fit[rng.Intn(len(fit))]
+}
+
+// roundRobinPolicy cycles through hosts, skipping full ones.
+type roundRobinPolicy struct {
+	next int
+}
+
+func (*roundRobinPolicy) Name() string { return "round-robin" }
+
+func (p *roundRobinPolicy) Place(v *View, vcpu, memMB float64, _ *stats.Rand) int {
+	n := len(v.Hosts)
+	for off := 0; off < n; off++ {
+		i := (p.next + off) % n
+		if v.Hosts[i].Fits(vcpu, memMB) {
+			p.next = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// leastLoadedPolicy spreads sandboxes onto the host with the lowest
+// committed vCPU fraction (ties break toward the lower host index).
+type leastLoadedPolicy struct{}
+
+func (leastLoadedPolicy) Name() string { return "least-loaded" }
+
+func (leastLoadedPolicy) Place(v *View, vcpu, memMB float64, _ *stats.Rand) int {
+	best := -1
+	for i, h := range v.Hosts {
+		if !h.Fits(vcpu, memMB) {
+			continue
+		}
+		if best == -1 || h.VCPUFraction() < v.Hosts[best].VCPUFraction() {
+			best = i
+		}
+	}
+	return best
+}
+
+// binPackPolicy concentrates sandboxes best-fit-style: among hosts with
+// room it picks the one left with the least free vCPU (ties broken by
+// least free memory, then lower index), keeping the rest of the fleet
+// empty for large flavors.
+type binPackPolicy struct{}
+
+func (binPackPolicy) Name() string { return "bin-pack" }
+
+func (binPackPolicy) Place(v *View, vcpu, memMB float64, _ *stats.Rand) int {
+	best := -1
+	var bestCPU, bestMem float64
+	for i, h := range v.Hosts {
+		if !h.Fits(vcpu, memMB) {
+			continue
+		}
+		freeCPU := h.Spec.VCPU - h.CommittedVCPU - vcpu
+		freeMem := h.Spec.MemMB - h.CommittedMemMB - memMB
+		if best == -1 || freeCPU < bestCPU || (freeCPU == bestCPU && freeMem < bestMem) {
+			best, bestCPU, bestMem = i, freeCPU, freeMem
+		}
+	}
+	return best
+}
+
+// NewPolicy returns a fresh instance of the named policy. Stateful
+// policies (round-robin) must not be shared between simulations.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "random":
+		return randomPolicy{}, nil
+	case "round-robin":
+		return &roundRobinPolicy{}, nil
+	case "least-loaded":
+		return leastLoadedPolicy{}, nil
+	case "bin-pack":
+		return binPackPolicy{}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown placement policy %q (have %v)", name, PolicyNames())
+}
+
+// PolicyNames lists the built-in policies.
+func PolicyNames() []string {
+	return []string{"random", "round-robin", "least-loaded", "bin-pack"}
+}

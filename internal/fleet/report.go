@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+// Report is the cluster-wide outcome of one simulation: the cost the
+// platform would bill (§2), the latency the users would see (§3), and
+// the capacity the operator burned (§4), aggregated over every host.
+type Report struct {
+	// Platform and Policy identify the configuration.
+	Platform string
+	Policy   string
+	Hosts    int
+	// Workers is the worker-pool size that ran the simulation. It never
+	// affects any other field.
+	Workers int
+	Seed    uint64
+
+	// Requests is the trace size; Served excludes rejected sandboxes.
+	Requests int
+	Served   int
+	// RejectedSandboxes/RejectedRequests count pods no host had capacity
+	// for at placement time (and their requests).
+	RejectedSandboxes int
+	RejectedRequests  int
+
+	// ColdStarts counts served requests that initialized a sandbox;
+	// ReColdStarts is the subset the recording platform served warm but
+	// this cluster's keep-alive policy had already reclaimed.
+	ColdStarts   int
+	ReColdStarts int
+	// Sandboxes and ExpiredSandboxes count sandbox creations and
+	// keep-alive reclaims across the cluster.
+	Sandboxes        int
+	ExpiredSandboxes int
+
+	// TotalCost is the cluster bill in dollars; Fees the invocation-fee
+	// share of it. BilledCPUSeconds/BilledMemGBs are the billable
+	// resource totals (Equation 1).
+	TotalCost        float64
+	Fees             float64
+	BilledCPUSeconds float64
+	BilledMemGBs     float64
+
+	// Latency summarizes per-request latency in milliseconds: serving
+	// overhead + initialization (cold) + contention-stretched execution.
+	Latency stats.Summary
+	// ContentionDelaySeconds is wall-clock added by CPU over-subscription,
+	// summed over requests — latency that wall-clock billing charges for.
+	ContentionDelaySeconds float64
+	// CFSCheckMeasured/CFSCheckLinear cross-check the linear contention
+	// model against internal/cfs.SimulateHost at the cluster's worst
+	// co-tenancy instant: the event-driven host's measured mean slowdown
+	// versus the linear demand/capacity prediction. Zero when no host
+	// was ever oversubscribed.
+	CFSCheckMeasured float64
+	CFSCheckLinear   float64
+
+	// Elastic reports whether the host pool was autoscaled;
+	// MeanActiveHosts/PeakActiveHosts describe the pool the placer saw
+	// (equal to Hosts for a fixed fleet).
+	Elastic         bool
+	MeanActiveHosts float64
+	PeakActiveHosts int
+
+	// MeanHostUtilization (with min/max spread) is busy vCPU-seconds over
+	// capacity × cluster makespan, per host.
+	MeanHostUtilization float64
+	MinHostUtilization  float64
+	MaxHostUtilization  float64
+	// IdleHeldVCPUSeconds is capacity held by idle keep-alive sandboxes
+	// (Table 2's resource-retention behaviors, fleet-wide).
+	IdleHeldVCPUSeconds float64
+	// Makespan is the virtual time at which the last host went quiet.
+	Makespan time.Duration
+}
+
+// ColdStartRate is cold starts over served requests.
+func (r Report) ColdStartRate() float64 {
+	if r.Served == 0 {
+		return 0
+	}
+	return float64(r.ColdStarts) / float64(r.Served)
+}
+
+// CostPerMillion normalizes the bill to dollars per million served
+// requests, the unit production cost dashboards use.
+func (r Report) CostPerMillion() float64 {
+	if r.Served == 0 {
+		return 0
+	}
+	return r.TotalCost / float64(r.Served) * 1e6
+}
+
+// mergeReport folds per-host results, strictly in host-index order so
+// floating-point sums are identical regardless of worker scheduling.
+func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs int, results []hostResult) (Report, error) {
+	rep := Report{
+		Platform:          cfg.Profile.Name,
+		Policy:            cfg.Policy.Name(),
+		Hosts:             cfg.Hosts,
+		Workers:           workers,
+		Seed:              cfg.Seed,
+		Requests:          requests,
+		RejectedSandboxes: ps.rejected,
+		RejectedRequests:  rejectedReqs,
+		Elastic:           cfg.Elastic,
+		MeanActiveHosts:   ps.meanActive,
+		PeakActiveHosts:   ps.peakActive,
+	}
+	var lat []float64
+	for _, hr := range results {
+		rep.Served += hr.served
+		rep.ColdStarts += hr.cold
+		rep.ReColdStarts += hr.reCold
+		rep.Sandboxes += hr.sandboxes
+		rep.ExpiredSandboxes += hr.expired
+		rep.TotalCost += hr.cost
+		rep.Fees += hr.fees
+		rep.BilledCPUSeconds += hr.billedCPUSeconds
+		rep.BilledMemGBs += hr.billedMemGBs
+		rep.ContentionDelaySeconds += hr.contentionSecs
+		rep.IdleHeldVCPUSeconds += hr.idleHeldCPUSecs
+		if hr.probeLinear > rep.CFSCheckLinear {
+			rep.CFSCheckLinear = hr.probeLinear
+			rep.CFSCheckMeasured = hr.probeMeasured
+		}
+		if hr.makespan > rep.Makespan {
+			rep.Makespan = hr.makespan
+		}
+		lat = append(lat, hr.latencyMs...)
+	}
+	if rep.Served == 0 {
+		return rep, fmt.Errorf("fleet: no requests served (all %d sandboxes rejected)", ps.rejected)
+	}
+	sum, err := stats.Summarize(lat)
+	if err != nil {
+		return rep, err
+	}
+	rep.Latency = sum
+
+	span := rep.Makespan.Seconds()
+	if span > 0 {
+		rep.MinHostUtilization = 1
+		for _, hr := range results {
+			u := hr.busyVCPUSecs / (cfg.Host.VCPU * span)
+			rep.MeanHostUtilization += u
+			if u < rep.MinHostUtilization {
+				rep.MinHostUtilization = u
+			}
+			if u > rep.MaxHostUtilization {
+				rep.MaxHostUtilization = u
+			}
+		}
+		rep.MeanHostUtilization /= float64(cfg.Hosts)
+	}
+	return rep, nil
+}
+
+// WriteText renders the report for terminals (cmd/fleetsim and the
+// examples use this layout).
+func (r Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "fleet: %d hosts, policy %s, platform %s (seed %d, %d workers)\n",
+		r.Hosts, r.Policy, r.Platform, r.Seed, r.Workers)
+	fmt.Fprintf(w, "  requests: %d served / %d total", r.Served, r.Requests)
+	if r.RejectedRequests > 0 {
+		fmt.Fprintf(w, " (%d rejected in %d sandboxes)", r.RejectedRequests, r.RejectedSandboxes)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  sandboxes: %d created, %d reclaimed by keep-alive\n", r.Sandboxes, r.ExpiredSandboxes)
+	fmt.Fprintf(w, "  cold starts: %.2f%% of served (%d, of which %d keep-alive induced)\n",
+		r.ColdStartRate()*100, r.ColdStarts, r.ReColdStarts)
+	fmt.Fprintf(w, "  cost: $%.4f total ($%.2f per 1M requests; fees %.1f%%)\n",
+		r.TotalCost, r.CostPerMillion(), safePct(r.Fees, r.TotalCost))
+	fmt.Fprintf(w, "  billable: %.0f vCPU-s, %.0f GB-s\n", r.BilledCPUSeconds, r.BilledMemGBs)
+	fmt.Fprintf(w, "  latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		r.Latency.Median, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	fmt.Fprintf(w, "  contention: %.1f s of added wall-clock across the trace\n", r.ContentionDelaySeconds)
+	if r.CFSCheckLinear > 0 {
+		fmt.Fprintf(w, "  cfs cross-check at peak co-tenancy: measured x%.2f vs linear model x%.2f\n",
+			r.CFSCheckMeasured, r.CFSCheckLinear)
+	}
+	if r.Elastic {
+		fmt.Fprintf(w, "  autoscaled host pool: mean %.1f active, peak %d of %d\n",
+			r.MeanActiveHosts, r.PeakActiveHosts, r.Hosts)
+	}
+	fmt.Fprintf(w, "  host vCPU utilization: mean %.2f%% (min %.2f%%, max %.2f%%); idle-held %.0f vCPU-s\n",
+		r.MeanHostUtilization*100, r.MinHostUtilization*100, r.MaxHostUtilization*100,
+		r.IdleHeldVCPUSeconds)
+	fmt.Fprintf(w, "  makespan: %v of virtual time\n", r.Makespan.Round(time.Millisecond))
+}
+
+// safePct returns num/den as a percentage, 0 when den is 0.
+func safePct(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den * 100
+}

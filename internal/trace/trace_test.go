@@ -240,6 +240,48 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// The CSV format stores durations at microsecond resolution; a trace
+// already at that resolution must round-trip to exact equality, and a
+// second serialization must be byte-identical to the first.
+func TestCSVRoundTripExact(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Requests = 2000
+	tr := Generate(cfg)
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		r.Start = r.Start.Truncate(time.Microsecond)
+		r.Duration = r.Duration.Truncate(time.Microsecond)
+		r.CPUTime = r.CPUTime.Truncate(time.Microsecond)
+		r.InitDuration = r.InitDuration.Truncate(time.Microsecond)
+	}
+
+	var first bytes.Buffer
+	if err := WriteCSV(&first, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round-trip length %d vs %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Requests {
+		if tr.Requests[i] != got.Requests[i] {
+			t.Fatalf("row %d not equal after round-trip:\n%+v\nvs\n%+v",
+				i, tr.Requests[i], got.Requests[i])
+		}
+	}
+
+	var second bytes.Buffer
+	if err := WriteCSV(&second, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("write→read→write is not byte-stable")
+	}
+}
+
 func TestReadCSVErrors(t *testing.T) {
 	cases := []string{
 		"",                      // empty
