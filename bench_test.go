@@ -17,6 +17,7 @@ import (
 	"slscost/internal/experiments"
 	"slscost/internal/fleet"
 	"slscost/internal/platform"
+	"slscost/internal/scenario"
 	"slscost/internal/trace"
 	"slscost/internal/workload"
 )
@@ -68,6 +69,7 @@ func BenchmarkExtSchedulerAblation(b *testing.B) {
 func BenchmarkExtComposition(b *testing.B) { benchExperiment(b, "ext-composition", 1) }
 func BenchmarkExtCoTenancy(b *testing.B)   { benchExperiment(b, "ext-cotenancy", 1) }
 func BenchmarkExtFleet(b *testing.B)       { benchExperiment(b, "ext-fleet", 0.1) }
+func BenchmarkExtScenarios(b *testing.B)   { benchExperiment(b, "ext-scenarios", 0.1) }
 
 // BenchmarkFleetReplay measures cluster-replay throughput (requests/sec)
 // as the host shards spread over 1, 4, and 8 workers. The report is
@@ -105,6 +107,23 @@ func BenchmarkFleetReplay(b *testing.B) {
 			}
 			b.SetBytes(int64(tr.Len())) // bytes/sec doubles as requests/sec
 		})
+	}
+}
+
+// BenchmarkScenarioTrace measures workload-scenario synthesis (base
+// generation plus shape-modulated re-timing) at 10k requests.
+func BenchmarkScenarioTrace(b *testing.B) {
+	sc, ok := scenario.ByName("flash-crowd")
+	if !ok {
+		b.Fatal("flash-crowd scenario missing")
+	}
+	cfg := scenario.DefaultConfig()
+	cfg.Base.Requests = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Trace(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -5,7 +5,15 @@
 // Usage:
 //
 //	fleetsim -hosts 32 -requests 1000000 -policy least-loaded
+//	fleetsim -scenario flash-crowd -hosts 32 -requests 1000000
 //	fleetsim -trace trace.csv -platform gcp-cloud-run -policy bin-pack
+//
+// The -scenario flag picks a workload scenario from the
+// internal/scenario catalog (diurnal troughs, flash crowds, heavy-tail
+// bursts, tenant mixes); "raw" bypasses the scenario layer and replays
+// the unshaped generator output. -verify cross-checks the report
+// against the independent differential replay (internal/scenario/
+// diffsim) before printing it.
 //
 // The report is deterministic for a given seed regardless of -workers:
 // host shards simulate on private clocks and random streams and merge in
@@ -22,6 +30,8 @@ import (
 
 	"slscost/internal/core"
 	"slscost/internal/fleet"
+	"slscost/internal/scenario"
+	"slscost/internal/scenario/diffsim"
 	"slscost/internal/trace"
 )
 
@@ -46,6 +56,11 @@ func run(args []string, w io.Writer) error {
 	overcommit := fs.Float64("overcommit", 2, "CPU oversubscription ratio the placer packs against (>= 1)")
 	elastic := fs.Bool("elastic", false, "autoscale the active host pool between 1 and -hosts")
 	tracePath := fs.String("trace", "", "replay a CSV trace (tracegen format) instead of generating one")
+	scenarioName := fs.String("scenario", "steady",
+		"workload scenario: "+strings.Join(scenario.Names(), ", ")+`, or "raw" for the unshaped generator`)
+	tenants := fs.Int("tenants", 1, "fan the scenario into N phase-shifted tenants (>= 1)")
+	horizon := fs.Duration("horizon", 0, "scenario shape period (0 = auto-scale to the workload)")
+	verify := fs.Bool("verify", false, "cross-check the report against the independent differential replay")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,10 +82,49 @@ func run(args []string, w io.Writer) error {
 	if *overcommit < 1 {
 		return fmt.Errorf("-overcommit %v below 1", *overcommit)
 	}
+	if *tenants < 1 {
+		return fmt.Errorf("-tenants %d below 1", *tenants)
+	}
+	if *horizon < 0 {
+		return fmt.Errorf("-horizon %v negative", *horizon)
+	}
+	// A recorded trace replays as-is, and "raw" bypasses the shaping
+	// layer; explicitly asking to shape either is a contradiction, not
+	// something to ignore silently.
+	if *tracePath != "" || *scenarioName == "raw" {
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "tenants", "horizon":
+				conflict = append(conflict, "-"+f.Name)
+			case "scenario":
+				if *tracePath != "" {
+					conflict = append(conflict, "-"+f.Name)
+				}
+			}
+		})
+		if len(conflict) > 0 {
+			what := "-trace replays the CSV unshaped"
+			if *tracePath == "" {
+				what = `-scenario raw is the unshaped generator`
+			}
+			return fmt.Errorf("%s; drop %s", what, strings.Join(conflict, ", "))
+		}
+	}
+	var sc scenario.Scenario
+	if *scenarioName != "raw" {
+		var ok bool
+		if sc, ok = scenario.ByName(*scenarioName); !ok {
+			return fmt.Errorf("unknown scenario %q (have %s, or raw)",
+				*scenarioName, strings.Join(scenario.Names(), ", "))
+		}
+	}
 
 	var tr *trace.Trace
+	scenarioLabel := ""
 	genStart := time.Now()
-	if *tracePath != "" {
+	switch {
+	case *tracePath != "":
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			return err
@@ -81,13 +135,25 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "replaying %d requests from %s (loaded in %v)\n",
 			tr.Len(), *tracePath, time.Since(genStart).Round(time.Millisecond))
-	} else {
+	case *scenarioName == "raw":
 		gen := trace.DefaultGeneratorConfig()
 		gen.Requests = *requests
 		gen.Seed = *seed
 		tr = trace.Generate(gen)
 		fmt.Fprintf(w, "generated %d-request synthetic trace (seed %d) in %v\n",
 			tr.Len(), *seed, time.Since(genStart).Round(time.Millisecond))
+	default:
+		gen := trace.DefaultGeneratorConfig()
+		gen.Requests = *requests
+		gen.Seed = *seed
+		scfg := scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants}
+		var err error
+		if tr, err = sc.Trace(scfg); err != nil {
+			return err
+		}
+		scenarioLabel = sc.Name
+		fmt.Fprintf(w, "synthesized %d-request %s scenario trace (seed %d, %d tenants) in %v\n",
+			tr.Len(), sc.Name, *seed, *tenants, time.Since(genStart).Round(time.Millisecond))
 	}
 
 	cfg := fleet.Config{
@@ -105,9 +171,23 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rep.Scenario = scenarioLabel
 	elapsed := time.Since(simStart)
 	fmt.Fprintf(w, "simulated in %v (%.0f requests/sec)\n\n",
 		elapsed.Round(time.Millisecond), float64(tr.Len())/elapsed.Seconds())
 	rep.WriteText(w)
+	if *verify {
+		agg, err := diffsim.Replay(cfg, tr)
+		if err != nil {
+			return err
+		}
+		res := diffsim.Diff(rep, agg)
+		fmt.Fprintf(w, "\ndifferential replay: max relative delta %.3g over %d metrics\n",
+			res.MaxRelDelta, len(res.Metrics))
+		if err := res.Check(diffsim.DefaultTolerance); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "differential replay: report verified")
+	}
 	return nil
 }

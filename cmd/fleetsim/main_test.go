@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestRunWorkerCountIndependentOutput(t *testing.T) {
 		}
 		s := out.String()
 		// Strip timing lines and the worker count, which legitimately vary.
-		s = regexp.MustCompile(`(?m)^(generated|simulated).*$`).ReplaceAllString(s, "")
+		s = regexp.MustCompile(`(?m)^(generated|synthesized|simulated).*$`).ReplaceAllString(s, "")
 		return regexp.MustCompile(`\d+ workers`).ReplaceAllString(s, "W workers")
 	}
 	if a, b := report("1"), report("4"); a != b {
@@ -70,19 +71,98 @@ func TestRunReplayCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	cases := [][]string{
-		{"-bogus"},
-		{"-policy", "nope"},
-		{"-platform", "nope"},
-		{"-trace", filepath.Join(t.TempDir(), "missing.csv")},
-		{"-hosts", "0"},
-		{"-overcommit", "0.5"},
-		{"-overcommit", "0"},
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"bad policy", []string{"-policy", "nope"}},
+		{"bad platform", []string{"-platform", "nope"}},
+		{"missing trace", []string{"-trace", filepath.Join(t.TempDir(), "missing.csv")}},
+		{"zero hosts", []string{"-hosts", "0"}},
+		{"negative hosts", []string{"-hosts", "-4"}},
+		{"fractional overcommit", []string{"-overcommit", "0.5"}},
+		{"zero overcommit", []string{"-overcommit", "0"}},
+		{"bad scenario", []string{"-scenario", "nope"}},
+		{"empty scenario", []string{"-scenario", ""}},
+		{"zero tenants", []string{"-tenants", "0"}},
+		{"negative tenants", []string{"-tenants", "-2"}},
+		{"negative horizon", []string{"-horizon", "-1h"}},
+		{"unparsable horizon", []string{"-horizon", "soon"}},
+		{"trace with scenario", []string{"-trace", "t.csv", "-scenario", "flash-crowd"}},
+		{"trace with tenants", []string{"-trace", "t.csv", "-tenants", "2"}},
+		{"trace with horizon", []string{"-trace", "t.csv", "-horizon", "1h"}},
+		{"raw with tenants", []string{"-scenario", "raw", "-tenants", "2"}},
+		{"raw with horizon", []string{"-scenario", "raw", "-horizon", "1h"}},
 	}
-	for i, args := range cases {
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, &out); err == nil {
+				t.Errorf("%v: expected error", c.args)
+			}
+		})
+	}
+}
+
+func TestRunScenarioModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "flash-crowd", "-hosts", "4", "-requests", "2000"},
+		{"-scenario", "raw", "-hosts", "4", "-requests", "2000"},
+		{"-scenario", "multi-tenant", "-hosts", "4", "-requests", "2000"},
+		{"-scenario", "diurnal", "-tenants", "3", "-horizon", "2h", "-hosts", "4", "-requests", "2000"},
+	} {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
-			t.Errorf("case %d (%v): expected error", i, args)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
 		}
+		if args[1] == "raw" {
+			if !strings.Contains(out.String(), "generated 2000-request synthetic trace") {
+				t.Errorf("%v: missing raw banner:\n%s", args, out.String())
+			}
+			continue
+		}
+		if !strings.Contains(out.String(), "scenario trace") ||
+			!strings.Contains(out.String(), "scenario: "+args[1]) {
+			t.Errorf("%v: missing scenario banner/report line:\n%s", args, out.String())
+		}
+	}
+}
+
+// TestRunVerify exercises the CLI's differential-replay path: the
+// fleet report must be reproduced by the independent per-host replay.
+func TestRunVerify(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "bursty", "-hosts", "4", "-requests", "2000", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "differential replay: report verified") {
+		t.Errorf("missing verification verdict:\n%s", out.String())
+	}
+}
+
+// TestRunFlashCrowdColderThanSteady pins the CLI-level acceptance
+// behavior: at equal request count, the flash-crowd scenario reports a
+// higher cold-start percentage than steady.
+func TestRunFlashCrowdColderThanSteady(t *testing.T) {
+	cold := func(scenario string) float64 {
+		var out bytes.Buffer
+		if err := run([]string{"-scenario", scenario, "-hosts", "8", "-requests", "8000"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		m := regexp.MustCompile(`cold starts: ([\d.]+)%`).FindStringSubmatch(out.String())
+		if m == nil {
+			t.Fatalf("no cold-start line in output:\n%s", out.String())
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	steady, flash := cold("steady"), cold("flash-crowd")
+	if flash <= steady {
+		t.Errorf("flash-crowd cold rate %.2f%% not above steady %.2f%%", flash, steady)
 	}
 }

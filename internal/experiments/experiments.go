@@ -79,6 +79,7 @@ func All() []Experiment {
 		{"ext-composition", "Function fusion vs decomposition advisor (§5)", RunExtComposition},
 		{"ext-cotenancy", "Multi-tenant host density and interference", RunExtCoTenancy},
 		{"ext-fleet", "Cluster-scale placement policies' cost/latency trade-offs", RunFleetExperiment},
+		{"ext-scenarios", "Workload scenarios × placement, differentially verified", RunScenarioExperiment},
 	}
 }
 

@@ -16,7 +16,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"intro", "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"fig8", "fig9", "table2", "fig10", "fig11", "fig12", "table3",
 		"exploit", "ext-billing-modes", "ext-rightsize", "ext-sched",
-		"ext-composition", "ext-cotenancy", "ext-fleet",
+		"ext-composition", "ext-cotenancy", "ext-fleet", "ext-scenarios",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -67,6 +67,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"ext-composition":   {"fused", "split", "fusion savings"},
 		"ext-cotenancy":     {"tenants", "slowdown", "host busy"},
 		"ext-fleet":         {"least-loaded", "bin-pack", "$/1M req", "idle-held vCPU-s"},
+		"ext-scenarios":     {"flash-crowd", "diurnal", "multi-tenant", "max rel delta", "agree"},
 	}
 	for _, e := range All() {
 		e := e

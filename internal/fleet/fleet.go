@@ -314,12 +314,7 @@ func expectedWindow(p core.Profile) time.Duration {
 
 // mix derives an independent splitmix-style seed from (seed, salt) so
 // each host shard and the placer get decorrelated streams.
-func mix(seed, salt uint64) uint64 {
-	z := seed + 0x9e3779b97f4a7c15*(salt+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+func mix(seed, salt uint64) uint64 { return stats.MixSeed(seed, salt) }
 
 // Simulate replays the trace through the cluster and returns the
 // cluster-wide report. The trace must be sorted by arrival time with

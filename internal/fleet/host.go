@@ -125,42 +125,64 @@ func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostRes
 	return s.res
 }
 
-// probe cross-checks the linear contention model against the event-
-// driven multi-tenant CFS host (internal/cfs.SimulateHost): the tasks in
-// flight at the host's peak-demand instant are replayed, squeezed onto
-// one shared CPU with quotas scaled to their share of this host, and the
-// measured mean slowdown over each task's solo wall time is reported
-// next to the linear model's demand/capacity prediction.
+// probe runs the CFS cross-check on this host's peak-demand snapshot.
 func (s *hostSim) probe() {
-	if s.peakDemand <= s.cfg.Host.VCPU || len(s.peakTasks) < 2 {
-		return
+	tasks := make([]ProbeTask, len(s.peakTasks))
+	for i, q := range s.peakTasks {
+		tasks[i] = ProbeTask{Alloc: q.alloc, CPU: q.cpu}
+	}
+	s.res.probeLinear, s.res.probeMeasured = CFSProbe(
+		s.cfg.Profile.SchedPeriod, s.cfg.Profile.SchedTickHz,
+		s.cfg.Host.VCPU, s.peakDemand, tasks)
+}
+
+// ProbeTask is one in-flight request at a host's peak-demand instant,
+// as CFSProbe consumes it.
+type ProbeTask struct {
+	Alloc float64       // the request's vCPU allocation
+	CPU   time.Duration // its remaining CPU demand
+}
+
+// CFSProbe cross-checks the linear contention model against the event-
+// driven multi-tenant CFS host (internal/cfs.SimulateHost): the tasks
+// in flight at a host's peak-demand instant are replayed, squeezed onto
+// one shared CPU with quotas scaled to their share of the host, and the
+// measured mean slowdown over each task's solo wall time is returned
+// next to the linear model's demand/capacity prediction. Both are zero
+// when the host was never oversubscribed (or too few tasks qualify).
+//
+// Exported because the differential harness (internal/scenario/
+// diffsim) runs the same probe on its independently rebuilt snapshot —
+// the snapshot is the verified artifact, the probe arithmetic is
+// shared.
+func CFSProbe(period time.Duration, tickHz int, hostVCPU, peakDemand float64, tasks []ProbeTask) (linear, measured float64) {
+	if peakDemand <= hostVCPU || len(tasks) < 2 {
+		return 0, 0
 	}
 	const maxTasks = 64
-	tasks := s.peakTasks
 	if len(tasks) > maxTasks {
 		tasks = tasks[:maxTasks]
 	}
-	period := s.cfg.Profile.SchedPeriod
-	host := cfs.HostConfig{TickHz: s.cfg.Profile.SchedTickHz, Sched: cfs.CFS}
+	host := cfs.HostConfig{TickHz: tickHz, Sched: cfs.CFS}
 	specs := make([]cfs.HostTask, 0, len(tasks))
 	var slowSum, n float64
 	for _, q := range tasks {
-		quota := time.Duration(q.alloc / s.cfg.Host.VCPU * float64(period))
-		if quota <= 0 || q.cpu <= 0 {
+		quota := time.Duration(q.Alloc / hostVCPU * float64(period))
+		if quota <= 0 || q.CPU <= 0 {
 			continue
 		}
-		demand := q.cpu
+		demand := q.CPU
 		if demand > 250*time.Millisecond {
 			demand = 250 * time.Millisecond // bound the probe's cost
 		}
 		specs = append(specs, cfs.HostTask{Period: period, Quota: quota, Demand: demand})
 	}
 	if len(specs) < 2 {
-		return
+		return 0, 0
 	}
 	res, err := cfs.SimulateHost(host, specs)
 	if err != nil {
-		return
+		return 0, 0
 	}
 	for i, spec := range specs {
 		solo := cfs.IdealDuration(spec.Demand, spec.Period, spec.Quota)
@@ -171,10 +193,9 @@ func (s *hostSim) probe() {
 		n++
 	}
 	if n == 0 {
-		return
+		return 0, 0
 	}
-	s.res.probeMeasured = slowSum / n
-	s.res.probeLinear = s.peakDemand / s.cfg.Host.VCPU
+	return peakDemand / hostVCPU, slowSum / n
 }
 
 // arrive serves one request: sandbox lookup or cold start, contention-

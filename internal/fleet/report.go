@@ -15,6 +15,9 @@ type Report struct {
 	// Platform and Policy identify the configuration.
 	Platform string
 	Policy   string
+	// Scenario names the workload scenario the trace was synthesized
+	// from (SimulateScenario sets it; empty for raw traces).
+	Scenario string
 	Hosts    int
 	// Workers is the worker-pool size that ran the simulation. It never
 	// affects any other field.
@@ -167,6 +170,9 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 func (r Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "fleet: %d hosts, policy %s, platform %s (seed %d, %d workers)\n",
 		r.Hosts, r.Policy, r.Platform, r.Seed, r.Workers)
+	if r.Scenario != "" {
+		fmt.Fprintf(w, "  scenario: %s\n", r.Scenario)
+	}
 	fmt.Fprintf(w, "  requests: %d served / %d total", r.Served, r.Requests)
 	if r.RejectedRequests > 0 {
 		fmt.Fprintf(w, " (%d rejected in %d sandboxes)", r.RejectedRequests, r.RejectedSandboxes)

@@ -1,0 +1,69 @@
+package scenario
+
+// The shipped scenario catalog. Every entry is deterministic in the
+// synthesis seed; cmd/fleetsim exposes them via -scenario, the
+// ext-scenarios experiment sweeps them against every placement policy,
+// and the diffsim harness cross-checks each one against an independent
+// per-host replay.
+
+// Catalog returns the built-in scenarios in presentation order.
+func Catalog() []Scenario {
+	return []Scenario{
+		{
+			Name:        "steady",
+			Description: "stationary arrivals, the paper's trace regime",
+			Shape:       Steady{},
+		},
+		{
+			Name:        "diurnal",
+			Description: "day/night cycle with a deep overnight trough",
+			Shape:       Diurnal{Cycles: 1, Trough: 0.08},
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "quiet baseline with one short, violent spike",
+			Shape:       FlashCrowd{At: 0.5, Width: 0.02, Baseline: 0.05, Magnitude: 50},
+		},
+		{
+			Name:        "bursty",
+			Description: "heavy-tail Pareto bursts over a near-silent floor",
+			Shape:       NewParetoBursts(20260613, 12, 1.3, 0.05),
+		},
+		{
+			Name:        "ramp",
+			Description: "launch-day linear ramp from near-zero to peak",
+			Shape:       Ramp{From: 0.05, To: 2},
+		},
+		{
+			Name:        "multi-tenant",
+			Description: "three tenants: steady API, phase-shifted diurnal, bursty batch",
+			Tenants: []Tenant{
+				{Name: "api", Weight: 0.5, Shape: Steady{}},
+				{Name: "web", Weight: 0.3, Shape: Shifted{Shape: Diurnal{Cycles: 1, Trough: 0.1}, Phase: 0.33},
+					ZipfExponent: 1.4, FlavorBias: -1},
+				{Name: "batch", Weight: 0.2, Shape: NewParetoBursts(7, 6, 1.2, 0.02),
+					ZipfExponent: 0.9, FlavorBias: 1},
+			},
+		},
+	}
+}
+
+// Names lists the catalog scenario names in order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, s := range cat {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns the catalog scenario with the given name.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,484 @@
+// Package diffsim is the differential verification harness for the
+// cluster simulator: it replays a fleet configuration's placement with
+// an independent, single-threaded per-host interpreter built directly
+// on the keep-alive, billing, and cfs models, and cross-checks the
+// aggregate report internal/fleet produces against it.
+//
+// internal/fleet simulates each host as callbacks on a simtime.Clock
+// with cancellable timers, sharded across a worker pool. This package
+// re-derives the same quantities from the same inputs with a different
+// mechanism — one explicit chronological sweep per host over a flat
+// event heap, with lazy (generation-counted) expiry invalidation and
+// sequential accounting — so a bookkeeping bug in either implementation
+// surfaces as a disagreement. The per-host random stream contract
+// (fleet.ShardSeed, keep-alive windows drawn in event order) is shared,
+// which makes the expected agreement exact up to float summation order;
+// DefaultTolerance is far below any behavioral divergence.
+//
+// Combined with internal/scenario, every workload scenario doubles as a
+// verification oracle: the ext-scenarios experiment and the fleetsim
+// -verify flag run this harness across the catalog.
+package diffsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"reflect"
+	"time"
+
+	"slscost/internal/billing"
+	"slscost/internal/fleet"
+	"slscost/internal/stats"
+	"slscost/internal/trace"
+)
+
+// DefaultTolerance is the relative disagreement the harness accepts:
+// float summation-order noise, orders of magnitude below any real
+// behavioral divergence.
+const DefaultTolerance = 1e-6
+
+// Aggregate is the independent replay's cluster-wide tally — the subset
+// of fleet.Report the harness re-derives.
+type Aggregate struct {
+	Served            int
+	ColdStarts        int
+	ReColdStarts      int
+	Sandboxes         int
+	ExpiredSandboxes  int
+	RejectedSandboxes int
+	RejectedRequests  int
+
+	TotalCost        float64
+	Fees             float64
+	BilledCPUSeconds float64
+	BilledMemGBs     float64
+
+	ContentionDelaySeconds float64
+	IdleHeldVCPUSeconds    float64
+	MeanLatencyMs          float64
+
+	MeanHostUtilization float64
+	MinHostUtilization  float64
+	MaxHostUtilization  float64
+
+	CFSCheckLinear   float64
+	CFSCheckMeasured float64
+
+	Makespan time.Duration
+}
+
+// Metric is one compared quantity.
+type Metric struct {
+	Name        string
+	Fleet       float64
+	Independent float64
+	RelDelta    float64
+}
+
+// Result is the outcome of one differential comparison.
+type Result struct {
+	Metrics     []Metric
+	MaxRelDelta float64
+}
+
+// Check returns an error naming every metric whose relative delta
+// exceeds tol.
+func (r *Result) Check(tol float64) error {
+	var bad []string
+	for _, m := range r.Metrics {
+		if m.RelDelta > tol {
+			bad = append(bad, fmt.Sprintf("%s: fleet %v vs independent %v (rel %.3g)",
+				m.Name, m.Fleet, m.Independent, m.RelDelta))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("diffsim: %d metric(s) disagree beyond %.3g: %v", len(bad), tol, bad)
+	}
+	return nil
+}
+
+// Verify simulates the cluster, replays it independently, and checks
+// the two against tol. It is the one-call form used by tests and the
+// fleetsim -verify flag.
+func Verify(cfg fleet.Config, tr *trace.Trace, tol float64) (*Result, fleet.Report, error) {
+	rep, err := fleet.Simulate(cfg, tr)
+	if err != nil {
+		return nil, rep, err
+	}
+	agg, err := Replay(cfg, tr)
+	if err != nil {
+		return nil, rep, err
+	}
+	res := Diff(rep, agg)
+	return res, rep, res.Check(tol)
+}
+
+// Diff compares a fleet report against the independent aggregate.
+func Diff(rep fleet.Report, agg Aggregate) *Result {
+	res := &Result{}
+	add := func(name string, a, b float64) {
+		d := relDelta(a, b)
+		res.Metrics = append(res.Metrics, Metric{Name: name, Fleet: a, Independent: b, RelDelta: d})
+		if d > res.MaxRelDelta {
+			res.MaxRelDelta = d
+		}
+	}
+	add("served", float64(rep.Served), float64(agg.Served))
+	add("cold-starts", float64(rep.ColdStarts), float64(agg.ColdStarts))
+	add("re-cold-starts", float64(rep.ReColdStarts), float64(agg.ReColdStarts))
+	add("sandboxes", float64(rep.Sandboxes), float64(agg.Sandboxes))
+	add("expired-sandboxes", float64(rep.ExpiredSandboxes), float64(agg.ExpiredSandboxes))
+	add("rejected-sandboxes", float64(rep.RejectedSandboxes), float64(agg.RejectedSandboxes))
+	add("rejected-requests", float64(rep.RejectedRequests), float64(agg.RejectedRequests))
+	add("total-cost", rep.TotalCost, agg.TotalCost)
+	add("fees", rep.Fees, agg.Fees)
+	add("billed-cpu-seconds", rep.BilledCPUSeconds, agg.BilledCPUSeconds)
+	add("billed-mem-gbs", rep.BilledMemGBs, agg.BilledMemGBs)
+	add("contention-delay-seconds", rep.ContentionDelaySeconds, agg.ContentionDelaySeconds)
+	add("idle-held-vcpu-seconds", rep.IdleHeldVCPUSeconds, agg.IdleHeldVCPUSeconds)
+	add("mean-latency-ms", rep.Latency.Mean, agg.MeanLatencyMs)
+	add("mean-host-utilization", rep.MeanHostUtilization, agg.MeanHostUtilization)
+	add("min-host-utilization", rep.MinHostUtilization, agg.MinHostUtilization)
+	add("max-host-utilization", rep.MaxHostUtilization, agg.MaxHostUtilization)
+	add("cfs-check-linear", rep.CFSCheckLinear, agg.CFSCheckLinear)
+	add("cfs-check-measured", rep.CFSCheckMeasured, agg.CFSCheckMeasured)
+	add("makespan-seconds", rep.Makespan.Seconds(), agg.Makespan.Seconds())
+	return res
+}
+
+// relDelta is |a-b| scaled by the larger magnitude (floored at 1 so
+// zero-valued metrics compare absolutely).
+func relDelta(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den < 1 {
+		den = 1
+	}
+	return math.Abs(a-b) / den
+}
+
+// Replay places the trace with the fleet's own sequential placement
+// pass, then replays every host with the independent interpreter and
+// folds results in host order (mirroring the fleet's merge discipline
+// so float sums are comparable).
+func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
+	// Stateful built-in policies (round-robin keeps a cursor) are
+	// re-instantiated so this placement pass starts clean even when the
+	// caller already ran fleet.Simulate with the same Config value. The
+	// type check keeps a custom policy that merely shares a registry
+	// name from being silently swapped out; custom stateful policies
+	// must be passed in fresh.
+	if cfg.Policy != nil {
+		if p, err := fleet.NewPolicy(cfg.Policy.Name()); err == nil &&
+			reflect.TypeOf(p) == reflect.TypeOf(cfg.Policy) {
+			cfg.Policy = p
+		}
+	}
+	pods, err := fleet.Place(cfg, tr)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	perHost := make([][]fleet.PodAssignment, cfg.Hosts)
+	var agg Aggregate
+	for _, p := range pods {
+		if p.Host < 0 {
+			agg.RejectedSandboxes++
+			agg.RejectedRequests += len(p.Requests)
+			continue
+		}
+		perHost[p.Host] = append(perHost[p.Host], p)
+	}
+
+	busy := make([]float64, cfg.Hosts)
+	var latSum float64
+	for hi := 0; hi < cfg.Hosts; hi++ {
+		h := replayHost(cfg, hi, perHost[hi], tr)
+		busy[hi] = h.busyVCPUSecs
+		agg.Served += h.served
+		agg.ColdStarts += h.cold
+		agg.ReColdStarts += h.reCold
+		agg.Sandboxes += h.sandboxes
+		agg.ExpiredSandboxes += h.expired
+		agg.TotalCost += h.cost
+		agg.Fees += h.fees
+		agg.BilledCPUSeconds += h.billedCPUSeconds
+		agg.BilledMemGBs += h.billedMemGBs
+		agg.ContentionDelaySeconds += h.contentionSecs
+		agg.IdleHeldVCPUSeconds += h.idleHeldCPUSecs
+		latSum += h.latencySum
+		if h.now > agg.Makespan {
+			agg.Makespan = h.now
+		}
+		if h.probeLinear > agg.CFSCheckLinear {
+			agg.CFSCheckLinear = h.probeLinear
+			agg.CFSCheckMeasured = h.probeMeasured
+		}
+	}
+	if agg.Served > 0 {
+		agg.MeanLatencyMs = latSum / float64(agg.Served)
+	}
+	if span := agg.Makespan.Seconds(); span > 0 {
+		agg.MinHostUtilization = 1
+		for _, b := range busy {
+			u := b / (cfg.Host.VCPU * span)
+			agg.MeanHostUtilization += u
+			if u < agg.MinHostUtilization {
+				agg.MinHostUtilization = u
+			}
+			if u > agg.MaxHostUtilization {
+				agg.MaxHostUtilization = u
+			}
+		}
+		agg.MeanHostUtilization /= float64(cfg.Hosts)
+	}
+	return agg, nil
+}
+
+// Event kinds of the flat per-host sweep.
+const (
+	evArrive = iota
+	evComplete
+	evExpire
+)
+
+// event is one entry in the host's chronological heap. seq breaks
+// same-instant ties FIFO, matching simtime.Clock's scheduling-order
+// rule: all arrivals are seeded before the sweep starts, so runtime-
+// scheduled completions and expiries sort after arrivals at the same
+// instant.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	kind int
+
+	pod   int // pod slot (index into the host's pod list)
+	req   int // trace request index (evArrive)
+	reqID int // in-flight id (evComplete)
+	gen   int // sandbox generation (evExpire); stale events are skipped
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	top := old[n]
+	*h = old[:n]
+	return top
+}
+
+// sandboxState is one pod's live-sandbox bookkeeping.
+type sandboxState struct {
+	live       bool
+	idle       bool
+	activeReqs int
+	gen        int // bumped on every warm hit and reclaim to invalidate expiries
+}
+
+// inflightTask mirrors the fleet's in-flight set entry for the peak-
+// co-tenancy snapshot.
+type inflightTask struct {
+	id    int
+	alloc float64
+	cpu   time.Duration
+}
+
+// hostState is the independent interpreter's per-host accumulator.
+type hostState struct {
+	served    int
+	cold      int
+	reCold    int
+	sandboxes int
+	expired   int
+
+	cost             float64
+	fees             float64
+	billedCPUSeconds float64
+	billedMemGBs     float64
+
+	latencySum      float64
+	contentionSecs  float64
+	busyVCPUSecs    float64
+	idleHeldCPUSecs float64
+
+	now         time.Duration
+	lastAccount time.Duration
+	inFlight    float64
+	idleHeldCPU float64
+
+	inflight    []inflightTask
+	inflightPos map[int]int
+	nextReqID   int
+	peakDemand  float64
+	peakTasks   []inflightTask
+
+	probeLinear   float64
+	probeMeasured float64
+}
+
+// replayHost sweeps one host's pods chronologically and returns its
+// tally. The keep-alive stream is stats.NewRand(fleet.ShardSeed(seed,
+// host)) with windows drawn in event order — the fleet's documented
+// shard-stream contract.
+func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *trace.Trace) hostState {
+	h := hostState{inflightPos: make(map[int]int)}
+	if len(pods) == 0 {
+		return h
+	}
+	rng := stats.NewRand(fleet.ShardSeed(cfg.Seed, hostIdx))
+	ka := cfg.Profile.KeepAlive
+
+	sandboxes := make([]sandboxState, len(pods))
+	fnInstances := make(map[int]int)
+
+	var q eventHeap
+	var seq uint64
+	for pi, p := range pods {
+		for _, ri := range p.Requests {
+			heap.Push(&q, event{at: tr.Requests[ri].Start, seq: seq, kind: evArrive, pod: pi, req: ri})
+			seq++
+		}
+	}
+
+	account := func(now time.Duration) {
+		if dt := (now - h.lastAccount).Seconds(); dt > 0 {
+			delivered := h.inFlight
+			if delivered > cfg.Host.VCPU {
+				delivered = cfg.Host.VCPU
+			}
+			h.busyVCPUSecs += delivered * dt
+			h.idleHeldCPUSecs += h.idleHeldCPU * dt
+		}
+		h.lastAccount = now
+	}
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		p := &pods[ev.pod]
+		sb := &sandboxes[ev.pod]
+		switch ev.kind {
+		case evExpire:
+			if !sb.live || !sb.idle || sb.gen != ev.gen {
+				continue // lazily-cancelled timer: never fires, no accounting
+			}
+			h.now = ev.at
+			account(ev.at)
+			sb.live = false
+			sb.idle = false
+			sb.gen++
+			h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+			fnInstances[p.FnID]--
+			h.expired++
+
+		case evComplete:
+			h.now = ev.at
+			account(ev.at)
+			h.inFlight -= p.VCPU
+			sb.activeReqs--
+			pos := h.inflightPos[ev.reqID]
+			last := len(h.inflight) - 1
+			h.inflight[pos] = h.inflight[last]
+			h.inflightPos[h.inflight[pos].id] = pos
+			h.inflight = h.inflight[:last]
+			delete(h.inflightPos, ev.reqID)
+			if sb.activeReqs > 0 {
+				continue
+			}
+			sb.idle = true
+			h.idleHeldCPU += ka.IdleCPU(p.VCPU)
+			window := ka.Window(rng, fnInstances[p.FnID])
+			heap.Push(&q, event{at: ev.at + window, seq: seq, kind: evExpire, pod: ev.pod, gen: sb.gen})
+			seq++
+
+		case evArrive:
+			h.now = ev.at
+			account(ev.at)
+			r := tr.Requests[ev.req]
+			cold := false
+			var init time.Duration
+			switch {
+			case !sb.live:
+				cold = true
+				init = p.InitDuration
+				if init <= 0 {
+					init = ka.ResidualColdStart
+				}
+				if !r.ColdStart {
+					h.reCold++
+				}
+				sb.live = true
+				sb.idle = false
+				sb.activeReqs = 0
+				fnInstances[p.FnID]++
+				h.sandboxes++
+			case sb.idle:
+				sb.idle = false
+				sb.gen++ // cancels the pending expiry
+				h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+			}
+
+			demand := h.inFlight + p.VCPU
+			factor := 1.0
+			if demand > cfg.Host.VCPU {
+				factor = demand / cfg.Host.VCPU
+			}
+			effective := time.Duration(float64(r.Duration) * factor)
+			h.contentionSecs += (effective - r.Duration).Seconds()
+
+			reqID := h.nextReqID
+			h.nextReqID++
+			h.inflightPos[reqID] = len(h.inflight)
+			h.inflight = append(h.inflight, inflightTask{id: reqID, alloc: p.VCPU, cpu: r.CPUTime})
+			if demand > h.peakDemand {
+				h.peakDemand = demand
+				h.peakTasks = append(h.peakTasks[:0], h.inflight...)
+			}
+
+			h.inFlight += p.VCPU
+			sb.activeReqs++
+			h.served++
+			if cold {
+				h.cold++
+			}
+			latency := cfg.Profile.ServingOverhead + init + effective
+			h.latencySum += float64(latency) / float64(time.Millisecond)
+
+			billed := r
+			billed.Duration = effective
+			billed.ColdStart = cold
+			billed.InitDuration = 0
+			if cold {
+				billed.InitDuration = init
+			}
+			ch := cfg.Profile.Billing.Bill(billing.MapRequest(cfg.Profile.Billing, billed))
+			h.cost += ch.Total()
+			h.fees += ch.Fee
+			h.billedCPUSeconds += ch.CPUSeconds
+			h.billedMemGBs += ch.MemGBSeconds
+
+			heap.Push(&q, event{at: ev.at + init + effective, seq: seq, kind: evComplete, pod: ev.pod, reqID: reqID})
+			seq++
+		}
+	}
+	account(h.now)
+	// The peak-co-tenancy snapshot was rebuilt by this replay's own
+	// admission bookkeeping; the probe arithmetic on top of it is the
+	// fleet's exported CFSProbe (the snapshot is the verified artifact).
+	tasks := make([]fleet.ProbeTask, len(h.peakTasks))
+	for i, q := range h.peakTasks {
+		tasks[i] = fleet.ProbeTask{Alloc: q.alloc, CPU: q.cpu}
+	}
+	h.probeLinear, h.probeMeasured = fleet.CFSProbe(
+		cfg.Profile.SchedPeriod, cfg.Profile.SchedTickHz,
+		cfg.Host.VCPU, h.peakDemand, tasks)
+	return h
+}

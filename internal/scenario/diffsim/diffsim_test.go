@@ -1,0 +1,162 @@
+package diffsim
+
+import (
+	"strings"
+	"testing"
+
+	"slscost/internal/core"
+	"slscost/internal/fleet"
+	"slscost/internal/scenario"
+	"slscost/internal/trace"
+)
+
+// fleetConfig builds a small cluster config for tests.
+func fleetConfig(t *testing.T, policy string, prof core.Profile, hosts int) fleet.Config {
+	t.Helper()
+	pol, err := fleet.NewPolicy(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet.Config{
+		Hosts:      hosts,
+		Host:       fleet.DefaultHostSpec(),
+		Policy:     pol,
+		Profile:    prof,
+		Overcommit: 2,
+		Seed:       20260613,
+	}
+}
+
+func scenarioTrace(t *testing.T, name string, requests int) *trace.Trace {
+	t.Helper()
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		t.Fatalf("unknown scenario %s", name)
+	}
+	cfg := scenario.DefaultConfig()
+	cfg.Base.Requests = requests
+	cfg.Base.Functions = 80
+	tr, err := sc.Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestEveryScenarioAgrees is the acceptance-criteria oracle: on every
+// shipped scenario, the independent per-host replay must reproduce the
+// fleet simulator's billed cost (and every other compared metric)
+// within tolerance.
+func TestEveryScenarioAgrees(t *testing.T) {
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr := scenarioTrace(t, name, 8000)
+			res, rep, err := Verify(fleetConfig(t, "least-loaded", core.AWS(), 8), tr, DefaultTolerance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Served == 0 {
+				t.Fatal("nothing served")
+			}
+			if res.MaxRelDelta > DefaultTolerance {
+				t.Fatalf("max rel delta %v", res.MaxRelDelta)
+			}
+		})
+	}
+}
+
+// TestAgreementAcrossPoliciesAndPlatforms drives the harness through
+// every placement policy and each keep-alive regime of Table 2 (freeze-
+// resume, scale-down, run-as-usual), which exercise different idle-
+// holding and window-sampling paths.
+func TestAgreementAcrossPoliciesAndPlatforms(t *testing.T) {
+	tr := scenarioTrace(t, "bursty", 6000)
+	for _, policy := range fleet.PolicyNames() {
+		for _, prof := range []core.Profile{core.AWS(), core.GCP(), core.Azure()} {
+			if _, _, err := Verify(fleetConfig(t, policy, prof, 6), tr, DefaultTolerance); err != nil {
+				t.Errorf("%s/%s: %v", policy, prof.Name, err)
+			}
+		}
+	}
+}
+
+func TestAgreementElasticPool(t *testing.T) {
+	tr := scenarioTrace(t, "flash-crowd", 6000)
+	cfg := fleetConfig(t, "least-loaded", core.AWS(), 8)
+	cfg.Elastic = true
+	if _, _, err := Verify(cfg, tr, DefaultTolerance); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgreementRawTrace covers the unshaped generator path, including
+// the contention/probe machinery under a deliberately tiny host.
+func TestAgreementRawTrace(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 6000
+	tr := trace.Generate(gen)
+	cfg := fleetConfig(t, "bin-pack", core.AWS(), 2)
+	cfg.Host = fleet.HostSpec{VCPU: 2, MemMB: 16384}
+	res, rep, err := Verify(cfg, tr, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ContentionDelaySeconds == 0 {
+		t.Log("note: no contention induced; probe path unexercised")
+	}
+	if res.MaxRelDelta > DefaultTolerance {
+		t.Fatalf("max rel delta %v", res.MaxRelDelta)
+	}
+}
+
+// TestDiffDetectsDivergence: the harness must actually fail when the
+// two sides disagree — corrupt the fleet report and expect Check to
+// name the metric.
+func TestDiffDetectsDivergence(t *testing.T) {
+	tr := scenarioTrace(t, "steady", 4000)
+	cfg := fleetConfig(t, "least-loaded", core.AWS(), 4)
+	rep, err := fleet.Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Replay(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.TotalCost *= 1.02
+	res := Diff(rep, agg)
+	err = res.Check(DefaultTolerance)
+	if err == nil {
+		t.Fatal("corrupted report passed verification")
+	}
+	if !strings.Contains(err.Error(), "total-cost") {
+		t.Errorf("error does not name the diverging metric: %v", err)
+	}
+}
+
+// TestFlashCrowdColdStartExceedsSteady pins the fleet-level acceptance
+// behavior at test scale: same request volume, same cluster, higher
+// cold-start rate under the flash crowd.
+func TestFlashCrowdColdStartExceedsSteady(t *testing.T) {
+	rate := func(name string) float64 {
+		rep, err := fleet.Simulate(fleetConfig(t, "least-loaded", core.AWS(), 8), scenarioTrace(t, name, 10000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ColdStartRate()
+	}
+	steady, flash := rate("steady"), rate("flash-crowd")
+	if flash <= steady {
+		t.Fatalf("flash-crowd cold rate %.4f not above steady %.4f", flash, steady)
+	}
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	tr := scenarioTrace(t, "steady", 1000)
+	cfg := fleetConfig(t, "least-loaded", core.AWS(), 8)
+	cfg.Hosts = 0
+	if _, err := Replay(cfg, tr); err == nil {
+		t.Fatal("expected config error")
+	}
+}

@@ -1,0 +1,259 @@
+package scenario
+
+// Property and metamorphic tests of the scenario engine: the invariants
+// the differential harness and the golden fixtures lean on. Same seed ⇒
+// identical trace; doubling the request volume preserves the arrival-
+// shape marginals (mod one period); scaling every Mix weight by the
+// same constant is a no-op; re-timing never disturbs what the base
+// generator calibrated (durations, flavors, pod structure).
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSameSeedSameTrace(t *testing.T) {
+	for _, sc := range Catalog() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			cfg := smallConfig(4000)
+			a, err := sc.Trace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sc.Trace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("same seed produced different traces")
+			}
+		})
+	}
+}
+
+func TestDifferentSeedDifferentTrace(t *testing.T) {
+	sc, _ := ByName("flash-crowd")
+	cfg := smallConfig(4000)
+	a, _ := sc.Trace(cfg)
+	cfg.Base.Seed++
+	b, _ := sc.Trace(cfg)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// arrivalMarginals histograms arrival times modulo the period into
+// bins, as request-mass shares.
+func arrivalMarginals(starts []time.Duration, period time.Duration, bins int) []float64 {
+	out := make([]float64, bins)
+	for _, s := range starts {
+		x := math.Mod(s.Seconds(), period.Seconds()) / period.Seconds()
+		i := int(x * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		out[i]++
+	}
+	for i := range out {
+		out[i] /= float64(len(starts))
+	}
+	return out
+}
+
+// TestDoublingRequestsPreservesShapeMarginals is the metamorphic check:
+// the per-period distribution of arrival mass is a property of the
+// shape, not of the request volume, so doubling Requests (with the
+// horizon pinned) must leave the normalized marginals in place.
+func TestDoublingRequestsPreservesShapeMarginals(t *testing.T) {
+	const bins = 8
+	for _, name := range []string{"steady", "diurnal", "flash-crowd", "ramp"} {
+		sc, _ := ByName(name)
+		t.Run(name, func(t *testing.T) {
+			period := 2 * time.Hour
+			hist := func(requests int) []float64 {
+				cfg := smallConfig(requests)
+				cfg.Horizon = period
+				tr, err := sc.Trace(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				starts := make([]time.Duration, tr.Len())
+				for i, r := range tr.Requests {
+					starts[i] = r.Start
+				}
+				return arrivalMarginals(starts, period, bins)
+			}
+			h1 := hist(20000)
+			h2 := hist(40000)
+			for i := range h1 {
+				// Extreme concentrations (flash-crowd packs ~80% of the
+				// mass into one bin) converge in per-function granularity,
+				// so the bound is loose but still far below any shape-
+				// confusing drift.
+				if d := math.Abs(h1[i] - h2[i]); d > 0.06 {
+					t.Errorf("bin %d: share %.4f vs %.4f at 2x requests (delta %.4f)",
+						i, h1[i], h2[i], d)
+				}
+			}
+		})
+	}
+}
+
+// TestMarginalsFollowShape sanity-checks that the synthesized mass
+// actually lands where the shape says: the flash-crowd spike bin must
+// dominate, the diurnal trough bin must be starved.
+func TestMarginalsFollowShape(t *testing.T) {
+	period := 2 * time.Hour
+	cfg := smallConfig(30000)
+	cfg.Horizon = period
+
+	fc, _ := ByName("flash-crowd")
+	tr, err := fc.Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inSpike float64
+	for _, r := range tr.Requests {
+		x := math.Mod(r.Start.Seconds(), period.Seconds()) / period.Seconds()
+		if x >= 0.5 && x < 0.52 {
+			inSpike++
+		}
+	}
+	if share := inSpike / float64(tr.Len()); share < 0.3 {
+		t.Errorf("flash-crowd spike holds only %.1f%% of requests", share*100)
+	}
+
+	di, _ := ByName("diurnal")
+	tr, err = di.Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var night, day float64
+	for _, r := range tr.Requests {
+		x := math.Mod(r.Start.Seconds(), period.Seconds()) / period.Seconds()
+		if x < 0.1 || x >= 0.9 {
+			night++
+		} else if x >= 0.4 && x < 0.6 {
+			day++
+		}
+	}
+	if night >= day {
+		t.Errorf("diurnal trough (%v requests) not below peak (%v)", night, day)
+	}
+}
+
+// TestMixWeightsSumNormalize: scaling all weights by a constant is a
+// no-op, and relative weights set the per-tenant request shares.
+func TestMixWeightsSumNormalize(t *testing.T) {
+	mk := func(w1, w2 float64) Scenario {
+		return Mix("m",
+			Tenant{Name: "a", Weight: w1, Shape: Steady{}},
+			Tenant{Name: "b", Weight: w2, Shape: Diurnal{Trough: 0.2}},
+		)
+	}
+	cfg := smallConfig(8000)
+	a, err := mk(1, 3).Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk(10, 30).Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("scaling all mix weights changed the trace")
+	}
+
+	// Tenant a owns the low function-ID range; its share must be ≈ 1/4.
+	fnCut := cfg.Base.Functions / 4 // 1:3 weight split over the function budget
+	var inA int
+	for _, r := range a.Requests {
+		if r.FnID < fnCut {
+			inA++
+		}
+	}
+	share := float64(inA) / float64(a.Len())
+	if share < 0.2 || share > 0.3 {
+		t.Errorf("tenant a's request share %.3f, want ≈ 0.25", share)
+	}
+}
+
+// TestRetimePreservesBaseStructure: the scenario layer must only move
+// arrivals — pod membership, durations, CPU/memory, flavors, and
+// cold-start markers all come from the calibrated generator.
+func TestRetimePreservesBaseStructure(t *testing.T) {
+	cfg := smallConfig(5000)
+	sc, _ := ByName("bursty")
+	shaped, err := sc.Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := (Scenario{Name: "s", Shape: Steady{}}).Trace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		dur   time.Duration
+		cpu   time.Duration
+		mem   float64
+		cold  bool
+		alloc float64
+	}
+	tally := func(reqs []key) map[key]int {
+		m := map[key]int{}
+		for _, k := range reqs {
+			m[k]++
+		}
+		return m
+	}
+	var a, b []key
+	for _, r := range shaped.Requests {
+		a = append(a, key{r.Duration, r.CPUTime, r.MemUsedMB, r.ColdStart, r.AllocCPU})
+	}
+	for _, r := range base.Requests {
+		b = append(b, key{r.Duration, r.CPUTime, r.MemUsedMB, r.ColdStart, r.AllocCPU})
+	}
+	if !reflect.DeepEqual(tally(a), tally(b)) {
+		t.Fatal("re-timing disturbed the base trace's per-request structure")
+	}
+}
+
+// TestColdStartOrderingAcrossScenarios: the headline behavioral claim —
+// shaped traffic defeats keep-alive where steady traffic does not.
+// Checked at trace level via idle-gap mass rather than a full fleet
+// simulation (the fleet-level assertion lives in diffsim's tests).
+func TestColdStartOrderingAcrossScenarios(t *testing.T) {
+	gapMass := func(name string) float64 {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing scenario %s", name)
+		}
+		cfg := smallConfig(20000)
+		tr, err := sc.Trace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count per-pod idle gaps beyond a 360 s keep-alive window.
+		lastEnd := map[int]time.Duration{}
+		var beyond float64
+		for _, r := range tr.Requests {
+			if end, ok := lastEnd[r.PodID]; ok && r.Start-end > 360*time.Second {
+				beyond++
+			}
+			lastEnd[r.PodID] = r.Start + r.Duration
+		}
+		return beyond / float64(tr.Len())
+	}
+	steady := gapMass("steady")
+	flash := gapMass("flash-crowd")
+	bursty := gapMass("bursty")
+	if flash <= steady {
+		t.Errorf("flash-crowd keep-alive-defeating gap mass %.4f not above steady %.4f", flash, steady)
+	}
+	if bursty <= steady {
+		t.Errorf("bursty gap mass %.4f not above steady %.4f", bursty, steady)
+	}
+}

@@ -1,0 +1,218 @@
+// Package scenario is the workload-scenario engine: it layers
+// time-varying arrival shapes (diurnal cycles, flash crowds, heavy-tail
+// bursts, ramps, multi-tenant mixes) on top of the calibrated
+// internal/trace generator, producing deterministic seeded traces whose
+// pod structure, durations, and flavors come from the generator but
+// whose arrival process follows a composable intensity profile.
+//
+// The paper's trace is a single stationary mix; keep-alive cost and
+// cold-start trade-offs (§2.4, §3.3) only diverge once traffic moves —
+// a diurnal trough stretches idle gaps past the keep-alive window, a
+// flash crowd compresses them to nothing and then abandons the warm
+// pool. Scenarios make those regimes first-class inputs to
+// internal/fleet, and internal/scenario/diffsim turns every scenario
+// into a verification oracle by cross-checking the fleet report against
+// an independent per-host replay.
+//
+// The combinator API is small: a Shape is a periodic relative-intensity
+// curve over normalized time; Overlay composes shapes additively;
+// Shifted rotates a shape's phase; Mix assembles per-tenant scenarios
+// with their own shapes, popularity skew, and flavor bias.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"slscost/internal/stats"
+)
+
+// Shape is a relative arrival-intensity curve over one period of
+// normalized time. Rate reports the intensity at x ∈ [0, 1); callers
+// extend it periodically (x mod 1) so workloads longer than one period
+// repeat the profile. Only the curve's relative variation matters — the
+// engine normalizes every shape to mean intensity 1 before use, so two
+// scenarios at the same request count load the cluster with the same
+// average rate and differ only in how that rate is distributed.
+type Shape interface {
+	Name() string
+	Rate(x float64) float64
+}
+
+// Steady is the flat baseline: the stationary arrival mix the paper's
+// trace (and the raw generator) models.
+type Steady struct{}
+
+func (Steady) Name() string           { return "steady" }
+func (Steady) Rate(x float64) float64 { return 1 }
+
+// Diurnal is a day/night cycle: a raised cosine oscillating between
+// Trough (relative night intensity, in [0, 1]) and 1, Cycles times per
+// period.
+type Diurnal struct {
+	Cycles int
+	Trough float64
+}
+
+func (d Diurnal) Name() string { return "diurnal" }
+
+func (d Diurnal) Rate(x float64) float64 {
+	cycles := d.Cycles
+	if cycles <= 0 {
+		cycles = 1
+	}
+	day := 0.5 - 0.5*math.Cos(2*math.Pi*float64(cycles)*x)
+	return d.Trough + (1-d.Trough)*day
+}
+
+// FlashCrowd is a sudden spike over a quiet baseline: intensity Baseline
+// everywhere except a burst of height Magnitude spanning [At, At+Width).
+// The defaults (see the catalog) put most of the traffic inside the
+// spike, so the off-peak remainder arrives with inter-request gaps long
+// enough to defeat keep-alive windows — the regime where platforms
+// re-pay cold starts the recording trace never saw.
+type FlashCrowd struct {
+	At        float64
+	Width     float64
+	Baseline  float64
+	Magnitude float64
+}
+
+func (f FlashCrowd) Name() string { return "flash-crowd" }
+
+func (f FlashCrowd) Rate(x float64) float64 {
+	r := f.Baseline
+	// Membership is modular so a spike straddling the period edge
+	// (At+Width > 1) wraps instead of being clipped.
+	xx := x - f.At
+	xx -= math.Floor(xx)
+	if xx < f.Width {
+		r += f.Magnitude
+	}
+	return r
+}
+
+// Ramp grows (or decays) linearly from From at x=0 to To at x=1 — a
+// launch-day adoption curve or a drain-down.
+type Ramp struct {
+	From, To float64
+}
+
+func (r Ramp) Name() string           { return "ramp" }
+func (r Ramp) Rate(x float64) float64 { return r.From + (r.To-r.From)*x }
+
+// burst is one precomputed heavy-tail burst of a ParetoBursts shape.
+type burst struct {
+	center, width, height float64
+}
+
+// ParetoBursts scatters Pareto-heighted bursts over a quiet baseline:
+// most bursts are small, a few are an order of magnitude taller, and
+// the space between them is near-silent. Construct with NewParetoBursts
+// so the burst layout is deterministic in the seed.
+type ParetoBursts struct {
+	Baseline float64
+	bursts   []burst
+}
+
+// NewParetoBursts draws n bursts with Pareto(1, alpha) heights at
+// seeded-uniform centers. Widths shrink as heights grow, keeping each
+// burst's mass comparable — tall bursts are intense, not long.
+func NewParetoBursts(seed uint64, n int, alpha, baseline float64) ParetoBursts {
+	if n <= 0 {
+		n = 8
+	}
+	if alpha <= 0 {
+		alpha = 1.3
+	}
+	rng := stats.NewRand(seed)
+	bs := make([]burst, n)
+	for i := range bs {
+		h := rng.Pareto(1, alpha)
+		if h > 100 {
+			h = 100
+		}
+		bs[i] = burst{
+			center: rng.Float64(),
+			width:  0.002 + 0.03/math.Sqrt(h),
+			height: h,
+		}
+	}
+	return ParetoBursts{Baseline: baseline, bursts: bs}
+}
+
+func (p ParetoBursts) Name() string { return "bursty" }
+
+func (p ParetoBursts) Rate(x float64) float64 {
+	r := p.Baseline
+	for _, b := range p.bursts {
+		// Circular distance: bursts near the period edge wrap instead of
+		// losing the mass that falls past x=1.
+		d := math.Abs(x - b.center)
+		if d > 0.5 {
+			d = 1 - d
+		}
+		if d < b.width/2 {
+			r += b.height
+		}
+	}
+	return r
+}
+
+// Overlay sums its parts, each scaled by the matching weight (nil
+// Weights means equal). A diurnal baseline with a flash-crowd riding on
+// top is Overlay{Parts: []Shape{Diurnal{...}, FlashCrowd{...}}}.
+type Overlay struct {
+	Parts   []Shape
+	Weights []float64
+}
+
+func (o Overlay) Name() string {
+	names := make([]string, len(o.Parts))
+	for i, p := range o.Parts {
+		names[i] = p.Name()
+	}
+	return "overlay(" + strings.Join(names, "+") + ")"
+}
+
+func (o Overlay) Rate(x float64) float64 {
+	var r float64
+	for i, p := range o.Parts {
+		w := 1.0
+		if i < len(o.Weights) {
+			w = o.Weights[i]
+		}
+		r += w * p.Rate(x)
+	}
+	return r
+}
+
+// Shifted rotates a shape's phase by Phase periods — tenant B's day
+// starts a third of a period after tenant A's.
+type Shifted struct {
+	Shape Shape
+	Phase float64
+}
+
+func (s Shifted) Name() string { return fmt.Sprintf("%s@%.2f", s.Shape.Name(), s.Phase) }
+
+func (s Shifted) Rate(x float64) float64 {
+	x += s.Phase
+	x -= math.Floor(x)
+	return s.Shape.Rate(x)
+}
+
+// meanRate estimates the shape's mean intensity over one period by
+// midpoint sampling; the engine divides by it so every shape has mean 1.
+func meanRate(s Shape) float64 {
+	const k = 4096
+	var sum float64
+	for i := 0; i < k; i++ {
+		r := s.Rate((float64(i) + 0.5) / k)
+		if r > 0 && !math.IsNaN(r) && !math.IsInf(r, 0) {
+			sum += r
+		}
+	}
+	return sum / k
+}

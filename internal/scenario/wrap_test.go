@@ -1,0 +1,23 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShapesWrapAtPeriodEdge(t *testing.T) {
+	fc := FlashCrowd{At: 0.99, Width: 0.05, Baseline: 0.1, Magnitude: 10}
+	if fc.Rate(0.02) <= fc.Baseline {
+		t.Errorf("flash crowd spike does not wrap past the period edge: Rate(0.02)=%v", fc.Rate(0.02))
+	}
+	if fc.Rate(0.5) != fc.Baseline {
+		t.Errorf("baseline region affected: %v", fc.Rate(0.5))
+	}
+	pb := ParetoBursts{Baseline: 0.1, bursts: []burst{{center: 0.999, width: 0.02, height: 5}}}
+	if pb.Rate(0.005) <= pb.Baseline {
+		t.Errorf("burst does not wrap: Rate(0.005)=%v", pb.Rate(0.005))
+	}
+	if math.Abs(pb.Rate(0.992)-pb.Baseline-5) > 1e-12 {
+		t.Errorf("burst missing on its own side: %v", pb.Rate(0.992))
+	}
+}

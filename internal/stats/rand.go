@@ -14,6 +14,17 @@ type Rand struct {
 // NewRand returns a generator seeded with seed.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 
+// MixSeed derives an independent splitmix-style stream seed from
+// (seed, salt). Simulators that shard work (fleet hosts, scenario
+// function streams) key their private Rand streams with it so the
+// streams are decorrelated but reproducible from the top-level seed.
+func MixSeed(seed, salt uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(salt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

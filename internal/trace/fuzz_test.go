@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Native Go fuzz targets for the two external input surfaces of the
+// trace layer: the CSV wire format and the generator configuration.
+// Both run as regression tests over their seed corpus under plain
+// `go test`; `go test -fuzz=FuzzParseCSV ./internal/trace` explores
+// further.
+
+// seedCSV builds a small valid corpus entry via the writer itself.
+func seedCSV(tb testing.TB) []byte {
+	tb.Helper()
+	tr := &Trace{Requests: []Request{
+		{FnID: 1, PodID: 1, Start: 0, Duration: 50 * time.Millisecond,
+			CPUTime: 20 * time.Millisecond, MemUsedMB: 100, AllocCPU: 0.5,
+			AllocMemMB: 1024, ColdStart: true, InitDuration: 200 * time.Millisecond},
+		{FnID: 1, PodID: 1, Start: time.Second, Duration: 30 * time.Millisecond,
+			CPUTime: 10 * time.Millisecond, MemUsedMB: 80, AllocCPU: 0.5, AllocMemMB: 1024},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParseCSV asserts that arbitrary bytes never panic the parser and
+// that every accepted, Validate-clean trace survives a write/read
+// round-trip exactly.
+func FuzzParseCSV(f *testing.F) {
+	f.Add(seedCSV(f))
+	f.Add([]byte(""))
+	f.Add([]byte(strings.Join(csvHeader, ",") + "\n"))
+	f.Add([]byte(strings.Join(csvHeader, ",") + "\n1,1,0,1000,500,10,0.5,512,true,100\n"))
+	f.Add([]byte(strings.Join(csvHeader, ",") + "\n1,1,0,1000,500,NaN,0.5,512,true,100\n"))
+	f.Add([]byte("fn_id,pod_id\n1,2\n"))
+	f.Add([]byte("\xff\xfe garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			// Parseable but semantically invalid rows are allowed out of
+			// ReadCSV; Validate is the gate the simulators use.
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("re-encode of valid trace failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round-trip changed the trace:\n%+v\nvs\n%+v", tr.Requests, back.Requests)
+		}
+	})
+}
+
+// FuzzGeneratorConfig asserts that any configuration — including NaN,
+// infinities, and negative garbage — yields a generator output that is
+// sorted, Validate-clean, and exactly the requested size, without
+// panicking. Request counts are capped so the fuzzer spends its budget
+// on shapes, not volume.
+func FuzzGeneratorConfig(f *testing.F) {
+	def := DefaultGeneratorConfig()
+	f.Add(int(1000), int(40), uint64(1), def.MeanDurationMs, def.UtilCorrelation, def.ColdStartRate, 1.1, 0)
+	f.Add(int(1), int(1), uint64(0), 0.0, -1.0, 2.0, 0.0, -10)
+	f.Add(int(500), int(500), uint64(42), 1e9, 1.0, 0.999, 5.0, 10)
+	f.Add(int(-5), int(-5), uint64(7), -3.0, 0.5, 0.04, -2.0, 3)
+	f.Add(int(100), int(3), uint64(9), 58.19, 0.52, 0.04, 0.3, -1)
+
+	f.Fuzz(func(t *testing.T, requests, functions int, seed uint64,
+		meanDur, corr, coldRate, zipf float64, flavorBias int) {
+		if requests > 3000 {
+			requests = requests % 3000
+		}
+		if functions > 500 {
+			functions = functions % 500
+		}
+		cfg := GeneratorConfig{
+			Requests:        requests,
+			Functions:       functions,
+			Seed:            seed,
+			MeanDurationMs:  meanDur,
+			UtilCorrelation: corr,
+			ColdStartRate:   coldRate,
+			ZipfExponent:    zipf,
+			FlavorBias:      flavorBias,
+		}
+		tr := Generate(cfg)
+		if cfg.Requests <= 0 {
+			if tr.Len() != 0 {
+				t.Fatalf("non-positive request count produced %d requests", tr.Len())
+			}
+			return
+		}
+		if tr.Len() != cfg.Requests {
+			t.Fatalf("generated %d requests, want %d", tr.Len(), cfg.Requests)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("generated trace invalid under %+v: %v", cfg, err)
+		}
+		for i := 1; i < tr.Len(); i++ {
+			if tr.Requests[i].Start < tr.Requests[i-1].Start {
+				t.Fatalf("trace not sorted at %d under %+v", i, cfg)
+			}
+		}
+		if err := cfg.Validate(); err == nil {
+			// A config that passes Validate must keep pods on a single
+			// flavor (the fleet's placement-unit invariant).
+			podFlavor := map[int][2]float64{}
+			for _, r := range tr.Requests {
+				fl := [2]float64{r.AllocCPU, r.AllocMemMB}
+				if prev, ok := podFlavor[r.PodID]; ok && prev != fl {
+					t.Fatalf("pod %d changes flavor", r.PodID)
+				}
+				podFlavor[r.PodID] = fl
+			}
+		}
+	})
+}

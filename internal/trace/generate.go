@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -52,6 +53,16 @@ type GeneratorConfig struct {
 	// ColdStartRate is the approximate fraction of requests that are cold
 	// starts, controlled through pod sizes.
 	ColdStartRate float64
+	// ZipfExponent skews function popularity: function rank i gets weight
+	// 1/(i+1)^s. Zero means the trace-calibrated default of 1.1; larger
+	// values concentrate traffic on fewer functions (a skewed tenant),
+	// smaller values flatten it.
+	ZipfExponent float64
+	// FlavorBias shifts every function's drawn flavor index by this many
+	// catalog steps (clamped to the catalog), biasing a tenant toward
+	// smaller (negative) or larger (positive) sandboxes. Zero reproduces
+	// the calibrated flavor mix bit-for-bit.
+	FlavorBias int
 }
 
 // DefaultGeneratorConfig returns the calibration used by the experiments:
@@ -65,6 +76,63 @@ func DefaultGeneratorConfig() GeneratorConfig {
 		UtilCorrelation: 0.52,
 		ColdStartRate:   0.04,
 	}
+}
+
+// Validate reports whether the configuration is well-formed. Generate
+// itself is lenient — out-of-range fields fall back to the calibrated
+// defaults — but callers that construct configurations from external
+// input (CLI flags, fuzzers, scenario mixes) can reject garbage early.
+func (cfg GeneratorConfig) Validate() error {
+	if cfg.Requests < 0 {
+		return fmt.Errorf("trace: negative request count %d", cfg.Requests)
+	}
+	if cfg.Functions < 0 {
+		return fmt.Errorf("trace: negative function count %d", cfg.Functions)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MeanDurationMs", cfg.MeanDurationMs},
+		{"UtilCorrelation", cfg.UtilCorrelation},
+		{"ColdStartRate", cfg.ColdStartRate},
+		{"ZipfExponent", cfg.ZipfExponent},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("trace: %s is %v", f.name, f.v)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("trace: negative %s %v", f.name, f.v)
+		}
+	}
+	if cfg.UtilCorrelation > 1 {
+		return fmt.Errorf("trace: UtilCorrelation %v above 1", cfg.UtilCorrelation)
+	}
+	if cfg.ColdStartRate >= 1 {
+		return fmt.Errorf("trace: ColdStartRate %v not below 1", cfg.ColdStartRate)
+	}
+	return nil
+}
+
+// sanitize clamps every out-of-range (or non-finite) field to the
+// calibrated default so Generate never propagates NaN/Inf into a trace.
+func (cfg GeneratorConfig) sanitize() GeneratorConfig {
+	if cfg.Functions <= 0 {
+		cfg.Functions = 1
+	}
+	if cfg.MeanDurationMs <= 0 || math.IsNaN(cfg.MeanDurationMs) || math.IsInf(cfg.MeanDurationMs, 0) {
+		cfg.MeanDurationMs = 58.19
+	}
+	if cfg.UtilCorrelation < 0 || cfg.UtilCorrelation > 1 || math.IsNaN(cfg.UtilCorrelation) {
+		cfg.UtilCorrelation = 0.52
+	}
+	if cfg.ColdStartRate <= 0 || cfg.ColdStartRate >= 1 || math.IsNaN(cfg.ColdStartRate) {
+		cfg.ColdStartRate = 0.04
+	}
+	if cfg.ZipfExponent <= 0 || math.IsNaN(cfg.ZipfExponent) || math.IsInf(cfg.ZipfExponent, 0) {
+		cfg.ZipfExponent = 1.1
+	}
+	return cfg
 }
 
 // fnProfile is the per-function latent profile the generator draws
@@ -88,18 +156,7 @@ func Generate(cfg GeneratorConfig) *Trace {
 	if cfg.Requests <= 0 {
 		return &Trace{}
 	}
-	if cfg.Functions <= 0 {
-		cfg.Functions = 1
-	}
-	if cfg.MeanDurationMs <= 0 {
-		cfg.MeanDurationMs = 58.19
-	}
-	if cfg.UtilCorrelation < 0 || cfg.UtilCorrelation > 1 {
-		cfg.UtilCorrelation = 0.52
-	}
-	if cfg.ColdStartRate <= 0 || cfg.ColdStartRate >= 1 {
-		cfg.ColdStartRate = 0.04
-	}
+	cfg = cfg.sanitize()
 	rng := stats.NewRand(cfg.Seed)
 
 	profiles := make([]fnProfile, cfg.Functions)
@@ -125,6 +182,11 @@ func Generate(cfg GeneratorConfig) *Trace {
 		if p.meanDurMs < 10 && fi > 0 {
 			fi--
 		}
+		if fi += cfg.FlavorBias; fi < 0 {
+			fi = 0
+		} else if fi > len(DefaultFlavors)-1 {
+			fi = len(DefaultFlavors) - 1
+		}
 		p.flavor = DefaultFlavors[fi]
 		p.sigma = rng.Uniform(0.3, 0.9)
 		// Low utilizations: Beta shapes with mean ≈ 0.25–0.45 and a wide
@@ -139,7 +201,7 @@ func Generate(cfg GeneratorConfig) *Trace {
 		// well-amortized and poorly-amortized sandboxes.
 		p.podSizeMean = 1 + rng.Pareto(1.0, 1.3)/cfg.ColdStartRate*1.2
 		// Zipf-ish popularity.
-		p.weight = 1 / math.Pow(float64(i+1), 1.1)
+		p.weight = 1 / math.Pow(float64(i+1), cfg.ZipfExponent)
 		totalWeight += p.weight
 	}
 

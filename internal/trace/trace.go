@@ -15,6 +15,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -90,6 +91,11 @@ func (r Request) Turnaround() time.Duration { return r.Duration + r.InitDuration
 func (r Request) Validate() error {
 	if r.Duration < 0 || r.CPUTime < 0 || r.InitDuration < 0 {
 		return fmt.Errorf("trace: negative duration in request fn=%d", r.FnID)
+	}
+	for _, v := range []float64{r.MemUsedMB, r.AllocCPU, r.AllocMemMB} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: non-finite resource field in request fn=%d", r.FnID)
+		}
 	}
 	if r.AllocCPU <= 0 || r.AllocMemMB <= 0 {
 		return fmt.Errorf("trace: non-positive allocation in request fn=%d", r.FnID)
