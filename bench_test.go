@@ -8,6 +8,7 @@ package slscost
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -106,6 +107,85 @@ func BenchmarkFleetReplay(b *testing.B) {
 				}
 			}
 			b.SetBytes(int64(tr.Len())) // bytes/sec doubles as requests/sec
+		})
+	}
+}
+
+// BenchmarkFleetStream compares the materialized and streaming cluster
+// pipelines at large request counts. Beyond requests/sec (SetBytes)
+// and cumulative B/op (ReportAllocs), each run reports the peak live
+// heap as "peak-heap-MB": the number that caps how large a workload
+// fits in memory. The streamed report is byte-identical to the
+// materialized one (see internal/fleet stream tests); only the
+// resource profile differs. Run with:
+//
+//	go test -run '^$' -bench BenchmarkFleetStream -benchmem -benchtime 1x .
+func BenchmarkFleetStream(b *testing.B) {
+	// fleetCfg takes the innermost *testing.B: sub-benchmarks run on
+	// their own goroutine, and Fatal must be called on the benchmark
+	// that is actually running.
+	fleetCfg := func(b *testing.B) fleet.Config {
+		policy, err := fleet.NewPolicy("least-loaded")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fleet.Config{
+			Hosts:      32,
+			Host:       fleet.DefaultHostSpec(),
+			Policy:     policy,
+			Profile:    core.AWS(),
+			Overcommit: 2,
+			Seed:       20260613,
+		}
+	}
+	// peakHeap reports the live-heap high-water mark of fn as a custom
+	// metric, using the same sampler the memory smoke test uses.
+	peakHeap := func(b *testing.B, fn func()) {
+		b.Helper()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		base := ms.HeapAlloc
+		peak := heapWatcher(fn)
+		if peak < base {
+			peak = base
+		}
+		b.ReportMetric(float64(peak-base)/(1<<20), "peak-heap-MB")
+	}
+	for _, requests := range []int{1_000_000, 10_000_000} {
+		gen := trace.DefaultGeneratorConfig()
+		gen.Requests = requests
+		name := fmt.Sprintf("requests=%dM", requests/1_000_000)
+		b.Run(name+"/materialized", func(b *testing.B) {
+			b.ReportAllocs()
+			peakHeap(b, func() {
+				for i := 0; i < b.N; i++ {
+					tr := trace.Generate(gen)
+					rep, err := fleet.Simulate(fleetCfg(b), tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Served == 0 {
+						b.Fatal("no requests served")
+					}
+				}
+			})
+			b.SetBytes(int64(requests)) // bytes/sec doubles as requests/sec
+		})
+		b.Run(name+"/streamed", func(b *testing.B) {
+			b.ReportAllocs()
+			peakHeap(b, func() {
+				for i := 0; i < b.N; i++ {
+					rep, err := fleet.SimulateStream(fleetCfg(b), trace.GenerateSource(gen))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Served == 0 {
+						b.Fatal("no requests served")
+					}
+				}
+			})
+			b.SetBytes(int64(requests))
 		})
 	}
 }

@@ -15,6 +15,13 @@
 // against the independent differential replay (internal/scenario/
 // diffsim) before printing it.
 //
+// -stream runs the same simulation through the streaming pipeline:
+// the workload is synthesized lazily and host shards simulate
+// concurrently with generation, so memory stays bounded by the pod
+// count instead of the request count — the mode for -requests in the
+// tens of millions. The report is byte-identical to the materialized
+// path's.
+//
 // The report is deterministic for a given seed regardless of -workers:
 // host shards simulate on private clocks and random streams and merge in
 // host order.
@@ -61,6 +68,8 @@ func run(args []string, w io.Writer) error {
 	tenants := fs.Int("tenants", 1, "fan the scenario into N phase-shifted tenants (>= 1)")
 	horizon := fs.Duration("horizon", 0, "scenario shape period (0 = auto-scale to the workload)")
 	verify := fs.Bool("verify", false, "cross-check the report against the independent differential replay")
+	stream := fs.Bool("stream", false,
+		"stream the workload through the simulation instead of materializing it (bounded memory at any -requests)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,28 +97,8 @@ func run(args []string, w io.Writer) error {
 	if *horizon < 0 {
 		return fmt.Errorf("-horizon %v negative", *horizon)
 	}
-	// A recorded trace replays as-is, and "raw" bypasses the shaping
-	// layer; explicitly asking to shape either is a contradiction, not
-	// something to ignore silently.
-	if *tracePath != "" || *scenarioName == "raw" {
-		var conflict []string
-		fs.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "tenants", "horizon":
-				conflict = append(conflict, "-"+f.Name)
-			case "scenario":
-				if *tracePath != "" {
-					conflict = append(conflict, "-"+f.Name)
-				}
-			}
-		})
-		if len(conflict) > 0 {
-			what := "-trace replays the CSV unshaped"
-			if *tracePath == "" {
-				what = `-scenario raw is the unshaped generator`
-			}
-			return fmt.Errorf("%s; drop %s", what, strings.Join(conflict, ", "))
-		}
+	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream); err != nil {
+		return err
 	}
 	var sc scenario.Scenario
 	if *scenarioName != "raw" {
@@ -118,6 +107,62 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("unknown scenario %q (have %s, or raw)",
 				*scenarioName, strings.Join(scenario.Names(), ", "))
 		}
+	}
+
+	cfg := fleet.Config{
+		Hosts:      *hosts,
+		Host:       fleet.HostSpec{VCPU: *hostVCPU, MemMB: *hostMem},
+		Policy:     pol,
+		Profile:    prof,
+		Workers:    *workers,
+		Overcommit: *overcommit,
+		Elastic:    *elastic,
+		Seed:       *seed,
+	}
+
+	// The synthetic-generator configuration every non-CSV mode starts
+	// from; a future generator-facing flag must be wired in exactly
+	// here to reach the streamed and materialized paths alike.
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = *requests
+	gen.Seed = *seed
+
+	if *stream {
+		var src trace.Source
+		scenarioLabel := ""
+		if *scenarioName == "raw" {
+			src = trace.GenerateSource(gen)
+			fmt.Fprintf(w, "streaming %d-request synthetic trace (seed %d)\n", *requests, *seed)
+		} else {
+			src = sc.Source(scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants})
+			scenarioLabel = sc.Name
+			fmt.Fprintf(w, "streaming %d-request %s scenario trace (seed %d, %d tenants)\n",
+				*requests, sc.Name, *seed, *tenants)
+		}
+		simStart := time.Now()
+		rep, err := fleet.SimulateStream(cfg, src)
+		if err != nil {
+			return err
+		}
+		rep.Scenario = scenarioLabel
+		elapsed := time.Since(simStart)
+		fmt.Fprintf(w, "simulated in %v (%.0f requests/sec, generation overlapped)\n\n",
+			elapsed.Round(time.Millisecond), float64(rep.Requests)/elapsed.Seconds())
+		rep.WriteText(w)
+		if *verify {
+			// The independent replay is a materialized oracle: it holds
+			// the whole trace, so -verify trades -stream's bounded
+			// memory for cross-checking. Say so rather than silently
+			// blowing the budget the user asked -stream for.
+			fmt.Fprintln(w, "\nverification materializes the trace once for the independent replay"+
+				" (drop -verify to keep memory bounded at scale)")
+			s, err := src()
+			if err != nil {
+				return err
+			}
+			return verifyReport(w, cfg, rep, trace.Collect(s))
+		}
+		return nil
 	}
 
 	var tr *trace.Trace
@@ -136,16 +181,10 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "replaying %d requests from %s (loaded in %v)\n",
 			tr.Len(), *tracePath, time.Since(genStart).Round(time.Millisecond))
 	case *scenarioName == "raw":
-		gen := trace.DefaultGeneratorConfig()
-		gen.Requests = *requests
-		gen.Seed = *seed
 		tr = trace.Generate(gen)
 		fmt.Fprintf(w, "generated %d-request synthetic trace (seed %d) in %v\n",
 			tr.Len(), *seed, time.Since(genStart).Round(time.Millisecond))
 	default:
-		gen := trace.DefaultGeneratorConfig()
-		gen.Requests = *requests
-		gen.Seed = *seed
 		scfg := scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants}
 		var err error
 		if tr, err = sc.Trace(scfg); err != nil {
@@ -156,16 +195,6 @@ func run(args []string, w io.Writer) error {
 			tr.Len(), sc.Name, *seed, *tenants, time.Since(genStart).Round(time.Millisecond))
 	}
 
-	cfg := fleet.Config{
-		Hosts:      *hosts,
-		Host:       fleet.HostSpec{VCPU: *hostVCPU, MemMB: *hostMem},
-		Policy:     pol,
-		Profile:    prof,
-		Workers:    *workers,
-		Overcommit: *overcommit,
-		Elastic:    *elastic,
-		Seed:       *seed,
-	}
 	simStart := time.Now()
 	rep, err := fleet.Simulate(cfg, tr)
 	if err != nil {
@@ -177,17 +206,65 @@ func run(args []string, w io.Writer) error {
 		elapsed.Round(time.Millisecond), float64(tr.Len())/elapsed.Seconds())
 	rep.WriteText(w)
 	if *verify {
-		agg, err := diffsim.Replay(cfg, tr)
-		if err != nil {
-			return err
-		}
-		res := diffsim.Diff(rep, agg)
-		fmt.Fprintf(w, "\ndifferential replay: max relative delta %.3g over %d metrics\n",
-			res.MaxRelDelta, len(res.Metrics))
-		if err := res.Check(diffsim.DefaultTolerance); err != nil {
-			return err
-		}
-		fmt.Fprintln(w, "differential replay: report verified")
+		return verifyReport(w, cfg, rep, tr)
 	}
+	return nil
+}
+
+// flagConflicts rejects contradictory flag combinations up front,
+// naming every offending flag explicitly so the fix is obvious from
+// the message alone.
+func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream bool) error {
+	// A recorded trace replays as-is, "raw" bypasses the shaping layer,
+	// and the streaming pipeline synthesizes its workload lazily;
+	// explicitly asking for a combination that contradicts the chosen
+	// mode is a user error, not something to ignore silently.
+	rules := []struct {
+		active bool
+		reason string
+		flags  map[string]bool
+	}{
+		{tracePath != "", "-trace replays the CSV unshaped",
+			map[string]bool{"scenario": true, "tenants": true, "horizon": true}},
+		{tracePath == "" && scenarioName == "raw", `-scenario raw is the unshaped generator`,
+			map[string]bool{"tenants": true, "horizon": true}},
+		{stream, "-stream synthesizes its workload lazily and cannot replay a CSV",
+			map[string]bool{"trace": true}},
+	}
+	for _, ru := range rules {
+		if !ru.active {
+			continue
+		}
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if ru.flags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("%s; drop %s", ru.reason, strings.Join(conflict, ", "))
+		}
+	}
+	return nil
+}
+
+// verifyReport runs the independent differential replay against an
+// already-printed report. A failure names the first mismatched metric
+// up front (the full metric dump follows from Check's error).
+func verifyReport(w io.Writer, cfg fleet.Config, rep fleet.Report, tr *trace.Trace) error {
+	agg, err := diffsim.Replay(cfg, tr)
+	if err != nil {
+		return err
+	}
+	res := diffsim.Diff(rep, agg)
+	fmt.Fprintf(w, "\ndifferential replay: max relative delta %.3g over %d metrics\n",
+		res.MaxRelDelta, len(res.Metrics))
+	if err := res.Check(diffsim.DefaultTolerance); err != nil {
+		if name := res.FirstMismatch(diffsim.DefaultTolerance); name != "" {
+			return fmt.Errorf("differential replay failed, first mismatched metric %s: %w", name, err)
+		}
+		return err
+	}
+	fmt.Fprintln(w, "differential replay: report verified")
 	return nil
 }

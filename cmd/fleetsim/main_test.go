@@ -166,3 +166,77 @@ func TestRunFlashCrowdColderThanSteady(t *testing.T) {
 		t.Errorf("flash-crowd cold rate %.2f%% not above steady %.2f%%", flash, steady)
 	}
 }
+
+// TestRunFlagConflictMessages pins the satellite contract on conflict
+// handling: the error names every conflicting flag explicitly, so the
+// fix is readable off the message.
+func TestRunFlagConflictMessages(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantFlags []string
+	}{
+		{"trace+scenario", []string{"-trace", "t.csv", "-scenario", "flash-crowd"}, []string{"-scenario"}},
+		{"trace+tenants+horizon", []string{"-trace", "t.csv", "-tenants", "2", "-horizon", "1h"},
+			[]string{"-tenants", "-horizon"}},
+		{"raw+tenants", []string{"-scenario", "raw", "-tenants", "2"}, []string{"-tenants"}},
+		{"raw+horizon", []string{"-scenario", "raw", "-horizon", "1h"}, []string{"-horizon"}},
+		{"stream+trace", []string{"-stream", "-trace", "t.csv"}, []string{"-trace"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(c.args, &out)
+			if err == nil {
+				t.Fatalf("%v: expected conflict error", c.args)
+			}
+			for _, f := range c.wantFlags {
+				if !strings.Contains(err.Error(), f) {
+					t.Errorf("%v: error %q does not name %s", c.args, err, f)
+				}
+			}
+		})
+	}
+}
+
+// TestRunStreamMatchesMaterialized is the CLI-level tentpole check:
+// -stream prints the identical report (everything below the banner
+// and timing lines) for the scenario and raw paths.
+func TestRunStreamMatchesMaterialized(t *testing.T) {
+	report := func(args ...string) string {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		// Strip the banner/timing lines, which legitimately differ.
+		s := regexp.MustCompile(`(?m)^(generated|synthesized|streaming|simulated).*\n`).ReplaceAllString(out.String(), "")
+		return s
+	}
+	for _, base := range [][]string{
+		{"-scenario", "flash-crowd", "-hosts", "4", "-requests", "3000"},
+		{"-scenario", "raw", "-hosts", "4", "-requests", "3000"},
+		{"-scenario", "multi-tenant", "-hosts", "4", "-requests", "3000", "-tenants", "3"},
+	} {
+		mat := report(base...)
+		str := report(append([]string{"-stream"}, base...)...)
+		if mat != str {
+			t.Errorf("%v: streamed CLI report differs:\nmaterialized:\n%s\nstreamed:\n%s", base, mat, str)
+		}
+	}
+}
+
+// TestRunStreamVerify exercises -stream -verify: the streamed report
+// must pass the independent differential replay.
+func TestRunStreamVerify(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-stream", "-scenario", "diurnal", "-hosts", "4", "-requests", "2000", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "differential replay: report verified") {
+		t.Errorf("missing verification verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "streaming 2000-request diurnal scenario trace") {
+		t.Errorf("missing streaming banner:\n%s", out.String())
+	}
+}

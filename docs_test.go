@@ -1,0 +1,144 @@
+package slscost
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageComments enforces the documentation floor for every
+// internal package: a package comment on at least one file.
+func TestPackageComments(t *testing.T) {
+	// Walk the whole internal tree so nested packages (present and
+	// future) cannot escape the audit.
+	var dirs []string
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if gofiles, _ := filepath.Glob(filepath.Join(path, "*.go")); len(gofiles) > 0 {
+				dirs = append(dirs, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc.Text() != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package comment; add one (doc.go if no file fits)", name, dir)
+			}
+		}
+	}
+}
+
+// TestExportedDocComments is the missing-doc check for the packages
+// whose exported API the rest of the repository (and the README)
+// builds on: every exported package-level declaration, and every
+// exported method on an exported type, carries a doc comment. go vet
+// does not check this; this test keeps `go test ./...` (and CI) doing
+// so.
+func TestExportedDocComments(t *testing.T) {
+	audited := []string{
+		"internal/trace",
+		"internal/scenario",
+		"internal/scenario/diffsim",
+		"internal/fleet",
+		"internal/simtime",
+		"internal/stats",
+	}
+	for _, dir := range audited {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			for fname, f := range pkg.Files {
+				if strings.HasSuffix(fname, "_test.go") {
+					continue
+				}
+				for _, d := range f.Decls {
+					switch dd := d.(type) {
+					case *ast.FuncDecl:
+						if !dd.Name.IsExported() || dd.Doc.Text() != "" {
+							continue
+						}
+						// Methods on unexported types never surface in
+						// godoc; only exported receivers are audited.
+						if dd.Recv != nil && !exportedReceiver(dd.Recv) {
+							continue
+						}
+						t.Errorf("%s: exported %s %s has no doc comment",
+							fname, funcKind(dd), dd.Name.Name)
+					case *ast.GenDecl:
+						for _, spec := range dd.Specs {
+							switch s := spec.(type) {
+							case *ast.TypeSpec:
+								if s.Name.IsExported() && dd.Doc.Text() == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+									t.Errorf("%s: exported type %s has no doc comment", fname, s.Name.Name)
+								}
+							case *ast.ValueSpec:
+								for _, n := range s.Names {
+									if n.IsExported() && dd.Doc.Text() == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+										t.Errorf("%s: exported value %s has no doc comment", fname, n.Name)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcKind labels a declaration for the error message.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// exportedReceiver reports whether a method's receiver type is
+// exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}

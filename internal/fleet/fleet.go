@@ -25,7 +25,6 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -117,7 +116,8 @@ type pod struct {
 	initMs time.Duration // cold-start init of the pod's first request
 	first  time.Duration // first request arrival
 	last   time.Duration // last request turnaround end
-	reqs   []int         // indices into the trace, in arrival order
+	reqs   []int         // indices into the trace, in arrival order (batch path only)
+	nreqs  int           // request count (set by both the batch and streaming scans)
 	host   int           // assigned host, -1 = rejected
 }
 
@@ -127,38 +127,25 @@ type pod struct {
 // sandbox is placed once with that flavor. Both are properties of
 // generator output; a hand-assembled replay CSV that violates them is
 // rejected rather than silently mis-simulated.
+//
+// Pod construction and input validation live in scanPods, shared with
+// the streaming path so the two passes cannot drift; buildPods adds
+// the per-request index lists only the batch replay needs. (Sortedness
+// is enforced, so first-appearance order already is first-arrival
+// order — no re-sort needed.)
 func buildPods(tr *trace.Trace) ([]*pod, error) {
-	byID := make(map[int]*pod)
-	var pods []*pod
-	for i, r := range tr.Requests {
-		if i > 0 && r.Start < tr.Requests[i-1].Start {
-			return nil, fmt.Errorf("fleet: trace not sorted by arrival (request %d at %v after %v)",
-				i, r.Start, tr.Requests[i-1].Start)
-		}
-		p := byID[r.PodID]
-		if p == nil {
-			p = &pod{
-				id:     r.PodID,
-				fnID:   r.FnID,
-				vcpu:   r.AllocCPU,
-				memMB:  r.AllocMemMB,
-				initMs: r.InitDuration,
-				first:  r.Start,
-				last:   r.Start + r.Turnaround(),
-				host:   -1,
-			}
-			byID[r.PodID] = p
-			pods = append(pods, p)
-		} else if r.AllocCPU != p.vcpu || r.AllocMemMB != p.memMB {
-			return nil, fmt.Errorf("fleet: pod %d changes flavor mid-stream (request %d: %gx%gMB vs %gx%gMB)",
-				r.PodID, i, r.AllocCPU, r.AllocMemMB, p.vcpu, p.memMB)
-		}
-		if end := r.Start + r.Turnaround(); end > p.last {
-			p.last = end
-		}
-		p.reqs = append(p.reqs, i)
+	pods, _, err := scanPods(trace.FromTrace(tr))
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(pods, func(a, b int) bool { return pods[a].first < pods[b].first })
+	byID := make(map[int]*pod, len(pods))
+	for _, p := range pods {
+		p.reqs = make([]int, 0, p.nreqs)
+		byID[p.id] = p
+	}
+	for i, r := range tr.Requests {
+		byID[r.PodID].reqs = append(byID[r.PodID].reqs, i)
+	}
 	return pods, nil
 }
 

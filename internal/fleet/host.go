@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sort"
 	"time"
 
 	"slscost/internal/billing"
@@ -96,8 +97,10 @@ func (s *hostSim) account(now time.Duration) {
 	s.lastAccount = now
 }
 
-// simulateHost replays the host's pods to completion.
-func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostResult {
+// newHostSim returns a host shard ready to serve requests.
+// expectedReqs sizes the latency accumulator (both the batch and the
+// streaming path know the host's request count after placement).
+func newHostSim(cfg Config, hostIdx, expectedReqs int) *hostSim {
 	s := &hostSim{
 		cfg:         cfg,
 		clock:       simtime.NewClock(),
@@ -106,23 +109,64 @@ func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostRes
 		fnInstances: make(map[int]int),
 		inflightPos: make(map[int]int),
 	}
-	n := 0
-	for _, p := range pods {
-		n += len(p.reqs)
-	}
-	s.res.latencyMs = make([]float64, 0, n)
+	s.res.latencyMs = make([]float64, 0, expectedReqs)
+	return s
+}
 
-	for _, p := range pods {
-		for _, ri := range p.reqs {
-			r := tr.Requests[ri]
-			s.clock.At(r.Start, func(now time.Duration) { s.arrive(now, p, r) })
-		}
-	}
+// feed serves one externally driven arrival: queued completions and
+// expiries strictly before the arrival run first, then the request is
+// admitted at its arrival instant. Because the batch path seeds every
+// arrival before its clock runs (so arrivals carry lower sequence
+// numbers than any runtime-scheduled event), running strictly-earlier
+// events and then arriving directly reproduces the batch tie order
+// exactly: an arrival at t fires before a completion or expiry at t.
+// Arrivals must be fed in non-decreasing Start order.
+func (s *hostSim) feed(p *pod, r trace.Request) {
+	s.clock.RunBefore(r.Start)
+	s.arrive(r.Start, p, r)
+}
+
+// finish drains the remaining completions and expiries and returns the
+// host's tally.
+func (s *hostSim) finish() hostResult {
 	s.clock.Run()
 	s.account(s.clock.Now())
 	s.res.makespan = s.clock.Now()
 	s.probe()
 	return s.res
+}
+
+// simulateHost replays the host's pods to completion (the batch path:
+// every arrival is scheduled up front, then the clock runs dry).
+// Arrivals are seeded in trace order, not pod-major order: the clock
+// breaks same-instant ties by scheduling order, and the streaming path
+// feeds arrivals in trace order, so seeding any other way would let
+// two same-nanosecond arrivals from different pods execute in a
+// different order on the two paths (contention factors are fixed at
+// admission, so execution order is observable).
+func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostResult {
+	type podReq struct {
+		p  *pod
+		ri int
+	}
+	n := 0
+	for _, p := range pods {
+		n += len(p.reqs)
+	}
+	seq := make([]podReq, 0, n)
+	for _, p := range pods {
+		for _, ri := range p.reqs {
+			seq = append(seq, podReq{p: p, ri: ri})
+		}
+	}
+	sort.Slice(seq, func(i, j int) bool { return seq[i].ri < seq[j].ri })
+
+	s := newHostSim(cfg, hostIdx, n)
+	for _, q := range seq {
+		p, r := q.p, tr.Requests[q.ri]
+		s.clock.At(r.Start, func(now time.Duration) { s.arrive(now, p, r) })
+	}
+	return s.finish()
 }
 
 // probe runs the CFS cross-check on this host's peak-demand snapshot.

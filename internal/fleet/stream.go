@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"slscost/internal/scenario"
+	"slscost/internal/trace"
+)
+
+// This file is the streaming replay path: Simulate's semantics over a
+// trace.Source instead of a materialized trace, with memory bounded by
+// the pod count (placement metadata) and the live simulation state
+// rather than the request count.
+//
+// The pipeline makes two passes over the source. Pass 1 streams the
+// requests once to build per-pod placement metadata (flavor, first
+// arrival, last turnaround end, request count — everything placeAll
+// needs, and nothing per-request), then runs the exact sequential
+// placement pass the batch path runs. Pass 2 re-opens the source and
+// routes each request, still in global arrival order, into per-shard
+// bounded channels; shard workers advance their hosts' private clocks
+// concurrently with generation, so host simulation overlaps trace
+// synthesis instead of waiting for it. Per-host results are merged in
+// host order, so the report is bit-identical to Simulate's and
+// independent of the worker count.
+
+const (
+	// streamBatchSize is how many requests travel per channel send;
+	// batching amortizes channel synchronization without meaningfully
+	// adding buffered memory.
+	streamBatchSize = 512
+	// streamChannelDepth bounds each shard's queue of in-flight batches.
+	// Together with streamBatchSize it caps the feeder/worker decoupling
+	// at a few hundred kilobytes per shard, whatever the trace size.
+	streamChannelDepth = 4
+)
+
+// streamItem is one routed request: the pod carries the placement
+// decision, the request the work.
+type streamItem struct {
+	p *pod
+	r trace.Request
+}
+
+// scanPods streams the trace once and builds the placement metadata:
+// every pod in order of first arrival, with its flavor, extent, and
+// request count — but no per-request state. It enforces the same input
+// contract as the batch path's buildPods: requests sorted by arrival,
+// per-pod flavors constant.
+func scanPods(s trace.Stream) ([]*pod, int, error) {
+	byID := make(map[int]*pod)
+	var pods []*pod
+	var prev time.Duration
+	n := 0
+	for r, ok := s.Next(); ok; r, ok = s.Next() {
+		if n > 0 && r.Start < prev {
+			return nil, 0, fmt.Errorf("fleet: trace not sorted by arrival (request %d at %v after %v)",
+				n, r.Start, prev)
+		}
+		prev = r.Start
+		p := byID[r.PodID]
+		if p == nil {
+			p = &pod{
+				id:     r.PodID,
+				fnID:   r.FnID,
+				vcpu:   r.AllocCPU,
+				memMB:  r.AllocMemMB,
+				initMs: r.InitDuration,
+				first:  r.Start,
+				last:   r.Start + r.Turnaround(),
+				host:   -1,
+			}
+			byID[r.PodID] = p
+			pods = append(pods, p)
+		} else if r.AllocCPU != p.vcpu || r.AllocMemMB != p.memMB {
+			return nil, 0, fmt.Errorf("fleet: pod %d changes flavor mid-stream (request %d: %gx%gMB vs %gx%gMB)",
+				r.PodID, n, r.AllocCPU, r.AllocMemMB, p.vcpu, p.memMB)
+		}
+		if end := r.Start + r.Turnaround(); end > p.last {
+			p.last = end
+		}
+		p.nreqs++
+		n++
+	}
+	return pods, n, nil
+}
+
+// SimulateStream replays a re-openable request stream through the
+// cluster and returns the same report Simulate would produce for the
+// materialized trace — byte-identical, for any worker count — without
+// ever holding the trace in memory. The source is opened twice (the
+// placement scan and the replay must see the same sequence; for seeded
+// generators reopening just re-derives the stream). Host workers
+// simulate concurrently with the second pass, so trace synthesis and
+// cluster replay overlap.
+func SimulateStream(cfg Config, src trace.Source) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	if src == nil {
+		return Report{}, fmt.Errorf("fleet: nil stream source")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Pass 1: placement. Pod metadata is the only thing retained.
+	s1, err := src()
+	if err != nil {
+		return Report{}, err
+	}
+	pods, total, err := scanPods(s1)
+	if err != nil {
+		return Report{}, err
+	}
+	if total == 0 {
+		return Report{}, fmt.Errorf("fleet: empty trace")
+	}
+	_, ps := placeAll(cfg, pods)
+
+	byID := make(map[int]*pod, len(pods))
+	perHostReqs := make([]int, cfg.Hosts)
+	rejectedReqs := 0
+	for _, p := range pods {
+		byID[p.id] = p
+		if p.host < 0 {
+			rejectedReqs += p.nreqs
+			continue
+		}
+		perHostReqs[p.host] += p.nreqs
+	}
+
+	// Pass 2: route the stream into per-shard bounded channels; workers
+	// advance their hosts while the feeder is still generating.
+	results := make([]hostResult, cfg.Hosts)
+	shards := make([]chan []streamItem, workers)
+	for i := range shards {
+		shards[i] = make(chan []streamItem, streamChannelDepth)
+	}
+	batchPool := sync.Pool{New: func() any { return make([]streamItem, 0, streamBatchSize) }}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sims := make(map[int]*hostSim)
+			for batch := range shards[w] {
+				for _, it := range batch {
+					sim := sims[it.p.host]
+					if sim == nil {
+						sim = newHostSim(cfg, it.p.host, perHostReqs[it.p.host])
+						sims[it.p.host] = sim
+					}
+					sim.feed(it.p, it.r)
+				}
+				batchPool.Put(batch[:0]) //nolint:staticcheck // slice reuse is the point
+			}
+			for h, sim := range sims {
+				results[h] = sim.finish()
+			}
+		}(w)
+	}
+	abort := func(err error) (Report, error) {
+		for _, ch := range shards {
+			close(ch)
+		}
+		wg.Wait()
+		return Report{}, err
+	}
+
+	s2, err := src()
+	if err != nil {
+		return abort(err)
+	}
+	batches := make([][]streamItem, workers)
+	seen := 0
+	for r, ok := s2.Next(); ok; r, ok = s2.Next() {
+		seen++
+		p := byID[r.PodID]
+		if p == nil {
+			return abort(fmt.Errorf("fleet: stream changed between passes (unknown pod %d)", r.PodID))
+		}
+		if p.host < 0 {
+			continue
+		}
+		sh := p.host % workers
+		b := batches[sh]
+		if b == nil {
+			b = batchPool.Get().([]streamItem)
+		}
+		b = append(b, streamItem{p: p, r: r})
+		if len(b) >= streamBatchSize {
+			shards[sh] <- b
+			b = nil
+		}
+		batches[sh] = b
+	}
+	if seen != total {
+		return abort(fmt.Errorf("fleet: stream changed between passes (%d requests, then %d)", total, seen))
+	}
+	for sh, b := range batches {
+		if len(b) > 0 {
+			shards[sh] <- b
+		}
+		close(shards[sh])
+	}
+	wg.Wait()
+
+	return mergeReport(cfg, workers, total, ps, rejectedReqs, results)
+}
+
+// SimulateScenarioStream is SimulateScenario on the streaming path:
+// the scenario's trace is synthesized lazily and consumed by
+// SimulateStream, so the workload never materializes. The report is
+// byte-identical to SimulateScenario's.
+func SimulateScenarioStream(cfg Config, sc scenario.Scenario, scfg scenario.Config) (Report, error) {
+	rep, err := SimulateStream(cfg, sc.Source(scfg))
+	rep.Scenario = sc.Name
+	return rep, err
+}

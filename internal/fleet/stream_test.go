@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"slscost/internal/core"
+	"slscost/internal/scenario"
+	"slscost/internal/trace"
+)
+
+// streamTestConfig returns a fresh config (policies are stateful, so
+// every simulation gets its own instance).
+func streamTestConfig(t *testing.T, policy string, workers int) Config {
+	t.Helper()
+	pol, err := NewPolicy(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Hosts:      6,
+		Host:       DefaultHostSpec(),
+		Policy:     pol,
+		Profile:    core.AWS(),
+		Workers:    workers,
+		Overcommit: 2,
+		Seed:       20260613,
+	}
+}
+
+// renderReport normalizes the one field that legitimately differs
+// between runs being compared (the worker count is printed in the
+// header) — callers comparing equal worker counts get the full text.
+func renderReport(rep Report) string {
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	return buf.String()
+}
+
+// TestSimulateStreamMatchesSimulate is the tentpole acceptance
+// property: for every catalog scenario, the streamed pipeline's report
+// is byte-identical (WriteText) to the materialized one.
+func TestSimulateStreamMatchesSimulate(t *testing.T) {
+	for _, sc := range scenario.Catalog() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			scfg := scenario.DefaultConfig()
+			scfg.Base.Requests = 4000
+
+			rep, _, err := SimulateScenario(streamTestConfig(t, "least-loaded", 2), sc, scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srep, err := SimulateScenarioStream(streamTestConfig(t, "least-loaded", 2), sc, scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := renderReport(rep), renderReport(srep); a != b {
+				t.Errorf("streamed report drifted from materialized:\nmaterialized:\n%s\nstreamed:\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestSimulateStreamRawTrace checks the raw-generator path and the
+// materialized-trace adapter: Simulate(tr) and
+// SimulateStream(SourceOf(tr)) agree byte-for-byte, as does
+// SimulateStream over GenerateSource.
+func TestSimulateStreamRawTrace(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 5000
+	tr := trace.Generate(gen)
+
+	rep, err := Simulate(streamTestConfig(t, "bin-pack", 3), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTrace, err := SimulateStream(streamTestConfig(t, "bin-pack", 3), trace.SourceOf(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGen, err := SimulateStream(streamTestConfig(t, "bin-pack", 3), trace.GenerateSource(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderReport(rep), renderReport(fromTrace); a != b {
+		t.Errorf("SourceOf path drifted:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := renderReport(rep), renderReport(fromGen); a != b {
+		t.Errorf("GenerateSource path drifted:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSimulateStreamWorkerCountIndependent pins the sharding
+// invariant on the streaming path: the report is identical for any
+// worker count (only the printed worker number differs).
+func TestSimulateStreamWorkerCountIndependent(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 4000
+	var base string
+	for i, workers := range []int{1, 2, 7} {
+		rep, err := SimulateStream(streamTestConfig(t, "round-robin", workers), trace.GenerateSource(gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Workers = 0 // normalize the only legitimately varying field
+		s := renderReport(rep)
+		if i == 0 {
+			base = s
+			continue
+		}
+		if s != base {
+			t.Errorf("workers=%d report differs:\n%s\nvs\n%s", workers, s, base)
+		}
+	}
+}
+
+// TestSimulateStreamStatefulPolicy pins that the stateful round-robin
+// policy behaves identically on both paths (placement runs once, in
+// the same order).
+func TestSimulateStreamStatefulPolicy(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 3000
+	tr := trace.Generate(gen)
+	rep, err := Simulate(streamTestConfig(t, "round-robin", 2), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := SimulateStream(streamTestConfig(t, "round-robin", 2), trace.SourceOf(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderReport(rep), renderReport(srep); a != b {
+		t.Errorf("round-robin drifted:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSimulateStreamExactTie pins tie handling between the two paths:
+// two requests from different pods arriving at the exact same
+// nanosecond — rare in generated traces but expected at 10M+ requests
+// once float arrivals quantize — must execute in the same order on the
+// batch and streaming paths. The flavors are asymmetric and the tied
+// demand exceeds host capacity, so a divergent order would change the
+// admission-time contention factor and with it latency and billing.
+func TestSimulateStreamExactTie(t *testing.T) {
+	const tie = 1000 * time.Millisecond
+	tr := &trace.Trace{Requests: []trace.Request{
+		// Pod 1 (1 vCPU) arrives first overall; pod 2 (4 vCPU) second.
+		{PodID: 1, FnID: 0, Start: 0, Duration: 50 * time.Millisecond,
+			CPUTime: 10 * time.Millisecond, AllocCPU: 1, AllocMemMB: 2048,
+			MemUsedMB: 100, ColdStart: true, InitDuration: 100 * time.Millisecond},
+		{PodID: 2, FnID: 1, Start: 100 * time.Millisecond, Duration: 50 * time.Millisecond,
+			CPUTime: 10 * time.Millisecond, AllocCPU: 4, AllocMemMB: 4096,
+			MemUsedMB: 100, ColdStart: true, InitDuration: 100 * time.Millisecond},
+		// The exact tie, in *reverse* pod-first-arrival order: the
+		// 4-vCPU pod's request precedes the 1-vCPU pod's in the trace.
+		{PodID: 2, FnID: 1, Start: tie, Duration: 200 * time.Millisecond,
+			CPUTime: 40 * time.Millisecond, AllocCPU: 4, AllocMemMB: 4096, MemUsedMB: 100},
+		{PodID: 1, FnID: 0, Start: tie, Duration: 200 * time.Millisecond,
+			CPUTime: 40 * time.Millisecond, AllocCPU: 1, AllocMemMB: 2048, MemUsedMB: 100},
+	}}
+	mk := func() Config {
+		pol, err := NewPolicy("bin-pack") // both pods land on host 0
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Hosts: 2, Host: HostSpec{VCPU: 4, MemMB: 32768}, Policy: pol,
+			Profile: core.AWS(), Workers: 1, Overcommit: 2, Seed: 1,
+		}
+	}
+	rep, err := Simulate(mk(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := SimulateStream(mk(), trace.SourceOf(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ContentionDelaySeconds == 0 {
+		t.Fatal("test construction broken: the tie never contends, so order is unobservable")
+	}
+	if a, b := renderReport(rep), renderReport(srep); a != b {
+		t.Errorf("exact-tie reports differ:\nmaterialized:\n%s\nstreamed:\n%s", a, b)
+	}
+}
+
+// TestSimulateStreamErrors covers the streaming path's failure modes.
+func TestSimulateStreamErrors(t *testing.T) {
+	cfg := streamTestConfig(t, "least-loaded", 2)
+
+	if _, err := SimulateStream(cfg, nil); err == nil {
+		t.Error("nil source: expected error")
+	}
+	empty := trace.SourceOf(&trace.Trace{})
+	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), empty); err == nil ||
+		!strings.Contains(err.Error(), "empty trace") {
+		t.Errorf("empty source: got %v", err)
+	}
+
+	unsorted := &trace.Trace{Requests: []trace.Request{
+		{PodID: 1, Start: 100, Duration: 1, AllocCPU: 1, AllocMemMB: 128},
+		{PodID: 1, Start: 50, Duration: 1, AllocCPU: 1, AllocMemMB: 128},
+	}}
+	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), trace.SourceOf(unsorted)); err == nil ||
+		!strings.Contains(err.Error(), "not sorted") {
+		t.Errorf("unsorted source: got %v", err)
+	}
+
+	flavorFlip := &trace.Trace{Requests: []trace.Request{
+		{PodID: 1, Start: 50, Duration: 1, AllocCPU: 1, AllocMemMB: 128},
+		{PodID: 1, Start: 100, Duration: 1, AllocCPU: 2, AllocMemMB: 128},
+	}}
+	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), trace.SourceOf(flavorFlip)); err == nil ||
+		!strings.Contains(err.Error(), "changes flavor") {
+		t.Errorf("flavor flip: got %v", err)
+	}
+
+	// A source that yields different sequences on its two opens must be
+	// rejected, not silently mis-simulated.
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 500
+	big := trace.Generate(gen)
+	small := &trace.Trace{Requests: big.Requests[:100]}
+	opens := 0
+	fickle := func() (trace.Stream, error) {
+		opens++
+		if opens == 1 {
+			return trace.FromTrace(big), nil
+		}
+		return trace.FromTrace(small), nil
+	}
+	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), fickle); err == nil ||
+		!strings.Contains(err.Error(), "changed between passes") {
+		t.Errorf("fickle source: got %v", err)
+	}
+}

@@ -98,6 +98,20 @@ func (r *Result) Check(tol float64) error {
 	return nil
 }
 
+// FirstMismatch returns the name of the first metric (in comparison
+// order) whose relative delta exceeds tol, or "" when every metric
+// agrees. Failure reporters lead with it so a broken run names its
+// first divergent quantity up front rather than burying it in the
+// full metric dump.
+func (r *Result) FirstMismatch(tol float64) string {
+	for _, m := range r.Metrics {
+		if m.RelDelta > tol {
+			return m.Name
+		}
+	}
+	return ""
+}
+
 // Verify simulates the cluster, replays it independently, and checks
 // the two against tol. It is the one-call form used by tests and the
 // fleetsim -verify flag.
@@ -107,6 +121,31 @@ func Verify(cfg fleet.Config, tr *trace.Trace, tol float64) (*Result, fleet.Repo
 		return nil, rep, err
 	}
 	agg, err := Replay(cfg, tr)
+	if err != nil {
+		return nil, rep, err
+	}
+	res := Diff(rep, agg)
+	return res, rep, res.Check(tol)
+}
+
+// VerifyStream is Verify for the streaming pipeline: the cluster
+// report comes from fleet.SimulateStream, while the independent replay
+// materializes the same source once and sweeps it per host. This
+// cross-checks the entire streamed path — lazy generation, re-timing,
+// the placement scan, and the incremental host clocks — against an
+// implementation that shares none of that machinery. Because the
+// replay materializes the trace, verification runs at oracle scale,
+// not at the streamed path's unbounded scale.
+func VerifyStream(cfg fleet.Config, src trace.Source, tol float64) (*Result, fleet.Report, error) {
+	rep, err := fleet.SimulateStream(cfg, src)
+	if err != nil {
+		return nil, rep, err
+	}
+	s, err := src()
+	if err != nil {
+		return nil, rep, err
+	}
+	agg, err := Replay(cfg, trace.Collect(s))
 	if err != nil {
 		return nil, rep, err
 	}

@@ -160,3 +160,45 @@ func TestReplayRejectsBadConfig(t *testing.T) {
 		t.Fatal("expected config error")
 	}
 }
+
+// TestVerifyStream runs the differential oracle against the streaming
+// pipeline: the streamed fleet report must be reproduced by the
+// independent per-host replay of the materialized source.
+func TestVerifyStream(t *testing.T) {
+	sc, ok := scenario.ByName("bursty")
+	if !ok {
+		t.Fatal("bursty scenario missing")
+	}
+	scfg := scenario.DefaultConfig()
+	scfg.Base.Requests = 3000
+	res, rep, err := VerifyStream(fleetConfig(t, "least-loaded", core.AWS(), 4), sc.Source(scfg), DefaultTolerance)
+	if err != nil {
+		t.Fatalf("streamed report failed differential verification: %v", err)
+	}
+	if rep.Served == 0 {
+		t.Fatal("no requests served")
+	}
+	if res.MaxRelDelta > DefaultTolerance {
+		t.Errorf("max relative delta %g above tolerance", res.MaxRelDelta)
+	}
+}
+
+// TestFirstMismatch pins the failure-naming helper: the first metric
+// over tolerance (in comparison order) is reported, and agreement
+// yields the empty string.
+func TestFirstMismatch(t *testing.T) {
+	res := &Result{Metrics: []Metric{
+		{Name: "served", RelDelta: 0},
+		{Name: "cold-starts", RelDelta: 0.5},
+		{Name: "total-cost", RelDelta: 0.9},
+	}}
+	if got := res.FirstMismatch(0.1); got != "cold-starts" {
+		t.Errorf("FirstMismatch = %q, want cold-starts", got)
+	}
+	if got := res.FirstMismatch(1); got != "" {
+		t.Errorf("FirstMismatch over loose tolerance = %q, want empty", got)
+	}
+	if err := res.Check(0.1); err == nil || !strings.Contains(err.Error(), "cold-starts") {
+		t.Errorf("Check error should name cold-starts: %v", err)
+	}
+}

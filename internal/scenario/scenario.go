@@ -136,18 +136,25 @@ func (s Scenario) tenants(cfg Config) []Tenant {
 	return out
 }
 
-// Trace synthesizes the scenario's request trace: per tenant, a
-// calibrated base trace supplies functions, pods, durations, flavors,
-// and cold-start structure, and the tenant's shape re-times every
-// function's arrival stream as a shape-modulated renewal process. The
-// result is sorted by arrival, satisfies (*trace.Trace).Validate, and
-// is bit-reproducible from cfg.Base.Seed.
-func (s Scenario) Trace(cfg Config) (*trace.Trace, error) {
-	if err := s.Validate(cfg); err != nil {
-		return nil, err
-	}
+// tenantAlloc is one tenant's resolved slice of the synthesis: its
+// shape, its fully parameterized generator config, its private shape
+// seed, and the function-ID offset its output shifts by. Both the
+// materialized (Trace) and streaming (Stream) paths synthesize from
+// the same plan, which is what keeps them bit-identical.
+type tenantAlloc struct {
+	shape     Shape
+	gcfg      trace.GeneratorConfig
+	shapeSeed uint64
+	fnBase    int
+}
+
+// plan splits the request and function budgets across the effective
+// tenant list. Tenants whose rounded share is zero requests are
+// dropped (they consume none of the function budget); every retained
+// tenant gets at least one function, and a reservation keeps rounding
+// from pushing later tenants past the budget.
+func (s Scenario) plan(cfg Config) ([]tenantAlloc, error) {
 	tenants := s.tenants(cfg)
-	horizon := cfg.horizon()
 
 	var totalWeight float64
 	for _, t := range tenants {
@@ -165,8 +172,8 @@ func (s Scenario) Trace(cfg Config) (*trace.Trace, error) {
 			s.Name, len(tenants), functionBudget)
 	}
 
-	out := &trace.Trace{}
-	fnBase, podBase := 0, 0
+	var plans []tenantAlloc
+	fnBase := 0
 	remaining := cfg.Base.Requests
 	remainingFns := cfg.Base.Functions
 	if remainingFns <= 0 {
@@ -208,26 +215,60 @@ func (s Scenario) Trace(cfg Config) (*trace.Trace, error) {
 		gcfg.Seed = mix(cfg.Base.Seed, 0x74656e+uint64(i)) // "ten"+i
 		gcfg.ZipfExponent = t.ZipfExponent
 		gcfg.FlavorBias = t.FlavorBias
-		base := trace.Generate(gcfg)
-		retime(base, t.Shape, horizon, mix(cfg.Base.Seed, 0x736861+uint64(i))) // "sha"+i
+		plans = append(plans, tenantAlloc{
+			shape:     t.Shape,
+			gcfg:      gcfg,
+			shapeSeed: mix(cfg.Base.Seed, 0x736861+uint64(i)), // "sha"+i
+			fnBase:    fnBase,
+		})
+		fnBase += fns
+	}
+	return plans, nil
+}
+
+// Trace synthesizes the scenario's request trace: per tenant, a
+// calibrated base trace supplies functions, pods, durations, flavors,
+// and cold-start structure, and the tenant's shape re-times every
+// function's arrival stream as a shape-modulated renewal process. The
+// result is sorted by arrival, satisfies (*trace.Trace).Validate, and
+// is bit-reproducible from cfg.Base.Seed. Stream yields the identical
+// request sequence without materializing it.
+func (s Scenario) Trace(cfg Config) (*trace.Trace, error) {
+	if err := s.Validate(cfg); err != nil {
+		return nil, err
+	}
+	plans, err := s.plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	horizon := cfg.horizon()
+
+	out := &trace.Trace{}
+	podBase := 0
+	for _, pl := range plans {
+		base := trace.Generate(pl.gcfg)
+		retime(base, pl.shape, horizon, pl.shapeSeed)
 
 		maxPod := 0
 		for ri := range base.Requests {
 			r := &base.Requests[ri]
-			r.FnID += fnBase
+			r.FnID += pl.fnBase
 			if r.PodID > maxPod {
 				maxPod = r.PodID
 			}
 			r.PodID += podBase
 		}
-		fnBase += fns
 		podBase += maxPod
 		out.Requests = append(out.Requests, base.Requests...)
 	}
 
-	// Single-tenant traces are already sorted by retime; only a merge of
-	// several tenant streams needs the final pass.
-	if len(tenants) > 1 {
+	// A single emitting tenant's block is already sorted by retime; only
+	// a concatenation of several blocks needs the final pass. The sort
+	// is stable and keyed on Start alone: cross-tenant ties keep the
+	// tenant-major concatenation order and within-tenant ties stay in
+	// retime's (Start, function) order — together exactly the tie rule
+	// Stream's merge applies (sources are tenant-major, function-minor).
+	if len(plans) > 1 {
 		sort.SliceStable(out.Requests, func(a, b int) bool {
 			return out.Requests[a].Start < out.Requests[b].Start
 		})
@@ -248,9 +289,6 @@ func retime(tr *trace.Trace, shape Shape, horizon time.Duration, seed uint64) {
 	if mean <= 0 {
 		mean = 1 // degenerate all-zero shape: treat as steady
 	}
-	// Intensity floor: a dead zone stretches gaps by at most 10^4×, so
-	// traces terminate even under shapes that are zero almost everywhere.
-	const floor = 1e-4
 	h := horizon.Seconds()
 
 	// Group request indices by function, preserving arrival order
@@ -275,8 +313,8 @@ func retime(tr *trace.Trace, shape Shape, horizon time.Duration, seed uint64) {
 			x := t / h
 			x -= math.Floor(x)
 			lam := shape.Rate(x) / mean
-			if lam < floor || math.IsNaN(lam) {
-				lam = floor
+			if lam < intensityFloor || math.IsNaN(lam) {
+				lam = intensityFloor
 			}
 			t += rng.Exp(gapMean / lam)
 			r := &tr.Requests[ri]
@@ -284,8 +322,14 @@ func retime(tr *trace.Trace, shape Shape, horizon time.Duration, seed uint64) {
 			t += r.Duration.Seconds()
 		}
 	}
+	// Ties (same-nanosecond re-timed arrivals from different functions)
+	// order by function index — the rule the streaming path's merge
+	// applies, so Trace and Stream stay bit-identical even on ties.
 	sort.SliceStable(tr.Requests, func(a, b int) bool {
-		return tr.Requests[a].Start < tr.Requests[b].Start
+		if tr.Requests[a].Start != tr.Requests[b].Start {
+			return tr.Requests[a].Start < tr.Requests[b].Start
+		}
+		return tr.Requests[a].FnID < tr.Requests[b].FnID
 	})
 }
 

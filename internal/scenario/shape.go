@@ -44,7 +44,10 @@ type Shape interface {
 // trace (and the raw generator) models.
 type Steady struct{}
 
-func (Steady) Name() string           { return "steady" }
+// Name implements Shape.
+func (Steady) Name() string { return "steady" }
+
+// Rate implements Shape: a constant intensity of 1.
 func (Steady) Rate(x float64) float64 { return 1 }
 
 // Diurnal is a day/night cycle: a raised cosine oscillating between
@@ -55,8 +58,10 @@ type Diurnal struct {
 	Trough float64
 }
 
+// Name implements Shape.
 func (d Diurnal) Name() string { return "diurnal" }
 
+// Rate implements Shape: a raised cosine between Trough and 1.
 func (d Diurnal) Rate(x float64) float64 {
 	cycles := d.Cycles
 	if cycles <= 0 {
@@ -79,8 +84,11 @@ type FlashCrowd struct {
 	Magnitude float64
 }
 
+// Name implements Shape.
 func (f FlashCrowd) Name() string { return "flash-crowd" }
 
+// Rate implements Shape: Baseline everywhere, plus Magnitude inside
+// the (modular) spike window.
 func (f FlashCrowd) Rate(x float64) float64 {
 	r := f.Baseline
 	// Membership is modular so a spike straddling the period edge
@@ -99,7 +107,10 @@ type Ramp struct {
 	From, To float64
 }
 
-func (r Ramp) Name() string           { return "ramp" }
+// Name implements Shape.
+func (r Ramp) Name() string { return "ramp" }
+
+// Rate implements Shape: linear interpolation from From to To.
 func (r Ramp) Rate(x float64) float64 { return r.From + (r.To-r.From)*x }
 
 // burst is one precomputed heavy-tail burst of a ParetoBursts shape.
@@ -142,8 +153,11 @@ func NewParetoBursts(seed uint64, n int, alpha, baseline float64) ParetoBursts {
 	return ParetoBursts{Baseline: baseline, bursts: bs}
 }
 
+// Name implements Shape.
 func (p ParetoBursts) Name() string { return "bursty" }
 
+// Rate implements Shape: Baseline plus the stacked heights of every
+// burst whose (circular) window covers x.
 func (p ParetoBursts) Rate(x float64) float64 {
 	r := p.Baseline
 	for _, b := range p.bursts {
@@ -168,6 +182,7 @@ type Overlay struct {
 	Weights []float64
 }
 
+// Name implements Shape, composing the part names.
 func (o Overlay) Name() string {
 	names := make([]string, len(o.Parts))
 	for i, p := range o.Parts {
@@ -176,6 +191,7 @@ func (o Overlay) Name() string {
 	return "overlay(" + strings.Join(names, "+") + ")"
 }
 
+// Rate implements Shape: the weighted sum of the parts.
 func (o Overlay) Rate(x float64) float64 {
 	var r float64
 	for i, p := range o.Parts {
@@ -195,8 +211,10 @@ type Shifted struct {
 	Phase float64
 }
 
+// Name implements Shape, recording the phase.
 func (s Shifted) Name() string { return fmt.Sprintf("%s@%.2f", s.Shape.Name(), s.Phase) }
 
+// Rate implements Shape: the wrapped shape evaluated Phase later.
 func (s Shifted) Rate(x float64) float64 {
 	x += s.Phase
 	x -= math.Floor(x)

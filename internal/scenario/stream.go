@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"math"
+	"time"
+
+	"slscost/internal/stats"
+	"slscost/internal/trace"
+)
+
+// This file is the streaming face of the scenario engine: the same
+// shape-modulated renewal re-timing Trace applies to a materialized
+// base trace, applied lazily to per-function generator streams and
+// merged by arrival time. Memory is O(tenants × functions) instead of
+// O(requests), and the emitted sequence is bit-identical to Trace's —
+// the fleet simulator's streamed and materialized paths must agree to
+// the byte, so the re-timer draws the exact per-function random
+// streams retime does.
+
+// intensityFloor bounds how far a dead zone of a shape can stretch
+// inter-arrival gaps (10^4×), so traces terminate even under shapes
+// that are zero almost everywhere. Shared by the in-place re-timer and
+// the streaming one.
+const intensityFloor = 1e-4
+
+// retimeStream lazily re-times one function's generator stream as a
+// shape-modulated renewal process, applying the tenant's function- and
+// pod-ID offsets on the way out. Arrival times are strictly
+// increasing, so the stream satisfies the trace.Stream ordering
+// contract and can be merged with its siblings.
+type retimeStream struct {
+	src      *trace.FunctionStream
+	shape    Shape
+	mean     float64 // shape's mean intensity (normalizer)
+	rng      *stats.Rand
+	h        float64 // horizon seconds
+	gapMean  float64 // base mean gap: horizon / function request count
+	t        float64 // renewal clock, seconds
+	fnShift  int
+	podShift int
+}
+
+// Next re-times the function's next request: the gap to it scales
+// inversely with the shape's local intensity, then the request's
+// execution time advances the renewal clock, exactly as retime does in
+// place.
+func (rs *retimeStream) Next() (trace.Request, bool) {
+	r, ok := rs.src.Next()
+	if !ok {
+		return trace.Request{}, false
+	}
+	x := rs.t / rs.h
+	x -= math.Floor(x)
+	lam := rs.shape.Rate(x) / rs.mean
+	if lam < intensityFloor || math.IsNaN(lam) {
+		lam = intensityFloor
+	}
+	rs.t += rs.rng.Exp(rs.gapMean / lam)
+	r.Start = time.Duration(rs.t * float64(time.Second))
+	rs.t += r.Duration.Seconds()
+	r.FnID += rs.fnShift
+	r.PodID += rs.podShift
+	return r, true
+}
+
+// streamPlan is one tenant's reusable streaming state: its allocation,
+// its generator calibration, and its shape's mean intensity. Building
+// it once lets a Source re-open the scenario stream without re-running
+// the calibration sweep or re-sampling the shape.
+type streamPlan struct {
+	pl      tenantAlloc
+	cal     *trace.Calibration
+	mean    float64
+	podBase int
+}
+
+// streamPlans resolves and calibrates every tenant of the scenario.
+func (s Scenario) streamPlans(cfg Config) ([]streamPlan, error) {
+	if err := s.Validate(cfg); err != nil {
+		return nil, err
+	}
+	plans, err := s.plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]streamPlan, len(plans))
+	podBase := 0
+	for i, pl := range plans {
+		mean := meanRate(pl.shape)
+		if mean <= 0 {
+			mean = 1 // degenerate all-zero shape: treat as steady
+		}
+		out[i] = streamPlan{pl: pl, cal: trace.Calibrate(pl.gcfg), mean: mean, podBase: podBase}
+		podBase += out[i].cal.Pods()
+	}
+	return out, nil
+}
+
+// open instantiates one fresh merged stream over calibrated plans.
+func openStream(plans []streamPlan, horizon time.Duration) trace.Stream {
+	h := horizon.Seconds()
+	var srcs []trace.Stream
+	for _, sp := range plans {
+		for _, f := range sp.cal.Streams() {
+			if f.Len() == 0 {
+				continue // a function with no requests re-times to nothing
+			}
+			srcs = append(srcs, &retimeStream{
+				src:      f,
+				shape:    sp.pl.shape,
+				mean:     sp.mean,
+				rng:      stats.NewRand(mix(sp.pl.shapeSeed, uint64(f.FnID())+1)),
+				h:        h,
+				gapMean:  h / float64(f.Len()),
+				fnShift:  sp.pl.fnBase,
+				podShift: sp.podBase,
+			})
+		}
+	}
+	return trace.Merge(srcs...)
+}
+
+// Stream synthesizes the scenario's trace as a time-ordered request
+// stream without materializing it: per tenant, per function, a lazy
+// generator stream is wrapped in the renewal re-timer, and all streams
+// merge by arrival. The emitted sequence is identical to Trace(cfg)'s,
+// ties included (the merge's tenant-major, function-minor tie order is
+// the order Trace's stable sorts leave simultaneous arrivals in), with
+// memory bounded by tenants × functions instead of the request count.
+func (s Scenario) Stream(cfg Config) (trace.Stream, error) {
+	plans, err := s.streamPlans(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return openStream(plans, cfg.horizon()), nil
+}
+
+// Source returns a trace.Source over the scenario — the form
+// fleet.SimulateStream consumes, which opens its input once for the
+// placement scan and once for the replay. Tenant resolution, the
+// generator calibration sweeps, and shape-mean sampling run once, up
+// front; each open only pays for lazy emission. Validation errors
+// surface on open.
+func (s Scenario) Source(cfg Config) trace.Source {
+	plans, err := s.streamPlans(cfg)
+	horizon := cfg.horizon()
+	return func() (trace.Stream, error) {
+		if err != nil {
+			return nil, err
+		}
+		return openStream(plans, horizon), nil
+	}
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"testing"
+
+	"slscost/internal/trace"
+)
+
+// TestStreamMatchesTrace is the scenario streaming contract: for every
+// catalog scenario (and a fanned-out multi-tenant derivation),
+// Collect(Stream(cfg)) is bit-identical to Trace(cfg) — the lazy
+// per-function re-timers plus merge reproduce the materialize-retime-
+// sort path exactly.
+func TestStreamMatchesTrace(t *testing.T) {
+	for _, sc := range Catalog() {
+		for _, tenants := range []int{1, 3} {
+			cfg := DefaultConfig()
+			cfg.Base.Requests = 4000
+			cfg.Tenants = tenants
+			want, err := sc.Trace(cfg)
+			if err != nil {
+				t.Fatalf("%s tenants=%d: Trace: %v", sc.Name, tenants, err)
+			}
+			s, err := sc.Stream(cfg)
+			if err != nil {
+				t.Fatalf("%s tenants=%d: Stream: %v", sc.Name, tenants, err)
+			}
+			got := trace.Collect(s)
+			if got.Len() != want.Len() {
+				t.Fatalf("%s tenants=%d: stream emitted %d requests, Trace %d",
+					sc.Name, tenants, got.Len(), want.Len())
+			}
+			for i := range want.Requests {
+				if got.Requests[i] != want.Requests[i] {
+					t.Fatalf("%s tenants=%d: request %d differs:\nstream: %+v\ntrace:  %+v",
+						sc.Name, tenants, i, got.Requests[i], want.Requests[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamValidatesInput pins that Stream rejects the same malformed
+// configurations Trace does, with an error rather than a panic.
+func TestStreamValidatesInput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Base.Requests = 0
+	if _, err := (Scenario{Name: "x", Shape: Steady{}}).Stream(cfg); err == nil {
+		t.Error("zero requests: expected error")
+	}
+	cfg = DefaultConfig()
+	if _, err := (Scenario{Name: "x"}).Stream(cfg); err == nil {
+		t.Error("shapeless scenario: expected error")
+	}
+}
+
+// TestStreamOrdered pins the trace.Stream ordering contract on the
+// scenario path, where re-timing replaces every arrival.
+func TestStreamOrdered(t *testing.T) {
+	sc, ok := ByName("multi-tenant")
+	if !ok {
+		t.Fatal("multi-tenant scenario missing")
+	}
+	cfg := DefaultConfig()
+	cfg.Base.Requests = 5000
+	s, err := sc.Stream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, ok := s.Next()
+	if !ok {
+		t.Fatal("empty stream")
+	}
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		if r.Start < prev.Start {
+			t.Fatalf("arrival %v after %v", r.Start, prev.Start)
+		}
+		prev = r
+	}
+}

@@ -162,6 +162,27 @@ func (c *Clock) RunUntil(deadline time.Duration) {
 	}
 }
 
+// RunBefore runs events strictly earlier than deadline, leaving the
+// clock at the last executed event's instant. Unlike RunUntil it never
+// advances the clock to the deadline itself and never runs events
+// scheduled exactly at it — the streaming cluster simulator uses this
+// to interleave externally driven arrivals with queued completions
+// while preserving the batch scheduler's tie order (an arrival at t
+// fires before any event queued at t).
+func (c *Clock) RunBefore(deadline time.Duration) {
+	for len(c.q) > 0 {
+		root := c.q[0]
+		if root.dead {
+			heap.Pop(&c.q)
+			continue
+		}
+		if root.at >= deadline {
+			break
+		}
+		c.Step()
+	}
+}
+
 // Run drains the entire event queue. Use with care: self-rescheduling
 // events (Every) make this run forever; prefer RunUntil.
 func (c *Clock) Run() {

@@ -14,6 +14,16 @@ type Rand struct {
 // NewRand returns a generator seeded with seed.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 
+// Clone returns an independent copy of the generator at its current
+// position. The clone and the original produce the same subsequent
+// stream without affecting each other — the streaming trace generator
+// snapshots the shared stream at each function's block boundary so
+// per-function emitters can later replay their blocks lazily.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
+}
+
 // MixSeed derives an independent splitmix-style stream seed from
 // (seed, salt). Simulators that shard work (fleet hosts, scenario
 // function streams) key their private Rand streams with it so the

@@ -150,15 +150,11 @@ type fnProfile struct {
 	weight      float64 // popularity
 }
 
-// Generate produces a synthetic trace under cfg. The result is sorted by
-// arrival time and always passes (*Trace).Validate.
-func Generate(cfg GeneratorConfig) *Trace {
-	if cfg.Requests <= 0 {
-		return &Trace{}
-	}
-	cfg = cfg.sanitize()
-	rng := stats.NewRand(cfg.Seed)
-
+// buildProfiles draws every function's latent profile from the shared
+// stream. The draw order is part of the generator's determinism
+// contract: Generate and GenerateStream both start from this exact
+// sequence, so the two paths emit identical traces.
+func buildProfiles(rng *stats.Rand, cfg GeneratorConfig) ([]fnProfile, float64) {
 	profiles := make([]fnProfile, cfg.Functions)
 	var totalWeight float64
 	for i := range profiles {
@@ -204,8 +200,12 @@ func Generate(cfg GeneratorConfig) *Trace {
 		p.weight = 1 / math.Pow(float64(i+1), cfg.ZipfExponent)
 		totalWeight += p.weight
 	}
+	return profiles, totalWeight
+}
 
-	// Assign request counts per function proportionally to weight.
+// requestCounts assigns request counts per function proportionally to
+// weight, distributing the rounding remainder round-robin.
+func requestCounts(cfg GeneratorConfig, profiles []fnProfile, totalWeight float64) []int {
 	counts := make([]int, cfg.Functions)
 	assigned := 0
 	for i := range profiles {
@@ -217,52 +217,119 @@ func Generate(cfg GeneratorConfig) *Trace {
 		counts[i]++
 		assigned++
 	}
+	return counts
+}
+
+// fnEmitter generates one function's request block pod by pod. Both the
+// materialized path (Generate) and the streaming path (GenerateStream,
+// GenerateByFunction) drive their draws through this one type, so the
+// pseudo-random draw order — and therefore the emitted trace — is
+// identical by construction.
+type fnEmitter struct {
+	rng       *stats.Rand
+	p         fnProfile
+	fn        int
+	corr      float64 // cfg.UtilCorrelation
+	remaining int
+	arrival   float64 // ms offset of the next request
+	podID     int     // id of the most recently generated pod (global numbering)
+}
+
+// newFnEmitter positions an emitter at the start of function fn's
+// generation block. It consumes the block-leading arrival-offset draw,
+// which happens for every function — even one with a zero request
+// budget — so the shared stream stays aligned across blocks.
+func newFnEmitter(rng *stats.Rand, fn int, p fnProfile, count int, corr float64, podBase int) *fnEmitter {
+	return &fnEmitter{
+		rng:       rng,
+		p:         p,
+		fn:        fn,
+		corr:      corr,
+		remaining: count,
+		arrival:   rng.Uniform(0, 60_000), // ms offset for function's first pod
+		podID:     podBase,
+	}
+}
+
+// nextPod generates the function's next sandbox worth of raw
+// (unrescaled) requests into buf's backing array, reusing it across
+// calls. It returns nil once the function's request budget is
+// exhausted. Within a pod, requests are emitted in strictly increasing
+// arrival order, and consecutive pods never move backwards in time, so
+// a function's whole emission is time-ordered.
+func (e *fnEmitter) nextPod(buf []Request) []Request {
+	if e.remaining <= 0 {
+		return nil
+	}
+	e.podID++
+	size := podSize(e.rng, e.p.podSizeMean)
+	if size > e.remaining {
+		size = e.remaining
+	}
+	initMs := math.Max(20, e.rng.Normal(e.p.initMs, e.p.initMs*0.25))
+	buf = buf[:0]
+	for j := 0; j < size; j++ {
+		durMs := e.rng.LogNormal(math.Log(e.p.meanDurMs), e.p.sigma)
+		if durMs < 0.05 {
+			durMs = 0.05
+		}
+		cpuU, memU := correlatedUtils(e.rng, e.p, e.corr)
+		r := Request{
+			FnID:       e.fn,
+			PodID:      e.podID,
+			Start:      time.Duration(e.arrival * float64(time.Millisecond)),
+			Duration:   time.Duration(durMs * float64(time.Millisecond)),
+			AllocCPU:   e.p.flavor.VCPU,
+			AllocMemMB: e.p.flavor.MemMB,
+			MemUsedMB:  memU * e.p.flavor.MemMB,
+		}
+		r.CPUTime = time.Duration(cpuU * e.p.flavor.VCPU * durMs * float64(time.Millisecond))
+		if j == 0 {
+			r.ColdStart = true
+			r.InitDuration = time.Duration(initMs * float64(time.Millisecond))
+		}
+		buf = append(buf, r)
+		// Next arrival within the pod: short think time keeps the
+		// pod warm; occasionally long gaps end pods in reality but
+		// pod membership is already decided here.
+		e.arrival += durMs + e.rng.Exp(200)
+	}
+	e.remaining -= size
+	e.arrival += e.rng.Exp(2000) // idle gap between pods
+	return buf
+}
+
+// Generate produces a synthetic trace under cfg. The result is sorted by
+// arrival time and always passes (*Trace).Validate. GenerateStream
+// yields the identical request sequence without materializing it.
+func Generate(cfg GeneratorConfig) *Trace {
+	if cfg.Requests <= 0 {
+		return &Trace{}
+	}
+	cfg = cfg.sanitize()
+	rng := stats.NewRand(cfg.Seed)
+	profiles, totalWeight := buildProfiles(rng, cfg)
+	counts := requestCounts(cfg, profiles, totalWeight)
 
 	reqs := make([]Request, 0, cfg.Requests)
-	podID := 0
+	var scratch []Request
+	podBase := 0
 	for fn, p := range profiles {
-		remaining := counts[fn]
-		arrival := rng.Uniform(0, 60_000) // ms offset for function's first pod
-		for remaining > 0 {
-			podID++
-			size := podSize(rng, p.podSizeMean)
-			if size > remaining {
-				size = remaining
-			}
-			initMs := math.Max(20, rng.Normal(p.initMs, p.initMs*0.25))
-			for j := 0; j < size; j++ {
-				durMs := rng.LogNormal(math.Log(p.meanDurMs), p.sigma)
-				if durMs < 0.05 {
-					durMs = 0.05
-				}
-				cpuU, memU := correlatedUtils(rng, p, cfg.UtilCorrelation)
-				r := Request{
-					FnID:       fn,
-					PodID:      podID,
-					Start:      time.Duration(arrival * float64(time.Millisecond)),
-					Duration:   time.Duration(durMs * float64(time.Millisecond)),
-					AllocCPU:   p.flavor.VCPU,
-					AllocMemMB: p.flavor.MemMB,
-					MemUsedMB:  memU * p.flavor.MemMB,
-				}
-				r.CPUTime = time.Duration(cpuU * p.flavor.VCPU * durMs * float64(time.Millisecond))
-				if j == 0 {
-					r.ColdStart = true
-					r.InitDuration = time.Duration(initMs * float64(time.Millisecond))
-				}
-				reqs = append(reqs, r)
-				// Next arrival within the pod: short think time keeps the
-				// pod warm; occasionally long gaps end pods in reality but
-				// pod membership is already decided here.
-				arrival += durMs + rng.Exp(200)
-			}
-			remaining -= size
-			arrival += rng.Exp(2000) // idle gap between pods
+		e := newFnEmitter(rng, fn, p, counts[fn], cfg.UtilCorrelation, podBase)
+		for buf := e.nextPod(scratch); buf != nil; buf = e.nextPod(buf) {
+			reqs = append(reqs, buf...)
+			scratch = buf
 		}
+		podBase = e.podID
 	}
 
 	rescaleDurations(reqs, cfg.MeanDurationMs)
-	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Start < reqs[j].Start })
+	// Stable sort over the function-major generation order: requests at
+	// the same instant (possible once float arrivals quantize to
+	// nanoseconds at large trace sizes) order by function index — the
+	// exact tie rule GenerateStream's merge applies, keeping the two
+	// paths bit-identical even on ties.
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Start < reqs[j].Start })
 	return &Trace{Requests: reqs}
 }
 

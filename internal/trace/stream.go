@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"container/heap"
+	"time"
+
+	"slscost/internal/stats"
+)
+
+// This file is the streaming face of the trace layer: an iterator
+// abstraction over time-ordered request sequences, adapters between
+// streams and materialized traces, and a streaming generator that emits
+// the exact request sequence Generate materializes — in arrival order,
+// with memory bounded by the function count rather than the request
+// count. internal/scenario re-times these streams per function and
+// internal/fleet consumes them for cluster simulations far larger than
+// memory would allow a materialized trace.
+
+// Stream is a pull iterator over requests in non-decreasing arrival
+// (Start) order. Next returns the next request and true, or a zero
+// Request and false once the stream is exhausted. Streams are
+// single-use and not safe for concurrent use; re-open one through its
+// Source.
+type Stream interface {
+	Next() (Request, bool)
+}
+
+// Source produces a fresh Stream positioned at the beginning. The
+// streaming cluster simulator opens its input twice — once for the
+// placement scan, once for the replay — so anything fed to it must be
+// re-openable; for deterministic generators reopening just means
+// re-deriving the same seeded stream.
+type Source func() (Stream, error)
+
+// sliceStream iterates over a materialized request slice.
+type sliceStream struct {
+	reqs []Request
+	pos  int
+}
+
+func (s *sliceStream) Next() (Request, bool) {
+	if s.pos >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// FromTrace adapts a materialized trace to the Stream interface. The
+// stream shares tr's backing array; it is a view, not a copy.
+func FromTrace(tr *Trace) Stream {
+	if tr == nil {
+		return &sliceStream{}
+	}
+	return &sliceStream{reqs: tr.Requests}
+}
+
+// SourceOf returns a Source that re-opens tr from the start on every
+// call — the adapter that lets a recorded (CSV-loaded) trace flow
+// through the streaming simulation path.
+func SourceOf(tr *Trace) Source {
+	return func() (Stream, error) { return FromTrace(tr), nil }
+}
+
+// Collect drains a stream into a materialized trace. It is the inverse
+// of FromTrace: Collect(FromTrace(tr)) reproduces tr exactly, and
+// Collect(GenerateStream(cfg)) equals Generate(cfg).
+func Collect(s Stream) *Trace {
+	tr := &Trace{}
+	for r, ok := s.Next(); ok; r, ok = s.Next() {
+		tr.Requests = append(tr.Requests, r)
+	}
+	return tr
+}
+
+// FunctionStream yields one function's requests in generation order,
+// which for the generator is also strictly increasing arrival order.
+// Durations arrive already rescaled to the configured trace mean, so a
+// FunctionStream's requests are bit-identical to the matching subset of
+// Generate's output.
+type FunctionStream struct {
+	fn    int
+	count int
+	scale float64 // duration rescale factor; 0 disables rescaling
+	em    *fnEmitter
+	buf   []Request
+	pos   int
+}
+
+// FnID returns the function the stream belongs to.
+func (f *FunctionStream) FnID() int { return f.fn }
+
+// Len returns the total number of requests the stream will yield.
+func (f *FunctionStream) Len() int { return f.count }
+
+// Next returns the function's next request in arrival order.
+func (f *FunctionStream) Next() (Request, bool) {
+	if f.pos >= len(f.buf) {
+		f.buf = f.em.nextPod(f.buf)
+		f.pos = 0
+		if len(f.buf) == 0 {
+			return Request{}, false
+		}
+	}
+	r := f.buf[f.pos]
+	f.pos++
+	if f.scale > 0 {
+		// Mirror rescaleDurations exactly: scale wall clock and CPU time
+		// by the same factor (preserving utilization rates) and floor the
+		// result at one microsecond.
+		r.Duration = time.Duration(float64(r.Duration) * f.scale)
+		r.CPUTime = time.Duration(float64(r.CPUTime) * f.scale)
+		if r.Duration <= 0 {
+			r.Duration = time.Microsecond
+		}
+	}
+	return r, true
+}
+
+// Calibration is the generator's reusable calibration state: the
+// per-function latent profiles, request counts, block-entry RNG
+// snapshots, pod-ID bases, and the duration-rescale factor. The
+// generator draws every function's randomness from one shared
+// sequential stream, so lazy per-function emission needs a calibration
+// sweep first — each function's block replayed once (cheaply, nothing
+// retained) to record those artifacts. A Calibration is a pure
+// function of its GeneratorConfig and can instantiate any number of
+// independent stream openings without re-running the sweep; memory is
+// O(Functions), not O(Requests).
+type Calibration struct {
+	cfg      GeneratorConfig // sanitized
+	profiles []fnProfile
+	counts   []int
+	snaps    []*stats.Rand
+	podBases []int
+	scale    float64
+	pods     int
+}
+
+// Calibrate runs the calibration sweep for cfg. The result is empty
+// (zero functions, zero pods) when cfg requests no trace.
+func Calibrate(cfg GeneratorConfig) *Calibration {
+	if cfg.Requests <= 0 {
+		return &Calibration{}
+	}
+	cfg = cfg.sanitize()
+	rng := stats.NewRand(cfg.Seed)
+	profiles, totalWeight := buildProfiles(rng, cfg)
+	counts := requestCounts(cfg, profiles, totalWeight)
+
+	c := &Calibration{
+		cfg:      cfg,
+		profiles: profiles,
+		counts:   counts,
+		snaps:    make([]*stats.Rand, cfg.Functions),
+		podBases: make([]int, cfg.Functions),
+	}
+	var durSumMs float64
+	var scratch []Request
+	podBase := 0
+	for fn, p := range profiles {
+		c.snaps[fn] = rng.Clone()
+		c.podBases[fn] = podBase
+		e := newFnEmitter(rng, fn, p, counts[fn], cfg.UtilCorrelation, podBase)
+		for buf := e.nextPod(scratch); buf != nil; buf = e.nextPod(buf) {
+			for i := range buf {
+				durSumMs += float64(buf[i].Duration) / float64(time.Millisecond)
+			}
+			scratch = buf
+		}
+		podBase = e.podID
+	}
+	if mean := durSumMs / float64(cfg.Requests); mean > 0 {
+		c.scale = cfg.MeanDurationMs / mean
+	}
+	c.pods = podBase
+	return c
+}
+
+// Pods returns the total pod count of the calibrated trace.
+func (c *Calibration) Pods() int { return c.pods }
+
+// Streams instantiates one fresh time-ordered stream per function,
+// each positioned at its function's beginning (the RNG snapshots are
+// cloned, so repeated calls yield independent, identical openings).
+func (c *Calibration) Streams() []*FunctionStream {
+	out := make([]*FunctionStream, len(c.profiles))
+	for fn, p := range c.profiles {
+		out[fn] = &FunctionStream{
+			fn:    fn,
+			count: c.counts[fn],
+			scale: c.scale,
+			em:    newFnEmitter(c.snaps[fn].Clone(), fn, p, c.counts[fn], c.cfg.UtilCorrelation, c.podBases[fn]),
+		}
+	}
+	return out
+}
+
+// Stream instantiates a fresh merged stream over the whole calibrated
+// trace.
+func (c *Calibration) Stream() Stream {
+	fns := c.Streams()
+	srcs := make([]Stream, len(fns))
+	for i, f := range fns {
+		srcs[i] = f
+	}
+	return Merge(srcs...)
+}
+
+// GenerateByFunction returns one time-ordered stream per function of
+// the trace Generate(cfg) would materialize, plus the total pod count.
+// The union of the streams is exactly Generate's request multiset; the
+// scenario engine re-times each function's stream independently and
+// GenerateStream merges them back into one globally ordered stream.
+// Callers opening the same configuration repeatedly should Calibrate
+// once and call Streams per opening.
+func GenerateByFunction(cfg GeneratorConfig) ([]*FunctionStream, int) {
+	c := Calibrate(cfg)
+	return c.Streams(), c.Pods()
+}
+
+// GenerateStream emits the trace Generate(cfg) materializes as a
+// time-ordered stream with O(Functions) memory: per-function emitters
+// merged by arrival time. The emitted sequence is identical to
+// Generate's, ties included: simultaneous arrivals merge in function
+// order, which is exactly the order Generate's stable sort leaves them
+// in (its pre-sort layout is function-major, and arrivals within one
+// function are strictly increasing).
+func GenerateStream(cfg GeneratorConfig) Stream {
+	return Calibrate(cfg).Stream()
+}
+
+// GenerateSource returns a Source for the streaming cluster simulator.
+// The calibration sweep runs once, up front; each open then only pays
+// for lazy emission, so the simulator's two-pass protocol costs two
+// emissions, not two calibrations.
+func GenerateSource(cfg GeneratorConfig) Source {
+	c := Calibrate(cfg)
+	return func() (Stream, error) { return c.Stream(), nil }
+}
+
+// mergeItem is one source's buffered head inside a Merge.
+type mergeItem struct {
+	r   Request
+	src int
+}
+
+// mergeHeap orders buffered heads by (Start, source index): earliest
+// arrival first, ties broken toward the lower-indexed source so the
+// merge is deterministic.
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].r.Start != h[j].r.Start {
+		return h[i].r.Start < h[j].r.Start
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	top := old[n]
+	*h = old[:n]
+	return top
+}
+
+// merged is a k-way merge of time-ordered streams.
+type merged struct {
+	srcs []Stream
+	h    mergeHeap
+}
+
+func (m *merged) Next() (Request, bool) {
+	if len(m.h) == 0 {
+		return Request{}, false
+	}
+	top := m.h[0]
+	if r, ok := m.srcs[top.src].Next(); ok {
+		m.h[0] = mergeItem{r: r, src: top.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.r, true
+}
+
+// Merge combines time-ordered streams into one time-ordered stream.
+// Each source must be non-decreasing in Start; simultaneous arrivals
+// across sources are emitted in source order. Memory is O(len(srcs)).
+func Merge(srcs ...Stream) Stream {
+	m := &merged{srcs: srcs, h: make(mergeHeap, 0, len(srcs))}
+	for i, s := range srcs {
+		if r, ok := s.Next(); ok {
+			m.h = append(m.h, mergeItem{r: r, src: i})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}

@@ -1,0 +1,101 @@
+package slscost
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slscost/internal/core"
+	"slscost/internal/fleet"
+	"slscost/internal/trace"
+)
+
+// heapWatcher samples the live heap while fn runs and returns the peak
+// HeapAlloc observed (bytes). Sampling is approximate — it can miss a
+// short spike between ticks — but the streaming pipeline's working set
+// is steady for seconds at a time, so the peak it reports is a faithful
+// bound for the claim under test.
+func heapWatcher(fn func()) uint64 {
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	// Deferred so the sampler stops even when fn bails out through
+	// t.Fatal/b.Fatal (runtime.Goexit) — a leaked sampler would keep
+	// stop-the-world ReadMemStats ticking under every later test.
+	defer close(done)
+	fn()
+	return peak.Load()
+}
+
+// TestStreamBoundedMemory is the CI memory-bound smoke: a one-million-
+// request cluster simulation through the streaming pipeline must stay
+// within a live-heap budget an order of magnitude below what the
+// materialized path needs for the same workload (the trace alone is
+// ~140 MB at this size; the streamed working set is pod metadata, the
+// latency accumulator, and in-flight batches). The budget is generous
+// — 128 MB — so the test flags an accidental re-materialization of the
+// request stream, not GC pacing noise.
+func TestStreamBoundedMemory(t *testing.T) {
+	const (
+		requests  = 1_000_000
+		heapLimit = 128 << 20
+	)
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = requests
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	var rep fleet.Report
+	peak := heapWatcher(func() {
+		policy, err := fleet.NewPolicy("least-loaded")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fleet.Config{
+			Hosts:      32,
+			Host:       fleet.DefaultHostSpec(),
+			Policy:     policy,
+			Profile:    core.AWS(),
+			Overcommit: 2,
+			Seed:       20260613,
+		}
+		rep, err = fleet.SimulateStream(cfg, trace.GenerateSource(gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if rep.Requests != requests {
+		t.Fatalf("simulated %d requests, want %d", rep.Requests, requests)
+	}
+	if rep.Served == 0 {
+		t.Fatal("no requests served")
+	}
+	if peak < base.HeapAlloc {
+		peak = base.HeapAlloc // a GC between baseline and first sample shrank the heap
+	}
+	grew := peak - base.HeapAlloc
+	t.Logf("peak live heap during %d-request streamed simulation: %.1f MB (baseline %.1f MB)",
+		requests, float64(peak)/(1<<20), float64(base.HeapAlloc)/(1<<20))
+	if grew > heapLimit {
+		t.Errorf("streamed simulation grew the live heap by %.1f MB, budget %d MB — "+
+			"is the pipeline materializing the trace?", float64(grew)/(1<<20), heapLimit>>20)
+	}
+}
