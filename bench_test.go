@@ -17,6 +17,7 @@ import (
 	"slscost/internal/core"
 	"slscost/internal/experiments"
 	"slscost/internal/fleet"
+	"slscost/internal/opt"
 	"slscost/internal/platform"
 	"slscost/internal/scenario"
 	"slscost/internal/trace"
@@ -71,6 +72,7 @@ func BenchmarkExtComposition(b *testing.B) { benchExperiment(b, "ext-composition
 func BenchmarkExtCoTenancy(b *testing.B)   { benchExperiment(b, "ext-cotenancy", 1) }
 func BenchmarkExtFleet(b *testing.B)       { benchExperiment(b, "ext-fleet", 0.1) }
 func BenchmarkExtScenarios(b *testing.B)   { benchExperiment(b, "ext-scenarios", 0.1) }
+func BenchmarkExtOpt(b *testing.B)         { benchExperiment(b, "ext-opt", 0.05) }
 
 // BenchmarkFleetReplay measures cluster-replay throughput (requests/sec)
 // as the host shards spread over 1, 4, and 8 workers. The report is
@@ -186,6 +188,49 @@ func BenchmarkFleetStream(b *testing.B) {
 				}
 			})
 			b.SetBytes(int64(requests))
+		})
+	}
+}
+
+// BenchmarkPolicySweep measures the policy-optimization layer: the
+// default 24-config grid (internal/opt) evaluated against two
+// scenarios at 10k requests each, as the evaluation pool widens over
+// 1, 4, and 8 workers. The serialized sweep output is byte-identical
+// at every width (evaluations are placed by grid index); only
+// wall-clock changes. SetBytes counts total simulated requests, so
+// bytes/sec doubles as requests/sec. CI runs the workers=4 case as a
+// one-iteration regression smoke next to BenchmarkFleetStream.
+func BenchmarkPolicySweep(b *testing.B) {
+	scs, err := scenario.Subset("steady", "flash-crowd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := trace.DefaultGeneratorConfig()
+	base.Requests = 10000
+	base.Seed = 20260613
+	space := opt.DefaultSpace()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := opt.Config{
+				Profile:   core.AWS(),
+				Hosts:     16,
+				Scenarios: scs,
+				Scenario:  scenario.Config{Base: base},
+				Seed:      20260613,
+				Workers:   workers,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sr, err := opt.Sweep(cfg, space)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sr.Frontier()) == 0 {
+					b.Fatal("empty pareto frontier")
+				}
+			}
+			b.SetBytes(int64(space.Size() * len(scs) * base.Requests))
 		})
 	}
 }

@@ -1,0 +1,207 @@
+// Command benchguard is the CI benchmark-regression gate: it parses
+// `go test -bench` output, compares each benchmark's wall clock
+// (ns/op) against a checked-in baseline, writes the comparison as a
+// JSON artifact, and exits non-zero when any benchmark regressed past
+// the allowed ratio.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkFleetStream' -benchtime 1x . | \
+//	    go run ./cmd/benchguard -baseline .github/bench_baseline.json -out BENCH_ci.json
+//
+// The baseline is a JSON object mapping benchmark names (with the
+// -GOMAXPROCS suffix stripped, e.g. "BenchmarkPolicySweep/workers=4")
+// to reference ns/op values. Benchmarks without a baseline entry are
+// reported as "no-baseline" but never fail the gate — a new benchmark
+// should not break CI before its reference lands — and baseline
+// entries that were not measured are reported as "missing" (the gate
+// still fails only on regressions). When a speedup or a deliberate
+// slowdown moves a number for good, update the baseline in the same
+// commit (see CONTRIBUTING.md).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one `go test -bench` result line: name (with
+// optional -GOMAXPROCS suffix), iteration count, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// result is one benchmark's comparison, as serialized into the JSON
+// artifact.
+type result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op,omitempty"`
+	Baseline float64 `json:"baseline_ns_op,omitempty"`
+	Ratio    float64 `json:"ratio,omitempty"`
+	// Status is "ok", "regression", "no-baseline" (measured, no
+	// reference), or "missing" (reference, not measured).
+	Status string `json:"status"`
+}
+
+// artifact is the JSON document written to -out.
+type artifact struct {
+	MaxRatio float64  `json:"max_ratio"`
+	Results  []result `json:"results"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	in := fs.String("in", "-", `bench output to read ("-" = stdin)`)
+	baselinePath := fs.String("baseline", "", "checked-in baseline JSON (required)")
+	out := fs.String("out", "", "write the comparison artifact JSON here (optional)")
+	maxRatio := fs.Float64("max-ratio", 2, "fail when measured ns/op exceeds baseline by this factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	if *maxRatio <= 0 {
+		return fmt.Errorf("-max-ratio %v must be positive", *maxRatio)
+	}
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	r := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	measured, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark lines in input (is -bench output being piped in?)")
+	}
+
+	art := compare(measured, baseline, *maxRatio)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(art); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	regressed := 0
+	for _, res := range art.Results {
+		switch res.Status {
+		case "regression":
+			regressed++
+			fmt.Fprintf(stdout, "REGRESSION %s: %.0f ns/op vs baseline %.0f (x%.2f > x%.2f)\n",
+				res.Name, res.NsOp, res.Baseline, res.Ratio, *maxRatio)
+		case "ok":
+			fmt.Fprintf(stdout, "ok %s: %.0f ns/op vs baseline %.0f (x%.2f)\n",
+				res.Name, res.NsOp, res.Baseline, res.Ratio)
+		default:
+			fmt.Fprintf(stdout, "%s %s\n", res.Status, res.Name)
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past x%g; if intentional, update the baseline (see CONTRIBUTING.md)",
+			regressed, *maxRatio)
+	}
+	return nil
+}
+
+// readBaseline loads the name → ns/op reference map.
+func readBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// parseBench extracts name → ns/op from `go test -bench` output. A
+// benchmark appearing more than once (e.g. -count > 1) keeps its last
+// measurement.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		out[m[1]] = ns
+	}
+	return out, sc.Err()
+}
+
+// compare builds the artifact: measured benchmarks against their
+// baselines, then baseline entries that were never measured, each
+// group sorted by name so the artifact is deterministic.
+func compare(measured, baseline map[string]float64, maxRatio float64) artifact {
+	art := artifact{MaxRatio: maxRatio}
+	for _, name := range sortedKeys(measured) {
+		res := result{Name: name, NsOp: measured[name]}
+		if base, ok := baseline[name]; ok && base > 0 {
+			res.Baseline = base
+			res.Ratio = res.NsOp / base
+			res.Status = "ok"
+			if res.Ratio > maxRatio {
+				res.Status = "regression"
+			}
+		} else {
+			res.Status = "no-baseline"
+		}
+		art.Results = append(art.Results, res)
+	}
+	for _, name := range sortedKeys(baseline) {
+		if _, ok := measured[name]; !ok {
+			art.Results = append(art.Results, result{Name: name, Baseline: baseline[name], Status: "missing"})
+		}
+	}
+	return art
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

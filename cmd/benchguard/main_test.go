@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: slscost
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFleetStream/requests=1M/streamed-8         	       1	3150000000 ns/op	   0.32 MB/s	  72.80 peak-heap-MB
+BenchmarkPolicySweep/workers=4         	       1	1400416026 ns/op	   0.34 MB/s	308922096 B/op	 3684073 allocs/op
+BenchmarkScenarioTrace 	     100	  11553725 ns/op
+PASS
+ok  	slscost	5.751s
+`
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchStripsSuffixAndKeepsSubBenchNames(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFleetStream/requests=1M/streamed": 3150000000,
+		"BenchmarkPolicySweep/workers=4":            1400416026,
+		"BenchmarkScenarioTrace":                    11553725,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestRunPassesWithinRatio(t *testing.T) {
+	baseline := writeFile(t, "base.json", `{
+		"BenchmarkFleetStream/requests=1M/streamed": 3000000000,
+		"BenchmarkPolicySweep/workers=4": 1300000000
+	}`)
+	out := filepath.Join(t.TempDir(), "BENCH_ci.json")
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", baseline, "-out", out},
+		strings.NewReader(sampleBench), &buf)
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.MaxRatio != 2 || len(art.Results) != 3 {
+		t.Fatalf("artifact = %+v, want max_ratio 2 and 3 results", art)
+	}
+	// ScenarioTrace has no baseline: reported, not fatal.
+	statuses := map[string]string{}
+	for _, r := range art.Results {
+		statuses[r.Name] = r.Status
+	}
+	if statuses["BenchmarkScenarioTrace"] != "no-baseline" {
+		t.Errorf("statuses = %v, want ScenarioTrace no-baseline", statuses)
+	}
+	if statuses["BenchmarkPolicySweep/workers=4"] != "ok" {
+		t.Errorf("statuses = %v, want PolicySweep ok", statuses)
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	// Baseline says the stream bench used to take 1s; sample measures
+	// 3.15s — past the 2x gate.
+	baseline := writeFile(t, "base.json", `{"BenchmarkFleetStream/requests=1M/streamed": 1000000000}`)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", baseline}, strings.NewReader(sampleBench), &buf)
+	if err == nil {
+		t.Fatalf("regression did not fail the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") || !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("err=%v output=%q, want regression report", err, buf.String())
+	}
+	// A looser gate passes the same input.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-max-ratio", "4"},
+		strings.NewReader(sampleBench), &buf); err != nil {
+		t.Errorf("4x gate failed: %v", err)
+	}
+}
+
+func TestRunReportsMissingBaselineEntries(t *testing.T) {
+	baseline := writeFile(t, "base.json",
+		`{"BenchmarkScenarioTrace": 11000000, "BenchmarkGone": 5}`)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", baseline}, strings.NewReader(sampleBench), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "missing BenchmarkGone") {
+		t.Errorf("missing-entry report absent:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	baseline := writeFile(t, "base.json", `{}`)
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+	}{
+		{"no baseline flag", []string{}, sampleBench},
+		{"missing baseline file", []string{"-baseline", "no/such.json"}, sampleBench},
+		{"bad baseline json", []string{"-baseline", writeFile(t, "bad.json", "{")}, sampleBench},
+		{"empty bench input", []string{"-baseline", baseline}, "PASS\n"},
+		{"bad max-ratio", []string{"-baseline", baseline, "-max-ratio", "0"}, sampleBench},
+		{"missing -in file", []string{"-baseline", baseline, "-in", "no/such.txt"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(c.args, strings.NewReader(c.stdin), &buf); err == nil {
+				t.Errorf("%v: expected error", c.args)
+			}
+		})
+	}
+}

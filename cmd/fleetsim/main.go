@@ -22,9 +22,25 @@
 // tens of millions. The report is byte-identical to the materialized
 // path's.
 //
+// -sweep switches from single-run replay to policy optimization
+// (internal/opt): a grid of placement policy × keep-alive TTL ×
+// overcommit configurations is evaluated concurrently against every
+// catalog scenario (or just the one named by -scenario), and the
+// per-config aggregates print with Pareto-frontier membership.
+// -pareto prints only the frontier (aggregate and per-scenario);
+// -refine follows the sweep with a coordinate-descent pass that
+// narrows the TTL and overcommit knobs around the cheapest frontier
+// config. -sweep-policies/-sweep-ttls/-sweep-overcommits override the
+// default grid; -format selects text, csv, or json output:
+//
+//	fleetsim -sweep -hosts 16 -requests 100000
+//	fleetsim -pareto -scenario flash-crowd -format csv
+//	fleetsim -sweep -refine -sweep-ttls platform,30s,120s,600s
+//
 // The report is deterministic for a given seed regardless of -workers:
 // host shards simulate on private clocks and random streams and merge in
-// host order.
+// host order; sweep evaluations are likewise placed by grid index, so
+// sweep output is byte-identical for any -workers.
 package main
 
 import (
@@ -32,11 +48,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"slscost/internal/core"
 	"slscost/internal/fleet"
+	"slscost/internal/opt"
 	"slscost/internal/scenario"
 	"slscost/internal/scenario/diffsim"
 	"slscost/internal/trace"
@@ -70,6 +88,14 @@ func run(args []string, w io.Writer) error {
 	verify := fs.Bool("verify", false, "cross-check the report against the independent differential replay")
 	stream := fs.Bool("stream", false,
 		"stream the workload through the simulation instead of materializing it (bounded memory at any -requests)")
+	sweep := fs.Bool("sweep", false,
+		"sweep a policy/TTL/overcommit grid over the scenario catalog instead of one replay (internal/opt)")
+	pareto := fs.Bool("pareto", false, "like -sweep, but print only the Pareto frontier (aggregate and per-scenario)")
+	refine := fs.Bool("refine", false, "after the sweep, coordinate-descent refine the cheapest frontier config's TTL and overcommit")
+	sweepPolicies := fs.String("sweep-policies", "", "comma-separated placement policies to sweep (default: all)")
+	sweepTTLs := fs.String("sweep-ttls", "", `comma-separated keep-alive TTLs to sweep, durations or "platform" (default: platform,60s,600s)`)
+	sweepOvercommits := fs.String("sweep-overcommits", "", "comma-separated overcommit ratios to sweep (default: 1,2)")
+	format := fs.String("format", "text", "sweep output format: text, csv, or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +123,8 @@ func run(args []string, w io.Writer) error {
 	if *horizon < 0 {
 		return fmt.Errorf("-horizon %v negative", *horizon)
 	}
-	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream); err != nil {
+	sweepMode := *sweep || *pareto
+	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream, sweepMode); err != nil {
 		return err
 	}
 	var sc scenario.Scenario
@@ -126,6 +153,49 @@ func run(args []string, w io.Writer) error {
 	gen := trace.DefaultGeneratorConfig()
 	gen.Requests = *requests
 	gen.Seed = *seed
+
+	if sweepMode {
+		// Sweeping "raw" makes no sense (there is no scenario to price
+		// keep-alive economics against); the whole catalog is the
+		// default, one named scenario the restriction.
+		if *scenarioName == "raw" {
+			return fmt.Errorf(`-sweep needs workload scenarios; -scenario raw cannot be swept`)
+		}
+		scenarios := []string(nil) // full catalog
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "scenario" {
+				scenarios = []string{*scenarioName}
+			}
+		})
+		scs, err := scenario.Subset(scenarios...)
+		if err != nil {
+			return err
+		}
+		space := opt.DefaultSpace()
+		if *sweepPolicies != "" {
+			space.Policies = splitList(*sweepPolicies)
+		}
+		if *sweepTTLs != "" {
+			if space.TTLs, err = opt.ParseTTLs(splitList(*sweepTTLs)); err != nil {
+				return err
+			}
+		}
+		if *sweepOvercommits != "" {
+			if space.Overcommits, err = parseFloats(splitList(*sweepOvercommits)); err != nil {
+				return err
+			}
+		}
+		ocfg := opt.Config{
+			Profile:   prof,
+			Host:      fleet.HostSpec{VCPU: *hostVCPU, MemMB: *hostMem},
+			Hosts:     *hosts,
+			Scenarios: scs,
+			Scenario:  scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants},
+			Seed:      *seed,
+			Workers:   *workers,
+		}
+		return runSweep(w, ocfg, space, *pareto, *refine, *format)
+	}
 
 	if *stream {
 		var src trace.Source
@@ -214,7 +284,7 @@ func run(args []string, w io.Writer) error {
 // flagConflicts rejects contradictory flag combinations up front,
 // naming every offending flag explicitly so the fix is obvious from
 // the message alone.
-func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream bool) error {
+func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, sweepMode bool) error {
 	// A recorded trace replays as-is, "raw" bypasses the shaping layer,
 	// and the streaming pipeline synthesizes its workload lazily;
 	// explicitly asking for a combination that contradicts the chosen
@@ -230,6 +300,12 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream bool
 			map[string]bool{"tenants": true, "horizon": true}},
 		{stream, "-stream synthesizes its workload lazily and cannot replay a CSV",
 			map[string]bool{"trace": true}},
+		{sweepMode, "-sweep/-pareto evaluate the whole policy grid (the swept knobs replace the single-run flags)",
+			map[string]bool{"policy": true, "overcommit": true, "elastic": true,
+				"trace": true, "stream": true, "verify": true}},
+		{!sweepMode, "-refine, -sweep-*, and -format configure -sweep/-pareto",
+			map[string]bool{"refine": true, "sweep-policies": true, "sweep-ttls": true,
+				"sweep-overcommits": true, "format": true}},
 	}
 	for _, ru := range rules {
 		if !ru.active {
@@ -246,6 +322,108 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream bool
 		}
 	}
 	return nil
+}
+
+// runSweep runs the policy-optimization mode: grid sweep, optional
+// Pareto-only rendering, optional coordinate-descent refinement. The
+// output contains no wall-clock timings on purpose — it is
+// byte-identical for any -workers, which the CLI tests and the
+// EXPERIMENTS.md acceptance check rely on.
+func runSweep(w io.Writer, ocfg opt.Config, space opt.Space, paretoOnly, refine bool, format string) error {
+	// Reject output-shape errors before the sweep runs: a grid over the
+	// full catalog can take minutes, and finding out the -format was
+	// wrong afterwards would waste all of it.
+	switch format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (have text, csv, json)", format)
+	}
+	if refine && format != "text" {
+		return fmt.Errorf("-refine prints a text trajectory; drop -format %s", format)
+	}
+	sr, err := opt.Sweep(ocfg, space)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text":
+		if paretoOnly {
+			writeParetoText(w, sr)
+		} else {
+			sr.WriteText(w)
+		}
+	case "csv":
+		if paretoOnly {
+			return sr.WriteFrontierCSV(w)
+		}
+		return sr.WriteCSV(w)
+	case "json":
+		// The JSON document always carries both the grid and the
+		// frontier; -pareto needs no variant.
+		return sr.WriteJSON(w)
+	}
+	if refine {
+		start, ok := sr.CheapestFrontier()
+		if !ok {
+			return fmt.Errorf("empty pareto frontier, nothing to refine")
+		}
+		rr, err := opt.Refine(ocfg, start.Candidate, opt.RefineConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		rr.WriteText(w)
+	}
+	return nil
+}
+
+// writeParetoText renders only the frontier: the aggregate decision
+// table, then each scenario's own non-dominated configs.
+func writeParetoText(w io.Writer, sr *opt.SweepResult) {
+	fmt.Fprintf(w, "pareto frontier over %d configs x %d scenarios (platform %s, seed %d):\n",
+		len(sr.Summaries), len(sr.Scenarios), sr.Profile, sr.Seed)
+	for _, s := range sr.Frontier() {
+		fmt.Fprintf(w, "  %-42s $%.3f/1M  cold %5.2f%%  p99 slow x%.3f  rej %.2f%%  (worst: %s)\n",
+			s.Candidate.Key(), s.Objectives.CostPerMillion, s.Objectives.ColdStartRate*100,
+			s.Objectives.SlowdownP99, s.RejectedShare*100, s.WorstScenario)
+	}
+	for _, name := range sr.Scenarios {
+		rows, ok := sr.FrontierFor(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s:\n", name)
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-42s $%.3f/1M  cold %5.2f%%  p99 slow x%.3f\n",
+				r.Candidate.Key(), r.Objectives.CostPerMillion,
+				r.Objectives.ColdStartRate*100, r.Objectives.SlowdownP99)
+		}
+	}
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace
+// and dropping empty fields.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseFloats parses a list of overcommit ratios.
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad overcommit %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // verifyReport runs the independent differential replay against an

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -238,5 +239,112 @@ func TestRunStreamVerify(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "streaming 2000-request diurnal scenario trace") {
 		t.Errorf("missing streaming banner:\n%s", out.String())
+	}
+}
+
+// TestRunSweepModes exercises the policy-optimization modes end to
+// end at a small scale: grid text, Pareto text, CSV, JSON, and the
+// refinement trajectory.
+func TestRunSweepModes(t *testing.T) {
+	base := []string{"-hosts", "4", "-requests", "2000", "-scenario", "bursty",
+		"-sweep-policies", "least-loaded,bin-pack", "-sweep-ttls", "platform,60s",
+		"-sweep-overcommits", "2"}
+	runArgs := func(args ...string) string {
+		var out bytes.Buffer
+		if err := run(append(args, base...), &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		return out.String()
+	}
+
+	text := runArgs("-sweep")
+	for _, want := range []string{"sweep: 4 configs x 1 scenarios", "pareto frontier:", "ttl=platform", "ttl=60s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-sweep output missing %q:\n%s", want, text)
+		}
+	}
+	pareto := runArgs("-pareto")
+	if !strings.Contains(pareto, "pareto frontier over 4 configs") || !strings.Contains(pareto, "bursty:") {
+		t.Errorf("-pareto output missing frontier sections:\n%s", pareto)
+	}
+	csvOut := runArgs("-sweep", "-format", "csv")
+	if !strings.HasPrefix(csvOut, "scenario,policy,ttl,overcommit,") || strings.Count(csvOut, "\n") != 1+4 {
+		t.Errorf("-format csv: want header + 4 rows:\n%s", csvOut)
+	}
+	frontierCSV := runArgs("-pareto", "-format", "csv")
+	if !strings.HasPrefix(frontierCSV, "policy,ttl,overcommit,") {
+		t.Errorf("-pareto -format csv: bad header:\n%s", frontierCSV)
+	}
+	jsonOut := runArgs("-sweep", "-format", "json")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(jsonOut), &doc); err != nil {
+		t.Fatalf("-format json is not valid JSON: %v\n%s", err, jsonOut)
+	}
+	for _, key := range []string{"candidates", "frontier", "results"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("JSON document missing %q", key)
+		}
+	}
+	refined := runArgs("-sweep", "-refine")
+	if !strings.Contains(refined, "refine:") || !strings.Contains(refined, "best:") {
+		t.Errorf("-refine output missing trajectory:\n%s", refined)
+	}
+}
+
+// TestRunSweepDeterministicAcrossWorkers is the CLI half of the
+// acceptance criterion: -sweep output is byte-identical between
+// -workers 1 and -workers 8 (no normalization at all).
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	sweepOut := func(workers string) string {
+		var out bytes.Buffer
+		args := []string{"-sweep", "-hosts", "4", "-requests", "2000", "-scenario", "flash-crowd",
+			"-workers", workers}
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := sweepOut("1"), sweepOut("8"); a != b {
+		t.Errorf("-sweep output differs between 1 and 8 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRunSweepErrorsAndConflicts pins the sweep-mode flag contract.
+func TestRunSweepErrorsAndConflicts(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantInErr string
+	}{
+		{"sweep with policy", []string{"-sweep", "-policy", "bin-pack"}, "-policy"},
+		{"sweep with overcommit", []string{"-sweep", "-overcommit", "2"}, "-overcommit"},
+		{"sweep with elastic", []string{"-sweep", "-elastic"}, "-elastic"},
+		{"sweep with trace", []string{"-sweep", "-trace", "t.csv"}, "-trace"},
+		{"sweep with stream", []string{"-sweep", "-stream"}, "-stream"},
+		{"sweep with verify", []string{"-sweep", "-verify"}, "-verify"},
+		{"pareto with policy", []string{"-pareto", "-policy", "bin-pack"}, "-policy"},
+		{"sweep of raw", []string{"-sweep", "-scenario", "raw"}, "raw"},
+		{"refine without sweep", []string{"-refine"}, "-refine"},
+		{"format without sweep", []string{"-format", "csv"}, "-format"},
+		{"sweep-ttls without sweep", []string{"-sweep-ttls", "60s"}, "-sweep-ttls"},
+		{"bad ttl", []string{"-sweep", "-sweep-ttls", "whenever"}, "whenever"},
+		{"bad overcommit list", []string{"-sweep", "-sweep-overcommits", "a,b"}, "overcommit"},
+		{"sub-1 overcommit", []string{"-sweep", "-sweep-overcommits", "0.5"}, "below 1"},
+		{"duplicate ttl", []string{"-sweep", "-sweep-ttls", "60s,1m"}, "twice"},
+		{"bad sweep policy", []string{"-sweep", "-sweep-policies", "nope", "-hosts", "4", "-requests", "2000"}, "nope"},
+		{"refine with csv", []string{"-sweep", "-refine", "-format", "csv"}, "-refine"},
+		{"bad format", []string{"-sweep", "-format", "xml"}, "xml"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(c.args, &out)
+			if err == nil {
+				t.Fatalf("%v: expected error", c.args)
+			}
+			if !strings.Contains(err.Error(), c.wantInErr) {
+				t.Errorf("%v: error %q does not mention %q", c.args, err, c.wantInErr)
+			}
+		})
 	}
 }

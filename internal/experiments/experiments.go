@@ -80,6 +80,7 @@ func All() []Experiment {
 		{"ext-cotenancy", "Multi-tenant host density and interference", RunExtCoTenancy},
 		{"ext-fleet", "Cluster-scale placement policies' cost/latency trade-offs", RunFleetExperiment},
 		{"ext-scenarios", "Workload scenarios × placement, differentially verified", RunScenarioExperiment},
+		{"ext-opt", "Policy sweep: Pareto frontier over cost, cold rate, tail slowdown", RunOptExperiment},
 	}
 }
 

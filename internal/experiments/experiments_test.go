@@ -17,6 +17,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"fig8", "fig9", "table2", "fig10", "fig11", "fig12", "table3",
 		"exploit", "ext-billing-modes", "ext-rightsize", "ext-sched",
 		"ext-composition", "ext-cotenancy", "ext-fleet", "ext-scenarios",
+		"ext-opt",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -68,6 +69,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"ext-cotenancy":     {"tenants", "slowdown", "host busy"},
 		"ext-fleet":         {"least-loaded", "bin-pack", "$/1M req", "idle-held vCPU-s"},
 		"ext-scenarios":     {"flash-crowd", "diurnal", "multi-tenant", "max rel delta", "agree"},
+		"ext-opt":           {"Pareto-optimal", "ttl=platform", "Flash-crowd frontier", "refinement", "best:"},
 	}
 	for _, e := range All() {
 		e := e

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -33,6 +34,7 @@ type hostResult struct {
 
 	latencyMs       []float64
 	contentionSecs  float64
+	slowHist        slowdownHist
 	busyVCPUSecs    float64
 	idleHeldCPUSecs float64
 	makespan        time.Duration
@@ -43,6 +45,100 @@ type hostResult struct {
 	probeLinear   float64
 	probeMeasured float64
 }
+
+// The per-request contention stretch factor (effective wall clock over
+// nominal duration, ≥ 1) is accumulated in a fixed logarithmic
+// histogram rather than a per-request slice: the optimizer layer
+// (internal/opt) wants a tail quantile of it as an objective, and a
+// histogram keeps the streamed path's memory independent of the trace
+// size. Bucket 0 is exactly "uncontended"; above it, buckets split each
+// doubling of the factor slowdownBucketsPerDoubling ways, so quantiles
+// read back with ~2% resolution up to a 256× slowdown.
+const (
+	slowdownBuckets            = 256
+	slowdownBucketsPerDoubling = 32
+)
+
+// slowdownHist is a fixed-size logarithmic histogram of contention
+// stretch factors. Merging is integer bucket addition, so cluster-wide
+// quantiles are exact functions of the per-host tallies and independent
+// of merge order.
+type slowdownHist [slowdownBuckets]int
+
+// observe records one request's stretch factor.
+func (h *slowdownHist) observe(factor float64) {
+	h[slowdownBucket(factor)]++
+}
+
+// add folds another histogram in.
+func (h *slowdownHist) add(o *slowdownHist) {
+	for i, n := range o {
+		h[i] += n
+	}
+}
+
+// quantile returns the factor at quantile q (0 < q ≤ 1) as the upper
+// edge of the bucket holding the rank-q observation, or 1 when the
+// histogram is empty.
+func (h *slowdownHist) quantile(q float64) float64 {
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total == 0 {
+		return 1
+	}
+	rank := int(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0
+	for i, n := range h {
+		cum += n
+		if cum >= rank {
+			return slowdownValue(i)
+		}
+	}
+	return slowdownValue(slowdownBuckets - 1)
+}
+
+// slowdownBucket maps a stretch factor to its histogram bucket.
+func slowdownBucket(factor float64) int {
+	if factor <= 1 {
+		return 0
+	}
+	idx := 1 + int(math.Log2(factor)*slowdownBucketsPerDoubling)
+	if idx >= slowdownBuckets {
+		idx = slowdownBuckets - 1
+	}
+	return idx
+}
+
+// slowdownValue returns the factor a bucket reads back as: 1 for the
+// uncontended bucket, the bucket's upper edge otherwise.
+func slowdownValue(idx int) float64 {
+	if idx <= 0 {
+		return 1
+	}
+	return math.Exp2(float64(idx) / slowdownBucketsPerDoubling)
+}
+
+// SlowdownBucketCount is the size of the contention-slowdown
+// histogram, exported with SlowdownBucket/SlowdownBucketValue so the
+// differential harness (internal/scenario/diffsim) can accumulate the
+// same histogram from its independently rebuilt admission bookkeeping
+// and cross-check ContentionSlowdownP99 — the bucket mapping is the
+// shared wire format, like CFSProbe's arithmetic; the observations and
+// the quantile walk stay independent.
+const SlowdownBucketCount = slowdownBuckets
+
+// SlowdownBucket maps a per-request contention stretch factor to its
+// histogram bucket (0 = uncontended).
+func SlowdownBucket(factor float64) int { return slowdownBucket(factor) }
+
+// SlowdownBucketValue returns the stretch factor a bucket reads back
+// as: 1 for bucket 0, the bucket's upper edge otherwise.
+func SlowdownBucketValue(idx int) float64 { return slowdownValue(idx) }
 
 // inflightReq is one executing request, tracked for the peak capture.
 type inflightReq struct {
@@ -288,6 +384,7 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
 	}
 	effective := time.Duration(float64(r.Duration) * factor)
 	s.res.contentionSecs += (effective - r.Duration).Seconds()
+	s.res.slowHist.observe(factor)
 	// Remember the host's worst co-tenancy instant for the post-run CFS
 	// cross-check probe.
 	reqID := s.nextReqID

@@ -56,6 +56,13 @@ type Report struct {
 	// ContentionDelaySeconds is wall-clock added by CPU over-subscription,
 	// summed over requests — latency that wall-clock billing charges for.
 	ContentionDelaySeconds float64
+	// ContentionSlowdownP99 is the 99th-percentile per-request contention
+	// stretch factor (effective wall clock over nominal duration; 1 means
+	// the tail request ran uncontended). Read from a fixed logarithmic
+	// histogram with ~2% resolution, so it is exact in merge order and
+	// worker count. internal/opt minimizes it as the latency-tail
+	// objective of a policy sweep.
+	ContentionSlowdownP99 float64
 	// CFSCheckMeasured/CFSCheckLinear cross-check the linear contention
 	// model against internal/cfs.SimulateHost at the cluster's worst
 	// co-tenancy instant: the event-driven host's measured mean slowdown
@@ -117,7 +124,9 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 		PeakActiveHosts:   ps.peakActive,
 	}
 	var lat []float64
+	var slow slowdownHist
 	for _, hr := range results {
+		slow.add(&hr.slowHist)
 		rep.Served += hr.served
 		rep.ColdStarts += hr.cold
 		rep.ReColdStarts += hr.reCold
@@ -141,6 +150,7 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 	if rep.Served == 0 {
 		return rep, fmt.Errorf("fleet: no requests served (all %d sandboxes rejected)", ps.rejected)
 	}
+	rep.ContentionSlowdownP99 = slow.quantile(0.99)
 	sum, err := stats.Summarize(lat)
 	if err != nil {
 		return rep, err
@@ -186,7 +196,8 @@ func (r Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "  billable: %.0f vCPU-s, %.0f GB-s\n", r.BilledCPUSeconds, r.BilledMemGBs)
 	fmt.Fprintf(w, "  latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 		r.Latency.Median, r.Latency.P95, r.Latency.P99, r.Latency.Max)
-	fmt.Fprintf(w, "  contention: %.1f s of added wall-clock across the trace\n", r.ContentionDelaySeconds)
+	fmt.Fprintf(w, "  contention: %.1f s of added wall-clock across the trace (p99 slowdown x%.2f)\n",
+		r.ContentionDelaySeconds, r.ContentionSlowdownP99)
 	if r.CFSCheckLinear > 0 {
 		fmt.Fprintf(w, "  cfs cross-check at peak co-tenancy: measured x%.2f vs linear model x%.2f\n",
 			r.CFSCheckMeasured, r.CFSCheckLinear)

@@ -112,6 +112,21 @@ func (p Policy) Window(rng *stats.Rand, instances int) time.Duration {
 	return p.MinWindow + time.Duration(rng.Float64()*float64(max-p.MinWindow))
 }
 
+// WithTTL returns a copy of the policy whose keep-alive window is the
+// fixed duration ttl: MinWindow and MaxWindow both become ttl and the
+// scaled-out override is cleared, so Window always returns ttl while
+// the idle resource-retention behavior, shutdown mode, and residual
+// cold start stay as authored. This is the knob a policy optimizer
+// (internal/opt) turns when it sweeps keep-alive TTLs against a
+// platform's billing and retention model.
+func (p Policy) WithTTL(ttl time.Duration) Policy {
+	p.MinWindow = ttl
+	p.MaxWindow = ttl
+	p.ScaledOutWindow = 0
+	p.ScaledOutInstances = 0
+	return p
+}
+
 // IdleCPU returns the vCPUs the sandbox holds during keep-alive given its
 // configured allocation.
 func (p Policy) IdleCPU(allocCPU float64) float64 {

@@ -155,3 +155,26 @@ func TestColdStartProbabilityDegenerateSamples(t *testing.T) {
 		t.Errorf("degenerate sample count should still estimate: %v", p)
 	}
 }
+
+func TestWithTTLFixesWindow(t *testing.T) {
+	for _, base := range Catalog() {
+		p := base.WithTTL(45 * time.Second)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s.WithTTL invalid: %v", base.Name, err)
+		}
+		rng := stats.NewRand(1)
+		for _, instances := range []int{1, 100} {
+			if w := p.Window(rng, instances); w != 45*time.Second {
+				t.Errorf("%s.WithTTL window(instances=%d) = %v, want 45s", base.Name, instances, w)
+			}
+		}
+		// Retention, shutdown, and residual cold start are untouched.
+		if p.Behavior != base.Behavior || p.Shutdown != base.Shutdown ||
+			p.ResidualColdStart != base.ResidualColdStart || p.Name != base.Name {
+			t.Errorf("%s.WithTTL changed non-window fields: %+v", base.Name, p)
+		}
+	}
+	if w := AWS.WithTTL(0).Window(stats.NewRand(1), 1); w != 0 {
+		t.Errorf("WithTTL(0) window = %v, want 0 (keep-alive disabled)", w)
+	}
+}

@@ -1,0 +1,206 @@
+package opt
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file serializes sweep results for EXPERIMENTS.md and downstream
+// tooling. All three encodings are pure functions of the result
+// struct, which is itself independent of the worker count — so every
+// byte written here is too (the worker-count independence tests pin
+// exactly that).
+
+// ttlLabel renders a candidate's TTL column.
+func ttlLabel(c Candidate) string {
+	if c.KeepAliveTTL < 0 {
+		return "platform"
+	}
+	return strconv.FormatFloat(c.KeepAliveTTL.Seconds(), 'g', -1, 64) + "s"
+}
+
+// ftoa renders a float for CSV/JSON-adjacent output with full
+// round-trip precision.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes one row per (candidate, scenario) evaluation in
+// sweep order: the full grid, for spreadsheet-side slicing.
+func (sr *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scenario", "policy", "ttl", "overcommit", "hosts", "elastic",
+		"cost_per_million", "cold_start_rate", "slowdown_p99",
+		"rejected_share", "p50_ms", "p99_ms", "total_cost",
+		"served", "rejected_requests", "cold_starts", "re_cold_starts", "makespan_s",
+	}); err != nil {
+		return err
+	}
+	for _, r := range sr.Results {
+		c, rep := r.Candidate, r.Report
+		rejShare := 0.0
+		if rep.Requests > 0 {
+			rejShare = float64(rep.RejectedRequests) / float64(rep.Requests)
+		}
+		if err := cw.Write([]string{
+			r.Scenario, c.Policy, ttlLabel(c), ftoa(c.Overcommit),
+			strconv.Itoa(rep.Hosts), strconv.FormatBool(c.Elastic),
+			ftoa(r.Objectives.CostPerMillion), ftoa(r.Objectives.ColdStartRate),
+			ftoa(r.Objectives.SlowdownP99), ftoa(rejShare),
+			ftoa(rep.Latency.Median), ftoa(rep.Latency.P99), ftoa(rep.TotalCost),
+			strconv.Itoa(rep.Served), strconv.Itoa(rep.RejectedRequests),
+			strconv.Itoa(rep.ColdStarts), strconv.Itoa(rep.ReColdStarts),
+			ftoa(rep.Makespan.Seconds()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFrontierCSV writes one row per Pareto-optimal candidate
+// (aggregated across scenarios), in candidate order — the compact
+// decision table.
+func (sr *SweepResult) WriteFrontierCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"policy", "ttl", "overcommit", "hosts", "elastic",
+		"cost_per_million", "cold_start_rate", "slowdown_p99",
+		"rejected_share", "worst_scenario",
+	}); err != nil {
+		return err
+	}
+	for _, s := range sr.Frontier() {
+		c := s.Candidate
+		if err := cw.Write([]string{
+			c.Policy, ttlLabel(c), ftoa(c.Overcommit),
+			strconv.Itoa(c.Hosts), strconv.FormatBool(c.Elastic),
+			ftoa(s.Objectives.CostPerMillion), ftoa(s.Objectives.ColdStartRate),
+			ftoa(s.Objectives.SlowdownP99), ftoa(s.RejectedShare), s.WorstScenario,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonCandidate is one candidate's aggregate row in the JSON document.
+type jsonCandidate struct {
+	Key           string     `json:"key"`
+	Policy        string     `json:"policy"`
+	TTL           string     `json:"ttl"`
+	Overcommit    float64    `json:"overcommit"`
+	Hosts         int        `json:"hosts,omitempty"`
+	Elastic       bool       `json:"elastic,omitempty"`
+	Objectives    Objectives `json:"objectives"`
+	RejectedShare float64    `json:"rejected_share"`
+	WorstScenario string     `json:"worst_scenario"`
+	Pareto        bool       `json:"pareto"`
+}
+
+// jsonResult is one evaluation row in the JSON document.
+type jsonResult struct {
+	Candidate  string     `json:"candidate"`
+	Scenario   string     `json:"scenario"`
+	Objectives Objectives `json:"objectives"`
+}
+
+// jsonSweep is the serialized sweep document.
+type jsonSweep struct {
+	Profile    string          `json:"profile"`
+	Seed       uint64          `json:"seed"`
+	Requests   int             `json:"requests"`
+	Scenarios  []string        `json:"scenarios"`
+	Candidates []jsonCandidate `json:"candidates"`
+	Frontier   []string        `json:"frontier"`
+	Results    []jsonResult    `json:"results"`
+}
+
+// WriteJSON writes the sweep as one JSON document: per-candidate
+// aggregates flagged with Pareto membership, the frontier keys in
+// candidate order, and the compact per-evaluation objective rows.
+func (sr *SweepResult) WriteJSON(w io.Writer) error {
+	doc := jsonSweep{
+		Profile:   sr.Profile,
+		Seed:      sr.Seed,
+		Requests:  sr.Requests,
+		Scenarios: sr.Scenarios,
+	}
+	pareto := make(map[string]bool)
+	for _, s := range sr.Frontier() {
+		pareto[s.Candidate.Key()] = true
+		doc.Frontier = append(doc.Frontier, s.Candidate.Key())
+	}
+	for _, s := range sr.Summaries {
+		doc.Candidates = append(doc.Candidates, jsonCandidate{
+			Key:           s.Candidate.Key(),
+			Policy:        s.Candidate.Policy,
+			TTL:           ttlLabel(s.Candidate),
+			Overcommit:    s.Candidate.Overcommit,
+			Hosts:         s.Candidate.Hosts,
+			Elastic:       s.Candidate.Elastic,
+			Objectives:    s.Objectives,
+			RejectedShare: s.RejectedShare,
+			WorstScenario: s.WorstScenario,
+			Pareto:        pareto[s.Candidate.Key()],
+		})
+	}
+	for _, r := range sr.Results {
+		doc.Results = append(doc.Results, jsonResult{
+			Candidate:  r.Candidate.Key(),
+			Scenario:   r.Scenario,
+			Objectives: r.Objectives,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText renders the per-candidate aggregate table with Pareto
+// membership, then the frontier — the cmd/fleetsim -sweep layout.
+func (sr *SweepResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "sweep: %d configs x %d scenarios, platform %s, %d requests/scenario (seed %d)\n",
+		len(sr.Summaries), len(sr.Scenarios), sr.Profile, sr.Requests, sr.Seed)
+	pareto := make(map[string]bool)
+	for _, s := range sr.Frontier() {
+		pareto[s.Candidate.Key()] = true
+	}
+	fmt.Fprintf(w, "  %-42s %10s %8s %9s %8s %7s\n",
+		"config", "$/1M req", "cold %", "p99 slow", "rej %", "pareto")
+	for _, s := range sr.Summaries {
+		mark := ""
+		if pareto[s.Candidate.Key()] {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "  %-42s %10.3f %8.2f %9.3f %8.2f %7s\n",
+			s.Candidate.Key(), s.Objectives.CostPerMillion,
+			s.Objectives.ColdStartRate*100, s.Objectives.SlowdownP99,
+			s.RejectedShare*100, mark)
+	}
+	fmt.Fprintf(w, "  pareto frontier: %d of %d configs (no config dominates them on cost, cold rate, and tail slowdown)\n",
+		len(pareto), len(sr.Summaries))
+}
+
+// WriteText renders the refinement trajectory for terminals.
+func (rr *RefineResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "refine: %d evaluations from %s\n", rr.Evaluations, rr.Start.Candidate.Key())
+	fmt.Fprintf(w, "  start: $%.3f/1M, cold %.2f%%, p99 slowdown x%.3f\n",
+		rr.Start.Objectives.CostPerMillion, rr.Start.Objectives.ColdStartRate*100,
+		rr.Start.Objectives.SlowdownP99)
+	for _, st := range rr.Steps {
+		verdict := "rejected"
+		if st.Accepted {
+			verdict = "accepted"
+		}
+		fmt.Fprintf(w, "  probe %-10s -> %-42s score %.4f (%s)\n",
+			st.Coordinate, st.Candidate.Key(), st.Score, verdict)
+	}
+	fmt.Fprintf(w, "  best: %s — $%.3f/1M, cold %.2f%%, p99 slowdown x%.3f (score %.4f vs start 1.0)\n",
+		rr.Best.Candidate.Key(), rr.Best.Objectives.CostPerMillion,
+		rr.Best.Objectives.ColdStartRate*100, rr.Best.Objectives.SlowdownP99, rr.Score)
+}

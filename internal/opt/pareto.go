@@ -1,0 +1,166 @@
+package opt
+
+import "slscost/internal/fleet"
+
+// Objectives are the metrics a sweep minimizes, extracted from one or
+// more fleet reports. Lower is better on every axis; the three axes
+// are deliberately in tension — a longer keep-alive TTL buys fewer
+// cold starts with idle-held capacity that costs money, and a higher
+// overcommit buys cheaper hosts with tail contention — which is why
+// the reduction is a Pareto frontier rather than a single winner.
+type Objectives struct {
+	// CostPerMillion is dollars per million served requests.
+	CostPerMillion float64 `json:"cost_per_million"`
+	// ColdStartRate is cold starts over served requests.
+	ColdStartRate float64 `json:"cold_start_rate"`
+	// SlowdownP99 is the p99 per-request contention stretch factor
+	// (1 = the tail request ran uncontended).
+	SlowdownP99 float64 `json:"slowdown_p99"`
+}
+
+// objectivesOf extracts the minimized metrics from a report.
+func objectivesOf(rep fleet.Report) Objectives {
+	return Objectives{
+		CostPerMillion: rep.CostPerMillion(),
+		ColdStartRate:  rep.ColdStartRate(),
+		SlowdownP99:    rep.ContentionSlowdownP99,
+	}
+}
+
+// Dominates reports whether a is at least as good as b on every
+// objective and strictly better on at least one.
+func (a Objectives) Dominates(b Objectives) bool {
+	if a.CostPerMillion > b.CostPerMillion ||
+		a.ColdStartRate > b.ColdStartRate ||
+		a.SlowdownP99 > b.SlowdownP99 {
+		return false
+	}
+	return a.CostPerMillion < b.CostPerMillion ||
+		a.ColdStartRate < b.ColdStartRate ||
+		a.SlowdownP99 < b.SlowdownP99
+}
+
+// ParetoFrontier returns the indices of the non-dominated objective
+// vectors, in input order. Duplicated vectors all survive (neither
+// dominates the other), so ties keep every witness configuration.
+func ParetoFrontier(objs []Objectives) []int {
+	var out []int
+	for i, a := range objs {
+		dominated := false
+		for j, b := range objs {
+			if i != j && b.Dominates(a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Summary aggregates one candidate across every scenario it was
+// evaluated on: unweighted means of the objectives (each scenario
+// synthesizes the same request volume, so means are per-request
+// comparable) plus the capacity context a frontier row needs.
+type Summary struct {
+	// Candidate is the configuration summarized.
+	Candidate Candidate
+	// Objectives are the per-scenario means.
+	Objectives Objectives
+	// RejectedShare is the mean share of requests rejected at
+	// placement. It is context, not an objective: a config that sheds
+	// load scores artificially well per *served* request, so frontier
+	// consumers filter on it explicitly (cmd/fleetsim flags rows
+	// rejecting anything).
+	RejectedShare float64
+	// WorstScenario names the scenario with the highest cost per
+	// million — where this candidate hurts most.
+	WorstScenario string
+}
+
+// summarize folds one candidate's per-scenario results (in scenario
+// order) into its aggregate row.
+func summarize(c Candidate, results []Result) Summary {
+	s := Summary{Candidate: c}
+	worst := -1.0
+	for _, r := range results {
+		s.Objectives.CostPerMillion += r.Objectives.CostPerMillion
+		s.Objectives.ColdStartRate += r.Objectives.ColdStartRate
+		s.Objectives.SlowdownP99 += r.Objectives.SlowdownP99
+		if rep := r.Report; rep.Requests > 0 {
+			s.RejectedShare += float64(rep.RejectedRequests) / float64(rep.Requests)
+		}
+		if r.Objectives.CostPerMillion > worst {
+			worst = r.Objectives.CostPerMillion
+			s.WorstScenario = r.Scenario
+		}
+	}
+	if n := float64(len(results)); n > 0 {
+		s.Objectives.CostPerMillion /= n
+		s.Objectives.ColdStartRate /= n
+		s.Objectives.SlowdownP99 /= n
+		s.RejectedShare /= n
+	}
+	return s
+}
+
+// Frontier returns the Pareto-optimal candidate summaries (aggregated
+// across scenarios), in candidate order.
+func (sr *SweepResult) Frontier() []Summary {
+	objs := make([]Objectives, len(sr.Summaries))
+	for i, s := range sr.Summaries {
+		objs[i] = s.Objectives
+	}
+	idx := ParetoFrontier(objs)
+	out := make([]Summary, len(idx))
+	for i, j := range idx {
+		out[i] = sr.Summaries[j]
+	}
+	return out
+}
+
+// CheapestFrontier returns the Pareto-optimal summary with the lowest
+// aggregate cost per million (first in candidate order on ties) — the
+// canonical coordinate-descent seed cmd/fleetsim -refine, ext-opt, and
+// examples/policy-sweep all start from. ok is false when the sweep
+// produced no summaries.
+func (sr *SweepResult) CheapestFrontier() (best Summary, ok bool) {
+	frontier := sr.Frontier()
+	if len(frontier) == 0 {
+		return Summary{}, false
+	}
+	best = frontier[0]
+	for _, s := range frontier[1:] {
+		if s.Objectives.CostPerMillion < best.Objectives.CostPerMillion {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// FrontierFor returns the Pareto-optimal evaluations of one scenario,
+// in candidate order; ok is false when the scenario was not part of
+// the sweep.
+func (sr *SweepResult) FrontierFor(scenarioName string) (results []Result, ok bool) {
+	var rows []Result
+	for _, r := range sr.Results {
+		if r.Scenario == scenarioName {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, false
+	}
+	objs := make([]Objectives, len(rows))
+	for i, r := range rows {
+		objs[i] = r.Objectives
+	}
+	idx := ParetoFrontier(objs)
+	out := make([]Result, len(idx))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out, true
+}

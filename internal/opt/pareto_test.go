@@ -1,0 +1,65 @@
+package opt
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	a := Objectives{CostPerMillion: 1, ColdStartRate: 0.1, SlowdownP99: 1}
+	cases := []struct {
+		name string
+		b    Objectives
+		want bool
+	}{
+		{"strictly worse on all", Objectives{2, 0.2, 2}, true},
+		{"worse on one, equal otherwise", Objectives{1, 0.2, 1}, true},
+		{"identical", a, false},
+		{"better on one axis", Objectives{0.5, 0.2, 2}, false},
+	}
+	for _, c := range cases {
+		if got := a.Dominates(c.b); got != c.want {
+			t.Errorf("%s: Dominates = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if a.Dominates(a) {
+		t.Error("a point must not dominate itself")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	objs := []Objectives{
+		{1.0, 0.10, 2.0}, // frontier: cheapest
+		{2.0, 0.05, 2.0}, // frontier: fewest cold starts
+		{2.0, 0.10, 2.0}, // dominated by 0 and 1
+		{1.5, 0.08, 1.0}, // frontier: best tail
+		{1.5, 0.09, 1.5}, // dominated by 3
+	}
+	got := ParetoFrontier(objs)
+	if want := []int{0, 1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	// Duplicated vectors both survive.
+	dup := []Objectives{{1, 0.1, 1}, {1, 0.1, 1}, {2, 0.2, 2}}
+	if got := ParetoFrontier(dup); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("duplicate frontier = %v, want both witnesses", got)
+	}
+	if got := ParetoFrontier(nil); got != nil {
+		t.Errorf("empty frontier = %v, want nil", got)
+	}
+}
+
+func TestSummarizeAveragesAndFlagsWorstScenario(t *testing.T) {
+	c := Candidate{Policy: "random", KeepAliveTTL: PlatformTTL, Overcommit: 1}
+	results := []Result{
+		{Scenario: "steady", Objectives: Objectives{1, 0.1, 1}},
+		{Scenario: "flash-crowd", Objectives: Objectives{3, 0.3, 2}},
+	}
+	s := summarize(c, results)
+	if s.Objectives != (Objectives{2, 0.2, 1.5}) {
+		t.Errorf("mean objectives = %+v", s.Objectives)
+	}
+	if s.WorstScenario != "flash-crowd" {
+		t.Errorf("worst scenario = %q, want flash-crowd", s.WorstScenario)
+	}
+}

@@ -1,0 +1,195 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+)
+
+// RefineConfig tunes the coordinate-descent refinement pass.
+type RefineConfig struct {
+	// Rounds is how many full coordinate passes run (default 3). Each
+	// round probes both neighbors of each continuous knob and then
+	// halves the step, so the search narrows geometrically.
+	Rounds int
+	// Shrink is the per-round step multiplier in (0, 1); default 0.5.
+	Shrink float64
+	// Weights scalarizes the objectives for the descent: each
+	// objective is normalized by the starting candidate's value and
+	// weighted. The zero value weights all three equally.
+	Weights Objectives
+}
+
+// withDefaults resolves the zero values.
+func (rc RefineConfig) withDefaults() RefineConfig {
+	if rc.Rounds == 0 {
+		rc.Rounds = 3
+	}
+	if rc.Shrink == 0 {
+		rc.Shrink = 0.5
+	}
+	if rc.Weights == (Objectives{}) {
+		rc.Weights = Objectives{CostPerMillion: 1, ColdStartRate: 1, SlowdownP99: 1}
+	}
+	return rc
+}
+
+// Validate reports whether the refinement configuration is usable.
+func (rc RefineConfig) Validate() error {
+	if rc.Rounds < 0 {
+		return fmt.Errorf("opt: negative refinement rounds %d", rc.Rounds)
+	}
+	if rc.Shrink < 0 || rc.Shrink >= 1 {
+		return fmt.Errorf("opt: refinement shrink %g outside (0, 1)", rc.Shrink)
+	}
+	if rc.Weights.CostPerMillion < 0 || rc.Weights.ColdStartRate < 0 || rc.Weights.SlowdownP99 < 0 {
+		return fmt.Errorf("opt: negative refinement weight %+v", rc.Weights)
+	}
+	return nil
+}
+
+// RefineStep records one probe of the descent.
+type RefineStep struct {
+	// Coordinate names the knob moved: "ttl" or "overcommit".
+	Coordinate string
+	// Candidate is the probed configuration.
+	Candidate Candidate
+	// Objectives are its mean objectives across the scenarios.
+	Objectives Objectives
+	// Score is the scalarized fitness relative to the start (the start
+	// scores exactly 1; lower is better).
+	Score float64
+	// Accepted reports whether the probe became the new incumbent.
+	Accepted bool
+}
+
+// RefineResult is a completed refinement: where the descent started,
+// where it ended, and every probe along the way.
+type RefineResult struct {
+	// Start is the grid point the descent began from (TTL resolved to
+	// an explicit duration) with its mean objectives.
+	Start Summary
+	// Best is the incumbent after the final round.
+	Best Summary
+	// Score is Best's scalarized fitness (start = 1; lower is better).
+	Score float64
+	// Steps lists every probe in evaluation order.
+	Steps []RefineStep
+	// Evaluations counts candidate evaluations, start included.
+	Evaluations int
+}
+
+// Refine narrows the continuous knobs — keep-alive TTL and overcommit
+// ratio — around a grid point by deterministic coordinate descent:
+// each round probes both neighbors of each knob at the current step
+// (TTL clamped to ≥ 0, overcommit to ≥ 1), accepts strict
+// improvements of the scalarized objective, then shrinks the step.
+// A PlatformTTL start is first resolved to the profile window's
+// midpoint so the knob is explicit. Probes that shed more load than
+// the start (higher rejected share) are rejected outright — cheaper
+// per *served* request by rejecting requests is not an optimum.
+// Deterministic for any cfg.Workers.
+func Refine(cfg Config, start Candidate, rc RefineConfig) (*RefineResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rc = rc.withDefaults()
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := start.Validate(); err != nil {
+		return nil, err
+	}
+	if start.KeepAliveTTL < 0 {
+		ka := cfg.Profile.KeepAlive
+		start.KeepAliveTTL = (ka.MinWindow + ka.MaxWindow) / 2
+	}
+
+	startObj, startRej, err := evalMean(cfg, start)
+	if err != nil {
+		return nil, err
+	}
+	score := func(o Objectives) float64 {
+		num, den := 0.0, 0.0
+		for _, t := range []struct{ w, v, base float64 }{
+			{rc.Weights.CostPerMillion, o.CostPerMillion, startObj.CostPerMillion},
+			{rc.Weights.ColdStartRate, o.ColdStartRate, startObj.ColdStartRate},
+			{rc.Weights.SlowdownP99, o.SlowdownP99, startObj.SlowdownP99},
+		} {
+			if t.w == 0 {
+				continue
+			}
+			base := t.base
+			if base <= 0 {
+				base = 1 // objective already at its floor: compare absolutely
+			}
+			num += t.w * t.v / base
+			den += t.w
+		}
+		if den == 0 {
+			return 1
+		}
+		return num / den
+	}
+
+	res := &RefineResult{
+		Start:       Summary{Candidate: start, Objectives: startObj, RejectedShare: startRej},
+		Evaluations: 1,
+	}
+	best, bestObj, bestRej, bestScore := start, startObj, startRej, score(startObj)
+
+	// Initial steps: half the current value, floored so a knob at its
+	// lower bound can still move.
+	ttlStep := best.KeepAliveTTL / 2
+	if ttlStep < 15*time.Second {
+		ttlStep = 15 * time.Second
+	}
+	ocStep := best.Overcommit / 2
+	if ocStep < 0.25 {
+		ocStep = 0.25
+	}
+
+	const improveEps = 1e-9
+	for round := 0; round < rc.Rounds; round++ {
+		for _, coord := range []string{"ttl", "overcommit"} {
+			for _, dir := range []float64{-1, +1} {
+				probe := best
+				switch coord {
+				case "ttl":
+					probe.KeepAliveTTL += time.Duration(dir * float64(ttlStep))
+					if probe.KeepAliveTTL < 0 {
+						probe.KeepAliveTTL = 0
+					}
+				case "overcommit":
+					probe.Overcommit += dir * ocStep
+					if probe.Overcommit < 1 {
+						probe.Overcommit = 1
+					}
+				}
+				if probe == best {
+					continue // clamped onto the incumbent: nothing to probe
+				}
+				obj, rej, err := evalMean(cfg, probe)
+				if err != nil {
+					return nil, err
+				}
+				res.Evaluations++
+				sc := score(obj)
+				accepted := sc < bestScore-improveEps && rej <= startRej+improveEps
+				res.Steps = append(res.Steps, RefineStep{
+					Coordinate: coord, Candidate: probe,
+					Objectives: obj, Score: sc, Accepted: accepted,
+				})
+				if accepted {
+					best, bestObj, bestRej, bestScore = probe, obj, rej, sc
+				}
+			}
+		}
+		ttlStep = time.Duration(float64(ttlStep) * rc.Shrink)
+		ocStep *= rc.Shrink
+	}
+
+	res.Best = Summary{Candidate: best, Objectives: bestObj, RejectedShare: bestRej}
+	res.Score = bestScore
+	return res, nil
+}

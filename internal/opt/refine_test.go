@@ -1,0 +1,79 @@
+package opt
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestRefineImprovesOrHoldsScore(t *testing.T) {
+	cfg := testConfig(t, 0)
+	start := Candidate{Policy: "least-loaded", KeepAliveTTL: 30 * time.Second, Overcommit: 2}
+	rr, err := Refine(cfg, start, RefineConfig{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Score > 1+1e-12 {
+		t.Errorf("refinement ended worse than its start: score %.6f", rr.Score)
+	}
+	if rr.Evaluations != 1+len(rr.Steps) {
+		t.Errorf("evaluations %d != 1 start + %d steps", rr.Evaluations, len(rr.Steps))
+	}
+	for _, st := range rr.Steps {
+		if st.Candidate.KeepAliveTTL < 0 || st.Candidate.Overcommit < 1 {
+			t.Errorf("probe escaped its bounds: %s", st.Candidate.Key())
+		}
+		if st.Coordinate != "ttl" && st.Coordinate != "overcommit" {
+			t.Errorf("unknown coordinate %q", st.Coordinate)
+		}
+	}
+	// The trajectory renders without exploding.
+	var buf bytes.Buffer
+	rr.WriteText(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty refinement rendering")
+	}
+}
+
+func TestRefineResolvesPlatformTTL(t *testing.T) {
+	cfg := testConfig(t, 0)
+	rr, err := Refine(cfg, Candidate{Policy: "least-loaded", KeepAliveTTL: PlatformTTL, Overcommit: 2},
+		RefineConfig{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AWS window is 300–360 s; the resolved start is its midpoint.
+	if rr.Start.Candidate.KeepAliveTTL != 330*time.Second {
+		t.Errorf("start TTL resolved to %v, want 330s", rr.Start.Candidate.KeepAliveTTL)
+	}
+}
+
+func TestRefineDeterministicAcrossWorkers(t *testing.T) {
+	start := Candidate{Policy: "bin-pack", KeepAliveTTL: 60 * time.Second, Overcommit: 1.5}
+	run := func(workers int) string {
+		rr, err := Refine(testConfig(t, workers), start, RefineConfig{Rounds: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rr.WriteText(&buf)
+		return buf.String()
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Errorf("refinement trajectory differs between 1 and 8 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRefineConfigValidation(t *testing.T) {
+	cfg := testConfig(t, 1)
+	start := Candidate{Policy: "least-loaded", KeepAliveTTL: 0, Overcommit: 1}
+	if _, err := Refine(cfg, start, RefineConfig{Shrink: 1.5}); err == nil {
+		t.Error("shrink above 1 did not fail")
+	}
+	if _, err := Refine(cfg, start, RefineConfig{Rounds: -1}); err == nil {
+		t.Error("negative rounds did not fail")
+	}
+	if _, err := Refine(cfg, Candidate{Policy: "no-such", Overcommit: 1}, RefineConfig{}); err == nil {
+		t.Error("unknown policy did not fail")
+	}
+}

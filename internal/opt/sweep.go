@@ -1,0 +1,239 @@
+package opt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"slscost/internal/core"
+	"slscost/internal/fleet"
+	"slscost/internal/scenario"
+)
+
+// Config parameterizes one sweep or refinement: everything an
+// evaluation needs besides the candidate itself.
+type Config struct {
+	// Profile is the platform whose billing, serving, keep-alive
+	// retention, and scheduling models every candidate is priced
+	// against. Candidates with a TTL override replace only the window;
+	// retention stays the platform's.
+	Profile core.Profile
+	// Host is the per-host capacity (zero value: fleet.DefaultHostSpec).
+	Host fleet.HostSpec
+	// Hosts is the pool size for candidates that do not pin their own
+	// (Candidate.Hosts == 0).
+	Hosts int
+	// Scenarios are the workloads every candidate is evaluated on; nil
+	// means the full scenario catalog.
+	Scenarios []scenario.Scenario
+	// Scenario is the synthesis configuration shared by all scenarios
+	// (request volume, generator seed, horizon, tenant fan-out).
+	Scenario scenario.Config
+	// Seed drives the fleet simulation's random streams.
+	Seed uint64
+	// Workers bounds how many evaluations run concurrently; zero means
+	// GOMAXPROCS. Each evaluation itself runs single-threaded, so the
+	// pool is the only parallelism — and it never affects any result.
+	Workers int
+}
+
+// withDefaults resolves the zero values.
+func (cfg Config) withDefaults() Config {
+	if cfg.Host == (fleet.HostSpec{}) {
+		cfg.Host = fleet.DefaultHostSpec()
+	}
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 16
+	}
+	if len(cfg.Scenarios) == 0 {
+		cfg.Scenarios = scenario.Catalog()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+// Validate reports whether the sweep configuration is usable.
+func (cfg Config) Validate() error {
+	if err := cfg.Profile.Validate(); err != nil {
+		return err
+	}
+	if cfg.Hosts < 0 {
+		return fmt.Errorf("opt: negative default host count %d", cfg.Hosts)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("opt: negative worker count %d", cfg.Workers)
+	}
+	for _, sc := range cfg.Scenarios {
+		if err := sc.Validate(cfg.Scenario); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fleetConfig materializes the candidate into the cluster configuration
+// its evaluations run under. Each call constructs a fresh policy
+// instance, so stateful policies (round-robin) never share decisions
+// across evaluations.
+func (c Candidate) fleetConfig(cfg Config) (fleet.Config, error) {
+	pol, err := fleet.NewPolicy(c.Policy)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	prof := cfg.Profile
+	if c.KeepAliveTTL >= 0 {
+		prof.KeepAlive = prof.KeepAlive.WithTTL(c.KeepAliveTTL)
+	}
+	hosts := c.Hosts
+	if hosts == 0 {
+		hosts = cfg.Hosts
+	}
+	return fleet.Config{
+		Hosts:      hosts,
+		Host:       cfg.Host,
+		Policy:     pol,
+		Profile:    prof,
+		Workers:    1, // parallelism lives in the sweep pool, not the shards
+		Overcommit: c.Overcommit,
+		Elastic:    c.Elastic,
+		Seed:       cfg.Seed,
+	}, nil
+}
+
+// Result is one (candidate, scenario) evaluation.
+type Result struct {
+	// Candidate is the configuration evaluated.
+	Candidate Candidate
+	// Scenario names the workload.
+	Scenario string
+	// Report is the full cluster report the evaluation produced.
+	Report fleet.Report
+	// Objectives are the minimized metrics extracted from Report.
+	Objectives Objectives
+}
+
+// SweepResult is a full grid sweep: every (candidate, scenario)
+// report, candidate-major in grid order, plus per-candidate summaries
+// aggregated across scenarios.
+type SweepResult struct {
+	// Profile and Seed identify the sweep configuration.
+	Profile string
+	Seed    uint64
+	// Requests is the per-scenario synthesized request volume.
+	Requests int
+	// Scenarios lists the evaluated workloads in evaluation order.
+	Scenarios []string
+	// Results holds every evaluation, candidate-major then
+	// scenario-minor — the exact enumeration order, independent of the
+	// worker pool.
+	Results []Result
+	// Summaries aggregates each candidate across scenarios, in
+	// candidate order.
+	Summaries []Summary
+}
+
+// Sweep evaluates every candidate of the space on every scenario,
+// concurrently across a bounded worker pool, and returns the grid
+// with per-candidate aggregates. Output is deterministic: identical
+// for any cfg.Workers, because evaluations are independent pure
+// functions placed by index.
+func Sweep(cfg Config, space Space) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	cands := space.Candidates()
+	results, err := evaluateAll(cfg, cands)
+	if err != nil {
+		return nil, err
+	}
+	sr := &SweepResult{
+		Profile:  cfg.Profile.Name,
+		Seed:     cfg.Seed,
+		Requests: cfg.Scenario.Base.Requests,
+		Results:  results,
+	}
+	for _, sc := range cfg.Scenarios {
+		sr.Scenarios = append(sr.Scenarios, sc.Name)
+	}
+	for i, c := range cands {
+		sr.Summaries = append(sr.Summaries,
+			summarize(c, results[i*len(cfg.Scenarios):(i+1)*len(cfg.Scenarios)]))
+	}
+	return sr, nil
+}
+
+// evaluateAll runs the (candidate × scenario) job matrix over the
+// bounded pool. Results are placed by job index and errors are
+// reported for the lowest failing index, so both the success and the
+// failure path are deterministic in the worker count.
+func evaluateAll(cfg Config, cands []Candidate) ([]Result, error) {
+	type job struct{ ci, si int }
+	jobs := make([]job, 0, len(cands)*len(cfg.Scenarios))
+	for ci := range cands {
+		for si := range cfg.Scenarios {
+			jobs = append(jobs, job{ci, si})
+		}
+	}
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				c, sc := cands[jobs[j].ci], cfg.Scenarios[jobs[j].si]
+				results[j], errs[j] = evaluate(cfg, c, sc)
+			}
+		}()
+	}
+	for j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// evaluate runs one candidate on one scenario over the streaming
+// replay path and extracts its objectives.
+func evaluate(cfg Config, c Candidate, sc scenario.Scenario) (Result, error) {
+	fc, err := c.fleetConfig(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := fleet.SimulateScenarioStream(fc, sc, cfg.Scenario)
+	if err != nil {
+		return Result{}, fmt.Errorf("opt: %s on %s: %w", c.Key(), sc.Name, err)
+	}
+	return Result{
+		Candidate:  c,
+		Scenario:   sc.Name,
+		Report:     rep,
+		Objectives: objectivesOf(rep),
+	}, nil
+}
+
+// evalMean evaluates one candidate across every configured scenario
+// (concurrently) and returns the mean objectives — the scalar
+// refinement loop's fitness oracle.
+func evalMean(cfg Config, c Candidate) (Objectives, float64, error) {
+	results, err := evaluateAll(cfg, []Candidate{c})
+	if err != nil {
+		return Objectives{}, 0, err
+	}
+	s := summarize(c, results)
+	return s.Objectives, s.RejectedShare, nil
+}

@@ -1,0 +1,173 @@
+package opt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"slscost/internal/core"
+	"slscost/internal/scenario"
+	"slscost/internal/trace"
+)
+
+// testConfig is a small but non-trivial sweep configuration: two
+// scenarios whose keep-alive economics genuinely differ, at a volume
+// that keeps the whole grid under a second.
+func testConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	scs, err := scenario.Subset("steady", "flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := trace.DefaultGeneratorConfig()
+	base.Requests = 3000
+	base.Seed = 20260613
+	return Config{
+		Profile:   core.AWS(),
+		Hosts:     8,
+		Scenarios: scs,
+		Scenario:  scenario.Config{Base: base},
+		Seed:      20260613,
+		Workers:   workers,
+	}
+}
+
+// testSpace is a 2×2×1 grid (4 candidates).
+func testSpace() Space {
+	return Space{
+		Policies:    []string{"least-loaded", "bin-pack"},
+		TTLs:        []time.Duration{PlatformTTL, 30 * time.Second},
+		Overcommits: []float64{2},
+	}
+}
+
+func TestSweepShapeAndOrdering(t *testing.T) {
+	sr, err := Sweep(testConfig(t, 2), testSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Summaries) != 4 || len(sr.Results) != 8 {
+		t.Fatalf("sweep: %d summaries, %d results; want 4, 8", len(sr.Summaries), len(sr.Results))
+	}
+	// Candidate-major, scenario-minor, in enumeration order.
+	cands := testSpace().Candidates()
+	for i, r := range sr.Results {
+		wantCand := cands[i/2]
+		wantScen := []string{"steady", "flash-crowd"}[i%2]
+		if r.Candidate != wantCand || r.Scenario != wantScen {
+			t.Fatalf("result %d = (%s, %s), want (%s, %s)",
+				i, r.Candidate.Key(), r.Scenario, wantCand.Key(), wantScen)
+		}
+		if r.Report.Served == 0 {
+			t.Fatalf("result %d served nothing", i)
+		}
+		if r.Objectives != objectivesOf(r.Report) {
+			t.Fatalf("result %d objectives do not match its report", i)
+		}
+	}
+	// The frontier is non-empty and a subset of the summaries.
+	fr := sr.Frontier()
+	if len(fr) == 0 || len(fr) > len(sr.Summaries) {
+		t.Fatalf("frontier size %d of %d summaries", len(fr), len(sr.Summaries))
+	}
+	// Per-scenario frontier extraction finds both scenarios.
+	for _, name := range []string{"steady", "flash-crowd"} {
+		rows, ok := sr.FrontierFor(name)
+		if !ok || len(rows) == 0 {
+			t.Fatalf("FrontierFor(%s): ok=%v rows=%d", name, ok, len(rows))
+		}
+	}
+	if _, ok := sr.FrontierFor("no-such"); ok {
+		t.Error("FrontierFor accepted an unknown scenario")
+	}
+}
+
+// TestSweepWorkerCountIndependence is the load-bearing determinism
+// property: the sweep's serialized output — the full CSV grid, the
+// JSON document, and the rendered Pareto frontier — is byte-identical
+// whether 1, 4, or 8 workers evaluated it.
+func TestSweepWorkerCountIndependence(t *testing.T) {
+	type encoded struct{ csv, json, text string }
+	encode := func(workers int) encoded {
+		sr, err := Sweep(testConfig(t, workers), testSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c, j, x bytes.Buffer
+		if err := sr.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		sr.WriteText(&x)
+		return encoded{c.String(), j.String(), x.String()}
+	}
+	base := encode(1)
+	for _, workers := range []int{4, 8} {
+		got := encode(workers)
+		if got.csv != base.csv {
+			t.Errorf("CSV output differs between 1 and %d workers", workers)
+		}
+		if got.json != base.json {
+			t.Errorf("JSON output differs between 1 and %d workers", workers)
+		}
+		if got.text != base.text {
+			t.Errorf("text output differs between 1 and %d workers", workers)
+		}
+	}
+	// Sanity on the serializations themselves.
+	if !strings.HasPrefix(base.csv, "scenario,policy,ttl,overcommit,") {
+		t.Errorf("CSV header missing: %q", strings.SplitN(base.csv, "\n", 2)[0])
+	}
+	if !strings.Contains(base.json, `"frontier"`) {
+		t.Error("JSON document has no frontier field")
+	}
+	if lines := strings.Count(base.csv, "\n"); lines != 1+8 {
+		t.Errorf("CSV has %d lines, want header + 8 rows", lines)
+	}
+}
+
+// TestSweepTTLMovesColdStarts pins the sweep's physics: on the
+// flash-crowd scenario, cutting AWS's 300–360 s keep-alive window to
+// 30 s must increase the cold-start rate (idle gaps outlive the
+// window) — the trade the Pareto frontier exists to expose.
+func TestSweepTTLMovesColdStarts(t *testing.T) {
+	sr, err := Sweep(testConfig(t, 0), testSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]Result)
+	for _, r := range sr.Results {
+		if r.Scenario == "flash-crowd" {
+			byKey[r.Candidate.Key()] = r
+		}
+	}
+	long := byKey["least-loaded ttl=platform oc=2"]
+	short := byKey["least-loaded ttl=30s oc=2"]
+	if long.Report.Served == 0 || short.Report.Served == 0 {
+		t.Fatalf("missing sweep cells: %+v", byKey)
+	}
+	if short.Objectives.ColdStartRate <= long.Objectives.ColdStartRate {
+		t.Errorf("30s TTL cold rate %.4f not above platform-window rate %.4f",
+			short.Objectives.ColdStartRate, long.Objectives.ColdStartRate)
+	}
+}
+
+func TestSweepRejectsBadInputs(t *testing.T) {
+	cfg := testConfig(t, 1)
+	if _, err := Sweep(cfg, Space{}); err == nil {
+		t.Error("empty space did not fail")
+	}
+	bad := cfg
+	bad.Profile = core.Profile{}
+	if _, err := Sweep(bad, testSpace()); err == nil {
+		t.Error("invalid profile did not fail")
+	}
+	bad = cfg
+	bad.Workers = -1
+	if _, err := Sweep(bad, testSpace()); err == nil {
+		t.Error("negative workers did not fail")
+	}
+}

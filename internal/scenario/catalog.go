@@ -1,5 +1,11 @@
 package scenario
 
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
 // The shipped scenario catalog. Every entry is deterministic in the
 // synthesis seed; cmd/fleetsim exposes them via -scenario, the
 // ext-scenarios experiment sweeps them against every placement policy,
@@ -66,4 +72,39 @@ func ByName(name string) (Scenario, bool) {
 		}
 	}
 	return Scenario{}, false
+}
+
+// Subset resolves names against the catalog, preserving catalog order
+// (not argument order) and rejecting unknown or duplicate names. An
+// empty argument list returns the whole catalog — callers that sweep
+// "whichever scenarios were asked for" (internal/opt, fleetsim -sweep)
+// get the full catalog by default and a hard error on a typo.
+func Subset(names ...string) ([]Scenario, error) {
+	if len(names) == 0 {
+		return Catalog(), nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if want[n] {
+			return nil, fmt.Errorf("scenario: duplicate name %q", n)
+		}
+		want[n] = true
+	}
+	var out []Scenario
+	for _, s := range Catalog() {
+		if want[s.Name] {
+			out = append(out, s)
+			delete(want, s.Name)
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("scenario: unknown name(s) %s (have %s)",
+			strings.Join(missing, ", "), strings.Join(Names(), ", "))
+	}
+	return out, nil
 }

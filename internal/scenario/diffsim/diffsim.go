@@ -55,6 +55,7 @@ type Aggregate struct {
 	BilledMemGBs     float64
 
 	ContentionDelaySeconds float64
+	ContentionSlowdownP99  float64
 	IdleHeldVCPUSeconds    float64
 	MeanLatencyMs          float64
 
@@ -175,6 +176,7 @@ func Diff(rep fleet.Report, agg Aggregate) *Result {
 	add("billed-cpu-seconds", rep.BilledCPUSeconds, agg.BilledCPUSeconds)
 	add("billed-mem-gbs", rep.BilledMemGBs, agg.BilledMemGBs)
 	add("contention-delay-seconds", rep.ContentionDelaySeconds, agg.ContentionDelaySeconds)
+	add("contention-slowdown-p99", rep.ContentionSlowdownP99, agg.ContentionSlowdownP99)
 	add("idle-held-vcpu-seconds", rep.IdleHeldVCPUSeconds, agg.IdleHeldVCPUSeconds)
 	add("mean-latency-ms", rep.Latency.Mean, agg.MeanLatencyMs)
 	add("mean-host-utilization", rep.MeanHostUtilization, agg.MeanHostUtilization)
@@ -230,9 +232,13 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 
 	busy := make([]float64, cfg.Hosts)
 	var latSum float64
+	var slow [fleet.SlowdownBucketCount]int
 	for hi := 0; hi < cfg.Hosts; hi++ {
 		h := replayHost(cfg, hi, perHost[hi], tr)
 		busy[hi] = h.busyVCPUSecs
+		for b, n := range h.slowHist {
+			slow[b] += n
+		}
 		agg.Served += h.served
 		agg.ColdStarts += h.cold
 		agg.ReColdStarts += h.reCold
@@ -255,6 +261,22 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 	}
 	if agg.Served > 0 {
 		agg.MeanLatencyMs = latSum / float64(agg.Served)
+		// p99 of the per-request contention stretch factor, walked over
+		// this replay's own histogram; only the bucket mapping
+		// (fleet.SlowdownBucket) is shared, like the CFSProbe arithmetic.
+		rank := int(math.Ceil(0.99 * float64(agg.Served)))
+		if rank < 1 {
+			rank = 1
+		}
+		agg.ContentionSlowdownP99 = fleet.SlowdownBucketValue(fleet.SlowdownBucketCount - 1)
+		cum := 0
+		for b, n := range slow {
+			cum += n
+			if cum >= rank {
+				agg.ContentionSlowdownP99 = fleet.SlowdownBucketValue(b)
+				break
+			}
+		}
 	}
 	if span := agg.Makespan.Seconds(); span > 0 {
 		agg.MinHostUtilization = 1
@@ -346,6 +368,7 @@ type hostState struct {
 
 	latencySum      float64
 	contentionSecs  float64
+	slowHist        [fleet.SlowdownBucketCount]int
 	busyVCPUSecs    float64
 	idleHeldCPUSecs float64
 
@@ -472,6 +495,7 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			}
 			effective := time.Duration(float64(r.Duration) * factor)
 			h.contentionSecs += (effective - r.Duration).Seconds()
+			h.slowHist[fleet.SlowdownBucket(factor)]++
 
 			reqID := h.nextReqID
 			h.nextReqID++

@@ -183,3 +183,38 @@ func TestAutoHorizonScalesWithDensity(t *testing.T) {
 		t.Errorf("explicit horizon not honored: %v", fixed.horizon())
 	}
 }
+
+func TestSubset(t *testing.T) {
+	// Empty argument list is the whole catalog.
+	all, err := Subset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Catalog()) {
+		t.Fatalf("Subset() = %d scenarios, want %d", len(all), len(Catalog()))
+	}
+	// Selection preserves catalog order regardless of argument order.
+	got, err := Subset("bursty", "diurnal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "diurnal" || got[1].Name != "bursty" {
+		t.Errorf("Subset(bursty, diurnal) = %v, want catalog order [diurnal bursty]", names(got))
+	}
+	// Unknown and duplicate names are hard errors.
+	if _, err := Subset("diurnal", "no-such"); err == nil {
+		t.Error("Subset with unknown name did not fail")
+	}
+	if _, err := Subset("diurnal", "diurnal"); err == nil {
+		t.Error("Subset with duplicate name did not fail")
+	}
+}
+
+// names projects scenario names for test failure messages.
+func names(scs []Scenario) []string {
+	out := make([]string, len(scs))
+	for i, s := range scs {
+		out[i] = s.Name
+	}
+	return out
+}
