@@ -119,7 +119,16 @@ func BenchmarkFleetReplay(b *testing.B) {
 // heap as "peak-heap-MB": the number that caps how large a workload
 // fits in memory. The streamed report is byte-identical to the
 // materialized one (see internal/fleet stream tests); only the
-// resource profile differs. Run with:
+// resource profile differs.
+//
+// The generator's pod population grows with the trace, so the
+// generator-driven streamed runs still carry O(pods) placement
+// metadata. The streamed-fixedpods variant replays the same request
+// counts over a fixed 400-pod population, isolating the per-request
+// state: with histogram latency accounting its peak heap is flat in
+// the trace length (EXPERIMENTS.md records the measured numbers, and
+// TestStreamFlatHeapAcrossTraceSizes enforces the property in CI).
+// Run with:
 //
 //	go test -run '^$' -bench BenchmarkFleetStream -benchmem -benchtime 1x .
 func BenchmarkFleetStream(b *testing.B) {
@@ -179,6 +188,21 @@ func BenchmarkFleetStream(b *testing.B) {
 			peakHeap(b, func() {
 				for i := 0; i < b.N; i++ {
 					rep, err := fleet.SimulateStream(fleetCfg(b), trace.GenerateSource(gen))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Served == 0 {
+						b.Fatal("no requests served")
+					}
+				}
+			})
+			b.SetBytes(int64(requests))
+		})
+		b.Run(name+"/streamed-fixedpods", func(b *testing.B) {
+			b.ReportAllocs()
+			peakHeap(b, func() {
+				for i := 0; i < b.N; i++ {
+					rep, err := fleet.SimulateStream(fleetCfg(b), fixedPodSource(400, requests))
 					if err != nil {
 						b.Fatal(err)
 					}

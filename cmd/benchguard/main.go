@@ -1,34 +1,43 @@
 // Command benchguard is the CI benchmark-regression gate: it parses
 // `go test -bench` output, compares each benchmark's wall clock
-// (ns/op) against a checked-in baseline, writes the comparison as a
-// JSON artifact, and exits non-zero when any benchmark regressed past
-// the allowed ratio.
+// (ns/op) — and, when the baseline pins one, its allocation footprint
+// (B/op, requires -benchmem) — against a checked-in baseline, writes
+// the comparison as a JSON artifact, and exits non-zero when any
+// benchmark regressed past the allowed ratio.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkFleetStream' -benchtime 1x . | \
+//	go test -run '^$' -bench 'BenchmarkFleetStream' -benchmem -benchtime 1x . | \
 //	    go run ./cmd/benchguard -baseline .github/bench_baseline.json -out BENCH_ci.json
 //
 // The baseline is a JSON object mapping benchmark names (with the
 // -GOMAXPROCS suffix stripped, e.g. "BenchmarkPolicySweep/workers=4")
-// to reference ns/op values. Benchmarks without a baseline entry are
-// reported as "no-baseline" but never fail the gate — a new benchmark
-// should not break CI before its reference lands — and baseline
-// entries that were not measured are reported as "missing" (the gate
-// still fails only on regressions). When a speedup or a deliberate
-// slowdown moves a number for good, update the baseline in the same
-// commit (see CONTRIBUTING.md).
+// to either a bare ns/op number (wall clock only) or an object
+// {"ns_op": ..., "bytes_op": ...} that additionally gates cumulative
+// allocations — the guard that keeps a hard-won memory win (like the
+// streamed pipeline's histogram latency accounting) from silently
+// regressing. A baseline that pins bytes_op fails the gate when the
+// piped output lacks B/op: dropping -benchmem must not quietly disarm
+// the memory check. Benchmarks without a baseline entry are reported
+// as "no-baseline" but never fail the gate — a new benchmark should
+// not break CI before its reference lands — and baseline entries that
+// were not measured are reported as "missing" (the gate still fails
+// only on regressions). When a speedup or a deliberate slowdown moves
+// a number for good, update the baseline in the same commit (see
+// CONTRIBUTING.md).
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"os"
 	"regexp"
-	"sort"
+	"slices"
 	"strconv"
 )
 
@@ -39,9 +48,52 @@ func main() {
 	}
 }
 
-// benchLine matches one `go test -bench` result line: name (with
-// optional -GOMAXPROCS suffix), iteration count, ns/op.
+// benchLine matches one `go test -bench` result line up to its ns/op
+// figure: name (with optional -GOMAXPROCS suffix), iteration count,
+// ns/op. B/op, when present (-benchmem), follows later in the line and
+// is picked out separately — custom metrics like MB/s or peak-heap-MB
+// can sit between the two.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// bytesField matches the -benchmem bytes-per-op figure anywhere in a
+// result line.
+var bytesField = regexp.MustCompile(`([0-9.e+]+) B/op`)
+
+// measurement is one benchmark's parsed figures. HasBytes records
+// whether the run was executed with -benchmem.
+type measurement struct {
+	NsOp     float64
+	BytesOp  float64
+	HasBytes bool
+}
+
+// baselineEntry is one benchmark's reference numbers. Its JSON form is
+// either a bare number (ns/op only, the original format) or an object
+// with ns_op and optionally bytes_op.
+type baselineEntry struct {
+	NsOp    float64 `json:"ns_op"`
+	BytesOp float64 `json:"bytes_op,omitempty"`
+}
+
+// UnmarshalJSON accepts both baseline forms. Unknown object keys are
+// rejected: a typoed "bytes_op" would otherwise parse as 0 and
+// silently disarm the memory gate.
+func (e *baselineEntry) UnmarshalJSON(data []byte) error {
+	var ns float64
+	if err := json.Unmarshal(data, &ns); err == nil {
+		*e = baselineEntry{NsOp: ns}
+		return nil
+	}
+	type plain baselineEntry // strip the method to avoid recursion
+	var p plain
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return err
+	}
+	*e = baselineEntry(p)
+	return nil
+}
 
 // result is one benchmark's comparison, as serialized into the JSON
 // artifact.
@@ -50,15 +102,24 @@ type result struct {
 	NsOp     float64 `json:"ns_op,omitempty"`
 	Baseline float64 `json:"baseline_ns_op,omitempty"`
 	Ratio    float64 `json:"ratio,omitempty"`
-	// Status is "ok", "regression", "no-baseline" (measured, no
-	// reference), or "missing" (reference, not measured).
+	// BytesOp/BaselineBytes/BytesRatio mirror the ns/op triple for the
+	// -benchmem allocation figure; all zero when the baseline does not
+	// pin bytes_op.
+	BytesOp       float64 `json:"bytes_op,omitempty"`
+	BaselineBytes float64 `json:"baseline_bytes_op,omitempty"`
+	BytesRatio    float64 `json:"bytes_ratio,omitempty"`
+	// Status is "ok", "regression" (ns/op or B/op past its gate),
+	// "no-bytes" (baseline pins bytes_op but the input lacked B/op —
+	// fails the gate), "no-baseline" (measured, no reference), or
+	// "missing" (reference, not measured).
 	Status string `json:"status"`
 }
 
 // artifact is the JSON document written to -out.
 type artifact struct {
-	MaxRatio float64  `json:"max_ratio"`
-	Results  []result `json:"results"`
+	MaxRatio      float64  `json:"max_ratio"`
+	MaxBytesRatio float64  `json:"max_bytes_ratio"`
+	Results       []result `json:"results"`
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -67,6 +128,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	baselinePath := fs.String("baseline", "", "checked-in baseline JSON (required)")
 	out := fs.String("out", "", "write the comparison artifact JSON here (optional)")
 	maxRatio := fs.Float64("max-ratio", 2, "fail when measured ns/op exceeds baseline by this factor")
+	maxBytesRatio := fs.Float64("max-bytes-ratio", 1.5,
+		"fail when measured B/op exceeds baseline bytes_op by this factor (allocations are far less noisy than wall clock)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +138,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *maxRatio <= 0 {
 		return fmt.Errorf("-max-ratio %v must be positive", *maxRatio)
+	}
+	if *maxBytesRatio <= 0 {
+		return fmt.Errorf("-max-bytes-ratio %v must be positive", *maxBytesRatio)
 	}
 
 	baseline, err := readBaseline(*baselinePath)
@@ -98,7 +164,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no benchmark lines in input (is -bench output being piped in?)")
 	}
 
-	art := compare(measured, baseline, *maxRatio)
+	art := compare(measured, baseline, *maxRatio, *maxBytesRatio)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -115,56 +181,87 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
-	regressed := 0
+	failed := 0
 	for _, res := range art.Results {
 		switch res.Status {
 		case "regression":
-			regressed++
-			fmt.Fprintf(stdout, "REGRESSION %s: %.0f ns/op vs baseline %.0f (x%.2f > x%.2f)\n",
-				res.Name, res.NsOp, res.Baseline, res.Ratio, *maxRatio)
+			failed++
+			// Name only the gate(s) actually exceeded: a bytes-only
+			// regression must not read as a wall-clock claim.
+			fmt.Fprintf(stdout, "REGRESSION %s:", res.Name)
+			sep := " "
+			if res.Ratio > *maxRatio {
+				fmt.Fprintf(stdout, "%s%.0f ns/op vs baseline %.0f (x%.2f > x%.2f)",
+					sep, res.NsOp, res.Baseline, res.Ratio, *maxRatio)
+				sep = "; "
+			}
+			if res.BytesRatio > *maxBytesRatio {
+				fmt.Fprintf(stdout, "%s%.0f B/op vs baseline %.0f (x%.2f > x%.2f)",
+					sep, res.BytesOp, res.BaselineBytes, res.BytesRatio, *maxBytesRatio)
+			}
+			fmt.Fprintln(stdout)
+		case "no-bytes":
+			failed++
+			fmt.Fprintf(stdout, "NO-BYTES %s: baseline pins %.0f B/op but the bench output has no B/op — run with -benchmem\n",
+				res.Name, res.BaselineBytes)
 		case "ok":
-			fmt.Fprintf(stdout, "ok %s: %.0f ns/op vs baseline %.0f (x%.2f)\n",
+			fmt.Fprintf(stdout, "ok %s: %.0f ns/op vs baseline %.0f (x%.2f)",
 				res.Name, res.NsOp, res.Baseline, res.Ratio)
+			if res.BaselineBytes > 0 {
+				fmt.Fprintf(stdout, "; %.0f B/op vs baseline %.0f (x%.2f)",
+					res.BytesOp, res.BaselineBytes, res.BytesRatio)
+			}
+			fmt.Fprintln(stdout)
 		default:
 			fmt.Fprintf(stdout, "%s %s\n", res.Status, res.Name)
 		}
 	}
-	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed past x%g; if intentional, update the baseline (see CONTRIBUTING.md)",
-			regressed, *maxRatio)
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past x%g ns/op or x%g B/op; if intentional, update the baseline (see CONTRIBUTING.md)",
+			failed, *maxRatio, *maxBytesRatio)
 	}
 	return nil
 }
 
-// readBaseline loads the name → ns/op reference map.
-func readBaseline(path string) (map[string]float64, error) {
+// readBaseline loads the name → reference map.
+func readBaseline(path string) (map[string]baselineEntry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var m map[string]float64
+	var m map[string]baselineEntry
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return m, nil
 }
 
-// parseBench extracts name → ns/op from `go test -bench` output. A
-// benchmark appearing more than once (e.g. -count > 1) keeps its last
-// measurement.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := make(map[string]float64)
+// parseBench extracts per-benchmark measurements from `go test -bench`
+// output. A benchmark appearing more than once (e.g. -count > 1) keeps
+// its last measurement.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := make(map[string]measurement)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
 		}
-		out[m[1]] = ns
+		meas := measurement{NsOp: ns}
+		if b := bytesField.FindStringSubmatch(line); b != nil {
+			bytes, err := strconv.ParseFloat(b[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %v", line, err)
+			}
+			meas.BytesOp = bytes
+			meas.HasBytes = true
+		}
+		out[m[1]] = meas
 	}
 	return out, sc.Err()
 }
@@ -172,36 +269,51 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 // compare builds the artifact: measured benchmarks against their
 // baselines, then baseline entries that were never measured, each
 // group sorted by name so the artifact is deterministic.
-func compare(measured, baseline map[string]float64, maxRatio float64) artifact {
-	art := artifact{MaxRatio: maxRatio}
-	for _, name := range sortedKeys(measured) {
-		res := result{Name: name, NsOp: measured[name]}
-		if base, ok := baseline[name]; ok && base > 0 {
-			res.Baseline = base
-			res.Ratio = res.NsOp / base
+func compare(measured map[string]measurement, baseline map[string]baselineEntry, maxRatio, maxBytesRatio float64) artifact {
+	art := artifact{MaxRatio: maxRatio, MaxBytesRatio: maxBytesRatio}
+	for _, name := range slices.Sorted(maps.Keys(measured)) {
+		m := measured[name]
+		res := result{Name: name, NsOp: m.NsOp}
+		base, ok := baseline[name]
+		switch {
+		case !ok || base.NsOp <= 0:
+			res.Status = "no-baseline"
+		default:
+			res.Baseline = base.NsOp
+			res.Ratio = res.NsOp / base.NsOp
 			res.Status = "ok"
 			if res.Ratio > maxRatio {
 				res.Status = "regression"
 			}
-		} else {
-			res.Status = "no-baseline"
+			if base.BytesOp > 0 {
+				res.BaselineBytes = base.BytesOp
+				switch {
+				case !m.HasBytes:
+					// The memory gate must not silently disarm when
+					// -benchmem is dropped from the CI invocation — but a
+					// wall-clock regression already detected above stays
+					// reported as one; no-bytes only replaces "ok".
+					if res.Status == "ok" {
+						res.Status = "no-bytes"
+					}
+				default:
+					res.BytesOp = m.BytesOp
+					res.BytesRatio = m.BytesOp / base.BytesOp
+					if res.BytesRatio > maxBytesRatio {
+						res.Status = "regression"
+					}
+				}
+			}
 		}
 		art.Results = append(art.Results, res)
 	}
-	for _, name := range sortedKeys(baseline) {
+	for _, name := range slices.Sorted(maps.Keys(baseline)) {
 		if _, ok := measured[name]; !ok {
-			art.Results = append(art.Results, result{Name: name, Baseline: baseline[name], Status: "missing"})
+			art.Results = append(art.Results, result{
+				Name: name, Baseline: baseline[name].NsOp,
+				BaselineBytes: baseline[name].BytesOp, Status: "missing",
+			})
 		}
 	}
 	return art
-}
-
-// sortedKeys returns m's keys in sorted order.
-func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

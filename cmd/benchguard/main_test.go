@@ -35,17 +35,17 @@ func TestParseBenchStripsSuffixAndKeepsSubBenchNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkFleetStream/requests=1M/streamed": 3150000000,
-		"BenchmarkPolicySweep/workers=4":            1400416026,
-		"BenchmarkScenarioTrace":                    11553725,
+	want := map[string]measurement{
+		"BenchmarkFleetStream/requests=1M/streamed": {NsOp: 3150000000},
+		"BenchmarkPolicySweep/workers=4":            {NsOp: 1400416026, BytesOp: 308922096, HasBytes: true},
+		"BenchmarkScenarioTrace":                    {NsOp: 11553725},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
+	for name, m := range want {
+		if got[name] != m {
+			t.Errorf("%s = %+v, want %+v", name, got[name], m)
 		}
 	}
 }
@@ -103,6 +103,94 @@ func TestRunFailsOnRegression(t *testing.T) {
 	if err := run([]string{"-baseline", baseline, "-max-ratio", "4"},
 		strings.NewReader(sampleBench), &buf); err != nil {
 		t.Errorf("4x gate failed: %v", err)
+	}
+}
+
+// The bytes gate: an object-form baseline entry pins B/op next to
+// ns/op, catching allocation regressions wall clock would miss.
+func TestRunGatesBytesPerOp(t *testing.T) {
+	// Measured 308922096 B/op; baseline says it used to be 100 MB —
+	// past the default 1.5x bytes gate, while ns/op is comfortably ok.
+	baseline := writeFile(t, "base.json", `{
+		"BenchmarkPolicySweep/workers=4": {"ns_op": 1300000000, "bytes_op": 100000000}
+	}`)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", baseline}, strings.NewReader(sampleBench), &buf)
+	if err == nil || !strings.Contains(buf.String(), "B/op") {
+		t.Fatalf("bytes regression not caught: err=%v output=%q", err, buf.String())
+	}
+	// The wall clock was within its gate, so the REGRESSION line must
+	// not claim an ns/op exceedance.
+	if strings.Contains(buf.String(), "ns/op vs baseline") {
+		t.Errorf("bytes-only regression falsely reported as wall-clock:\n%s", buf.String())
+	}
+	// A baseline matching the measurement passes, and the artifact
+	// carries the bytes triple.
+	baseline = writeFile(t, "base.json", `{
+		"BenchmarkPolicySweep/workers=4": {"ns_op": 1300000000, "bytes_op": 300000000}
+	}`)
+	out := filepath.Join(t.TempDir(), "BENCH_ci.json")
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-out", out}, strings.NewReader(sampleBench), &buf); err != nil {
+		t.Fatalf("within-gate bytes failed: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range art.Results {
+		if r.Name == "BenchmarkPolicySweep/workers=4" {
+			if r.Status != "ok" || r.BytesRatio == 0 || r.BaselineBytes != 300000000 {
+				t.Errorf("bytes comparison not in artifact: %+v", r)
+			}
+		}
+	}
+	// A custom, tighter bytes gate trips on the same input.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-max-bytes-ratio", "1.01"},
+		strings.NewReader(sampleBench), &buf); err == nil {
+		t.Errorf("1.01x bytes gate did not trip:\n%s", buf.String())
+	}
+}
+
+// A baseline that pins bytes_op must fail loudly when the bench run
+// lacked -benchmem: the memory gate must not silently disarm.
+func TestRunFailsWhenBytesExpectedButUnmeasured(t *testing.T) {
+	// The streamed FleetStream line in sampleBench has no B/op column.
+	baseline := writeFile(t, "base.json", `{
+		"BenchmarkFleetStream/requests=1M/streamed": {"ns_op": 3000000000, "bytes_op": 400000000}
+	}`)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", baseline}, strings.NewReader(sampleBench), &buf)
+	if err == nil || !strings.Contains(buf.String(), "NO-BYTES") {
+		t.Fatalf("missing -benchmem not caught: err=%v output=%q", err, buf.String())
+	}
+	// A genuine wall-clock regression with unmeasured bytes stays
+	// reported as a regression — no-bytes only replaces "ok".
+	baseline = writeFile(t, "base.json", `{
+		"BenchmarkFleetStream/requests=1M/streamed": {"ns_op": 1000000000, "bytes_op": 400000000}
+	}`)
+	buf.Reset()
+	err = run([]string{"-baseline", baseline}, strings.NewReader(sampleBench), &buf)
+	if err == nil || !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("ns regression masked by missing bytes: err=%v output=%q", err, buf.String())
+	}
+}
+
+// A typoed baseline key must be rejected, not parsed as bytes_op=0 —
+// that would disarm the memory gate without anyone noticing.
+func TestRunRejectsUnknownBaselineKeys(t *testing.T) {
+	baseline := writeFile(t, "base.json", `{
+		"BenchmarkPolicySweep/workers=4": {"ns_op": 1300000000, "byte_op": 300000000}
+	}`)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", baseline}, strings.NewReader(sampleBench), &buf); err == nil ||
+		!strings.Contains(err.Error(), "byte_op") {
+		t.Fatalf("typoed baseline key accepted: %v", err)
 	}
 }
 

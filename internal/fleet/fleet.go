@@ -312,7 +312,7 @@ func Simulate(cfg Config, tr *trace.Trace) (Report, error) {
 		return Report{}, err
 	}
 	if tr == nil || tr.Len() == 0 {
-		return Report{}, fmt.Errorf("fleet: empty trace")
+		return Report{}, ErrEmptyTrace
 	}
 	workers := cfg.Workers
 	if workers == 0 {

@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"slscost/internal/core"
+	"slscost/internal/stats"
 	"slscost/internal/trace"
 )
 
@@ -239,8 +241,8 @@ func TestSimulateValidation(t *testing.T) {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
 	}
-	if _, err := Simulate(good, &trace.Trace{}); err == nil {
-		t.Error("empty trace accepted")
+	if _, err := Simulate(good, &trace.Trace{}); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty trace: got %v, want ErrEmptyTrace", err)
 	}
 	if _, err := NewPolicy("nope"); err == nil {
 		t.Error("unknown policy accepted")
@@ -265,6 +267,56 @@ func TestSimulateValidation(t *testing.T) {
 		}
 	}
 	t.Skip("no multi-request pod in the sample trace")
+}
+
+// TestEmptyTraceSentinel pins the empty-workload contract on both
+// replay paths: a zero-request input returns ErrEmptyTrace — a clean,
+// matchable sentinel — instead of the misleading "no requests served
+// (all 0 sandboxes rejected)" a zero-request merge used to produce.
+func TestEmptyTraceSentinel(t *testing.T) {
+	if _, err := Simulate(testConfig(t, "least-loaded"), nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("Simulate(nil trace): got %v, want ErrEmptyTrace", err)
+	}
+	if _, err := Simulate(testConfig(t, "least-loaded"), &trace.Trace{}); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("Simulate(empty trace): got %v, want ErrEmptyTrace", err)
+	}
+	if _, err := SimulateStream(testConfig(t, "least-loaded"), trace.SourceOf(&trace.Trace{})); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("SimulateStream(empty source): got %v, want ErrEmptyTrace", err)
+	}
+	// The all-rejected case stays a descriptive error, not the sentinel:
+	// requests existed, the cluster just could not place any of them.
+	cfg := testConfig(t, "bin-pack")
+	cfg.Hosts = 1
+	cfg.Host = HostSpec{VCPU: 0.01, MemMB: 1}
+	if _, err := Simulate(cfg, testTrace(t, 200, 7)); err == nil || errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("all-rejected cluster: got %v, want a rejection error distinct from ErrEmptyTrace", err)
+	}
+}
+
+// TestSlowdownHistNonFinite is the regression for the unguarded
+// float→index conversion the old slowdownBucket carried:
+// int(math.Log2(NaN)*32) is −9223372036854775807, and observing a
+// non-finite contention factor would have panicked with index out of
+// range. The shared layout must clamp NaN to the nominal bucket and
+// +Inf to the top bucket.
+func TestSlowdownHistNonFinite(t *testing.T) {
+	cfg := SlowdownHistConfig()
+	if got := cfg.Bucket(math.NaN()); got != 0 {
+		t.Errorf("Bucket(NaN) = %d, want 0", got)
+	}
+	if got := cfg.Bucket(math.Inf(1)); got != cfg.Buckets-1 {
+		t.Errorf("Bucket(+Inf) = %d, want %d", got, cfg.Buckets-1)
+	}
+	h := stats.NewLogHist(cfg)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if got := h.Quantile(0.99); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("quantile after non-finite factors = %v, want finite", got)
+	}
+	// The uncontended and top-edge read-backs the fleet report uses.
+	if got := cfg.Value(0); got != 1 {
+		t.Errorf("Value(0) = %v, want 1 (uncontended)", got)
+	}
 }
 
 func TestCostPerMillionAndColdRate(t *testing.T) {

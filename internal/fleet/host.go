@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"math"
 	"sort"
 	"time"
 
@@ -32,9 +31,9 @@ type hostResult struct {
 	billedCPUSeconds float64
 	billedMemGBs     float64
 
-	latencyMs       []float64
+	latHist         *stats.LogHist
 	contentionSecs  float64
-	slowHist        slowdownHist
+	slowHist        *stats.LogHist
 	busyVCPUSecs    float64
 	idleHeldCPUSecs float64
 	makespan        time.Duration
@@ -46,99 +45,38 @@ type hostResult struct {
 	probeMeasured float64
 }
 
-// The per-request contention stretch factor (effective wall clock over
-// nominal duration, ≥ 1) is accumulated in a fixed logarithmic
-// histogram rather than a per-request slice: the optimizer layer
-// (internal/opt) wants a tail quantile of it as an objective, and a
-// histogram keeps the streamed path's memory independent of the trace
-// size. Bucket 0 is exactly "uncontended"; above it, buckets split each
-// doubling of the factor slowdownBucketsPerDoubling ways, so quantiles
-// read back with ~2% resolution up to a 256× slowdown.
-const (
-	slowdownBuckets            = 256
-	slowdownBucketsPerDoubling = 32
-)
-
-// slowdownHist is a fixed-size logarithmic histogram of contention
-// stretch factors. Merging is integer bucket addition, so cluster-wide
-// quantiles are exact functions of the per-host tallies and independent
-// of merge order.
-type slowdownHist [slowdownBuckets]int
-
-// observe records one request's stretch factor.
-func (h *slowdownHist) observe(factor float64) {
-	h[slowdownBucket(factor)]++
-}
-
-// add folds another histogram in.
-func (h *slowdownHist) add(o *slowdownHist) {
-	for i, n := range o {
-		h[i] += n
-	}
-}
-
-// quantile returns the factor at quantile q (0 < q ≤ 1) as the upper
-// edge of the bucket holding the rank-q observation, or 1 when the
-// histogram is empty.
-func (h *slowdownHist) quantile(q float64) float64 {
-	total := 0
-	for _, n := range h {
-		total += n
-	}
-	if total == 0 {
-		return 1
-	}
-	rank := int(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	cum := 0
-	for i, n := range h {
-		cum += n
-		if cum >= rank {
-			return slowdownValue(i)
-		}
-	}
-	return slowdownValue(slowdownBuckets - 1)
-}
-
-// slowdownBucket maps a stretch factor to its histogram bucket.
-func slowdownBucket(factor float64) int {
-	if factor <= 1 {
-		return 0
-	}
-	idx := 1 + int(math.Log2(factor)*slowdownBucketsPerDoubling)
-	if idx >= slowdownBuckets {
-		idx = slowdownBuckets - 1
-	}
-	return idx
-}
-
-// slowdownValue returns the factor a bucket reads back as: 1 for the
-// uncontended bucket, the bucket's upper edge otherwise.
-func slowdownValue(idx int) float64 {
-	if idx <= 0 {
-		return 1
-	}
-	return math.Exp2(float64(idx) / slowdownBucketsPerDoubling)
-}
-
-// SlowdownBucketCount is the size of the contention-slowdown
-// histogram, exported with SlowdownBucket/SlowdownBucketValue so the
+// Per-request measurements are accumulated in fixed logarithmic
+// histograms (stats.LogHist) rather than per-request slices: the
+// optimizer layer (internal/opt) wants tail quantiles as objectives,
+// and a histogram keeps the streamed path's memory independent of the
+// trace size. Merging per-host histograms is integer bucket addition
+// plus moment addition, so cluster-wide quantiles, means, and extrema
+// are exact functions of the per-host tallies and independent of merge
+// order and worker count.
+//
+// SlowdownHistConfig and LatencyHistConfig are exported so the
 // differential harness (internal/scenario/diffsim) can accumulate the
-// same histogram from its independently rebuilt admission bookkeeping
-// and cross-check ContentionSlowdownP99 — the bucket mapping is the
-// shared wire format, like CFSProbe's arithmetic; the observations and
-// the quantile walk stay independent.
-const SlowdownBucketCount = slowdownBuckets
+// same histograms from its independently rebuilt admission bookkeeping
+// and cross-check ContentionSlowdownP99 and the latency percentiles —
+// the bucket layout is the shared wire format, like CFSProbe's
+// arithmetic; the observations stay independent.
 
-// SlowdownBucket maps a per-request contention stretch factor to its
-// histogram bucket (0 = uncontended).
-func SlowdownBucket(factor float64) int { return slowdownBucket(factor) }
+// SlowdownHistConfig is the bucket layout of the contention-slowdown
+// histogram: bucket 0 is exactly "uncontended" (factor ≤ 1); above it,
+// each doubling of the stretch factor splits into 32 buckets, so
+// quantiles read back with ~2.2% resolution up to a 256× slowdown.
+func SlowdownHistConfig() stats.LogHistConfig {
+	return stats.LogHistConfig{Origin: 1, BucketsPerDoubling: 32, Buckets: 256}
+}
 
-// SlowdownBucketValue returns the stretch factor a bucket reads back
-// as: 1 for bucket 0, the bucket's upper edge otherwise.
-func SlowdownBucketValue(idx int) float64 { return slowdownValue(idx) }
+// LatencyHistConfig is the bucket layout of the per-request latency
+// histogram, in milliseconds: bucket 0 collects everything at or
+// below one microsecond, and 32 buckets per doubling carry ~2.2%
+// quantile resolution up to ~12 virtual days per request — far beyond
+// any latency the simulation produces.
+func LatencyHistConfig() stats.LogHistConfig {
+	return stats.LogHistConfig{Origin: 1e-3, BucketsPerDoubling: 32, Buckets: 1280}
+}
 
 // inflightReq is one executing request, tracked for the peak capture.
 type inflightReq struct {
@@ -193,10 +131,10 @@ func (s *hostSim) account(now time.Duration) {
 	s.lastAccount = now
 }
 
-// newHostSim returns a host shard ready to serve requests.
-// expectedReqs sizes the latency accumulator (both the batch and the
-// streaming path know the host's request count after placement).
-func newHostSim(cfg Config, hostIdx, expectedReqs int) *hostSim {
+// newHostSim returns a host shard ready to serve requests. The
+// latency and slowdown accumulators are fixed-size histograms, so the
+// shard's footprint does not depend on its request count.
+func newHostSim(cfg Config, hostIdx int) *hostSim {
 	s := &hostSim{
 		cfg:         cfg,
 		clock:       simtime.NewClock(),
@@ -205,7 +143,8 @@ func newHostSim(cfg Config, hostIdx, expectedReqs int) *hostSim {
 		fnInstances: make(map[int]int),
 		inflightPos: make(map[int]int),
 	}
-	s.res.latencyMs = make([]float64, 0, expectedReqs)
+	s.res.latHist = stats.NewLogHist(LatencyHistConfig())
+	s.res.slowHist = stats.NewLogHist(SlowdownHistConfig())
 	return s
 }
 
@@ -257,7 +196,7 @@ func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostRes
 	}
 	sort.Slice(seq, func(i, j int) bool { return seq[i].ri < seq[j].ri })
 
-	s := newHostSim(cfg, hostIdx, n)
+	s := newHostSim(cfg, hostIdx)
 	for _, q := range seq {
 		p, r := q.p, tr.Requests[q.ri]
 		s.clock.At(r.Start, func(now time.Duration) { s.arrive(now, p, r) })
@@ -384,7 +323,7 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
 	}
 	effective := time.Duration(float64(r.Duration) * factor)
 	s.res.contentionSecs += (effective - r.Duration).Seconds()
-	s.res.slowHist.observe(factor)
+	s.res.slowHist.Observe(factor)
 	// Remember the host's worst co-tenancy instant for the post-run CFS
 	// cross-check probe.
 	reqID := s.nextReqID
@@ -403,7 +342,7 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
 		s.res.cold++
 	}
 	latency := s.cfg.Profile.ServingOverhead + init + effective
-	s.res.latencyMs = append(s.res.latencyMs, float64(latency)/float64(time.Millisecond))
+	s.res.latHist.Observe(float64(latency) / float64(time.Millisecond))
 
 	// Bill what the platform observed: the contention-stretched wall
 	// clock, and this cluster's cold starts rather than the trace's.

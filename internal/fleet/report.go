@@ -1,12 +1,20 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"slscost/internal/stats"
 )
+
+// ErrEmptyTrace is returned by Simulate and SimulateStream when the
+// input contains no requests. It is a distinct sentinel — not the
+// misleading "no requests served (all 0 sandboxes rejected)" that a
+// zero-request trace used to fall into — so callers can treat an empty
+// workload as a clean no-op rather than a rejection storm.
+var ErrEmptyTrace = errors.New("fleet: empty trace")
 
 // Report is the cluster-wide outcome of one simulation: the cost the
 // platform would bill (§2), the latency the users would see (§3), and
@@ -52,6 +60,12 @@ type Report struct {
 
 	// Latency summarizes per-request latency in milliseconds: serving
 	// overhead + initialization (cold) + contention-stretched execution.
+	// It is read from per-host fixed logarithmic histograms
+	// (LatencyHistConfig) merged in host order: N, Mean, Min, and Max
+	// are exact, the percentiles carry ~2.2% bucket resolution, and
+	// every field is identical in merge order and worker count — the
+	// accounting that keeps SimulateStream's memory independent of the
+	// trace length.
 	Latency stats.Summary
 	// ContentionDelaySeconds is wall-clock added by CPU over-subscription,
 	// summed over requests — latency that wall-clock billing charges for.
@@ -123,10 +137,17 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 		MeanActiveHosts:   ps.meanActive,
 		PeakActiveHosts:   ps.peakActive,
 	}
-	var lat []float64
-	var slow slowdownHist
+	lat := stats.NewLogHist(LatencyHistConfig())
+	slow := stats.NewLogHist(SlowdownHistConfig())
 	for _, hr := range results {
-		slow.add(&hr.slowHist)
+		// Hosts that never received a pod carry zero results with nil
+		// histograms; Merge treats nil as empty.
+		if err := lat.Merge(hr.latHist); err != nil {
+			return rep, err
+		}
+		if err := slow.Merge(hr.slowHist); err != nil {
+			return rep, err
+		}
 		rep.Served += hr.served
 		rep.ColdStarts += hr.cold
 		rep.ReColdStarts += hr.reCold
@@ -145,17 +166,18 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 		if hr.makespan > rep.Makespan {
 			rep.Makespan = hr.makespan
 		}
-		lat = append(lat, hr.latencyMs...)
+	}
+	if requests == 0 {
+		// Simulate and SimulateStream reject empty traces before the
+		// hosts ever run; this guard keeps a zero-request merge from
+		// masquerading as an all-rejected cluster.
+		return rep, ErrEmptyTrace
 	}
 	if rep.Served == 0 {
 		return rep, fmt.Errorf("fleet: no requests served (all %d sandboxes rejected)", ps.rejected)
 	}
-	rep.ContentionSlowdownP99 = slow.quantile(0.99)
-	sum, err := stats.Summarize(lat)
-	if err != nil {
-		return rep, err
-	}
-	rep.Latency = sum
+	rep.ContentionSlowdownP99 = slow.Quantile(0.99)
+	rep.Latency = lat.Summary()
 
 	span := rep.Makespan.Seconds()
 	if span > 0 {
@@ -194,8 +216,8 @@ func (r Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "  cost: $%.4f total ($%.2f per 1M requests; fees %.1f%%)\n",
 		r.TotalCost, r.CostPerMillion(), safePct(r.Fees, r.TotalCost))
 	fmt.Fprintf(w, "  billable: %.0f vCPU-s, %.0f GB-s\n", r.BilledCPUSeconds, r.BilledMemGBs)
-	fmt.Fprintf(w, "  latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
-		r.Latency.Median, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	fmt.Fprintf(w, "  latency ms: mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		r.Latency.Mean, r.Latency.Median, r.Latency.P95, r.Latency.P99, r.Latency.Max)
 	fmt.Fprintf(w, "  contention: %.1f s of added wall-clock across the trace (p99 slowdown x%.2f)\n",
 		r.ContentionDelaySeconds, r.ContentionSlowdownP99)
 	if r.CFSCheckLinear > 0 {

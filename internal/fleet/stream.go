@@ -118,20 +118,17 @@ func SimulateStream(cfg Config, src trace.Source) (Report, error) {
 		return Report{}, err
 	}
 	if total == 0 {
-		return Report{}, fmt.Errorf("fleet: empty trace")
+		return Report{}, ErrEmptyTrace
 	}
 	_, ps := placeAll(cfg, pods)
 
 	byID := make(map[int]*pod, len(pods))
-	perHostReqs := make([]int, cfg.Hosts)
 	rejectedReqs := 0
 	for _, p := range pods {
 		byID[p.id] = p
 		if p.host < 0 {
 			rejectedReqs += p.nreqs
-			continue
 		}
-		perHostReqs[p.host] += p.nreqs
 	}
 
 	// Pass 2: route the stream into per-shard bounded channels; workers
@@ -153,7 +150,7 @@ func SimulateStream(cfg Config, src trace.Source) (Report, error) {
 				for _, it := range batch {
 					sim := sims[it.p.host]
 					if sim == nil {
-						sim = newHostSim(cfg, it.p.host, perHostReqs[it.p.host])
+						sim = newHostSim(cfg, it.p.host)
 						sims[it.p.host] = sim
 					}
 					sim.feed(it.p, it.r)

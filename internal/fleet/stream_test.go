@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -90,6 +91,42 @@ func TestSimulateStreamRawTrace(t *testing.T) {
 	}
 	if a, b := renderReport(rep), renderReport(fromGen); a != b {
 		t.Errorf("GenerateSource path drifted:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestStreamLatencyQuantilesWorkerIndependent is the histogram-merge
+// property behind the latency accounting: because per-host latencies
+// accumulate into fixed logarithmic histograms and merge by integer
+// bucket addition in host order, every latency quantile — and the
+// exactly tracked mean/min/max — is bit-identical for 1, 4, and 8
+// workers, on the streaming and materialized paths alike.
+func TestStreamLatencyQuantilesWorkerIndependent(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 6000
+	tr := trace.Generate(gen)
+
+	base, err := Simulate(streamTestConfig(t, "least-loaded", 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Latency.N != base.Served {
+		t.Fatalf("latency histogram count %d != served %d", base.Latency.N, base.Served)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		srep, err := SimulateStream(streamTestConfig(t, "least-loaded", workers), trace.SourceOf(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Summary is a flat struct of floats; == catches any drift in
+		// any quantile, the mean, min, max, or the count.
+		if srep.Latency != base.Latency {
+			t.Errorf("workers=%d: latency summary drifted:\n%+v\nvs\n%+v",
+				workers, srep.Latency, base.Latency)
+		}
+		if srep.ContentionSlowdownP99 != base.ContentionSlowdownP99 {
+			t.Errorf("workers=%d: slowdown p99 drifted: %v vs %v",
+				workers, srep.ContentionSlowdownP99, base.ContentionSlowdownP99)
+		}
 	}
 }
 
@@ -195,9 +232,8 @@ func TestSimulateStreamErrors(t *testing.T) {
 		t.Error("nil source: expected error")
 	}
 	empty := trace.SourceOf(&trace.Trace{})
-	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), empty); err == nil ||
-		!strings.Contains(err.Error(), "empty trace") {
-		t.Errorf("empty source: got %v", err)
+	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), empty); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty source: got %v, want ErrEmptyTrace", err)
 	}
 
 	unsorted := &trace.Trace{Requests: []trace.Request{

@@ -49,6 +49,8 @@ func (sr *SweepResult) WriteCSV(w io.Writer) error {
 			strconv.Itoa(rep.Hosts), strconv.FormatBool(c.Elastic),
 			ftoa(r.Objectives.CostPerMillion), ftoa(r.Objectives.ColdStartRate),
 			ftoa(r.Objectives.SlowdownP99), ftoa(rejShare),
+			// p50_ms/p99_ms come from the report's latency histogram:
+			// bucket-resolution (~2.2%) but exact for any worker count.
 			ftoa(rep.Latency.Median), ftoa(rep.Latency.P99), ftoa(rep.TotalCost),
 			strconv.Itoa(rep.Served), strconv.Itoa(rep.RejectedRequests),
 			strconv.Itoa(rep.ColdStarts), strconv.Itoa(rep.ReColdStarts),

@@ -14,7 +14,11 @@ type Objectives struct {
 	// ColdStartRate is cold starts over served requests.
 	ColdStartRate float64 `json:"cold_start_rate"`
 	// SlowdownP99 is the p99 per-request contention stretch factor
-	// (1 = the tail request ran uncontended).
+	// (1 = the tail request ran uncontended). Like the latency
+	// percentiles the encoders serialize, it is histogram-derived
+	// (stats.LogHist in the fleet report): exact in merge order and
+	// worker count, with ~2.2% bucket resolution — so sweep output
+	// stays byte-identical at any parallelism.
 	SlowdownP99 float64 `json:"slowdown_p99"`
 }
 

@@ -57,7 +57,15 @@ type Aggregate struct {
 	ContentionDelaySeconds float64
 	ContentionSlowdownP99  float64
 	IdleHeldVCPUSeconds    float64
-	MeanLatencyMs          float64
+	// Latency quantities are read from this replay's own logarithmic
+	// histogram (the fleet's exported LatencyHistConfig layout is the
+	// shared wire format): the mean is exact, the percentiles carry the
+	// same ~2.2% bucket resolution as the fleet report, so agreement is
+	// exact rather than tolerance-limited.
+	MeanLatencyMs float64
+	LatencyP50Ms  float64
+	LatencyP95Ms  float64
+	LatencyP99Ms  float64
 
 	MeanHostUtilization float64
 	MinHostUtilization  float64
@@ -179,6 +187,9 @@ func Diff(rep fleet.Report, agg Aggregate) *Result {
 	add("contention-slowdown-p99", rep.ContentionSlowdownP99, agg.ContentionSlowdownP99)
 	add("idle-held-vcpu-seconds", rep.IdleHeldVCPUSeconds, agg.IdleHeldVCPUSeconds)
 	add("mean-latency-ms", rep.Latency.Mean, agg.MeanLatencyMs)
+	add("latency-p50-ms", rep.Latency.Median, agg.LatencyP50Ms)
+	add("latency-p95-ms", rep.Latency.P95, agg.LatencyP95Ms)
+	add("latency-p99-ms", rep.Latency.P99, agg.LatencyP99Ms)
 	add("mean-host-utilization", rep.MeanHostUtilization, agg.MeanHostUtilization)
 	add("min-host-utilization", rep.MinHostUtilization, agg.MinHostUtilization)
 	add("max-host-utilization", rep.MaxHostUtilization, agg.MaxHostUtilization)
@@ -231,13 +242,16 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 	}
 
 	busy := make([]float64, cfg.Hosts)
-	var latSum float64
-	var slow [fleet.SlowdownBucketCount]int
+	lat := stats.NewLogHist(fleet.LatencyHistConfig())
+	slow := stats.NewLogHist(fleet.SlowdownHistConfig())
 	for hi := 0; hi < cfg.Hosts; hi++ {
 		h := replayHost(cfg, hi, perHost[hi], tr)
 		busy[hi] = h.busyVCPUSecs
-		for b, n := range h.slowHist {
-			slow[b] += n
+		if err := lat.Merge(h.lat); err != nil {
+			return Aggregate{}, err
+		}
+		if err := slow.Merge(h.slow); err != nil {
+			return Aggregate{}, err
 		}
 		agg.Served += h.served
 		agg.ColdStarts += h.cold
@@ -250,7 +264,6 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 		agg.BilledMemGBs += h.billedMemGBs
 		agg.ContentionDelaySeconds += h.contentionSecs
 		agg.IdleHeldVCPUSeconds += h.idleHeldCPUSecs
-		latSum += h.latencySum
 		if h.now > agg.Makespan {
 			agg.Makespan = h.now
 		}
@@ -260,23 +273,17 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 		}
 	}
 	if agg.Served > 0 {
-		agg.MeanLatencyMs = latSum / float64(agg.Served)
-		// p99 of the per-request contention stretch factor, walked over
-		// this replay's own histogram; only the bucket mapping
-		// (fleet.SlowdownBucket) is shared, like the CFSProbe arithmetic.
-		rank := int(math.Ceil(0.99 * float64(agg.Served)))
-		if rank < 1 {
-			rank = 1
-		}
-		agg.ContentionSlowdownP99 = fleet.SlowdownBucketValue(fleet.SlowdownBucketCount - 1)
-		cum := 0
-		for b, n := range slow {
-			cum += n
-			if cum >= rank {
-				agg.ContentionSlowdownP99 = fleet.SlowdownBucketValue(b)
-				break
-			}
-		}
+		// Latency and slowdown quantities read back from this replay's
+		// own histograms; only the bucket layout (fleet.LatencyHistConfig
+		// and fleet.SlowdownHistConfig) is shared, like the CFSProbe
+		// arithmetic — the observations were accumulated by independently
+		// rebuilt admission bookkeeping.
+		sum := lat.Summary()
+		agg.MeanLatencyMs = sum.Mean
+		agg.LatencyP50Ms = sum.Median
+		agg.LatencyP95Ms = sum.P95
+		agg.LatencyP99Ms = sum.P99
+		agg.ContentionSlowdownP99 = slow.Quantile(0.99)
 	}
 	if span := agg.Makespan.Seconds(); span > 0 {
 		agg.MinHostUtilization = 1
@@ -366,9 +373,9 @@ type hostState struct {
 	billedCPUSeconds float64
 	billedMemGBs     float64
 
-	latencySum      float64
+	lat             *stats.LogHist
 	contentionSecs  float64
-	slowHist        [fleet.SlowdownBucketCount]int
+	slow            *stats.LogHist
 	busyVCPUSecs    float64
 	idleHeldCPUSecs float64
 
@@ -396,6 +403,8 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 	if len(pods) == 0 {
 		return h
 	}
+	h.lat = stats.NewLogHist(fleet.LatencyHistConfig())
+	h.slow = stats.NewLogHist(fleet.SlowdownHistConfig())
 	rng := stats.NewRand(fleet.ShardSeed(cfg.Seed, hostIdx))
 	ka := cfg.Profile.KeepAlive
 
@@ -495,7 +504,7 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			}
 			effective := time.Duration(float64(r.Duration) * factor)
 			h.contentionSecs += (effective - r.Duration).Seconds()
-			h.slowHist[fleet.SlowdownBucket(factor)]++
+			h.slow.Observe(factor)
 
 			reqID := h.nextReqID
 			h.nextReqID++
@@ -513,7 +522,7 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 				h.cold++
 			}
 			latency := cfg.Profile.ServingOverhead + init + effective
-			h.latencySum += float64(latency) / float64(time.Millisecond)
+			h.lat.Observe(float64(latency) / float64(time.Millisecond))
 
 			billed := r
 			billed.Duration = effective

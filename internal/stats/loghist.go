@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the merge-exact histogram primitive behind the cluster
+// simulator's latency and contention accounting. A LogHist holds a
+// fixed number of logarithmically spaced buckets: bucket 0 collects
+// everything at or below the origin, and above it each doubling of the
+// value is split into BucketsPerDoubling buckets, so quantiles read
+// back with ~2% relative resolution at 32 buckets per doubling.
+// Counts are integers and the tracked moments (count, sum, sum of
+// squares, min, max) are plain additions, so merging per-worker
+// histograms is exact: the merged quantiles, mean, min, and max are
+// functions of the observation multiset alone, independent of merge
+// order and worker count — unlike percentiles over concatenated
+// sample slices, which cost O(observations) memory to make exact.
+
+// LogHistConfig fixes a LogHist's bucket layout. Two histograms can be
+// merged only when their configs are identical: the config is the wire
+// format of the bucket indices.
+type LogHistConfig struct {
+	// Origin is the upper edge of bucket 0: every observation at or
+	// below it lands there, and it is the smallest value a quantile
+	// reads back. Must be positive.
+	Origin float64
+	// BucketsPerDoubling is how many buckets split each doubling of
+	// the observed value; 32 gives 2^(1/32)-1 ≈ 2.2% resolution.
+	BucketsPerDoubling int
+	// Buckets is the total bucket count, bucket 0 included. The top
+	// bucket is unbounded: values beyond the penultimate edge (and
+	// +Inf) clamp there.
+	Buckets int
+}
+
+// Validate reports whether the layout is usable.
+func (c LogHistConfig) Validate() error {
+	if !(c.Origin > 0) || math.IsInf(c.Origin, 1) {
+		return fmt.Errorf("stats: loghist origin %v not a positive finite value", c.Origin)
+	}
+	if c.BucketsPerDoubling <= 0 {
+		return fmt.Errorf("stats: loghist buckets-per-doubling %d not positive", c.BucketsPerDoubling)
+	}
+	if c.Buckets < 2 {
+		return fmt.Errorf("stats: loghist bucket count %d below 2", c.Buckets)
+	}
+	return nil
+}
+
+// Bucket maps an observation to its bucket index. Non-finite input is
+// clamped rather than propagated into the index arithmetic: NaN and
+// -Inf land in bucket 0 (a nominal observation), +Inf in the top
+// bucket — int(math.Log2(NaN)) would otherwise produce a negative
+// index and panic the observe path.
+func (c LogHistConfig) Bucket(x float64) int {
+	if math.IsNaN(x) || x <= c.Origin {
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return c.Buckets - 1
+	}
+	idx := 1 + int(math.Log2(x/c.Origin)*float64(c.BucketsPerDoubling))
+	if idx >= c.Buckets {
+		idx = c.Buckets - 1
+	}
+	if idx < 1 {
+		idx = 1 // x barely above Origin can round log2 down to zero
+	}
+	return idx
+}
+
+// Value returns the observation a bucket reads back as: the Origin for
+// bucket 0, the bucket's upper edge otherwise.
+func (c LogHistConfig) Value(idx int) float64 {
+	if idx <= 0 {
+		return c.Origin
+	}
+	return c.Origin * math.Exp2(float64(idx)/float64(c.BucketsPerDoubling))
+}
+
+// LogHist is a fixed-size logarithmic histogram with exactly tracked
+// moments. Observations feed integer bucket counts plus count, sum,
+// sum of squares, min, and max; Quantile and Summary read everything
+// back without retaining samples. The zero LogHist is not usable —
+// construct with NewLogHist.
+type LogHist struct {
+	cfg    LogHistConfig
+	counts []int
+	n      int
+	sum    float64
+	sumSq  float64
+	min    float64
+	max    float64
+}
+
+// NewLogHist returns an empty histogram with the given layout. The
+// config must pass Validate; an invalid layout is a programming error
+// and panics rather than silently mis-bucketing.
+func NewLogHist(cfg LogHistConfig) *LogHist {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &LogHist{cfg: cfg, counts: make([]int, cfg.Buckets)}
+}
+
+// Config returns the histogram's bucket layout.
+func (h *LogHist) Config() LogHistConfig { return h.cfg }
+
+// N returns the number of observations recorded.
+func (h *LogHist) N() int { return h.n }
+
+// Observe records one observation. Finite values contribute their
+// exact value to the tracked moments (even when their bucket clamps at
+// the top edge); non-finite values are clamped first — NaN and -Inf to
+// the Origin, +Inf to the top bucket's edge — so the moments stay
+// finite and merge-exact.
+func (h *LogHist) Observe(x float64) {
+	v := x
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, -1):
+		v = h.cfg.Origin
+	case math.IsInf(v, 1):
+		v = h.cfg.Value(h.cfg.Buckets - 1)
+	}
+	h.counts[h.cfg.Bucket(x)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.sumSq += v * v
+}
+
+// Merge folds another histogram into h. Both must share the same
+// layout; merging is integer bucket addition plus moment addition, so
+// the result is independent of merge grouping (associative) and a
+// merge of per-worker histograms equals observing the union. A nil or
+// empty source is a no-op.
+func (h *LogHist) Merge(o *LogHist) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if o.cfg != h.cfg {
+		return fmt.Errorf("stats: loghist layout mismatch %+v vs %+v", h.cfg, o.cfg)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+	return nil
+}
+
+// Quantile returns the value at quantile q (0 < q ≤ 1): the upper edge
+// of the bucket holding the rank-⌈q·n⌉ observation, clamped into the
+// exactly tracked [min, max] so no quantile reads outside the observed
+// range. An empty histogram returns the Origin.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return h.cfg.Origin
+	}
+	rank := int(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	cum := 0
+	v := h.cfg.Value(h.cfg.Buckets - 1)
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v = h.cfg.Value(i)
+			break
+		}
+	}
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
+// Summary renders the histogram as the package's standard descriptive
+// summary. N, Mean, Min, and Max are exact (tracked moments); StdDev
+// is the population deviation from the tracked sum of squares; the
+// percentiles are bucket-resolution Quantile reads.
+func (h *LogHist) Summary() Summary {
+	if h.n == 0 {
+		return Summary{}
+	}
+	mean := h.sum / float64(h.n)
+	variance := h.sumSq/float64(h.n) - mean*mean
+	if variance < 0 {
+		variance = 0 // float cancellation on near-constant samples
+	}
+	return Summary{
+		N:      h.n,
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		Min:    h.min,
+		P5:     h.Quantile(0.05),
+		P25:    h.Quantile(0.25),
+		Median: h.Quantile(0.50),
+		P75:    h.Quantile(0.75),
+		P95:    h.Quantile(0.95),
+		P99:    h.Quantile(0.99),
+		Max:    h.max,
+	}
+}

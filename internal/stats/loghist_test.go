@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func testLogHistConfig() LogHistConfig {
+	return LogHistConfig{Origin: 1, BucketsPerDoubling: 32, Buckets: 256}
+}
+
+// Regression for the unguarded float→index conversion this type
+// replaced: int(math.Log2(NaN)*32) is a huge negative number, and the
+// old observe path indexed the bucket array with it. Non-finite input
+// must clamp, not panic.
+func TestLogHistNonFiniteObservations(t *testing.T) {
+	cfg := testLogHistConfig()
+	if got := cfg.Bucket(math.NaN()); got != 0 {
+		t.Errorf("Bucket(NaN) = %d, want 0", got)
+	}
+	if got := cfg.Bucket(math.Inf(1)); got != cfg.Buckets-1 {
+		t.Errorf("Bucket(+Inf) = %d, want %d", got, cfg.Buckets-1)
+	}
+	if got := cfg.Bucket(math.Inf(-1)); got != 0 {
+		t.Errorf("Bucket(-Inf) = %d, want 0", got)
+	}
+
+	h := NewLogHist(cfg)
+	h.Observe(math.NaN())  // would have panicked with index out of range
+	h.Observe(math.Inf(1)) // likewise through the huge positive index
+	h.Observe(math.Inf(-1))
+	h.Observe(2)
+	if h.N() != 4 {
+		t.Fatalf("N = %d, want 4", h.N())
+	}
+	s := h.Summary()
+	for name, v := range map[string]float64{
+		"mean": s.Mean, "min": s.Min, "max": s.Max, "p99": s.P99,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v after non-finite observations, want finite", name, v)
+		}
+	}
+	if s.Min != cfg.Origin {
+		t.Errorf("min = %v, want clamped origin %v", s.Min, cfg.Origin)
+	}
+	if want := cfg.Value(cfg.Buckets - 1); s.Max != want {
+		t.Errorf("max = %v, want top edge %v", s.Max, want)
+	}
+}
+
+func TestLogHistBucketValueRoundTrip(t *testing.T) {
+	cfg := testLogHistConfig()
+	if got := cfg.Bucket(0.5); got != 0 {
+		t.Errorf("Bucket(0.5) = %d, want 0 (at or below origin)", got)
+	}
+	if got := cfg.Bucket(1); got != 0 {
+		t.Errorf("Bucket(1) = %d, want 0 (origin is bucket 0's edge)", got)
+	}
+	if got := cfg.Bucket(1e12); got != cfg.Buckets-1 {
+		t.Errorf("Bucket(1e12) = %d, want top bucket %d", got, cfg.Buckets-1)
+	}
+	if got := cfg.Value(0); got != cfg.Origin {
+		t.Errorf("Value(0) = %v, want origin %v", got, cfg.Origin)
+	}
+	// A value read back from its own bucket must not move to a lower
+	// bucket: Value(i) is the bucket's upper edge.
+	for _, x := range []float64{1.0001, 1.5, 2, 3.7, 100, 250} {
+		b := cfg.Bucket(x)
+		if v := cfg.Value(b); v < x*(1-1e-12) {
+			t.Errorf("Value(Bucket(%v)) = %v below the observation", x, v)
+		}
+		if b > 0 && cfg.Value(b-1) > x {
+			t.Errorf("observation %v below its bucket's lower edge %v", x, cfg.Value(b-1))
+		}
+	}
+}
+
+// Merging per-worker histograms must equal observing the union, for
+// every tracked quantity — the property that makes cluster-wide
+// quantiles independent of worker count.
+func TestLogHistMergeExact(t *testing.T) {
+	cfg := testLogHistConfig()
+	r := NewRand(99)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = math.Exp(r.Uniform(0, 5)) // spans ~1–148, multiple doublings
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		parts := make([]*LogHist, workers)
+		for i := range parts {
+			parts[i] = NewLogHist(cfg)
+		}
+		for i, x := range xs {
+			parts[i%workers].Observe(x)
+		}
+		merged := NewLogHist(cfg)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		whole := NewLogHist(cfg)
+		for _, x := range xs {
+			whole.Observe(x)
+		}
+		if merged.N() != whole.N() {
+			t.Fatalf("workers=%d: N %d != %d", workers, merged.N(), whole.N())
+		}
+		for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+			if a, b := merged.Quantile(q), whole.Quantile(q); a != b {
+				t.Errorf("workers=%d: Quantile(%v) %v != %v", workers, q, a, b)
+			}
+		}
+		ms, ws := merged.Summary(), whole.Summary()
+		if ms.Min != ws.Min || ms.Max != ws.Max {
+			t.Errorf("workers=%d: min/max drifted: %v/%v vs %v/%v",
+				workers, ms.Min, ms.Max, ws.Min, ws.Max)
+		}
+		// Mean differs only by float summation order across shards; the
+		// full report path merges in a fixed order, so there it is exact.
+		if math.Abs(ms.Mean-ws.Mean) > 1e-9*ws.Mean {
+			t.Errorf("workers=%d: mean drifted: %v vs %v", workers, ms.Mean, ws.Mean)
+		}
+	}
+}
+
+func TestLogHistQuantileWithinBucketResolution(t *testing.T) {
+	cfg := testLogHistConfig()
+	h := NewLogHist(cfg)
+	r := NewRand(7)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Exp(r.Uniform(0, 4))
+		h.Observe(xs[i])
+	}
+	res := math.Exp2(1/float64(cfg.BucketsPerDoubling)) - 1 // ~2.2%
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := Percentile(xs, q*100)
+		got := h.Quantile(q)
+		if got < exact*(1-res) || got > exact*(1+res) {
+			t.Errorf("Quantile(%v) = %v outside ±%.1f%% of exact %v", q, got, res*100, exact)
+		}
+	}
+	// Quantiles never read outside the exactly tracked range.
+	if h.Quantile(1) != Max(xs) {
+		t.Errorf("Quantile(1) = %v, want exact max %v", h.Quantile(1), Max(xs))
+	}
+	if h.Quantile(0) < Min(xs) {
+		t.Errorf("Quantile(0) = %v below exact min %v", h.Quantile(0), Min(xs))
+	}
+}
+
+func TestLogHistEmptyAndMismatch(t *testing.T) {
+	cfg := testLogHistConfig()
+	h := NewLogHist(cfg)
+	if got := h.Quantile(0.99); got != cfg.Origin {
+		t.Errorf("empty Quantile = %v, want origin %v", got, cfg.Origin)
+	}
+	if s := h.Summary(); s != (Summary{}) {
+		t.Errorf("empty Summary = %+v, want zero", s)
+	}
+	if err := h.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v, want no-op", err)
+	}
+
+	other := NewLogHist(LogHistConfig{Origin: 1e-3, BucketsPerDoubling: 32, Buckets: 1280})
+	other.Observe(5)
+	if err := h.Merge(other); err == nil {
+		t.Error("merging mismatched layouts succeeded")
+	}
+
+	for _, bad := range []LogHistConfig{
+		{Origin: 0, BucketsPerDoubling: 32, Buckets: 256},
+		{Origin: -1, BucketsPerDoubling: 32, Buckets: 256},
+		{Origin: math.NaN(), BucketsPerDoubling: 32, Buckets: 256},
+		{Origin: 1, BucketsPerDoubling: 0, Buckets: 256},
+		{Origin: 1, BucketsPerDoubling: 32, Buckets: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid config %+v accepted", bad)
+		}
+	}
+}

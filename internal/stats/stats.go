@@ -18,6 +18,21 @@ import (
 // ErrEmpty is returned by summary functions that require at least one sample.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// ErrNaN is returned by summary functions handed a sample containing
+// NaN: sort.Float64s leaves NaNs in unspecified positions, so order
+// statistics over such a sample would silently be garbage.
+var ErrNaN = errors.New("stats: NaN in sample")
+
+// hasNaN reports whether xs contains a NaN.
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -87,9 +102,14 @@ func Max(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (p in [0,100]) of xs using linear
 // interpolation between closest ranks. It copies and sorts internally.
+// A sample containing NaN returns NaN: sorting would place the NaNs
+// arbitrarily, so any rank read from it would be silent garbage.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if hasNaN(xs) {
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -135,10 +155,15 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs. It returns ErrEmpty if xs is empty.
+// Summarize computes a Summary of xs. It returns ErrEmpty if xs is
+// empty and ErrNaN if xs contains a NaN (whose position after sorting
+// is unspecified, so Min and every percentile would be garbage).
 func Summarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrEmpty
+	}
+	if hasNaN(xs) {
+		return Summary{}, ErrNaN
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

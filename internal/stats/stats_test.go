@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -250,5 +251,32 @@ func TestMeanRatioAndRatioOfSums(t *testing.T) {
 	}
 	if RatioOfSums([]float64{1}, []float64{0}) != 0 {
 		t.Error("zero denominator sum should return 0")
+	}
+}
+
+// NaN inputs must be detected, not sorted: sort.Float64s leaves NaNs
+// in unspecified positions, so Min and every percentile over such a
+// sample would silently be garbage.
+func TestSummarizeAndPercentileRejectNaN(t *testing.T) {
+	nan := math.NaN()
+	if _, err := Summarize([]float64{1, nan, 3}); !errors.Is(err, ErrNaN) {
+		t.Errorf("Summarize with NaN: err = %v, want ErrNaN", err)
+	}
+	if _, err := Summarize([]float64{nan}); !errors.Is(err, ErrNaN) {
+		t.Errorf("Summarize of only NaN: err = %v, want ErrNaN", err)
+	}
+	if got := Percentile([]float64{1, nan, 3}, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile with NaN = %v, want NaN", got)
+	}
+	// Clean samples are unaffected.
+	if _, err := Summarize([]float64{1, 2, 3}); err != nil {
+		t.Errorf("clean Summarize: %v", err)
+	}
+	if got := Percentile([]float64{1, 2, 3}, 50); got != 2 {
+		t.Errorf("clean Percentile = %v, want 2", got)
+	}
+	// Infinities are legitimate order-statistic inputs and still sort.
+	if got := Percentile([]float64{1, 2, math.Inf(1)}, 100); !math.IsInf(got, 1) {
+		t.Errorf("Percentile with +Inf = %v, want +Inf", got)
 	}
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+package slscost
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Heap-shape tests skip under instrumentation: the detector's
+// shadow memory and allocator both distort live-heap measurements, and
+// its ~10-20× slowdown would make the multi-million-request runs
+// dominate the -race CI job for a property that build measures anyway.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package slscost
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; heap-shape assertions skip under it (see race_off_test.go).
+const raceEnabled = true

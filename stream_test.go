@@ -46,10 +46,11 @@ func heapWatcher(fn func()) uint64 {
 // request cluster simulation through the streaming pipeline must stay
 // within a live-heap budget an order of magnitude below what the
 // materialized path needs for the same workload (the trace alone is
-// ~140 MB at this size; the streamed working set is pod metadata, the
-// latency accumulator, and in-flight batches). The budget is generous
-// — 128 MB — so the test flags an accidental re-materialization of the
-// request stream, not GC pacing noise.
+// ~140 MB at this size; the streamed working set is pod placement
+// metadata, fixed-size latency/slowdown histograms, and in-flight
+// batches — nothing per-request). The budget is generous — 128 MB —
+// so the test flags an accidental re-materialization of the request
+// stream, not GC pacing noise.
 func TestStreamBoundedMemory(t *testing.T) {
 	const (
 		requests  = 1_000_000
@@ -97,5 +98,113 @@ func TestStreamBoundedMemory(t *testing.T) {
 	if grew > heapLimit {
 		t.Errorf("streamed simulation grew the live heap by %.1f MB, budget %d MB — "+
 			"is the pipeline materializing the trace?", float64(grew)/(1<<20), heapLimit>>20)
+	}
+}
+
+// fixedPodStream emits requests round-robin across a fixed pod
+// population with strictly increasing arrivals: a workload whose pod
+// count — and therefore the streamed pipeline's placement metadata —
+// does not grow with the request count. Re-opening yields the
+// identical sequence, satisfying SimulateStream's two-pass contract.
+type fixedPodStream struct {
+	pods, requests, i int
+}
+
+func (s *fixedPodStream) Next() (trace.Request, bool) {
+	if s.i >= s.requests {
+		return trace.Request{}, false
+	}
+	i := s.i
+	s.i++
+	pod := i % s.pods
+	r := trace.Request{
+		PodID:      pod,
+		FnID:       pod % 16,
+		Start:      time.Duration(i) * 200 * time.Microsecond,
+		Duration:   5 * time.Millisecond,
+		CPUTime:    2 * time.Millisecond,
+		AllocCPU:   0.5,
+		AllocMemMB: 128,
+		MemUsedMB:  64,
+	}
+	if i < s.pods {
+		r.ColdStart = true
+		r.InitDuration = 100 * time.Millisecond
+	}
+	return r, true
+}
+
+func fixedPodSource(pods, requests int) trace.Source {
+	return func() (trace.Stream, error) {
+		return &fixedPodStream{pods: pods, requests: requests}, nil
+	}
+}
+
+// TestStreamFlatHeapAcrossTraceSizes pins the tentpole memory claim:
+// with the pod population held fixed, SimulateStream's peak live heap
+// is independent of the trace length. Latency accounting is the
+// per-request quantity that used to break this — every host retained
+// a float64 per served request (and pre-sized the slice to its request
+// count), so a 10× longer trace grew the heap by 8 bytes × requests.
+// With histogram accounting the only O(requests) state left would be a
+// regression, and the 10× run would exceed the small run by tens of
+// MB; the allowed slack is far below that signal.
+func TestStreamFlatHeapAcrossTraceSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-request simulations; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts live-heap measurement and slows the 4.4M-request run ~10-20x")
+	}
+	const (
+		pods     = 400
+		small    = 400_000
+		large    = 4_000_000 // 10× — would carry ≥ 28.8 MB of retained latency samples
+		slack    = 16 << 20
+		absLimit = 64 << 20
+	)
+	run := func(requests int) uint64 {
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+		var rep fleet.Report
+		peak := heapWatcher(func() {
+			policy, err := fleet.NewPolicy("least-loaded")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := fleet.Config{
+				Hosts:      32,
+				Host:       fleet.DefaultHostSpec(),
+				Policy:     policy,
+				Profile:    core.AWS(),
+				Overcommit: 2,
+				Seed:       20260613,
+			}
+			rep, err = fleet.SimulateStream(cfg, fixedPodSource(pods, requests))
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if rep.Served != requests {
+			t.Fatalf("served %d of %d requests", rep.Served, requests)
+		}
+		if peak < base.HeapAlloc {
+			peak = base.HeapAlloc
+		}
+		grew := peak - base.HeapAlloc
+		t.Logf("%d requests over %d pods: peak live heap grew %.1f MB", requests, pods, float64(grew)/(1<<20))
+		return grew
+	}
+
+	grewSmall := run(small)
+	grewLarge := run(large)
+	if grewLarge > absLimit {
+		t.Errorf("large run grew the live heap by %.1f MB, limit %d MB", float64(grewLarge)/(1<<20), absLimit>>20)
+	}
+	if grewLarge > grewSmall+slack {
+		t.Errorf("peak heap not flat across a 10× trace: %.1f MB at %d requests vs %.1f MB at %d (slack %d MB) — "+
+			"is per-request state being retained again?",
+			float64(grewLarge)/(1<<20), large, float64(grewSmall)/(1<<20), small, slack>>20)
 	}
 }
