@@ -6,6 +6,7 @@
 package slscost
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -187,7 +188,7 @@ func BenchmarkFleetStream(b *testing.B) {
 			b.ReportAllocs()
 			peakHeap(b, func() {
 				for i := 0; i < b.N; i++ {
-					rep, err := fleet.SimulateStream(fleetCfg(b), trace.GenerateSource(gen))
+					rep, err := fleet.SimulateStream(context.Background(), fleetCfg(b), trace.GenerateSource(gen))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -202,7 +203,7 @@ func BenchmarkFleetStream(b *testing.B) {
 			b.ReportAllocs()
 			peakHeap(b, func() {
 				for i := 0; i < b.N; i++ {
-					rep, err := fleet.SimulateStream(fleetCfg(b), fixedPodSource(400, requests))
+					rep, err := fleet.SimulateStream(context.Background(), fleetCfg(b), fixedPodSource(400, requests))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -246,7 +247,7 @@ func BenchmarkPolicySweep(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sr, err := opt.Sweep(cfg, space)
+				sr, err := opt.Sweep(context.Background(), cfg, space)
 				if err != nil {
 					b.Fatal(err)
 				}

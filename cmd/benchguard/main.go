@@ -39,6 +39,8 @@ import (
 	"regexp"
 	"slices"
 	"strconv"
+
+	"slscost/internal/core"
 )
 
 func main() {
@@ -130,8 +132,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	maxRatio := fs.Float64("max-ratio", 2, "fail when measured ns/op exceeds baseline by this factor")
 	maxBytesRatio := fs.Float64("max-bytes-ratio", 1.5,
 		"fail when measured B/op exceeds baseline bytes_op by this factor (allocations are far less noisy than wall clock)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, core.BuildInfo())
+		return nil
 	}
 	if *baselinePath == "" {
 		return fmt.Errorf("-baseline is required")

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"slscost/internal/core"
 )
 
 const sampleBench = `goos: linux
@@ -227,5 +229,15 @@ func TestRunErrors(t *testing.T) {
 				t.Errorf("%v: expected error", c.args)
 			}
 		})
+	}
+}
+
+func TestRunVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "slscost v"+core.Version) {
+		t.Fatalf("-version printed %q", out.String())
 	}
 }

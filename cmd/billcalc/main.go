@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"slscost/internal/billing"
+	"slscost/internal/core"
 )
 
 func main() {
@@ -38,8 +39,13 @@ func run(args []string) error {
 	cpuTime := fs.Duration("cputime", 80*time.Millisecond, "consumed CPU time per request")
 	memUsedMB := fs.Float64("memused", 200, "consumed memory in MB")
 	requests := fs.Float64("requests", 1e6, "requests per month")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(core.BuildInfo())
+		return nil
 	}
 	if *memMB <= 0 || *duration <= 0 || *requests <= 0 {
 		return fmt.Errorf("duration, mem, and requests must be positive")

@@ -48,6 +48,10 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +60,7 @@ import (
 	"strings"
 	"time"
 
+	"slscost/internal/api"
 	"slscost/internal/core"
 	"slscost/internal/fleet"
 	"slscost/internal/opt"
@@ -67,8 +72,33 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitVerifyFailed is the exit code for a differential-verification
+// mismatch: distinct from 1 (any other failure) so harnesses can tell
+// "the simulator disagrees with its oracle" from "the run never
+// happened" without parsing stderr.
+const exitVerifyFailed = 3
+
+// verifyFailure marks an error as a verification mismatch; exitCode
+// maps it to exitVerifyFailed however deeply it is wrapped.
+type verifyFailure struct{ err error }
+
+func (e *verifyFailure) Error() string { return e.err.Error() }
+func (e *verifyFailure) Unwrap() error { return e.err }
+
+// exitCode maps a run error to the process exit code.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var vf *verifyFailure
+	if errors.As(err, &vf) {
+		return exitVerifyFailed
+	}
+	return 1
 }
 
 func run(args []string, w io.Writer) error {
@@ -100,8 +130,15 @@ func run(args []string, w io.Writer) error {
 	sweepTTLs := fs.String("sweep-ttls", "", `comma-separated keep-alive TTLs to sweep, durations or "platform" (default: platform,60s,600s)`)
 	sweepOvercommits := fs.String("sweep-overcommits", "", "comma-separated overcommit ratios to sweep (default: 1,2)")
 	format := fs.String("format", "text", "sweep output format: text, csv, or json")
+	remote := fs.String("remote", "",
+		"run on a slscostd daemon at this address (host:port or URL) instead of in-process")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, core.BuildInfo())
+		return nil
 	}
 
 	prof, ok := core.ProfileByName(*platform)
@@ -128,7 +165,7 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-horizon %v negative", *horizon)
 	}
 	sweepMode := *sweep || *pareto
-	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream, sweepMode); err != nil {
+	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream, sweepMode, *remote != ""); err != nil {
 		return err
 	}
 	var sc scenario.Scenario
@@ -138,6 +175,45 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("unknown scenario %q (have %s, or raw)",
 				*scenarioName, strings.Join(scenario.Names(), ", "))
 		}
+	}
+
+	if *remote != "" {
+		if sweepMode && *format != "json" {
+			return fmt.Errorf("-remote sweeps print the daemon's JSON document; use -format json")
+		}
+		var sw api.SweepParams
+		if sweepMode {
+			sw = api.SweepParams{
+				Platform: *platform, Hosts: *hosts, Requests: *requests,
+				Tenants: *tenants, Horizon: api.Duration(*horizon),
+				HostVCPU: *hostVCPU, HostMemMB: *hostMem,
+			}
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name == "scenario" {
+					sw.Scenarios = []string{*scenarioName}
+				}
+			})
+			if *sweepPolicies != "" {
+				sw.Policies = splitList(*sweepPolicies)
+			}
+			if *sweepTTLs != "" {
+				sw.TTLs = splitList(*sweepTTLs)
+			}
+			if *sweepOvercommits != "" {
+				ocs, err := parseFloats(splitList(*sweepOvercommits))
+				if err != nil {
+					return err
+				}
+				sw.Overcommits = ocs
+			}
+		}
+		sim := api.SimulateParams{
+			Platform: *platform, Policy: *policy, Hosts: *hosts, Requests: *requests,
+			Scenario: *scenarioName, Tenants: *tenants, Horizon: api.Duration(*horizon),
+			Overcommit: *overcommit, Elastic: *elastic,
+			HostVCPU: *hostVCPU, HostMemMB: *hostMem,
+		}
+		return runRemote(w, *remote, *seed, *verify, sweepMode, *pareto, sim, sw)
 	}
 
 	cfg := fleet.Config{
@@ -214,7 +290,7 @@ func run(args []string, w io.Writer) error {
 				*requests, sc.Name, *seed, *tenants)
 		}
 		simStart := time.Now()
-		rep, err := fleet.SimulateStream(cfg, src)
+		rep, err := fleet.SimulateStream(context.Background(), cfg, src)
 		if err != nil {
 			return err
 		}
@@ -288,7 +364,7 @@ func run(args []string, w io.Writer) error {
 // flagConflicts rejects contradictory flag combinations up front,
 // naming every offending flag explicitly so the fix is obvious from
 // the message alone.
-func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, sweepMode bool) error {
+func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, sweepMode, remote bool) error {
 	// A recorded trace replays as-is, "raw" bypasses the shaping layer,
 	// and the streaming pipeline synthesizes its workload lazily;
 	// explicitly asking for a combination that contradicts the chosen
@@ -310,6 +386,8 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 		{!sweepMode, "-refine, -sweep-*, and -format configure -sweep/-pareto",
 			map[string]bool{"refine": true, "sweep-policies": true, "sweep-ttls": true,
 				"sweep-overcommits": true, "format": true}},
+		{remote, "-remote runs on the daemon; local-only flags do not apply there",
+			map[string]bool{"trace": true, "workers": true, "stream": true, "refine": true}},
 	}
 	for _, ru := range rules {
 		if !ru.active {
@@ -324,6 +402,100 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 		if len(conflict) > 0 {
 			return fmt.Errorf("%s; drop %s", ru.reason, strings.Join(conflict, ", "))
 		}
+	}
+	return nil
+}
+
+// runRemote runs the requested mode on a slscostd daemon instead of
+// in-process: it submits the job spec the flags describe, follows the
+// NDJSON event stream to completion, and renders the result. Because
+// the daemon calls the same library entry points this binary does,
+// the rendered report (and, for sweeps, the JSON document) matches
+// the in-process run for the same seed.
+func runRemote(w io.Writer, addr string, seed uint64, verify, sweepMode, paretoOnly bool,
+	sim api.SimulateParams, sw api.SweepParams) error {
+	ctx := context.Background()
+	client := api.NewClient(addr)
+	method := "fleet.simulate"
+	var params any = sim
+	switch {
+	case sweepMode && paretoOnly:
+		method, params = "opt.pareto", sw
+	case sweepMode:
+		method, params = "opt.sweep", sw
+	case verify:
+		method = "scenario.verify"
+	}
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return err
+	}
+	st, err := client.Submit(ctx, api.JobSpec{Method: method, Seed: &seed, Params: raw})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "submitted %s job %s to %s (seed %d)\n", method, st.ID, client.BaseURL, seed)
+
+	var report, sweepJSON json.RawMessage
+	var verifyRes *api.VerifyResult
+	var final api.Event
+	err = client.Stream(ctx, st.ID, func(_ []byte, ev api.Event) error {
+		switch ev.Type {
+		case api.EventReport:
+			report = ev.Report
+		case api.EventVerify:
+			report, verifyRes = ev.Report, ev.Verify
+		case api.EventSweep:
+			sweepJSON = ev.Sweep
+		case api.EventDone:
+			final = ev
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if verifyRes != nil {
+		fmt.Fprintf(w, "differential replay: max relative delta %.3g over %d metrics\n",
+			verifyRes.MaxRelDelta, verifyRes.Metrics)
+	}
+	switch final.State {
+	case "done":
+	case "failed":
+		if verifyRes != nil {
+			// The daemon ran the comparison and it missed tolerance:
+			// same failure, same distinct exit code as a local -verify.
+			return &verifyFailure{fmt.Errorf("job %s: %s", st.ID, final.Error)}
+		}
+		return fmt.Errorf("job %s failed: %s", st.ID, final.Error)
+	default:
+		return fmt.Errorf("job %s ended in state %q", st.ID, final.State)
+	}
+
+	if sweepMode {
+		if sweepJSON == nil {
+			return fmt.Errorf("job %s finished without a sweep document", st.ID)
+		}
+		// Re-indent the compact on-wire document back to the exact
+		// bytes the in-process -format json path writes.
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, sweepJSON, "", "  "); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		_, err := w.Write(buf.Bytes())
+		return err
+	}
+	if report == nil {
+		return fmt.Errorf("job %s finished without a report", st.ID)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(report, &rep); err != nil {
+		return fmt.Errorf("decoding daemon report: %w", err)
+	}
+	rep.WriteText(w)
+	if verifyRes != nil {
+		fmt.Fprintln(w, "differential replay: report verified")
 	}
 	return nil
 }
@@ -345,7 +517,7 @@ func runSweep(w io.Writer, ocfg opt.Config, space opt.Space, paretoOnly, refine 
 	if refine && format != "text" {
 		return fmt.Errorf("-refine prints a text trajectory; drop -format %s", format)
 	}
-	sr, err := opt.Sweep(ocfg, space)
+	sr, err := opt.Sweep(context.Background(), ocfg, space)
 	if err != nil {
 		return err
 	}
@@ -371,7 +543,7 @@ func runSweep(w io.Writer, ocfg opt.Config, space opt.Space, paretoOnly, refine 
 		if !ok {
 			return fmt.Errorf("empty pareto frontier, nothing to refine")
 		}
-		rr, err := opt.Refine(ocfg, start.Candidate, opt.RefineConfig{})
+		rr, err := opt.Refine(context.Background(), ocfg, start.Candidate, opt.RefineConfig{})
 		if err != nil {
 			return err
 		}
@@ -442,10 +614,12 @@ func verifyReport(w io.Writer, cfg fleet.Config, rep fleet.Report, tr *trace.Tra
 	fmt.Fprintf(w, "\ndifferential replay: max relative delta %.3g over %d metrics\n",
 		res.MaxRelDelta, len(res.Metrics))
 	if err := res.Check(diffsim.DefaultTolerance); err != nil {
+		// A mismatch is the one failure with its own exit code
+		// (exitVerifyFailed): the run happened, the oracle disagreed.
 		if name := res.FirstMismatch(diffsim.DefaultTolerance); name != "" {
-			return fmt.Errorf("differential replay failed, first mismatched metric %s: %w", name, err)
+			return &verifyFailure{fmt.Errorf("differential replay failed, first mismatched metric %s: %w", name, err)}
 		}
-		return err
+		return &verifyFailure{err}
 	}
 	fmt.Fprintln(w, "differential replay: report verified")
 	return nil

@@ -2,14 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"slscost/internal/api"
+	"slscost/internal/core"
 	"slscost/internal/trace"
 )
 
@@ -344,6 +351,144 @@ func TestRunSweepErrorsAndConflicts(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), c.wantInErr) {
 				t.Errorf("%v: error %q does not mention %q", c.args, err, c.wantInErr)
+			}
+		})
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "slscost v"+core.Version) {
+		t.Fatalf("-version printed %q", out.String())
+	}
+}
+
+// TestExitCode pins the process exit-code contract: verification
+// mismatches get their own code, however deeply wrapped.
+func TestExitCode(t *testing.T) {
+	vf := &verifyFailure{errors.New("metric disagrees")}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, 0},
+		{"generic failure", errors.New("boom"), 1},
+		{"verify failure", vf, exitVerifyFailed},
+		{"wrapped verify failure", fmt.Errorf("outer: %w", vf), exitVerifyFailed},
+		{"flag error", errors.New("flag provided but not defined"), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := exitCode(c.err); got != c.want {
+				t.Fatalf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+			}
+		})
+	}
+	if exitVerifyFailed == 1 {
+		t.Fatal("exitVerifyFailed must be distinct from the generic failure code")
+	}
+}
+
+// startRemoteDaemon mounts the API server on httptest for the -remote
+// tests.
+func startRemoteDaemon(t *testing.T) string {
+	t.Helper()
+	srv := api.NewServer(api.ServerConfig{})
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+		hs.Close()
+	})
+	return hs.URL
+}
+
+// TestRunRemoteSweepMatchesLocal checks the -remote sweep path prints
+// the exact JSON document the in-process run prints for the same
+// seed and flags.
+func TestRunRemoteSweepMatchesLocal(t *testing.T) {
+	addr := startRemoteDaemon(t)
+	args := []string{"-sweep", "-format", "json", "-hosts", "4", "-requests", "2000",
+		"-scenario", "flash-crowd", "-sweep-policies", "least-loaded",
+		"-sweep-ttls", "platform,60s", "-sweep-overcommits", "1", "-seed", "77"}
+
+	var local bytes.Buffer
+	if err := run(args, &local); err != nil {
+		t.Fatal(err)
+	}
+	var remote bytes.Buffer
+	if err := run(append([]string{"-remote", addr}, args...), &remote); err != nil {
+		t.Fatal(err)
+	}
+	got := remote.String()
+	i := strings.IndexByte(got, '\n') // drop the "submitted ... job" line
+	if i < 0 || !strings.HasPrefix(got, "submitted opt.sweep job ") {
+		t.Fatalf("remote output missing submission line:\n%s", got)
+	}
+	if got[i+1:] != local.String() {
+		t.Fatalf("remote sweep document differs from local:\nremote:\n%s\nlocal:\n%s", got[i+1:], local.String())
+	}
+}
+
+// TestRunRemoteSimulateAndVerify checks the remote report matches the
+// local report block, and remote verification succeeds.
+func TestRunRemoteSimulateAndVerify(t *testing.T) {
+	addr := startRemoteDaemon(t)
+	base := []string{"-hosts", "4", "-requests", "2000", "-seed", "11"}
+
+	var local bytes.Buffer
+	if err := run(base, &local); err != nil {
+		t.Fatal(err)
+	}
+	var remote bytes.Buffer
+	if err := run(append([]string{"-remote", addr}, base...), &remote); err != nil {
+		t.Fatal(err)
+	}
+	// The local run prefixes generation/simulation timing lines; the
+	// report block itself ("fleet: ..." on) must match byte for byte.
+	want := local.String()
+	if i := strings.Index(want, "fleet:"); i >= 0 {
+		want = want[i:]
+	} else {
+		t.Fatalf("local output has no report block:\n%s", local.String())
+	}
+	if !strings.HasSuffix(remote.String(), want) {
+		t.Fatalf("remote report differs from local:\nremote:\n%s\nlocal block:\n%s", remote.String(), want)
+	}
+
+	var vout bytes.Buffer
+	if err := run(append([]string{"-remote", addr, "-verify"}, base...), &vout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vout.String(), "differential replay: report verified") {
+		t.Fatalf("remote -verify output:\n%s", vout.String())
+	}
+}
+
+// TestRunRemoteConflicts pins the -remote flag contract.
+func TestRunRemoteConflicts(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantInErr string
+	}{
+		{"remote with trace", []string{"-remote", "x:1", "-trace", "t.csv"}, "-trace"},
+		{"remote with workers", []string{"-remote", "x:1", "-workers", "2"}, "-workers"},
+		{"remote with stream", []string{"-remote", "x:1", "-stream"}, "-stream"},
+		{"remote sweep with refine", []string{"-remote", "x:1", "-sweep", "-refine"}, "-refine"},
+		{"remote sweep text format", []string{"-remote", "x:1", "-sweep"}, "-format json"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(c.args, &out)
+			if err == nil || !strings.Contains(err.Error(), c.wantInErr) {
+				t.Fatalf("run(%v) error = %v, want substring %q", c.args, err, c.wantInErr)
 			}
 		})
 	}

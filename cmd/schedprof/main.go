@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"slscost/internal/cfs"
+	"slscost/internal/core"
 	"slscost/internal/stats"
 )
 
@@ -34,8 +35,13 @@ func run(args []string) error {
 	invocations := fs.Int("n", 30, "number of invocations (phases rotated)")
 	real := fs.Bool("real", false, "profile the real host instead of the simulator")
 	infer := fs.Bool("infer", false, "infer (period, CONFIG_HZ) from the profile (Table 3)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(core.BuildInfo())
+		return nil
 	}
 
 	var set cfs.ProfileSet

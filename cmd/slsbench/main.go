@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"slscost/internal/core"
 	"slscost/internal/experiments"
 )
 
@@ -31,8 +32,13 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1.0, "experiment scale (1.0 = full published configuration)")
 	seed := fs.Uint64("seed", 20260613, "random seed for synthetic inputs")
 	list := fs.Bool("list", false, "list available experiments and exit")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(core.BuildInfo())
+		return nil
 	}
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"slscost/internal/api"
+	"slscost/internal/core"
+	"slscost/internal/opt"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns a
+// client for it plus the daemon's log buffer; cleanup shuts it down
+// and asserts a clean exit.
+func startDaemon(t *testing.T, args ...string) (*api.Client, *bytes.Buffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	})
+	return api.NewClient(addr), &out
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "slscost v"+core.Version) {
+		t.Fatalf("-version printed %q", out.String())
+	}
+}
+
+// TestDaemonSmoke is the end-to-end daemon check CI runs: start the
+// daemon, submit a small opt.sweep through the client, assert the
+// streamed rows are byte-identical to the same sweep run in-process,
+// and shut down gracefully with jobs drained.
+func TestDaemonSmoke(t *testing.T) {
+	client, out := startDaemon(t)
+
+	h, err := client.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version != core.Version {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+
+	const seed = 20260613
+	params := api.SweepParams{
+		Requests:    3000,
+		Scenarios:   []string{"steady"},
+		Policies:    []string{"least-loaded", "bin-pack"},
+		TTLs:        []string{"platform"},
+		Overcommits: []float64{1},
+	}
+	rawParams, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedv := uint64(seed)
+	st, err := client.Submit(context.Background(),
+		api.JobSpec{Method: "opt.sweep", Seed: &seedv, Params: rawParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rows []json.RawMessage
+	var final api.Event
+	err = client.Stream(context.Background(), st.ID, func(_ []byte, ev api.Event) error {
+		switch ev.Type {
+		case api.EventRow:
+			rows = append(rows, ev.Row)
+		case api.EventDone:
+			final = ev
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("job finished %q (error %q)", final.State, final.Error)
+	}
+
+	// The in-process oracle: same params, same seed, direct library
+	// calls.
+	cfg, space, err := api.SweepConfigs(params, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := opt.Sweep(context.Background(), cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sr.Results) {
+		t.Fatalf("streamed %d rows, in-process run has %d", len(rows), len(sr.Results))
+	}
+	for i, r := range sr.Results {
+		want, err := json.Marshal(r.Row())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rows[i], want) {
+			t.Fatalf("row %d differs:\ndaemon:     %s\nin-process: %s", i, rows[i], want)
+		}
+	}
+
+	log := out.String()
+	if !strings.Contains(log, "listening on http://") || !strings.Contains(log, "opt.sweep") {
+		t.Fatalf("startup log missing expected lines:\n%s", log)
+	}
+}
+
+// TestDaemonGracefulDrain checks shutdown waits for a running job.
+func TestDaemonGracefulDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "30s"}, &out, ready)
+	}()
+	client := api.NewClient(<-ready)
+
+	seedv := uint64(7)
+	st, err := client.Submit(context.Background(), api.JobSpec{
+		Method: "fleet.simulate",
+		Seed:   &seedv,
+		Params: json.RawMessage(`{"requests":50000,"hosts":4}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // SIGTERM equivalent: drain begins with the job in flight
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("expected a clean drain, log:\n%s", out.String())
+	}
+	_ = st
+}

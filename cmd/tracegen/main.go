@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"slscost/internal/core"
 	"slscost/internal/stats"
 	"slscost/internal/trace"
 )
@@ -27,8 +28,13 @@ func run(args []string) error {
 	n := fs.Int("n", 200000, "number of request records")
 	seed := fs.Uint64("seed", 20260613, "random seed")
 	out := fs.String("o", "-", "output file ('-' for stdout)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(core.BuildInfo())
+		return nil
 	}
 	cfg := trace.DefaultGeneratorConfig()
 	cfg.Requests = *n

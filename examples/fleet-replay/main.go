@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -84,7 +85,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	streamed, err := fleet.SimulateStream(fleet.Config{
+	streamed, err := fleet.SimulateStream(context.Background(), fleet.Config{
 		Hosts:      16,
 		Host:       fleet.DefaultHostSpec(),
 		Policy:     policy,

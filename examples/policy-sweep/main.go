@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 		space.Size(), len(scs), requests)
 	fmt.Printf("only the knobs move; results are identical for any worker count\n\n")
 
-	sr, err := opt.Sweep(cfg, space)
+	sr, err := opt.Sweep(context.Background(), cfg, space)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func main() {
 		log.Fatal("empty pareto frontier")
 	}
 	fmt.Println()
-	rr, err := opt.Refine(cfg, start.Candidate, opt.RefineConfig{})
+	rr, err := opt.Refine(context.Background(), cfg, start.Candidate, opt.RefineConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,100 @@
+// Package api is the HTTP/JSON surface of the slscostd daemon: a
+// namespaced registry of job methods (fleet.simulate, scenario.verify,
+// opt.sweep, opt.pareto), a typed error shape shared by every failure
+// path, the job-spec decoding and canonicalization that keys the
+// daemon's compiled-plan cache, an http.Handler serving the /v1 routes
+// over an internal/jobs queue, and the Client the CLI's -remote mode
+// and the tests both drive.
+//
+// The layering follows the Sia api package and simplechain rpc idioms:
+// one Error{Code, Message} JSON shape for every failure, namespaced
+// "ns.method" registration behind a concurrency-safe registry, and a
+// small typed client rather than ad-hoc request assembly. Everything a
+// method computes flows through the job's NDJSON event log — the
+// status and stream endpoints never invent numbers the engines did not
+// produce — and results are byte-identical to the equivalent in-process
+// run for the same seed, because the daemon calls the exact library
+// entry points the CLI does.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Error is the one JSON error shape every API failure returns, in a
+// body of the form {"error":{"code":...,"message":...}}. Code is a
+// stable machine-readable slug (the Code* constants); Message is the
+// human-readable detail. Error implements the error interface, so the
+// client surfaces server failures as *Error values callers can
+// errors.As on.
+type Error struct {
+	// Code classifies the failure (see the Code constants).
+	Code string `json:"code"`
+	// Message describes it in English, typically err.Error().
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// The stable error codes. Every handler failure maps onto exactly one
+// of these; the HTTP status is derived from the code (httpStatus), so
+// code and status can never disagree.
+const (
+	// CodeBadRequest: the request body or parameters do not decode or
+	// validate.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownMethod: the spec names a namespace.method the
+	// registry does not have.
+	CodeUnknownMethod = "unknown_method"
+	// CodeQueueFull: admission rejected the job; retry later.
+	CodeQueueFull = "queue_full"
+	// CodeNotFound: no job with that ID.
+	CodeNotFound = "not_found"
+	// CodeShuttingDown: the daemon is draining and admits nothing new.
+	CodeShuttingDown = "shutting_down"
+	// CodeInternal: anything else.
+	CodeInternal = "internal"
+)
+
+// httpStatus maps an error code to its HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownMethod, CodeNotFound:
+		return http.StatusNotFound
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// errorEnvelope is the wire shape of a failure body.
+type errorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// writeError writes e as the response, status derived from its code.
+func writeError(w http.ResponseWriter, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus(e.Code))
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: e})
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,163 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the typed client for the slscostd API, used by the
+// package tests, the CI smoke check, and fleetsim -remote. Server
+// failures surface as *Error values, so callers can switch on the
+// stable code rather than parsing messages.
+type Client struct {
+	// BaseURL is the daemon root ("http://127.0.0.1:9155"); NewClient
+	// normalizes a bare host:port.
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at addr, which may be a
+// bare host:port or a full http:// URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+}
+
+// httpClient resolves the transport.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do sends one request and decodes the JSON response into out (unless
+// nil). Non-2xx responses decode into the API's error envelope and
+// return the *Error.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into its *Error.
+func decodeError(resp *http.Response) error {
+	var env errorEnvelope
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxSpecBytes)).Decode(&env); err == nil && env.Error != nil {
+		return env.Error
+	}
+	return Errorf(CodeInternal, "HTTP %d with undecodable error body", resp.StatusCode)
+}
+
+// Health fetches GET /v1/health.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/v1/health", nil, &h)
+	return h, err
+}
+
+// Submit posts a job spec and returns the admitted job's status
+// (state "queued" or already "running").
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches GET /v1/jobs/{id}.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel sends DELETE /v1/jobs/{id} and returns the job's status
+// after the cancellation request.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// maxEventLine bounds one NDJSON line on the client side; the sweep
+// document is the largest event and a full-catalog grid stays well
+// under this.
+const maxEventLine = 64 << 20
+
+// Stream consumes GET /v1/jobs/{id}/stream, invoking fn for every
+// NDJSON line with the raw line bytes (newline stripped) and its
+// decoded Event. It returns after the terminal done event, when fn
+// returns an error (which it propagates), or when ctx ends. A stream
+// that ends without a done line reports an error: the connection
+// died mid-job.
+func (c *Client) Stream(ctx context.Context, id string, fn func(line []byte, ev Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), maxEventLine)
+	for sc.Scan() {
+		// Copy out of the scanner's reused buffer: fn may retain the
+		// line (or the Event's RawMessage fields, which alias it).
+		line := append([]byte(nil), bytes.TrimSpace(sc.Bytes())...)
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("api: undecodable stream line %q: %w", line, err)
+		}
+		if err := fn(line, ev); err != nil {
+			return err
+		}
+		if ev.Type == EventDone {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("api: stream for job %s ended without a done event", id)
+}

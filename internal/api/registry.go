@@ -1,0 +1,122 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"slscost/internal/jobs"
+	"slscost/internal/scenario"
+)
+
+// methodNameRE is the shape every registered method name must have:
+// one namespace and one method, dot-separated, lowercase identifiers.
+var methodNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$`)
+
+// Runtime is what a running method sees: the job it runs as (event
+// emission, cancellation context, cache accounting), the job's
+// explicit seed, and the daemon's shared compiled-plan cache.
+type Runtime struct {
+	// Job is the queue entry the method runs under; Emit streams
+	// events through it.
+	Job *jobs.Job
+	// Seed is the job's explicit reproducibility seed.
+	Seed uint64
+	// Plans is the daemon-wide LRU of compiled scenario plans, keyed
+	// by PlanKey. Nil disables caching (every compile is fresh).
+	Plans *jobs.LRU[string, *scenario.Plan]
+}
+
+// Emit appends one event to the job's NDJSON stream.
+func (rt *Runtime) Emit(v any) error { return rt.Job.Emit(v) }
+
+// CompilePlan resolves a scenario to its compiled plan through the
+// daemon's cache: the canonicalized (scenario, config) key is looked
+// up first, and only a miss pays for Scenario.Compile. Either way the
+// outcome is recorded on the job, so the status payload's cache
+// counters let a client assert that a repeated spec skipped
+// re-planning. Safe because plans are immutable and their Source
+// openings deterministic — a cached plan cannot change any result.
+func (rt *Runtime) CompilePlan(sc scenario.Scenario, scfg scenario.Config) (*scenario.Plan, error) {
+	if rt.Plans == nil {
+		return sc.Compile(scfg)
+	}
+	key := PlanKey(sc.Name, scfg)
+	if p, ok := rt.Plans.Get(key); ok {
+		rt.Job.NoteCache(true)
+		return p, nil
+	}
+	rt.Job.NoteCache(false)
+	p, err := sc.Compile(scfg)
+	if err != nil {
+		return nil, err
+	}
+	rt.Plans.Put(key, p)
+	return p, nil
+}
+
+// Method is one namespaced job implementation.
+type Method struct {
+	// Name is the namespace-qualified identifier ("opt.sweep").
+	Name string
+	// Description is one line for the health payload's method listing.
+	Description string
+	// Run executes the job. Params is the spec's raw params field;
+	// implementations decode it strictly and honor ctx.
+	Run func(ctx context.Context, rt *Runtime, params json.RawMessage) error
+}
+
+// Registry maps namespace-qualified method names to implementations.
+// Registration and lookup are concurrency-safe; duplicate or malformed
+// names are rejected at registration time, so a running daemon's
+// method set is always well-formed.
+type Registry struct {
+	mu      sync.RWMutex
+	methods map[string]Method
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{methods: make(map[string]Method)}
+}
+
+// Register adds a method. The name must match namespace.method shape
+// and be unused; Run must be non-nil.
+func (r *Registry) Register(m Method) error {
+	if !methodNameRE.MatchString(m.Name) {
+		return fmt.Errorf("api: method name %q is not namespace.method shaped", m.Name)
+	}
+	if m.Run == nil {
+		return fmt.Errorf("api: method %s has no Run", m.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.methods[m.Name]; dup {
+		return fmt.Errorf("api: method %s registered twice", m.Name)
+	}
+	r.methods[m.Name] = m
+	return nil
+}
+
+// Lookup returns the method with the given name.
+func (r *Registry) Lookup(name string) (Method, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.methods[name]
+	return m, ok
+}
+
+// Names returns every registered method name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.methods))
+	for name := range r.methods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,284 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"slscost/internal/core"
+	"slscost/internal/jobs"
+	"slscost/internal/scenario"
+)
+
+// ServerConfig sizes a Server. The zero value is usable: built-in
+// methods, GOMAXPROCS workers, the queue's default capacity, and a
+// modest plan cache.
+type ServerConfig struct {
+	// Registry supplies the callable methods; nil means
+	// BuiltinRegistry().
+	Registry *Registry
+	// Workers and Capacity size the job queue (jobs.Config).
+	Workers  int
+	Capacity int
+	// PlanCacheSize bounds the LRU of compiled scenario plans shared
+	// by every job; zero means 32, negative disables caching.
+	PlanCacheSize int
+}
+
+// Server is the slscostd HTTP surface: the /v1 routes over a bounded
+// job queue and a shared compiled-plan cache. It is an http.Handler;
+// the daemon mounts it on a net/http server, tests mount it on
+// httptest.
+type Server struct {
+	reg   *Registry
+	queue *jobs.Queue
+	plans *jobs.LRU[string, *scenario.Plan]
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	closing bool
+}
+
+// NewServer builds a ready-to-mount server.
+func NewServer(cfg ServerConfig) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = BuiltinRegistry()
+	}
+	var plans *jobs.LRU[string, *scenario.Plan]
+	if cfg.PlanCacheSize >= 0 {
+		n := cfg.PlanCacheSize
+		if n == 0 {
+			n = 32
+		}
+		plans = jobs.NewLRU[string, *scenario.Plan](n)
+	}
+	s := &Server{
+		reg:   reg,
+		queue: jobs.New(jobs.Config{Workers: cfg.Workers, Capacity: cfg.Capacity}),
+		plans: plans,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	// Everything else gets the typed error shape too, not net/http's
+	// plain-text 404 page.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, Errorf(CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+	})
+	return s
+}
+
+// Methods returns the server's registered method names, sorted — the
+// daemon logs them at startup.
+func (s *Server) Methods() []string { return s.reg.Names() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the server: admission stops immediately (submissions
+// get CodeShuttingDown), queued and running jobs finish, and once ctx
+// expires the survivors are cancelled. Returns nil on a clean drain,
+// ctx's error if the deadline forced cancellation.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	return s.queue.Close(ctx)
+}
+
+// Health is the GET /v1/health payload.
+type Health struct {
+	// Status is "ok" while admitting, "draining" once Close has begun.
+	Status string `json:"status"`
+	// Version and Build identify the running daemon (internal/core).
+	Version string `json:"version"`
+	Build   string `json:"build"`
+	// Methods lists every registered namespace.method, sorted.
+	Methods []string `json:"methods"`
+	// Jobs is how many jobs the queue has admitted since startup.
+	Jobs int `json:"jobs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.closing {
+		status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:  status,
+		Version: core.Version,
+		Build:   core.BuildInfo(),
+		Methods: s.reg.Names(),
+		Jobs:    s.queue.Len(),
+	})
+}
+
+// CacheStats is the per-job plan-cache accounting inside JobStatus.
+type CacheStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// JobStatus is the job representation every jobs endpoint returns:
+// identity, lifecycle state, timestamps, how many events the stream
+// holds so far, and the job's plan-cache counters (the e2e check that
+// a repeated spec skipped re-planning reads these).
+type JobStatus struct {
+	ID     string     `json:"id"`
+	Method string     `json:"method"`
+	Seed   uint64     `json:"seed"`
+	State  jobs.State `json:"state"`
+	// Error is the failure text of a failed job.
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Events is the current event-log length; a stream reader is
+	// caught up when it has consumed this many lines.
+	Events    int        `json:"events"`
+	PlanCache CacheStats `json:"plan_cache"`
+}
+
+// statusOf snapshots a job into its wire shape.
+func statusOf(j *jobs.Job) JobStatus {
+	state, errMsg := j.State()
+	created, started, finished := j.Times()
+	hits, misses := j.CacheStats()
+	st := JobStatus{
+		ID:        j.ID(),
+		Method:    j.Method(),
+		Seed:      j.Seed(),
+		State:     state,
+		Error:     errMsg,
+		Created:   created,
+		Events:    j.Events(),
+		PlanCache: CacheStats{Hits: hits, Misses: misses},
+	}
+	if !started.IsZero() {
+		st.Started = &started
+	}
+	if !finished.IsZero() {
+		st.Finished = &finished
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		writeError(w, Errorf(CodeShuttingDown, "daemon is draining, not admitting jobs"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, Errorf(CodeBadRequest, "reading body: %v", err))
+		return
+	}
+	spec, err := DecodeJobSpec(body)
+	if err != nil {
+		writeError(w, Errorf(CodeBadRequest, "%v", err))
+		return
+	}
+	m, ok := s.reg.Lookup(spec.Method)
+	if !ok {
+		writeError(w, Errorf(CodeUnknownMethod, "unknown method %q (have %v)", spec.Method, s.reg.Names()))
+		return
+	}
+	rt := &Runtime{Seed: *spec.Seed, Plans: s.plans}
+	params := spec.Params
+	j, err := s.queue.Submit(spec.Method, *spec.Seed, func(ctx context.Context, job *jobs.Job) error {
+		rt.Job = job
+		return m.Run(ctx, rt, params)
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, Errorf(CodeShuttingDown, "daemon is draining, not admitting jobs"))
+		return
+	default:
+		var full *jobs.FullError
+		if errors.As(err, &full) {
+			writeError(w, Errorf(CodeQueueFull, "%v", full))
+			return
+		}
+		writeError(w, Errorf(CodeInternal, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusOf(j))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, Errorf(CodeNotFound, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.queue.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, Errorf(CodeNotFound, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(j))
+}
+
+// handleStream serves the job's event log as NDJSON: the full log
+// replays from the first line, live events follow as they are
+// emitted, each line flushed as written, and the response ends right
+// after the terminal "done" line. A disconnected client just stops
+// the copy — the job itself keeps running.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, Errorf(CodeNotFound, "%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	next := 0
+	for {
+		lines, more, terminal := j.EventsSince(next)
+		for _, line := range lines {
+			// Two writes, not append(line, '\n') — appending could
+			// scribble on the shared log entry's backing array.
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+		}
+		next += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		// The terminal "done" line is appended in the same critical
+		// section as the state change, so a terminal snapshot means
+		// the log already ends with it — everything is written.
+		if terminal {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

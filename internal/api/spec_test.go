@@ -1,0 +1,170 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"slscost/internal/scenario"
+	"slscost/internal/trace"
+)
+
+func TestDecodeJobSpec(t *testing.T) {
+	tests := []struct {
+		name    string
+		body    string
+		wantErr string // substring; "" means success
+	}{
+		{"minimal", `{"method":"fleet.simulate","seed":7}`, ""},
+		{"with params", `{"method":"opt.sweep","seed":1,"params":{"requests":1000}}`, ""},
+		{"missing seed", `{"method":"fleet.simulate"}`, "explicit seed"},
+		{"unknown field", `{"method":"fleet.simulate","seed":7,"sead":8}`, "unknown field"},
+		{"no namespace", `{"method":"simulate","seed":7}`, "not namespace.method"},
+		{"uppercase method", `{"method":"Fleet.Simulate","seed":7}`, "not namespace.method"},
+		{"trailing garbage", `{"method":"fleet.simulate","seed":7}{}`, "trailing data"},
+		{"not json", `hello`, "decoding job spec"},
+		{"wrong seed type", `{"method":"fleet.simulate","seed":"7"}`, "decoding job spec"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := DecodeJobSpec([]byte(tc.body))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("DecodeJobSpec: %v", err)
+				}
+				if spec.Seed == nil {
+					t.Fatal("decoded spec has nil seed")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("DecodeJobSpec error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1m30s"` {
+		t.Fatalf("marshaled %s, want \"1m30s\"", b)
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"2h45m"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 2*time.Hour+45*time.Minute {
+		t.Fatalf("unmarshaled %v", time.Duration(d))
+	}
+	if err := json.Unmarshal([]byte(`90`), &d); err == nil {
+		t.Fatal("numeric duration should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`"soon"`), &d); err == nil {
+		t.Fatal("unparsable duration should be rejected")
+	}
+}
+
+func TestPlanKey(t *testing.T) {
+	base := trace.DefaultGeneratorConfig()
+	base.Requests = 1000
+	base.Seed = 42
+	cfg := scenario.Config{Base: base, Tenants: 1}
+
+	if k1, k2 := PlanKey("steady", cfg), PlanKey("steady", cfg); k1 != k2 {
+		t.Fatalf("identical configs key differently:\n%s\n%s", k1, k2)
+	}
+	if PlanKey("steady", cfg) == PlanKey("flash-crowd", cfg) {
+		t.Fatal("scenario name not part of the key")
+	}
+	seeded := cfg
+	seeded.Base.Seed = 43
+	if PlanKey("steady", cfg) == PlanKey("steady", seeded) {
+		t.Fatal("generator seed not part of the key")
+	}
+	horizoned := cfg
+	horizoned.Horizon = time.Hour
+	if PlanKey("steady", cfg) == PlanKey("steady", horizoned) {
+		t.Fatal("horizon not part of the key")
+	}
+	tenanted := cfg
+	tenanted.Tenants = 4
+	if PlanKey("steady", cfg) == PlanKey("steady", tenanted) {
+		t.Fatal("tenant fan-out not part of the key")
+	}
+}
+
+func TestSimulateConfigsDefaults(t *testing.T) {
+	fc, sc, scfg, err := SimulateConfigs(SimulateParams{}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero params must resolve to the fleetsim CLI defaults, so a
+	// remote run with no overrides reproduces the CLI's default run.
+	if fc.Hosts != 32 || fc.Overcommit != 2 || fc.Seed != 99 {
+		t.Fatalf("unexpected fleet config: %+v", fc)
+	}
+	if fc.Profile.Name != "aws-lambda" {
+		t.Fatalf("default platform = %q", fc.Profile.Name)
+	}
+	if sc.Name != "steady" {
+		t.Fatalf("default scenario = %q", sc.Name)
+	}
+	if scfg.Base.Requests != 200000 || scfg.Base.Seed != 99 || scfg.Tenants != 1 {
+		t.Fatalf("unexpected scenario config: %+v", scfg)
+	}
+}
+
+func TestSimulateConfigsRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		p    SimulateParams
+		want string
+	}{
+		{"platform", SimulateParams{Platform: "nope"}, "unknown platform"},
+		{"policy", SimulateParams{Policy: "nope"}, "unknown placement policy"},
+		{"scenario", SimulateParams{Scenario: "nope"}, "unknown scenario"},
+		{"overcommit", SimulateParams{Overcommit: 0.5}, "below 1"},
+		{"tenants", SimulateParams{Tenants: -1}, "below 1"},
+		{"horizon", SimulateParams{Horizon: Duration(-time.Second)}, "negative"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := SimulateConfigs(tc.p, 1)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSweepConfigs(t *testing.T) {
+	cfg, space, err := SweepConfigs(SweepParams{
+		Scenarios:   []string{"steady"},
+		Requests:    5000,
+		Policies:    []string{"least-loaded"},
+		TTLs:        []string{"platform", "60s"},
+		Overcommits: []float64{1},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Scenarios) != 1 || cfg.Scenarios[0].Name != "steady" {
+		t.Fatalf("scenarios = %+v", cfg.Scenarios)
+	}
+	if cfg.Seed != 7 || cfg.Scenario.Base.Seed != 7 || cfg.Scenario.Base.Requests != 5000 {
+		t.Fatalf("unexpected config: %+v", cfg)
+	}
+	if len(space.Policies) != 1 || len(space.TTLs) != 2 || len(space.Overcommits) != 1 {
+		t.Fatalf("unexpected space: %+v", space)
+	}
+	if _, _, err := SweepConfigs(SweepParams{Scenarios: []string{"nope"}}, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, _, err := SweepConfigs(SweepParams{TTLs: []string{"soon"}}, 1); err == nil {
+		t.Fatal("unparsable TTL accepted")
+	}
+}

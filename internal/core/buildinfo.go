@@ -1,0 +1,43 @@
+package core
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the semantic version of the slscost toolset, shared by
+// every cmd/ binary's -version flag, the slscostd daemon's startup
+// log, and the GET /v1/health payload. Bump it when a release changes
+// observable behavior (report fields, API payloads, CLI flags).
+const Version = "0.6.0"
+
+// BuildInfo renders the one-line build identification the -version
+// flag of every binary prints: version, toolchain, and — when the
+// binary was built from a VCS checkout — the revision stamp the Go
+// toolchain embedded. It is a pure function of the running binary, so
+// every tool reports the same line for the same build.
+func BuildInfo() string {
+	s := "slscost v" + Version + " " + runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				modified = kv.Value
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			s += " (" + rev
+			if modified == "true" {
+				s += "-dirty"
+			}
+			s += ")"
+		}
+	}
+	return s
+}

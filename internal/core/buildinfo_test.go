@@ -1,0 +1,23 @@
+package core
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestBuildInfo(t *testing.T) {
+	s := BuildInfo()
+	if !strings.HasPrefix(s, "slscost v"+Version+" ") {
+		t.Fatalf("BuildInfo() = %q, want slscost v%s prefix", s, Version)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("BuildInfo() = %q, missing toolchain %s", s, runtime.Version())
+	}
+	if strings.Contains(s, "\n") {
+		t.Fatalf("BuildInfo() must be one line, got %q", s)
+	}
+	if BuildInfo() != s {
+		t.Fatal("BuildInfo() is not stable across calls")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"slscost/internal/core"
@@ -43,7 +44,7 @@ func RunOptExperiment(opts Options) error {
 		Scenario: scenario.Config{Base: base},
 		Seed:     opts.Seed,
 	}
-	sr, err := opt.Sweep(cfg, space)
+	sr, err := opt.Sweep(context.Background(), cfg, space)
 	if err != nil {
 		return err
 	}
@@ -90,7 +91,7 @@ func RunOptExperiment(opts Options) error {
 	if !ok {
 		return fmt.Errorf("ext-opt: empty pareto frontier")
 	}
-	rr, err := opt.Refine(cfg, start.Candidate, opt.RefineConfig{})
+	rr, err := opt.Refine(context.Background(), cfg, start.Candidate, opt.RefineConfig{})
 	if err != nil {
 		return err
 	}

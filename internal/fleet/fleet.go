@@ -23,6 +23,7 @@ package fleet
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -134,7 +135,7 @@ type pod struct {
 // is enforced, so first-appearance order already is first-arrival
 // order — no re-sort needed.)
 func buildPods(tr *trace.Trace) ([]*pod, error) {
-	pods, _, err := scanPods(trace.FromTrace(tr))
+	pods, _, err := scanPods(context.Background(), trace.FromTrace(tr))
 	if err != nil {
 		return nil, err
 	}

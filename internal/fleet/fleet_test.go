@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -280,8 +281,8 @@ func TestEmptyTraceSentinel(t *testing.T) {
 	if _, err := Simulate(testConfig(t, "least-loaded"), &trace.Trace{}); !errors.Is(err, ErrEmptyTrace) {
 		t.Errorf("Simulate(empty trace): got %v, want ErrEmptyTrace", err)
 	}
-	if _, err := SimulateStream(testConfig(t, "least-loaded"), trace.SourceOf(&trace.Trace{})); !errors.Is(err, ErrEmptyTrace) {
-		t.Errorf("SimulateStream(empty source): got %v, want ErrEmptyTrace", err)
+	if _, err := SimulateStream(context.Background(), testConfig(t, "least-loaded"), trace.SourceOf(&trace.Trace{})); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("SimulateStream(context.Background(), empty source): got %v, want ErrEmptyTrace", err)
 	}
 	// The all-rejected case stays a descriptive error, not the sentinel:
 	// requests existed, the cluster just could not place any of them.

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,12 @@ const (
 	// Together with streamBatchSize it caps the feeder/worker decoupling
 	// at a few hundred kilobytes per shard, whatever the trace size.
 	streamChannelDepth = 4
+	// cancelCheckMask gates how often the streaming loops poll their
+	// context: every (mask+1) requests. Cancellation latency is
+	// therefore bounded to that many source pulls plus the in-flight
+	// channel batches — the promptness contract the daemon's job
+	// cancellation tests pin — at a per-request cost of one mask test.
+	cancelCheckMask = 0x3ff
 )
 
 // streamItem is one routed request: the pod carries the placement
@@ -49,13 +56,19 @@ type streamItem struct {
 // every pod in order of first arrival, with its flavor, extent, and
 // request count — but no per-request state. It enforces the same input
 // contract as the batch path's buildPods: requests sorted by arrival,
-// per-pod flavors constant.
-func scanPods(s trace.Stream) ([]*pod, int, error) {
+// per-pod flavors constant. Cancelling ctx stops the scan within
+// cancelCheckMask+1 pulls.
+func scanPods(ctx context.Context, s trace.Stream) ([]*pod, int, error) {
 	byID := make(map[int]*pod)
 	var pods []*pod
 	var prev time.Duration
 	n := 0
 	for r, ok := s.Next(); ok; r, ok = s.Next() {
+		if n&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		if n > 0 && r.Start < prev {
 			return nil, 0, fmt.Errorf("fleet: trace not sorted by arrival (request %d at %v after %v)",
 				n, r.Start, prev)
@@ -96,12 +109,22 @@ func scanPods(s trace.Stream) ([]*pod, int, error) {
 // generators reopening just re-derives the stream). Host workers
 // simulate concurrently with the second pass, so trace synthesis and
 // cluster replay overlap.
-func SimulateStream(cfg Config, src trace.Source) (Report, error) {
+//
+// Cancelling ctx makes the call return ctx.Err() promptly: both passes
+// poll the context every cancelCheckMask+1 requests, so a cancelled
+// simulation pulls at most that many further events from the source
+// (plus the batches already in flight to the shard workers) before
+// unwinding. The context never affects a completed report — only
+// whether one is produced.
+func SimulateStream(ctx context.Context, cfg Config, src trace.Source) (Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return Report{}, err
 	}
 	if src == nil {
 		return Report{}, fmt.Errorf("fleet: nil stream source")
+	}
+	if ctx == nil {
+		return Report{}, fmt.Errorf("fleet: nil context")
 	}
 	workers := cfg.Workers
 	if workers == 0 {
@@ -113,7 +136,7 @@ func SimulateStream(cfg Config, src trace.Source) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	pods, total, err := scanPods(s1)
+	pods, total, err := scanPods(ctx, s1)
 	if err != nil {
 		return Report{}, err
 	}
@@ -177,6 +200,11 @@ func SimulateStream(cfg Config, src trace.Source) (Report, error) {
 	batches := make([][]streamItem, workers)
 	seen := 0
 	for r, ok := s2.Next(); ok; r, ok = s2.Next() {
+		if seen&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return abort(err)
+			}
+		}
 		seen++
 		p := byID[r.PodID]
 		if p == nil {
@@ -214,9 +242,25 @@ func SimulateStream(cfg Config, src trace.Source) (Report, error) {
 // SimulateScenarioStream is SimulateScenario on the streaming path:
 // the scenario's trace is synthesized lazily and consumed by
 // SimulateStream, so the workload never materializes. The report is
-// byte-identical to SimulateScenario's.
-func SimulateScenarioStream(cfg Config, sc scenario.Scenario, scfg scenario.Config) (Report, error) {
-	rep, err := SimulateStream(cfg, sc.Source(scfg))
+// byte-identical to SimulateScenario's. Cancellation follows
+// SimulateStream's contract: ctx.Err() returns promptly.
+func SimulateScenarioStream(ctx context.Context, cfg Config, sc scenario.Scenario, scfg scenario.Config) (Report, error) {
+	rep, err := SimulateStream(ctx, cfg, sc.Source(scfg))
 	rep.Scenario = sc.Name
+	return rep, err
+}
+
+// SimulatePlanStream replays a pre-compiled scenario plan
+// (scenario.Scenario.Compile). It is SimulateScenarioStream minus the
+// per-call tenant resolution and calibration sweep — the variant the
+// daemon's plan cache and the optimizer's per-sweep compilation reuse —
+// and produces the byte-identical report, because a plan's Source
+// openings are identical to the scenario's own.
+func SimulatePlanStream(ctx context.Context, cfg Config, plan *scenario.Plan) (Report, error) {
+	if plan == nil {
+		return Report{}, fmt.Errorf("fleet: nil scenario plan")
+	}
+	rep, err := SimulateStream(ctx, cfg, plan.Source())
+	rep.Scenario = plan.Name()
 	return rep, err
 }

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -54,7 +56,7 @@ func TestSimulateStreamMatchesSimulate(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			srep, err := SimulateScenarioStream(streamTestConfig(t, "least-loaded", 2), sc, scfg)
+			srep, err := SimulateScenarioStream(context.Background(), streamTestConfig(t, "least-loaded", 2), sc, scfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,7 +69,7 @@ func TestSimulateStreamMatchesSimulate(t *testing.T) {
 
 // TestSimulateStreamRawTrace checks the raw-generator path and the
 // materialized-trace adapter: Simulate(tr) and
-// SimulateStream(SourceOf(tr)) agree byte-for-byte, as does
+// SimulateStream(context.Background(), SourceOf(tr)) agree byte-for-byte, as does
 // SimulateStream over GenerateSource.
 func TestSimulateStreamRawTrace(t *testing.T) {
 	gen := trace.DefaultGeneratorConfig()
@@ -78,11 +80,11 @@ func TestSimulateStreamRawTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromTrace, err := SimulateStream(streamTestConfig(t, "bin-pack", 3), trace.SourceOf(tr))
+	fromTrace, err := SimulateStream(context.Background(), streamTestConfig(t, "bin-pack", 3), trace.SourceOf(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromGen, err := SimulateStream(streamTestConfig(t, "bin-pack", 3), trace.GenerateSource(gen))
+	fromGen, err := SimulateStream(context.Background(), streamTestConfig(t, "bin-pack", 3), trace.GenerateSource(gen))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestStreamLatencyQuantilesWorkerIndependent(t *testing.T) {
 		t.Fatalf("latency histogram count %d != served %d", base.Latency.N, base.Served)
 	}
 	for _, workers := range []int{1, 4, 8} {
-		srep, err := SimulateStream(streamTestConfig(t, "least-loaded", workers), trace.SourceOf(tr))
+		srep, err := SimulateStream(context.Background(), streamTestConfig(t, "least-loaded", workers), trace.SourceOf(tr))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +140,7 @@ func TestSimulateStreamWorkerCountIndependent(t *testing.T) {
 	gen.Requests = 4000
 	var base string
 	for i, workers := range []int{1, 2, 7} {
-		rep, err := SimulateStream(streamTestConfig(t, "round-robin", workers), trace.GenerateSource(gen))
+		rep, err := SimulateStream(context.Background(), streamTestConfig(t, "round-robin", workers), trace.GenerateSource(gen))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +167,7 @@ func TestSimulateStreamStatefulPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srep, err := SimulateStream(streamTestConfig(t, "round-robin", 2), trace.SourceOf(tr))
+	srep, err := SimulateStream(context.Background(), streamTestConfig(t, "round-robin", 2), trace.SourceOf(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +214,7 @@ func TestSimulateStreamExactTie(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srep, err := SimulateStream(mk(), trace.SourceOf(tr))
+	srep, err := SimulateStream(context.Background(), mk(), trace.SourceOf(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,11 +230,11 @@ func TestSimulateStreamExactTie(t *testing.T) {
 func TestSimulateStreamErrors(t *testing.T) {
 	cfg := streamTestConfig(t, "least-loaded", 2)
 
-	if _, err := SimulateStream(cfg, nil); err == nil {
+	if _, err := SimulateStream(context.Background(), cfg, nil); err == nil {
 		t.Error("nil source: expected error")
 	}
 	empty := trace.SourceOf(&trace.Trace{})
-	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), empty); !errors.Is(err, ErrEmptyTrace) {
+	if _, err := SimulateStream(context.Background(), streamTestConfig(t, "least-loaded", 2), empty); !errors.Is(err, ErrEmptyTrace) {
 		t.Errorf("empty source: got %v, want ErrEmptyTrace", err)
 	}
 
@@ -240,7 +242,7 @@ func TestSimulateStreamErrors(t *testing.T) {
 		{PodID: 1, Start: 100, Duration: 1, AllocCPU: 1, AllocMemMB: 128},
 		{PodID: 1, Start: 50, Duration: 1, AllocCPU: 1, AllocMemMB: 128},
 	}}
-	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), trace.SourceOf(unsorted)); err == nil ||
+	if _, err := SimulateStream(context.Background(), streamTestConfig(t, "least-loaded", 2), trace.SourceOf(unsorted)); err == nil ||
 		!strings.Contains(err.Error(), "not sorted") {
 		t.Errorf("unsorted source: got %v", err)
 	}
@@ -249,7 +251,7 @@ func TestSimulateStreamErrors(t *testing.T) {
 		{PodID: 1, Start: 50, Duration: 1, AllocCPU: 1, AllocMemMB: 128},
 		{PodID: 1, Start: 100, Duration: 1, AllocCPU: 2, AllocMemMB: 128},
 	}}
-	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), trace.SourceOf(flavorFlip)); err == nil ||
+	if _, err := SimulateStream(context.Background(), streamTestConfig(t, "least-loaded", 2), trace.SourceOf(flavorFlip)); err == nil ||
 		!strings.Contains(err.Error(), "changes flavor") {
 		t.Errorf("flavor flip: got %v", err)
 	}
@@ -268,8 +270,98 @@ func TestSimulateStreamErrors(t *testing.T) {
 		}
 		return trace.FromTrace(small), nil
 	}
-	if _, err := SimulateStream(streamTestConfig(t, "least-loaded", 2), fickle); err == nil ||
+	if _, err := SimulateStream(context.Background(), streamTestConfig(t, "least-loaded", 2), fickle); err == nil ||
 		!strings.Contains(err.Error(), "changed between passes") {
 		t.Errorf("fickle source: got %v", err)
+	}
+}
+
+// cancelAtStream counts every pull from the wrapped stream on a shared
+// counter and fires cancel exactly once when the counter reaches the
+// trigger point.
+type cancelAtStream struct {
+	inner  trace.Stream
+	pulls  *atomic.Int64
+	at     int64
+	cancel context.CancelFunc
+}
+
+func (cs *cancelAtStream) Next() (trace.Request, bool) {
+	if cs.pulls.Add(1) == cs.at {
+		cs.cancel()
+	}
+	return cs.inner.Next()
+}
+
+// TestSimulateStreamCancelBounded is the cancellation regression test:
+// cancelling a 1M-request streamed simulation mid-replay must return
+// context.Canceled after a bounded number of further source events —
+// not after draining the remaining trace. The bound is the polling
+// interval plus the batches already routed to shard channels, with
+// generous slack; an unbounded drain would blow it by hundreds of
+// thousands of events.
+func TestSimulateStreamCancelBounded(t *testing.T) {
+	gen := trace.DefaultGeneratorConfig()
+	gen.Requests = 1_000_000
+	gen.Seed = 20260613
+
+	// Cancel mid pass 2: after the full placement scan (1M pulls) plus
+	// 100k replayed events.
+	var pulls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trigger := int64(gen.Requests + 100_000)
+	src := func() (trace.Stream, error) {
+		s, err := trace.GenerateSource(gen)()
+		if err != nil {
+			return nil, err
+		}
+		return &cancelAtStream{inner: s, pulls: &pulls, at: trigger, cancel: cancel}, nil
+	}
+	_, err := SimulateStream(ctx, streamTestConfig(t, "least-loaded", 4), src)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SimulateStream: got %v, want context.Canceled", err)
+	}
+	// Polling happens every cancelCheckMask+1 events and each of the 4
+	// shard channels can hold streamChannelDepth batches; 64k of slack
+	// is more than an order of magnitude above both.
+	if got, max := pulls.Load(), trigger+64_000; got > max {
+		t.Errorf("cancelled stream pulled %d events, want <= %d (bounded cancellation)", got, max)
+	}
+
+	// Cancel mid pass 1 (the placement scan): same promptness contract.
+	pulls.Store(0)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	src2 := func() (trace.Stream, error) {
+		s, err := trace.GenerateSource(gen)()
+		if err != nil {
+			return nil, err
+		}
+		return &cancelAtStream{inner: s, pulls: &pulls, at: 100_000, cancel: cancel2}, nil
+	}
+	if _, err := SimulateStream(ctx2, streamTestConfig(t, "least-loaded", 4), src2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("scan-phase cancel: got %v, want context.Canceled", err)
+	}
+	if got, max := pulls.Load(), int64(100_000+64_000); got > max {
+		t.Errorf("scan-phase cancel pulled %d events, want <= %d", got, max)
+	}
+
+	// An already-cancelled context returns before pulling the source at all.
+	done, doneCancel := context.WithCancel(context.Background())
+	doneCancel()
+	pulls.Store(0)
+	src3 := func() (trace.Stream, error) {
+		s, err := trace.GenerateSource(gen)()
+		if err != nil {
+			return nil, err
+		}
+		return &cancelAtStream{inner: s, pulls: &pulls, at: -1, cancel: func() {}}, nil
+	}
+	if _, err := SimulateStream(done, streamTestConfig(t, "least-loaded", 4), src3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled SimulateStream: got %v, want context.Canceled", err)
+	}
+	if got := pulls.Load(); got > 1024 {
+		t.Errorf("pre-cancelled stream pulled %d events, want ~0", got)
 	}
 }

@@ -1,0 +1,404 @@
+// Package jobs is the bounded job queue behind the slscostd daemon:
+// FIFO admission with a typed rejection when the queue is full, a
+// fixed worker pool, per-job context cancellation, an append-only
+// per-job event log (one JSON line per event, the NDJSON stream the
+// HTTP layer serves) with broadcast to any number of late or live
+// subscribers, and graceful drain with a deadline.
+//
+// The package is deliberately engine-agnostic: a job is just a named,
+// seeded Runner closure. The HTTP layer (internal/api) compiles a
+// decoded job spec into that closure; this package only decides when
+// it runs, under which context, and how its output reaches readers.
+// Determinism therefore lives entirely in the engines — the queue
+// adds no randomness, and a job's event log depends only on its spec
+// and seed.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase. Transitions are strictly
+// queued → running → one of the three terminal states, except that a
+// queued job cancelled before a worker picks it up goes straight to
+// StateCancelled.
+type State string
+
+// The job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Runner executes one job. It must honor ctx — the queue cancels it on
+// DELETE and on forced drain — and should report progress through
+// j.Emit. A nil return marks the job done; context.Canceled marks it
+// cancelled; any other error marks it failed with the error text.
+type Runner func(ctx context.Context, j *Job) error
+
+// FullError is the typed rejection Submit returns when the pending
+// queue is at capacity: callers (the HTTP layer maps it to 429) can
+// distinguish back-pressure from every other failure.
+type FullError struct {
+	// Capacity is the queue bound that was hit.
+	Capacity int
+}
+
+// Error implements the error interface.
+func (e *FullError) Error() string {
+	return fmt.Sprintf("jobs: queue full (%d pending)", e.Capacity)
+}
+
+// ErrClosed is returned by Submit once Close has begun: the queue
+// drains but admits nothing new.
+var ErrClosed = errors.New("jobs: queue closed")
+
+// ErrNotFound is returned by Get and Cancel for unknown job IDs.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// Job is one unit of queued work: identity, lifecycle state, the
+// cancellable context its runner sees, an append-only event log, and
+// the per-job plan-cache counters the status payload reports.
+type Job struct {
+	id     string
+	method string
+	seed   uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    Runner
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	events   [][]byte
+	notify   chan struct{}
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	hits     int
+	misses   int
+}
+
+// ID returns the job's queue-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Method returns the namespaced method name the job runs.
+func (j *Job) Method() string { return j.method }
+
+// Seed returns the job's explicit reproducibility seed.
+func (j *Job) Seed() uint64 { return j.seed }
+
+// Context returns the job's cancellable context — the one its Runner
+// receives and Cancel cancels.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// State returns the current lifecycle state and, for failed jobs, the
+// error text.
+func (j *Job) State() (State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// Times returns the creation, start, and finish timestamps; zero
+// values mean the phase has not happened.
+func (j *Job) Times() (created, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created, j.started, j.finished
+}
+
+// NoteCache records one plan-cache lookup outcome for this job; the
+// counters surface in the status payload so a client can assert that a
+// repeated spec hit the cache.
+func (j *Job) NoteCache(hit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if hit {
+		j.hits++
+	} else {
+		j.misses++
+	}
+}
+
+// CacheStats returns the job's plan-cache hit and miss counts.
+func (j *Job) CacheStats() (hits, misses int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits, j.misses
+}
+
+// Emit appends one event to the job's log as a single JSON line and
+// wakes every subscriber. Events are never dropped or reordered; a
+// subscriber that joins late replays the full log from the start.
+func (j *Job) Emit(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding event: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.append(line)
+	return nil
+}
+
+// append adds a pre-marshaled line and broadcasts. Callers hold j.mu.
+func (j *Job) append(line []byte) {
+	j.events = append(j.events, line)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// lifecycleEvent is the queue-emitted terminal line closing every
+// job's event stream: readers learn the final state (and failure
+// text) in-band, so a stream is complete exactly when they have seen
+// a "done" line.
+type lifecycleEvent struct {
+	Type  string `json:"type"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// EventsSince returns the event lines from index i on, a channel that
+// closes when anything newer arrives, and whether the job has reached
+// a terminal state. The idiomatic subscriber loop: consume lines,
+// then either stop (terminal and caught up) or wait on the channel.
+func (j *Job) EventsSince(i int) (lines [][]byte, more <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i < len(j.events) {
+		lines = j.events[i:]
+	}
+	return lines, j.notify, j.state.Terminal()
+}
+
+// Events returns how many events the job has emitted so far.
+func (j *Job) Events() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Cancel cancels the job: a queued job finishes immediately as
+// cancelled (workers skip it), a running job's context is cancelled
+// and the runner unwinds, and a terminal job is left untouched.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.finishLocked(StateCancelled, "")
+	}
+	j.mu.Unlock()
+}
+
+// finishLocked moves the job to a terminal state and appends the
+// lifecycle event. Callers hold j.mu; terminal states never change.
+func (j *Job) finishLocked(s State, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	line, err := json.Marshal(lifecycleEvent{Type: "done", State: s, Error: errMsg})
+	if err != nil {
+		// lifecycleEvent is all strings; Marshal cannot fail. Keep the
+		// stream well-formed anyway.
+		line = []byte(`{"type":"done","state":"` + string(s) + `"}`)
+	}
+	j.append(line)
+}
+
+// Config sizes a Queue.
+type Config struct {
+	// Workers is the number of jobs that run concurrently; zero means
+	// GOMAXPROCS.
+	Workers int
+	// Capacity bounds how many admitted jobs may wait for a worker;
+	// zero means 64. Submit returns *FullError beyond it — admission
+	// is FIFO, rejection is immediate, nothing ever blocks.
+	Capacity int
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	return c
+}
+
+// Queue is the bounded FIFO job queue: Submit admits (or rejects), a
+// fixed worker pool runs, Cancel aborts, Close drains.
+type Queue struct {
+	cfg     Config
+	base    context.Context
+	killAll context.CancelFunc
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	nextID  int
+	closed  bool
+	pending chan *Job
+
+	wg sync.WaitGroup
+}
+
+// New starts a queue with cfg.Workers workers.
+func New(cfg Config) *Queue {
+	cfg = cfg.withDefaults()
+	base, killAll := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:     cfg,
+		base:    base,
+		killAll: killAll,
+		jobs:    make(map[string]*Job),
+		pending: make(chan *Job, cfg.Capacity),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit admits a job at the queue's tail and returns it, or rejects:
+// *FullError at capacity, ErrClosed after Close. The job's ID is
+// assigned in admission order.
+func (q *Queue) Submit(method string, seed uint64, run Runner) (*Job, error) {
+	if run == nil {
+		return nil, fmt.Errorf("jobs: nil runner")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	q.nextID++
+	ctx, cancel := context.WithCancel(q.base)
+	j := &Job{
+		id:      fmt.Sprintf("j%06d", q.nextID),
+		method:  method,
+		seed:    seed,
+		ctx:     ctx,
+		cancel:  cancel,
+		run:     run,
+		state:   StateQueued,
+		notify:  make(chan struct{}),
+		created: time.Now(),
+	}
+	select {
+	case q.pending <- j:
+	default:
+		cancel()
+		return nil, &FullError{Capacity: q.cfg.Capacity}
+	}
+	q.jobs[j.id] = j
+	return j, nil
+}
+
+// worker runs admitted jobs until the pending channel closes.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.pending {
+		j.mu.Lock()
+		if j.state.Terminal() { // cancelled while queued
+			j.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+
+		err := j.run(j.ctx, j)
+
+		j.mu.Lock()
+		switch {
+		case err == nil:
+			j.finishLocked(StateDone, "")
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.finishLocked(StateCancelled, "")
+		default:
+			j.finishLocked(StateFailed, err.Error())
+		}
+		j.mu.Unlock()
+		j.cancel() // release the context's resources either way
+	}
+}
+
+// Get returns the job with the given ID.
+func (q *Queue) Get(id string) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel cancels the job with the given ID (see Job.Cancel).
+func (q *Queue) Cancel(id string) (*Job, error) {
+	j, err := q.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.Cancel()
+	return j, nil
+}
+
+// Len returns the number of jobs the queue has admitted (any state).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// Close drains the queue: admission stops immediately, queued and
+// running jobs keep going, and once ctx expires every survivor's
+// context is cancelled and Close waits for the workers to unwind.
+// Returns nil on a clean drain, ctx's error if the deadline forced
+// cancellation.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.pending)
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.killAll()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,398 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state or the
+// deadline passes, then returns the state.
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s, _ := j.State(); s == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s, msg := j.State()
+	t.Fatalf("job %s: state %s (%q), want %s", j.ID(), s, msg, want)
+}
+
+func TestQueueRunsJobsFIFO(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 8})
+	defer q.Close(context.Background())
+
+	var mu sync.Mutex
+	var order []string
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := q.Submit("test.noop", uint64(i), func(ctx context.Context, j *Job) error {
+			mu.Lock()
+			order = append(order, j.ID())
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitState(t, j, StateDone)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("execution order %v not FIFO (IDs are admission-ordered)", order)
+		}
+	}
+}
+
+func TestQueueFullTypedRejection(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 2})
+	defer q.Close(context.Background())
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// One running job holds the only worker...
+	if _, err := q.Submit("test.block", 0, func(ctx context.Context, j *Job) error {
+		close(started)
+		<-block
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...two more fill the pending buffer...
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit("test.noop", 0, func(ctx context.Context, j *Job) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...and the next is rejected with the typed error.
+	_, err := q.Submit("test.noop", 0, func(ctx context.Context, j *Job) error { return nil })
+	var full *FullError
+	if !errors.As(err, &full) {
+		t.Fatalf("overfull submit: got %v, want *FullError", err)
+	}
+	if full.Capacity != 2 {
+		t.Fatalf("FullError.Capacity = %d, want 2", full.Capacity)
+	}
+	close(block)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 8})
+	defer q.Close(context.Background())
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	running, err := q.Submit("test.block", 0, func(ctx context.Context, j *Job) error {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-block:
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := q.Submit("test.noop", 0, func(ctx context.Context, j *Job) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelling a queued job is immediate; the worker later skips it.
+	queued.Cancel()
+	if s, _ := queued.State(); s != StateCancelled {
+		t.Fatalf("cancelled queued job: state %s, want cancelled", s)
+	}
+
+	// Cancelling the running job unblocks it through its context, and
+	// the context.Canceled it returns maps to StateCancelled.
+	if _, err := q.Cancel(running.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateCancelled)
+
+	// The worker slot is free again: a fresh job completes.
+	after, err := q.Submit("test.noop", 0, func(ctx context.Context, j *Job) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, after, StateDone)
+
+	if _, err := q.Cancel("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel unknown: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestJobFailureState(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 4})
+	defer q.Close(context.Background())
+	j, err := q.Submit("test.fail", 0, func(ctx context.Context, j *Job) error {
+		return fmt.Errorf("deliberate failure")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateFailed)
+	if _, msg := j.State(); !strings.Contains(msg, "deliberate failure") {
+		t.Fatalf("failed job message %q", msg)
+	}
+}
+
+// TestEventLogReplayAndFollow pins the streaming contract: a late
+// subscriber replays the full log from the start, a live one is woken
+// for every append, and the queue-emitted terminal line closes the
+// stream in-band.
+func TestEventLogReplayAndFollow(t *testing.T) {
+	q := New(Config{Workers: 1, Capacity: 4})
+	defer q.Close(context.Background())
+
+	release := make(chan struct{})
+	j, err := q.Submit("test.emit", 7, func(ctx context.Context, j *Job) error {
+		for i := 0; i < 3; i++ {
+			if err := j.Emit(map[string]int{"i": i}); err != nil {
+				return err
+			}
+		}
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Follow the stream to completion from index 0.
+	var lines [][]byte
+	go func() { time.Sleep(10 * time.Millisecond); close(release) }()
+	i := 0
+	for {
+		chunk, more, terminal := j.EventsSince(i)
+		lines = append(lines, chunk...)
+		i += len(chunk)
+		if terminal && len(chunk) == 0 {
+			break
+		}
+		if len(chunk) == 0 {
+			<-more
+		}
+	}
+	if len(lines) != 4 { // 3 payload events + terminal line
+		t.Fatalf("followed %d events, want 4: %s", len(lines), lines)
+	}
+	var last lifecycleEvent
+	if err := json.Unmarshal(lines[3], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" || last.State != StateDone {
+		t.Fatalf("terminal line %s, want done/done", lines[3])
+	}
+
+	// A late subscriber replays the identical log.
+	replay, _, terminal := j.EventsSince(0)
+	if !terminal || len(replay) != 4 {
+		t.Fatalf("late replay: %d events (terminal=%v), want 4, true", len(replay), terminal)
+	}
+	if j.Events() != 4 {
+		t.Fatalf("Events() = %d, want 4", j.Events())
+	}
+}
+
+// TestCloseDrainsWithDeadline pins both drain outcomes: a queue whose
+// jobs finish in time closes cleanly, and one whose job ignores the
+// deadline has it cancelled and reported.
+func TestCloseDrainsWithDeadline(t *testing.T) {
+	// Clean drain: queued work completes during Close.
+	q := New(Config{Workers: 1, Capacity: 8})
+	var done []*Job
+	for i := 0; i < 3; i++ {
+		j, err := q.Submit("test.noop", 0, func(ctx context.Context, j *Job) error {
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = append(done, j)
+	}
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatalf("clean drain: %v", err)
+	}
+	for _, j := range done {
+		if s, _ := j.State(); s != StateDone {
+			t.Fatalf("drained job %s: state %s, want done", j.ID(), s)
+		}
+	}
+	if _, err := q.Submit("test.noop", 0, func(ctx context.Context, j *Job) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+
+	// Forced drain: the straggler is cancelled at the deadline.
+	q2 := New(Config{Workers: 1, Capacity: 4})
+	started := make(chan struct{})
+	straggler, err := q2.Submit("test.block", 0, func(ctx context.Context, j *Job) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q2.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain: got %v, want DeadlineExceeded", err)
+	}
+	if s, _ := straggler.State(); s != StateCancelled {
+		t.Fatalf("straggler state %s, want cancelled", s)
+	}
+}
+
+// TestQueueConcurrentSubmitCancelDrain is the race-enabled stress
+// test: many goroutines submit, cancel, and read concurrently while
+// the queue drains. It asserts no job is lost and every admitted job
+// reaches a terminal state; the race detector asserts the locking.
+func TestQueueConcurrentSubmitCancelDrain(t *testing.T) {
+	q := New(Config{Workers: 4, Capacity: 256})
+	var mu sync.Mutex
+	var admitted []*Job
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				j, err := q.Submit("test.spin", uint64(i), func(ctx context.Context, j *Job) error {
+					if err := j.Emit(map[string]string{"id": j.ID()}); err != nil {
+						return err
+					}
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					case <-time.After(time.Duration(i%3) * time.Millisecond):
+						return nil
+					}
+				})
+				if err != nil {
+					var full *FullError
+					if errors.As(err, &full) || errors.Is(err, ErrClosed) {
+						continue // rejection is a legitimate outcome here
+					}
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				admitted = append(admitted, j)
+				mu.Unlock()
+				if i%4 == 0 {
+					j.Cancel()
+				}
+				if i%7 == 0 {
+					if _, err := q.Get(j.ID()); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(admitted) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	for _, j := range admitted {
+		s, msg := j.State()
+		if !s.Terminal() {
+			t.Fatalf("job %s left in state %s (%q) after drain", j.ID(), s, msg)
+		}
+	}
+}
+
+func TestLRU(t *testing.T) {
+	c := NewLRU[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was refreshed)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a evicted instead of b (got %d, %v)", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("stats = %d hits, %d misses; want 2, 2", hits, misses)
+	}
+	// Refreshing an existing key must not grow the cache.
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("refreshed a = %d, want 10", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after refresh = %d, want 2", c.Len())
+	}
+	// Degenerate capacity clamps to 1 instead of caching nothing.
+	one := NewLRU[int, int](0)
+	one.Put(1, 1)
+	if v, ok := one.Get(1); !ok || v != 1 {
+		t.Fatalf("capacity-clamped cache: got %d, %v", v, ok)
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines; the race
+// detector asserts the locking, the final checks the accounting.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 32
+				if v, ok := c.Get(k); ok && v != k {
+					t.Errorf("key %d cached as %d", k, v)
+				} else if !ok {
+					c.Put(k, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 8*200 {
+		t.Fatalf("stats account for %d lookups, want %d", hits+misses, 8*200)
+	}
+}

@@ -1,0 +1,92 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a size-bounded least-recently-used cache with hit/miss
+// accounting, safe for concurrent use. The daemon keys one of these by
+// canonicalized job spec to share compiled scenario plans across jobs
+// (internal/api.PlanKey builds the key); it is generic because nothing
+// about the eviction policy or the counters is plan-specific.
+//
+// Lookups and inserts are independent operations: two goroutines that
+// miss on the same key concurrently will both compute and both Put,
+// last writer winning. For a cache of deterministic compilations the
+// duplicate work is the only cost — both values are identical.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+// lruEntry is one key/value pair on the recency list.
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns an LRU bounded to capacity entries; capacity < 1 is
+// treated as 1 (a cache that can hold nothing would turn every lookup
+// into a miss and silently disable caching).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		cap:     capacity,
+		entries: make(map[K]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently
+// used. Every call counts toward the hit/miss totals.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(lruEntry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used
+// entry beyond capacity.
+func (c *LRU[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = lruEntry[K, V]{key: key, val: val}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(lruEntry[K, V]{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(lruEntry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -104,11 +104,24 @@ type jsonCandidate struct {
 	Pareto        bool       `json:"pareto"`
 }
 
-// jsonResult is one evaluation row in the JSON document.
-type jsonResult struct {
+// ResultRow is the compact serialized form of one (candidate,
+// scenario) evaluation: the row shape of WriteJSON's results array and
+// of the slscostd daemon's streamed NDJSON sweep rows. Keeping both on
+// this one type is what makes "streamed rows match the in-process run
+// byte-for-byte" a mechanical guarantee rather than a convention.
+type ResultRow struct {
 	Candidate  string     `json:"candidate"`
 	Scenario   string     `json:"scenario"`
 	Objectives Objectives `json:"objectives"`
+}
+
+// Row reduces the evaluation to its serialized row.
+func (r Result) Row() ResultRow {
+	return ResultRow{
+		Candidate:  r.Candidate.Key(),
+		Scenario:   r.Scenario,
+		Objectives: r.Objectives,
+	}
 }
 
 // jsonSweep is the serialized sweep document.
@@ -119,7 +132,7 @@ type jsonSweep struct {
 	Scenarios  []string        `json:"scenarios"`
 	Candidates []jsonCandidate `json:"candidates"`
 	Frontier   []string        `json:"frontier"`
-	Results    []jsonResult    `json:"results"`
+	Results    []ResultRow     `json:"results"`
 }
 
 // WriteJSON writes the sweep as one JSON document: per-candidate
@@ -152,11 +165,7 @@ func (sr *SweepResult) WriteJSON(w io.Writer) error {
 		})
 	}
 	for _, r := range sr.Results {
-		doc.Results = append(doc.Results, jsonResult{
-			Candidate:  r.Candidate.Key(),
-			Scenario:   r.Scenario,
-			Objectives: r.Objectives,
-		})
+		doc.Results = append(doc.Results, r.Row())
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -87,8 +88,9 @@ type RefineResult struct {
 // midpoint so the knob is explicit. Probes that shed more load than
 // the start (higher rejected share) are rejected outright — cheaper
 // per *served* request by rejecting requests is not an optimum.
-// Deterministic for any cfg.Workers.
-func Refine(cfg Config, start Candidate, rc RefineConfig) (*RefineResult, error) {
+// Deterministic for any cfg.Workers. Cancelling ctx abandons the
+// descent and returns ctx.Err().
+func Refine(ctx context.Context, cfg Config, start Candidate, rc RefineConfig) (*RefineResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -105,7 +107,7 @@ func Refine(cfg Config, start Candidate, rc RefineConfig) (*RefineResult, error)
 		start.KeepAliveTTL = (ka.MinWindow + ka.MaxWindow) / 2
 	}
 
-	startObj, startRej, err := evalMean(cfg, start)
+	startObj, startRej, err := evalMean(ctx, cfg, start)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +171,7 @@ func Refine(cfg Config, start Candidate, rc RefineConfig) (*RefineResult, error)
 				if probe == best {
 					continue // clamped onto the incumbent: nothing to probe
 				}
-				obj, rej, err := evalMean(cfg, probe)
+				obj, rej, err := evalMean(ctx, cfg, probe)
 				if err != nil {
 					return nil, err
 				}

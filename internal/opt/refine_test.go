@@ -2,6 +2,7 @@ package opt
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 )
@@ -9,7 +10,7 @@ import (
 func TestRefineImprovesOrHoldsScore(t *testing.T) {
 	cfg := testConfig(t, 0)
 	start := Candidate{Policy: "least-loaded", KeepAliveTTL: 30 * time.Second, Overcommit: 2}
-	rr, err := Refine(cfg, start, RefineConfig{Rounds: 2})
+	rr, err := Refine(context.Background(), cfg, start, RefineConfig{Rounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestRefineImprovesOrHoldsScore(t *testing.T) {
 
 func TestRefineResolvesPlatformTTL(t *testing.T) {
 	cfg := testConfig(t, 0)
-	rr, err := Refine(cfg, Candidate{Policy: "least-loaded", KeepAliveTTL: PlatformTTL, Overcommit: 2},
+	rr, err := Refine(context.Background(), cfg, Candidate{Policy: "least-loaded", KeepAliveTTL: PlatformTTL, Overcommit: 2},
 		RefineConfig{Rounds: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +52,7 @@ func TestRefineResolvesPlatformTTL(t *testing.T) {
 func TestRefineDeterministicAcrossWorkers(t *testing.T) {
 	start := Candidate{Policy: "bin-pack", KeepAliveTTL: 60 * time.Second, Overcommit: 1.5}
 	run := func(workers int) string {
-		rr, err := Refine(testConfig(t, workers), start, RefineConfig{Rounds: 2})
+		rr, err := Refine(context.Background(), testConfig(t, workers), start, RefineConfig{Rounds: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,13 +68,13 @@ func TestRefineDeterministicAcrossWorkers(t *testing.T) {
 func TestRefineConfigValidation(t *testing.T) {
 	cfg := testConfig(t, 1)
 	start := Candidate{Policy: "least-loaded", KeepAliveTTL: 0, Overcommit: 1}
-	if _, err := Refine(cfg, start, RefineConfig{Shrink: 1.5}); err == nil {
+	if _, err := Refine(context.Background(), cfg, start, RefineConfig{Shrink: 1.5}); err == nil {
 		t.Error("shrink above 1 did not fail")
 	}
-	if _, err := Refine(cfg, start, RefineConfig{Rounds: -1}); err == nil {
+	if _, err := Refine(context.Background(), cfg, start, RefineConfig{Rounds: -1}); err == nil {
 		t.Error("negative rounds did not fail")
 	}
-	if _, err := Refine(cfg, Candidate{Policy: "no-such", Overcommit: 1}, RefineConfig{}); err == nil {
+	if _, err := Refine(context.Background(), cfg, Candidate{Policy: "no-such", Overcommit: 1}, RefineConfig{}); err == nil {
 		t.Error("unknown policy did not fail")
 	}
 }

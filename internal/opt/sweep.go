@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,21 @@ type Config struct {
 	// GOMAXPROCS. Each evaluation itself runs single-threaded, so the
 	// pool is the only parallelism — and it never affects any result.
 	Workers int
+	// Planner, when non-nil, supplies the compiled plan for each
+	// scenario instead of a fresh Scenario.Compile — the hook the
+	// slscostd daemon uses to share its LRU of compiled plans across
+	// jobs. A planner must return a plan equivalent to
+	// sc.Compile(scfg); because Plan openings are deterministic, a
+	// cached plan cannot change any result.
+	Planner func(sc scenario.Scenario, scfg scenario.Config) (*scenario.Plan, error)
+	// OnResult, when non-nil, receives every evaluation exactly once,
+	// in grid order (candidate-major, scenario-minor) — the same order
+	// Results holds — as soon as it and all its predecessors have
+	// completed. Emission order is therefore deterministic for any
+	// Workers. The callback runs on a worker goroutine while the sweep
+	// holds its emission lock: it must be fast and must not call back
+	// into the sweep. Refine never invokes it.
+	OnResult func(Result)
 }
 
 // withDefaults resolves the zero values.
@@ -138,8 +154,14 @@ type SweepResult struct {
 // concurrently across a bounded worker pool, and returns the grid
 // with per-candidate aggregates. Output is deterministic: identical
 // for any cfg.Workers, because evaluations are independent pure
-// functions placed by index.
-func Sweep(cfg Config, space Space) (*SweepResult, error) {
+// functions placed by index. Each scenario is compiled exactly once
+// per sweep (or fetched through cfg.Planner) and shared read-only by
+// every candidate's evaluation.
+//
+// Cancelling ctx abandons the sweep and returns ctx.Err() promptly:
+// workers stop picking up evaluations and the running ones unwind
+// through fleet.SimulateStream's own cancellation polling.
+func Sweep(ctx context.Context, cfg Config, space Space) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -148,7 +170,7 @@ func Sweep(cfg Config, space Space) (*SweepResult, error) {
 		return nil, err
 	}
 	cands := space.Candidates()
-	results, err := evaluateAll(cfg, cands)
+	results, err := evaluateAll(ctx, cfg, cands)
 	if err != nil {
 		return nil, err
 	}
@@ -168,11 +190,43 @@ func Sweep(cfg Config, space Space) (*SweepResult, error) {
 	return sr, nil
 }
 
+// compilePlans resolves every scenario of the sweep to its compiled
+// plan, through cfg.Planner when set (the daemon's cache) or a direct
+// Compile otherwise. Compilation happens once per scenario per sweep;
+// evaluations share the immutable plans.
+func compilePlans(cfg Config) ([]*scenario.Plan, error) {
+	compile := cfg.Planner
+	if compile == nil {
+		compile = func(sc scenario.Scenario, scfg scenario.Config) (*scenario.Plan, error) {
+			return sc.Compile(scfg)
+		}
+	}
+	plans := make([]*scenario.Plan, len(cfg.Scenarios))
+	for i, sc := range cfg.Scenarios {
+		p, err := compile(sc, cfg.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("opt: planner returned nil plan for scenario %s", sc.Name)
+		}
+		plans[i] = p
+	}
+	return plans, nil
+}
+
 // evaluateAll runs the (candidate × scenario) job matrix over the
 // bounded pool. Results are placed by job index and errors are
 // reported for the lowest failing index, so both the success and the
-// failure path are deterministic in the worker count.
-func evaluateAll(cfg Config, cands []Candidate) ([]Result, error) {
+// failure path are deterministic in the worker count. Completed
+// results are handed to cfg.OnResult in index order behind a
+// watermark, so row streaming is deterministic too. A cancelled ctx
+// wins over any evaluation error: the sweep returns ctx.Err().
+func evaluateAll(ctx context.Context, cfg Config, cands []Candidate) ([]Result, error) {
+	plans, err := compilePlans(cfg)
+	if err != nil {
+		return nil, err
+	}
 	type job struct{ ci, si int }
 	jobs := make([]job, 0, len(cands)*len(cfg.Scenarios))
 	for ci := range cands {
@@ -182,6 +236,28 @@ func evaluateAll(cfg Config, cands []Candidate) ([]Result, error) {
 	}
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
+
+	// The emission watermark: job j's result is emitted once every
+	// job < j has completed, so rows stream in grid order no matter
+	// which worker finishes first.
+	var emitMu sync.Mutex
+	emitted := 0
+	completed := make([]bool, len(jobs))
+	emit := func(j int) {
+		if cfg.OnResult == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		completed[j] = true
+		for emitted < len(jobs) && completed[emitted] {
+			if errs[emitted] == nil {
+				cfg.OnResult(results[emitted])
+			}
+			emitted++
+		}
+	}
+
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -189,8 +265,13 @@ func evaluateAll(cfg Config, cands []Candidate) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				c, sc := cands[jobs[j].ci], cfg.Scenarios[jobs[j].si]
-				results[j], errs[j] = evaluate(cfg, c, sc)
+				if err := ctx.Err(); err != nil {
+					errs[j] = err
+					continue
+				}
+				c, si := cands[jobs[j].ci], jobs[j].si
+				results[j], errs[j] = evaluate(ctx, cfg, c, cfg.Scenarios[si], plans[si])
+				emit(j)
 			}
 		}()
 	}
@@ -199,6 +280,9 @@ func evaluateAll(cfg Config, cands []Candidate) ([]Result, error) {
 	}
 	close(jobCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -207,14 +291,14 @@ func evaluateAll(cfg Config, cands []Candidate) ([]Result, error) {
 	return results, nil
 }
 
-// evaluate runs one candidate on one scenario over the streaming
-// replay path and extracts its objectives.
-func evaluate(cfg Config, c Candidate, sc scenario.Scenario) (Result, error) {
+// evaluate runs one candidate on one compiled scenario plan over the
+// streaming replay path and extracts its objectives.
+func evaluate(ctx context.Context, cfg Config, c Candidate, sc scenario.Scenario, plan *scenario.Plan) (Result, error) {
 	fc, err := c.fleetConfig(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	rep, err := fleet.SimulateScenarioStream(fc, sc, cfg.Scenario)
+	rep, err := fleet.SimulatePlanStream(ctx, fc, plan)
 	if err != nil {
 		return Result{}, fmt.Errorf("opt: %s on %s: %w", c.Key(), sc.Name, err)
 	}
@@ -228,9 +312,11 @@ func evaluate(cfg Config, c Candidate, sc scenario.Scenario) (Result, error) {
 
 // evalMean evaluates one candidate across every configured scenario
 // (concurrently) and returns the mean objectives — the scalar
-// refinement loop's fitness oracle.
-func evalMean(cfg Config, c Candidate) (Objectives, float64, error) {
-	results, err := evaluateAll(cfg, []Candidate{c})
+// refinement loop's fitness oracle. Row streaming is disabled: probe
+// evaluations are not sweep rows.
+func evalMean(ctx context.Context, cfg Config, c Candidate) (Objectives, float64, error) {
+	cfg.OnResult = nil
+	results, err := evaluateAll(ctx, cfg, []Candidate{c})
 	if err != nil {
 		return Objectives{}, 0, err
 	}

@@ -2,6 +2,8 @@ package opt
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -43,7 +45,7 @@ func testSpace() Space {
 }
 
 func TestSweepShapeAndOrdering(t *testing.T) {
-	sr, err := Sweep(testConfig(t, 2), testSpace())
+	sr, err := Sweep(context.Background(), testConfig(t, 2), testSpace())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestSweepShapeAndOrdering(t *testing.T) {
 func TestSweepWorkerCountIndependence(t *testing.T) {
 	type encoded struct{ csv, json, text string }
 	encode := func(workers int) encoded {
-		sr, err := Sweep(testConfig(t, workers), testSpace())
+		sr, err := Sweep(context.Background(), testConfig(t, workers), testSpace())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +136,7 @@ func TestSweepWorkerCountIndependence(t *testing.T) {
 // 30 s must increase the cold-start rate (idle gaps outlive the
 // window) — the trade the Pareto frontier exists to expose.
 func TestSweepTTLMovesColdStarts(t *testing.T) {
-	sr, err := Sweep(testConfig(t, 0), testSpace())
+	sr, err := Sweep(context.Background(), testConfig(t, 0), testSpace())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,17 +159,126 @@ func TestSweepTTLMovesColdStarts(t *testing.T) {
 
 func TestSweepRejectsBadInputs(t *testing.T) {
 	cfg := testConfig(t, 1)
-	if _, err := Sweep(cfg, Space{}); err == nil {
+	if _, err := Sweep(context.Background(), cfg, Space{}); err == nil {
 		t.Error("empty space did not fail")
 	}
 	bad := cfg
 	bad.Profile = core.Profile{}
-	if _, err := Sweep(bad, testSpace()); err == nil {
+	if _, err := Sweep(context.Background(), bad, testSpace()); err == nil {
 		t.Error("invalid profile did not fail")
 	}
 	bad = cfg
 	bad.Workers = -1
-	if _, err := Sweep(bad, testSpace()); err == nil {
+	if _, err := Sweep(context.Background(), bad, testSpace()); err == nil {
 		t.Error("negative workers did not fail")
+	}
+}
+
+// TestSweepOnResultOrder pins the streaming-row contract: OnResult
+// receives every evaluation exactly once, in grid order, for any
+// worker count — the property the daemon's NDJSON row stream and the
+// byte-identical CI smoke rely on.
+func TestSweepOnResultOrder(t *testing.T) {
+	var want []ResultRow
+	for _, workers := range []int{1, 4} {
+		cfg := testConfig(t, workers)
+		var rows []ResultRow
+		cfg.OnResult = func(r Result) { rows = append(rows, r.Row()) }
+		sr, err := Sweep(context.Background(), cfg, testSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(sr.Results) {
+			t.Fatalf("workers=%d: %d rows emitted, want %d", workers, len(rows), len(sr.Results))
+		}
+		for i, r := range sr.Results {
+			if rows[i] != r.Row() {
+				t.Fatalf("workers=%d: row %d = %+v, want %+v (grid order)", workers, i, rows[i], r.Row())
+			}
+		}
+		if want == nil {
+			want = rows
+		} else {
+			for i := range want {
+				if rows[i] != want[i] {
+					t.Fatalf("row %d differs between worker counts", i)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepPlanner pins the plan-compilation contract: the planner
+// hook is consulted exactly once per scenario per sweep, and a cached
+// plan produces the byte-identical sweep a fresh compilation does.
+func TestSweepPlanner(t *testing.T) {
+	cfg := testConfig(t, 2)
+	baseline, err := Sweep(context.Background(), cfg, testSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := make(map[string]*scenario.Plan)
+	calls := 0
+	cfg.Planner = func(sc scenario.Scenario, scfg scenario.Config) (*scenario.Plan, error) {
+		calls++
+		if p, ok := cache[sc.Name]; ok {
+			return p, nil
+		}
+		p, err := sc.Compile(scfg)
+		if err != nil {
+			return nil, err
+		}
+		cache[sc.Name] = p
+		return p, nil
+	}
+	// Two sweeps through the same cache: the second reuses both plans.
+	for pass := 0; pass < 2; pass++ {
+		sr, err := Sweep(context.Background(), cfg, testSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want bytes.Buffer
+		if err := sr.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if err := baseline.WriteJSON(&want); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("pass %d: planner-backed sweep differs from direct compilation", pass)
+		}
+	}
+	if calls != 4 {
+		t.Fatalf("planner consulted %d times, want 4 (once per scenario per sweep)", calls)
+	}
+	if len(cache) != 2 {
+		t.Fatalf("cache holds %d plans, want 2", len(cache))
+	}
+}
+
+// TestSweepCancelled pins prompt cancellation: a sweep whose context
+// is cancelled mid-run returns context.Canceled, and a pre-cancelled
+// context never evaluates anything.
+func TestSweepCancelled(t *testing.T) {
+	cfg := testConfig(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	cfg.OnResult = func(Result) {
+		n++
+		if n == 2 {
+			cancel()
+		}
+	}
+	if _, err := Sweep(ctx, cfg, testSpace()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: got %v, want context.Canceled", err)
+	}
+
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	cfg2 := testConfig(t, 2)
+	cfg2.OnResult = func(Result) { t.Error("evaluation ran under a pre-cancelled context") }
+	if _, err := Sweep(pre, cfg2, testSpace()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancel: got %v, want context.Canceled", err)
 	}
 }

@@ -22,6 +22,7 @@ package diffsim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -144,9 +145,11 @@ func Verify(cfg fleet.Config, tr *trace.Trace, tol float64) (*Result, fleet.Repo
 // the placement scan, and the incremental host clocks — against an
 // implementation that shares none of that machinery. Because the
 // replay materializes the trace, verification runs at oracle scale,
-// not at the streamed path's unbounded scale.
-func VerifyStream(cfg fleet.Config, src trace.Source, tol float64) (*Result, fleet.Report, error) {
-	rep, err := fleet.SimulateStream(cfg, src)
+// not at the streamed path's unbounded scale. Cancelling ctx stops the
+// streamed simulation promptly (fleet.SimulateStream's contract); the
+// materialized replay itself is not cancellable.
+func VerifyStream(ctx context.Context, cfg fleet.Config, src trace.Source, tol float64) (*Result, fleet.Report, error) {
+	rep, err := fleet.SimulateStream(ctx, cfg, src)
 	if err != nil {
 		return nil, rep, err
 	}

@@ -1,6 +1,7 @@
 package diffsim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -171,7 +172,7 @@ func TestVerifyStream(t *testing.T) {
 	}
 	scfg := scenario.DefaultConfig()
 	scfg.Base.Requests = 3000
-	res, rep, err := VerifyStream(fleetConfig(t, "least-loaded", core.AWS(), 4), sc.Source(scfg), DefaultTolerance)
+	res, rep, err := VerifyStream(context.Background(), fleetConfig(t, "least-loaded", core.AWS(), 4), sc.Source(scfg), DefaultTolerance)
 	if err != nil {
 		t.Fatalf("streamed report failed differential verification: %v", err)
 	}

@@ -151,3 +151,42 @@ func (s Scenario) Source(cfg Config) trace.Source {
 		return openStream(plans, horizon), nil
 	}
 }
+
+// Plan is a compiled scenario: tenant resolution, the per-tenant
+// generator calibration sweeps, and shape-mean sampling, all run once
+// at Compile time and never again. A Plan is immutable and safe for
+// concurrent use — every Source opening clones the calibration's RNG
+// snapshots, so openings are independent and identical — which is what
+// lets the slscostd daemon share one compiled plan across jobs and the
+// optimizer share one across every candidate of a sweep. The streams a
+// Plan emits are bit-identical to Scenario.Stream's for the same
+// Config.
+type Plan struct {
+	name    string
+	plans   []streamPlan
+	horizon time.Duration
+}
+
+// Compile resolves and calibrates the scenario under cfg. The returned
+// plan amortizes the expensive planning work (the calibration sweep
+// replays every generator block once); each subsequent Source opening
+// pays only for lazy emission.
+func (s Scenario) Compile(cfg Config) (*Plan, error) {
+	plans, err := s.streamPlans(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{name: s.Name, plans: plans, horizon: cfg.horizon()}, nil
+}
+
+// Name returns the compiled scenario's name.
+func (p *Plan) Name() string { return p.name }
+
+// Source returns a re-openable stream over the compiled plan. Every
+// opening yields the identical sequence Scenario.Source would emit for
+// the Config the plan was compiled under.
+func (p *Plan) Source() trace.Source {
+	return func() (trace.Stream, error) {
+		return openStream(p.plans, p.horizon), nil
+	}
+}

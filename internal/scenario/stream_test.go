@@ -82,3 +82,50 @@ func TestStreamOrdered(t *testing.T) {
 		prev = r
 	}
 }
+
+// TestPlanMatchesSource pins the compiled-plan contract: a Plan's
+// openings emit the bit-identical sequence the scenario's own Source
+// emits for the same Config, and repeated openings of one plan are
+// identical to each other — the properties that make a daemon-cached
+// plan indistinguishable from a fresh compilation.
+func TestPlanMatchesSource(t *testing.T) {
+	sc, ok := ByName("flash-crowd")
+	if !ok {
+		t.Fatal("flash-crowd missing from catalog")
+	}
+	cfg := DefaultConfig()
+	cfg.Base.Requests = 4000
+	cfg.Base.Seed = 20260613
+	cfg.Tenants = 2
+
+	plan, err := sc.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Name() != sc.Name {
+		t.Fatalf("plan name %q, want %q", plan.Name(), sc.Name)
+	}
+	open := func(src trace.Source) []trace.Request {
+		s, err := src()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []trace.Request
+		for r, ok := s.Next(); ok; r, ok = s.Next() {
+			out = append(out, r)
+		}
+		return out
+	}
+	want := open(sc.Source(cfg))
+	for pass := 0; pass < 2; pass++ {
+		got := open(plan.Source())
+		if len(got) != len(want) {
+			t.Fatalf("opening %d: %d requests, want %d", pass, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("opening %d: request %d = %+v, want %+v", pass, i, got[i], want[i])
+			}
+		}
+	}
+}

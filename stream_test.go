@@ -1,6 +1,7 @@
 package slscost
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -77,7 +78,7 @@ func TestStreamBoundedMemory(t *testing.T) {
 			Overcommit: 2,
 			Seed:       20260613,
 		}
-		rep, err = fleet.SimulateStream(cfg, trace.GenerateSource(gen))
+		rep, err = fleet.SimulateStream(context.Background(), cfg, trace.GenerateSource(gen))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func TestStreamFlatHeapAcrossTraceSizes(t *testing.T) {
 				Overcommit: 2,
 				Seed:       20260613,
 			}
-			rep, err = fleet.SimulateStream(cfg, fixedPodSource(pods, requests))
+			rep, err = fleet.SimulateStream(context.Background(), cfg, fixedPodSource(pods, requests))
 			if err != nil {
 				t.Fatal(err)
 			}
