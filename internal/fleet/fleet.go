@@ -22,7 +22,6 @@
 package fleet
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"runtime"
@@ -120,6 +119,13 @@ type pod struct {
 	reqs   []int         // indices into the trace, in arrival order (batch path only)
 	nreqs  int           // request count (set by both the batch and streaming scans)
 	host   int           // assigned host, -1 = rejected
+	sb     *sandbox      // live sandbox during simulation (owned by the host's shard)
+
+	// fnCount points at the owning host's live-instance counter for this
+	// pod's function, resolved once at the pod's first cold start. Idle
+	// transitions draw their keep-alive window from it every request, so
+	// the counter is reached through the pod instead of a map lookup.
+	fnCount *int
 }
 
 // buildPods groups the trace into pods in order of first arrival.
@@ -160,18 +166,50 @@ type release struct {
 	endSandbox bool
 }
 
-// releaseHeap is a min-heap of pending releases by time.
+// releaseHeap is a min-heap of pending releases by time. The sift
+// routines are hand-rolled (container/heap's interface methods box a
+// release per Push/Pop — two heap allocations per pod) but replicate
+// container/heap's exact algorithm, so elements with equal times pop in
+// the same order and the placement pass's float accumulation order is
+// unchanged.
 type releaseHeap []release
 
-func (h releaseHeap) Len() int           { return len(h) }
-func (h releaseHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(release)) }
-func (h *releaseHeap) Pop() any {
-	old := *h
-	n := len(old) - 1
-	top := old[n]
-	*h = old[:n]
+func (h *releaseHeap) push(r release) {
+	*h = append(*h, r)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[i].at <= s[j].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *releaseHeap) popMin() release {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].at < s[l].at {
+			m = r
+		}
+		if s[i].at <= s[m].at {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return top
 }
 
@@ -240,7 +278,7 @@ func placeAll(cfg Config, pods []*pod) (view View, ps placeStats) {
 
 	for _, p := range pods {
 		for len(pending) > 0 && pending[0].at <= p.first {
-			rel := heap.Pop(&pending).(release)
+			rel := pending.popMin()
 			h := &view.Hosts[rel.host]
 			h.CommittedVCPU -= rel.vcpu
 			h.CommittedMemMB -= rel.mem
@@ -283,13 +321,19 @@ func placeAll(cfg Config, pods []*pod) (view View, ps placeStats) {
 		h.Sandboxes++
 		idleCPU := ka.IdleCPU(p.vcpu)
 		idleMem := ka.IdleMemGB(p.memMB/1024) * 1024
-		heap.Push(&pending, release{at: p.last, host: idx, vcpu: p.vcpu - idleCPU, mem: p.memMB - idleMem})
-		heap.Push(&pending, release{at: p.last + window, host: idx, vcpu: idleCPU, mem: idleMem, endSandbox: true})
+		pending.push(release{at: p.last, host: idx, vcpu: p.vcpu - idleCPU, mem: p.memMB - idleMem})
+		pending.push(release{at: p.last + window, host: idx, vcpu: idleCPU, mem: idleMem, endSandbox: true})
 	}
 	if span := (lastAt - firstAt).Seconds(); span > 0 {
 		ps.meanActive = activeIntegral / span
 	} else {
 		ps.meanActive = float64(active)
+	}
+	// The integral sums independently rounded interval .Seconds(), so it
+	// can drift a few ULPs above span × peak; the true mean can't exceed
+	// the peak, so clamp rather than report an impossible value.
+	if ps.meanActive > float64(ps.peakActive) {
+		ps.meanActive = float64(ps.peakActive)
 	}
 	return view, ps
 }

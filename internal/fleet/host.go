@@ -78,19 +78,27 @@ func LatencyHistConfig() stats.LogHistConfig {
 	return stats.LogHistConfig{Origin: 1e-3, BucketsPerDoubling: 32, Buckets: 1280}
 }
 
-// inflightReq is one executing request, tracked for the peak capture.
-type inflightReq struct {
-	id    int
+// inflightRec is one executing request. Records are pooled per host
+// and travel inside the completion event (simtime's arg slot), so the
+// steady-state request loop performs no allocation; pos tracks the
+// record's index in the in-flight set for O(1) swap-removal without a
+// position map.
+type inflightRec struct {
+	sb    *sandbox
 	alloc float64
 	cpu   time.Duration
+	pos   int32
 }
 
-// sandbox is one live pod runtime on the host.
+// sandbox is one live pod runtime on the host. Sandboxes are pooled:
+// expire returns them to the host's free list and cold starts reuse
+// them, so sandbox churn (the dominant lifecycle in keep-alive-heavy
+// traces) does not allocate after warm-up.
 type sandbox struct {
 	pod        *pod
 	activeReqs int
 	idle       bool
-	idleTimer  *simtime.Timer
+	idleTimer  simtime.Handle
 }
 
 // hostSim is the mutable state of one host shard.
@@ -100,26 +108,37 @@ type hostSim struct {
 	rng   *stats.Rand
 	res   hostResult
 
-	live        map[int]*sandbox // by pod ID
-	fnInstances map[int]int      // live sandboxes per function
-	inFlight    float64          // vCPUs of executing requests
-	idleHeldCPU float64          // vCPUs held by idle sandboxes (Table 2)
+	// fnInstances holds one live-sandbox counter per function; pods cache
+	// the pointer (pod.fnCount) at their first cold start so the per-event
+	// paths never touch the map. A counter parked at zero is equivalent to
+	// a missing key: both read back as zero instances.
+	fnInstances map[int]*int
+	inFlight    float64 // vCPUs of executing requests
+	idleHeldCPU float64 // vCPUs held by idle sandboxes (Table 2)
+	idleCount   int     // idle sandboxes backing idleHeldCPU
 	lastAccount time.Duration
 
 	// In-flight request set with deterministic (event-order) layout,
-	// plus the snapshot taken at the host's peak-demand instant.
-	inflight    []inflightReq
-	inflightPos map[int]int // request id → index in inflight
-	nextReqID   int
-	peakDemand  float64
-	peakTasks   []inflightReq
+	// plus the snapshot taken at the host's peak-demand instant
+	// (capped at MaxProbeTasks — all the probe consumes).
+	inflight   []*inflightRec
+	peakDemand float64
+	peakTasks  []ProbeTask
+
+	// Free lists and the pre-bound event callbacks (method values are
+	// allocated once here, not per scheduled event).
+	recFree    []*inflightRec
+	sbFree     []*sandbox
+	completeFn simtime.ArgEvent
+	expireFn   simtime.ArgEvent
+	arriveFn   simtime.ArgEvent
 }
 
 // account integrates the busy/idle-held vCPU curves up to now. The host
 // delivers at most its physical capacity even when the placer
 // oversubscribed it, so busy time is capped there.
 func (s *hostSim) account(now time.Duration) {
-	dt := (now - s.lastAccount).Seconds()
+	dt := float64(now-s.lastAccount) * 1e-9 // Duration.Seconds without the div/mod
 	if dt > 0 {
 		delivered := s.inFlight
 		if delivered > s.cfg.Host.VCPU {
@@ -139,13 +158,38 @@ func newHostSim(cfg Config, hostIdx int) *hostSim {
 		cfg:         cfg,
 		clock:       simtime.NewClock(),
 		rng:         stats.NewRand(mix(cfg.Seed, uint64(hostIdx)+1)),
-		live:        make(map[int]*sandbox),
-		fnInstances: make(map[int]int),
-		inflightPos: make(map[int]int),
+		fnInstances: make(map[int]*int),
 	}
 	s.res.latHist = stats.NewLogHist(LatencyHistConfig())
 	s.res.slowHist = stats.NewLogHist(SlowdownHistConfig())
+	s.completeFn = func(now time.Duration, arg any) { s.complete(now, arg.(*inflightRec)) }
+	s.expireFn = func(now time.Duration, arg any) { s.expire(now, arg.(*sandbox)) }
+	s.arriveFn = func(now time.Duration, arg any) {
+		a := arg.(*arrival)
+		s.arrive(now, a.p, &a.r)
+	}
 	return s
+}
+
+// getRec takes an in-flight record from the free list or the heap.
+func (s *hostSim) getRec() *inflightRec {
+	if n := len(s.recFree); n > 0 {
+		rec := s.recFree[n-1]
+		s.recFree = s.recFree[:n-1]
+		return rec
+	}
+	return &inflightRec{}
+}
+
+// getSandbox takes a sandbox from the free list or the heap.
+func (s *hostSim) getSandbox(p *pod) *sandbox {
+	if n := len(s.sbFree); n > 0 {
+		sb := s.sbFree[n-1]
+		s.sbFree = s.sbFree[:n-1]
+		*sb = sandbox{pod: p}
+		return sb
+	}
+	return &sandbox{pod: p}
 }
 
 // feed serves one externally driven arrival: queued completions and
@@ -156,7 +200,7 @@ func newHostSim(cfg Config, hostIdx int) *hostSim {
 // events and then arriving directly reproduces the batch tie order
 // exactly: an arrival at t fires before a completion or expiry at t.
 // Arrivals must be fed in non-decreasing Start order.
-func (s *hostSim) feed(p *pod, r trace.Request) {
+func (s *hostSim) feed(p *pod, r *trace.Request) {
 	s.clock.RunBefore(r.Start)
 	s.arrive(r.Start, p, r)
 }
@@ -197,22 +241,26 @@ func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostRes
 	sort.Slice(seq, func(i, j int) bool { return seq[i].ri < seq[j].ri })
 
 	s := newHostSim(cfg, hostIdx)
-	for _, q := range seq {
-		p, r := q.p, tr.Requests[q.ri]
-		s.clock.At(r.Start, func(now time.Duration) { s.arrive(now, p, r) })
+	arrs := make([]arrival, len(seq)) // one backing array, not n closures
+	for i, q := range seq {
+		arrs[i] = arrival{p: q.p, r: tr.Requests[q.ri]}
+		s.clock.Schedule(arrs[i].r.Start, s.arriveFn, &arrs[i])
 	}
 	return s.finish()
 }
 
+// arrival is one seeded batch-path arrival, carried by the scheduled
+// event's arg slot.
+type arrival struct {
+	p *pod
+	r trace.Request
+}
+
 // probe runs the CFS cross-check on this host's peak-demand snapshot.
 func (s *hostSim) probe() {
-	tasks := make([]ProbeTask, len(s.peakTasks))
-	for i, q := range s.peakTasks {
-		tasks[i] = ProbeTask{Alloc: q.alloc, CPU: q.cpu}
-	}
 	s.res.probeLinear, s.res.probeMeasured = CFSProbe(
 		s.cfg.Profile.SchedPeriod, s.cfg.Profile.SchedTickHz,
-		s.cfg.Host.VCPU, s.peakDemand, tasks)
+		s.cfg.Host.VCPU, s.peakDemand, s.peakTasks)
 }
 
 // ProbeTask is one in-flight request at a host's peak-demand instant,
@@ -221,6 +269,14 @@ type ProbeTask struct {
 	Alloc float64       // the request's vCPU allocation
 	CPU   time.Duration // its remaining CPU demand
 }
+
+// MaxProbeTasks is the most in-flight requests CFSProbe replays from a
+// peak snapshot. Hosts cap their snapshot copies at this length too —
+// copying the whole in-flight set on every new peak is O(n²) on a
+// monotone ramp-up, and everything past this bound is discarded by the
+// probe anyway. Exported so the differential harness mirrors the exact
+// snapshot the fleet takes.
+const MaxProbeTasks = 64
 
 // CFSProbe cross-checks the linear contention model against the event-
 // driven multi-tenant CFS host (internal/cfs.SimulateHost): the tasks
@@ -238,9 +294,8 @@ func CFSProbe(period time.Duration, tickHz int, hostVCPU, peakDemand float64, ta
 	if peakDemand <= hostVCPU || len(tasks) < 2 {
 		return 0, 0
 	}
-	const maxTasks = 64
-	if len(tasks) > maxTasks {
-		tasks = tasks[:maxTasks]
+	if len(tasks) > MaxProbeTasks {
+		tasks = tasks[:MaxProbeTasks]
 	}
 	host := cfs.HostConfig{TickHz: tickHz, Sched: cfs.CFS}
 	specs := make([]cfs.HostTask, 0, len(tasks))
@@ -278,12 +333,15 @@ func CFSProbe(period time.Duration, tickHz int, hostVCPU, peakDemand float64, ta
 }
 
 // arrive serves one request: sandbox lookup or cold start, contention-
-// stretched execution, billing, and completion scheduling.
-func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
+// stretched execution, billing, and completion scheduling. The steady
+// state allocates nothing: the sandbox comes off the pod's direct
+// pointer or the free list, the in-flight record off its pool, and the
+// completion event carries the record through the clock's arg slot.
+func (s *hostSim) arrive(now time.Duration, p *pod, r *trace.Request) {
 	s.account(now)
 	ka := s.cfg.Profile.KeepAlive
 
-	sb := s.live[p.id]
+	sb := p.sb
 	cold := false
 	var init time.Duration
 	switch {
@@ -300,16 +358,34 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
 		if !r.ColdStart {
 			s.res.reCold++
 		}
-		sb = &sandbox{pod: p}
-		s.live[p.id] = sb
-		s.fnInstances[p.fnID]++
+		sb = s.getSandbox(p)
+		p.sb = sb
+		if p.fnCount == nil {
+			c := s.fnInstances[p.fnID]
+			if c == nil {
+				c = new(int)
+				s.fnInstances[p.fnID] = c
+			}
+			p.fnCount = c
+		}
+		*p.fnCount++
 		s.res.sandboxes++
 	case sb.idle:
-		// Warm hit during keep-alive: cancel the pending expiry.
-		sb.idleTimer.Stop()
-		sb.idleTimer = nil
+		// Warm hit during keep-alive: cancel the pending expiry (the
+		// clock removes it eagerly, so cancel-heavy traces don't build
+		// up queue garbage).
+		s.clock.Cancel(sb.idleTimer)
+		sb.idleTimer = simtime.Handle{}
 		sb.idle = false
-		s.idleHeldCPU -= ka.IdleCPU(p.vcpu)
+		s.idleCount--
+		if s.idleCount == 0 {
+			// Exact drain: float add/subtract over many sandboxes can
+			// leave a few ULPs of residue; zero idle sandboxes means
+			// zero held vCPUs, exactly.
+			s.idleHeldCPU = 0
+		} else {
+			s.idleHeldCPU -= ka.IdleCPU(p.vcpu)
+		}
 	}
 
 	// Contention: when executing requests demand more vCPUs than the
@@ -322,17 +398,28 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
 		factor = demand / s.cfg.Host.VCPU
 	}
 	effective := time.Duration(float64(r.Duration) * factor)
-	s.res.contentionSecs += (effective - r.Duration).Seconds()
+	s.res.contentionSecs += float64(effective-r.Duration) * 1e-9
 	s.res.slowHist.Observe(factor)
 	// Remember the host's worst co-tenancy instant for the post-run CFS
-	// cross-check probe.
-	reqID := s.nextReqID
-	s.nextReqID++
-	s.inflightPos[reqID] = len(s.inflight)
-	s.inflight = append(s.inflight, inflightReq{id: reqID, alloc: p.vcpu, cpu: r.CPUTime})
+	// cross-check probe. The snapshot copies at most MaxProbeTasks
+	// entries — the probe discards the rest, and copying the whole set
+	// on every new peak is quadratic on a monotone ramp-up.
+	rec := s.getRec()
+	rec.sb = sb
+	rec.alloc = p.vcpu
+	rec.cpu = r.CPUTime
+	rec.pos = int32(len(s.inflight))
+	s.inflight = append(s.inflight, rec)
 	if demand > s.peakDemand {
 		s.peakDemand = demand
-		s.peakTasks = append(s.peakTasks[:0], s.inflight...)
+		n := len(s.inflight)
+		if n > MaxProbeTasks {
+			n = MaxProbeTasks
+		}
+		s.peakTasks = s.peakTasks[:0]
+		for _, q := range s.inflight[:n] {
+			s.peakTasks = append(s.peakTasks, ProbeTask{Alloc: q.alloc, CPU: q.cpu})
+		}
 	}
 
 	s.inFlight += p.vcpu
@@ -342,11 +429,11 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
 		s.res.cold++
 	}
 	latency := s.cfg.Profile.ServingOverhead + init + effective
-	s.res.latHist.Observe(float64(latency) / float64(time.Millisecond))
+	s.res.latHist.Observe(float64(latency) * 1e-6) // ms, multiply instead of divide
 
 	// Bill what the platform observed: the contention-stretched wall
 	// clock, and this cluster's cold starts rather than the trace's.
-	billed := r
+	billed := *r
 	billed.Duration = effective
 	billed.ColdStart = cold
 	billed.InitDuration = 0
@@ -359,45 +446,55 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r trace.Request) {
 	s.res.billedCPUSeconds += ch.CPUSeconds
 	s.res.billedMemGBs += ch.MemGBSeconds
 
-	s.clock.At(now+init+effective, func(end time.Duration) { s.complete(end, sb, reqID) })
+	s.clock.Schedule(now+init+effective, s.completeFn, rec)
 }
 
 // complete finishes one request; the sandbox goes idle when it was the
 // last in flight, drawing its keep-alive window from the host's stream.
-func (s *hostSim) complete(now time.Duration, sb *sandbox, reqID int) {
+func (s *hostSim) complete(now time.Duration, rec *inflightRec) {
 	s.account(now)
+	sb := rec.sb
 	p := sb.pod
 	s.inFlight -= p.vcpu
 	sb.activeReqs--
 	// Swap-remove from the in-flight set (deterministic: completions
 	// fire in event order).
-	pos := s.inflightPos[reqID]
+	pos := rec.pos
 	last := len(s.inflight) - 1
-	s.inflight[pos] = s.inflight[last]
-	s.inflightPos[s.inflight[pos].id] = pos
+	moved := s.inflight[last]
+	s.inflight[pos] = moved
+	moved.pos = pos
+	s.inflight[last] = nil
 	s.inflight = s.inflight[:last]
-	delete(s.inflightPos, reqID)
+	rec.sb = nil
+	s.recFree = append(s.recFree, rec)
 	if sb.activeReqs > 0 {
 		return
 	}
 	ka := s.cfg.Profile.KeepAlive
 	sb.idle = true
+	s.idleCount++
 	s.idleHeldCPU += ka.IdleCPU(p.vcpu)
-	window := ka.Window(s.rng, s.fnInstances[p.fnID])
-	sb.idleTimer = s.clock.At(now+window, func(at time.Duration) { s.expire(at, sb) })
+	window := ka.Window(s.rng, *p.fnCount)
+	sb.idleTimer = s.clock.Schedule(now+window, s.expireFn, sb)
 }
 
-// expire reclaims an idle sandbox at the end of its keep-alive window.
+// expire reclaims an idle sandbox at the end of its keep-alive window,
+// returning it to the free list.
 func (s *hostSim) expire(now time.Duration, sb *sandbox) {
 	s.account(now)
 	p := sb.pod
 	sb.idle = false
-	sb.idleTimer = nil
-	s.idleHeldCPU -= s.cfg.Profile.KeepAlive.IdleCPU(p.vcpu)
-	delete(s.live, p.id)
-	s.fnInstances[p.fnID]--
-	if s.fnInstances[p.fnID] == 0 {
-		delete(s.fnInstances, p.fnID)
+	sb.idleTimer = simtime.Handle{}
+	s.idleCount--
+	if s.idleCount == 0 {
+		s.idleHeldCPU = 0
+	} else {
+		s.idleHeldCPU -= s.cfg.Profile.KeepAlive.IdleCPU(p.vcpu)
 	}
+	p.sb = nil
+	sb.pod = nil
+	s.sbFree = append(s.sbFree, sb)
+	*p.fnCount--
 	s.res.expired++
 }

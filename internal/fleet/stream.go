@@ -52,18 +52,107 @@ type streamItem struct {
 	r trace.Request
 }
 
+// podIndex resolves request pod IDs to their placement record. Generator
+// streams number pods densely (1..N), so the hot-path lookup is a flat
+// slice index; sparse ID spaces (recorded traces) fall back to a map.
+type podIndex struct {
+	dense []*pod
+	base  int
+	byID  map[int]*pod
+}
+
+func buildPodIndex(pods []*pod) podIndex {
+	if len(pods) == 0 {
+		return podIndex{byID: map[int]*pod{}}
+	}
+	min, max := pods[0].id, pods[0].id
+	for _, p := range pods {
+		if p.id < min {
+			min = p.id
+		}
+		if p.id > max {
+			max = p.id
+		}
+	}
+	if max-min+1 == len(pods) {
+		dense := make([]*pod, len(pods))
+		ok := true
+		for _, p := range pods {
+			if dense[p.id-min] != nil {
+				ok = false // duplicate ID: not actually dense
+				break
+			}
+			dense[p.id-min] = p
+		}
+		if ok {
+			return podIndex{dense: dense, base: min}
+		}
+	}
+	byID := make(map[int]*pod, len(pods))
+	for _, p := range pods {
+		byID[p.id] = p
+	}
+	return podIndex{byID: byID}
+}
+
+func (ix *podIndex) get(id int) *pod {
+	if ix.dense != nil {
+		i := id - ix.base
+		if i < 0 || i >= len(ix.dense) {
+			return nil
+		}
+		return ix.dense[i]
+	}
+	return ix.byID[id]
+}
+
 // scanPods streams the trace once and builds the placement metadata:
 // every pod in order of first arrival, with its flavor, extent, and
-// request count — but no per-request state. It enforces the same input
-// contract as the batch path's buildPods: requests sorted by arrival,
-// per-pod flavors constant. Cancelling ctx stops the scan within
-// cancelCheckMask+1 pulls.
+// request count — but no per-request state. When the stream can
+// enumerate its pods directly (trace.PodScanner — calibrated generator
+// streams can, from a timing-only walk), the per-request scan is
+// skipped entirely; the metadata is identical by the generator's
+// contract, which TestPodScanMatchesRequestScan pins. Otherwise it
+// enforces the same input contract as the batch path's buildPods:
+// requests sorted by arrival, per-pod flavors constant. Cancelling ctx
+// stops the scan within cancelCheckMask+1 pulls.
 func scanPods(ctx context.Context, s trace.Stream) ([]*pod, int, error) {
+	if sc, ok := s.(trace.PodScanner); ok {
+		metas := sc.PodScan()
+		pods := make([]*pod, len(metas))
+		podArr := make([]pod, len(metas))
+		total := 0
+		for i, m := range metas {
+			p := &podArr[i]
+			*p = pod{
+				id:     m.ID,
+				fnID:   m.FnID,
+				vcpu:   m.VCPU,
+				memMB:  m.MemMB,
+				initMs: m.Init,
+				first:  m.First,
+				last:   m.Last,
+				nreqs:  m.NReqs,
+				host:   -1,
+			}
+			pods[i] = p
+			total += m.NReqs
+		}
+		return pods, total, nil
+	}
+	return scanPodsSlow(ctx, s)
+}
+
+// scanPodsSlow is the per-request fallback scan for streams that cannot
+// enumerate their pods (recorded traces, scenario-re-timed streams).
+func scanPodsSlow(ctx context.Context, s trace.Stream) ([]*pod, int, error) {
 	byID := make(map[int]*pod)
 	var pods []*pod
 	var prev time.Duration
 	n := 0
-	for r, ok := s.Next(); ok; r, ok = s.Next() {
+	next := trace.NextIntoFunc(s)
+	var r trace.Request
+	for next(&r) {
 		if n&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
@@ -145,18 +234,62 @@ func SimulateStream(ctx context.Context, cfg Config, src trace.Source) (Report, 
 	}
 	_, ps := placeAll(cfg, pods)
 
-	byID := make(map[int]*pod, len(pods))
+	idx := buildPodIndex(pods)
 	rejectedReqs := 0
 	for _, p := range pods {
-		byID[p.id] = p
 		if p.host < 0 {
 			rejectedReqs += p.nreqs
 		}
 	}
 
+	results := make([]hostResult, cfg.Hosts)
+	if workers == 1 {
+		// Single worker: feed the sims inline. No goroutines, channels, or
+		// batch copies — the feeder/worker handoff only buys overlap when
+		// there is a second CPU to overlap onto, and the report is
+		// worker-count independent either way.
+		s2, err := src()
+		if err != nil {
+			return Report{}, err
+		}
+		sims := make([]*hostSim, cfg.Hosts)
+		next := trace.NextIntoFunc(s2)
+		seen := 0
+		var r trace.Request
+		for next(&r) {
+			if seen&cancelCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return Report{}, err
+				}
+			}
+			seen++
+			p := idx.get(r.PodID)
+			if p == nil {
+				return Report{}, fmt.Errorf("fleet: stream changed between passes (unknown pod %d)", r.PodID)
+			}
+			if p.host < 0 {
+				continue
+			}
+			sim := sims[p.host]
+			if sim == nil {
+				sim = newHostSim(cfg, p.host)
+				sims[p.host] = sim
+			}
+			sim.feed(p, &r)
+		}
+		if seen != total {
+			return Report{}, fmt.Errorf("fleet: stream changed between passes (%d requests, then %d)", total, seen)
+		}
+		for h, sim := range sims {
+			if sim != nil {
+				results[h] = sim.finish()
+			}
+		}
+		return mergeReport(cfg, workers, total, ps, rejectedReqs, results)
+	}
+
 	// Pass 2: route the stream into per-shard bounded channels; workers
 	// advance their hosts while the feeder is still generating.
-	results := make([]hostResult, cfg.Hosts)
 	shards := make([]chan []streamItem, workers)
 	for i := range shards {
 		shards[i] = make(chan []streamItem, streamChannelDepth)
@@ -170,13 +303,14 @@ func SimulateStream(ctx context.Context, cfg Config, src trace.Source) (Report, 
 			defer wg.Done()
 			sims := make(map[int]*hostSim)
 			for batch := range shards[w] {
-				for _, it := range batch {
+				for i := range batch {
+					it := &batch[i]
 					sim := sims[it.p.host]
 					if sim == nil {
 						sim = newHostSim(cfg, it.p.host)
 						sims[it.p.host] = sim
 					}
-					sim.feed(it.p, it.r)
+					sim.feed(it.p, &it.r)
 				}
 				batchPool.Put(batch[:0]) //nolint:staticcheck // slice reuse is the point
 			}
@@ -198,15 +332,17 @@ func SimulateStream(ctx context.Context, cfg Config, src trace.Source) (Report, 
 		return abort(err)
 	}
 	batches := make([][]streamItem, workers)
+	next := trace.NextIntoFunc(s2)
 	seen := 0
-	for r, ok := s2.Next(); ok; r, ok = s2.Next() {
+	var r trace.Request
+	for next(&r) {
 		if seen&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return abort(err)
 			}
 		}
 		seen++
-		p := byID[r.PodID]
+		p := idx.get(r.PodID)
 		if p == nil {
 			return abort(fmt.Errorf("fleet: stream changed between passes (unknown pod %d)", r.PodID))
 		}

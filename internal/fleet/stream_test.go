@@ -365,3 +365,51 @@ func TestSimulateStreamCancelBounded(t *testing.T) {
 		t.Errorf("pre-cancelled stream pulled %d events, want ~0", got)
 	}
 }
+
+// TestPodScanMatchesRequestScan pins the PodScanner fast path: the pod
+// metadata a calibrated generator stream enumerates from its timing-only
+// walk must exactly equal what the per-request fallback scan
+// reconstructs from the emitted requests — same pods, same order, same
+// flavors, extents, and request counts.
+func TestPodScanMatchesRequestScan(t *testing.T) {
+	cfg := trace.DefaultGeneratorConfig()
+	cfg.Requests = 20000
+	cfg.Functions = 150
+	cfg.Seed = 99
+	src := trace.GenerateSource(cfg)
+
+	s1, err := src()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s1.(trace.PodScanner); !ok {
+		t.Fatal("calibrated generator stream does not implement PodScanner")
+	}
+	fast, fastTotal, err := scanPods(context.Background(), s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := src()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, slowTotal, err := scanPodsSlow(context.Background(), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fastTotal != slowTotal {
+		t.Fatalf("request totals differ: fast %d, slow %d", fastTotal, slowTotal)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("pod counts differ: fast %d, slow %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		f, s := fast[i], slow[i]
+		if f.id != s.id || f.fnID != s.fnID || f.vcpu != s.vcpu || f.memMB != s.memMB ||
+			f.initMs != s.initMs || f.first != s.first || f.last != s.last || f.nreqs != s.nreqs {
+			t.Fatalf("pod %d differs:\nfast: %+v\nslow: %+v", i, *f, *s)
+		}
+	}
+}

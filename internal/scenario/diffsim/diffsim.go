@@ -386,6 +386,7 @@ type hostState struct {
 	lastAccount time.Duration
 	inFlight    float64
 	idleHeldCPU float64
+	idleCount   int
 
 	inflight    []inflightTask
 	inflightPos map[int]int
@@ -424,7 +425,9 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 	}
 
 	account := func(now time.Duration) {
-		if dt := (now - h.lastAccount).Seconds(); dt > 0 {
+		// Mirrors the fleet's convert-multiply (not Duration.Seconds):
+		// the two interpreters must produce bit-identical integrals.
+		if dt := float64(now-h.lastAccount) * 1e-9; dt > 0 {
 			delivered := h.inFlight
 			if delivered > cfg.Host.VCPU {
 				delivered = cfg.Host.VCPU
@@ -449,7 +452,12 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			sb.live = false
 			sb.idle = false
 			sb.gen++
-			h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+			h.idleCount--
+			if h.idleCount == 0 {
+				h.idleHeldCPU = 0 // exact: no float residue once nothing is idle
+			} else {
+				h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+			}
 			fnInstances[p.FnID]--
 			h.expired++
 
@@ -468,6 +476,7 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 				continue
 			}
 			sb.idle = true
+			h.idleCount++
 			h.idleHeldCPU += ka.IdleCPU(p.VCPU)
 			window := ka.Window(rng, fnInstances[p.FnID])
 			heap.Push(&q, event{at: ev.at + window, seq: seq, kind: evExpire, pod: ev.pod, gen: sb.gen})
@@ -497,7 +506,12 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			case sb.idle:
 				sb.idle = false
 				sb.gen++ // cancels the pending expiry
-				h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+				h.idleCount--
+				if h.idleCount == 0 {
+					h.idleHeldCPU = 0 // exact: no float residue once nothing is idle
+				} else {
+					h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+				}
 			}
 
 			demand := h.inFlight + p.VCPU
@@ -506,7 +520,7 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 				factor = demand / cfg.Host.VCPU
 			}
 			effective := time.Duration(float64(r.Duration) * factor)
-			h.contentionSecs += (effective - r.Duration).Seconds()
+			h.contentionSecs += float64(effective-r.Duration) * 1e-9
 			h.slow.Observe(factor)
 
 			reqID := h.nextReqID
@@ -515,7 +529,11 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			h.inflight = append(h.inflight, inflightTask{id: reqID, alloc: p.VCPU, cpu: r.CPUTime})
 			if demand > h.peakDemand {
 				h.peakDemand = demand
-				h.peakTasks = append(h.peakTasks[:0], h.inflight...)
+				snap := h.inflight
+				if len(snap) > fleet.MaxProbeTasks {
+					snap = snap[:fleet.MaxProbeTasks] // mirror the fleet's capped snapshot
+				}
+				h.peakTasks = append(h.peakTasks[:0], snap...)
 			}
 
 			h.inFlight += p.VCPU
@@ -525,7 +543,7 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 				h.cold++
 			}
 			latency := cfg.Profile.ServingOverhead + init + effective
-			h.lat.Observe(float64(latency) / float64(time.Millisecond))
+			h.lat.Observe(float64(latency) * 1e-6)
 
 			billed := r
 			billed.Duration = effective

@@ -1,0 +1,479 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStopRemovesEagerly is the regression test for cancelled-timer
+// buildup: a warm-hit-heavy keep-alive pattern — schedule an expiry,
+// cancel it on the next hit, schedule the next — must keep the queue
+// bounded by live timers instead of accumulating one dead item per
+// cancel until the original deadlines drain.
+func TestStopRemovesEagerly(t *testing.T) {
+	c := NewClock()
+	const sandboxes = 64
+	const hits = 1000
+	timers := make([]*Timer, sandboxes)
+	now := time.Duration(0)
+	for hit := 0; hit < hits; hit++ {
+		now += time.Millisecond
+		c.RunUntil(now)
+		for i := range timers {
+			if timers[i] != nil {
+				timers[i].Stop()
+			}
+			timers[i] = c.At(now+10*time.Minute, func(time.Duration) {})
+		}
+		if got := c.Pending(); got != sandboxes {
+			t.Fatalf("hit %d: Pending = %d, want %d (cancelled timers must leave the queue eagerly)", hit, got, sandboxes)
+		}
+	}
+	if got := c.queueLen(); got != sandboxes {
+		t.Fatalf("queued items = %d, want %d live", got, sandboxes)
+	}
+}
+
+// queueLen counts items physically present in any queue structure, for
+// tests that assert eager removal (Pending is a counter and could in
+// principle lie).
+func (c *Clock) queueLen() int {
+	n := len(c.due) + len(c.overflow)
+	for level := range c.wheel {
+		for slot := range c.wheel[level] {
+			for it := c.wheel[level][slot].head; it != nil; it = it.next {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCancelHandle(t *testing.T) {
+	c := NewClock()
+	fired := false
+	h := c.Schedule(time.Second, func(time.Duration, any) { fired = true }, nil)
+	if !h.Active() {
+		t.Error("fresh handle should be active")
+	}
+	if !c.Cancel(h) {
+		t.Error("first Cancel should report true")
+	}
+	if c.Cancel(h) {
+		t.Error("second Cancel should report false")
+	}
+	if h.Active() {
+		t.Error("cancelled handle should be stale")
+	}
+	c.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if c.Cancel(Handle{}) {
+		t.Error("zero Handle Cancel should be false")
+	}
+}
+
+// TestStaleHandleAfterReuse pins the generation check: once an item is
+// released and reused for a new event, handles to the old event must
+// not cancel the new one.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	c := NewClock()
+	h := c.Schedule(time.Millisecond, func(time.Duration, any) {}, nil)
+	c.Run() // fires; item returns to the free list
+	fired := false
+	h2 := c.Schedule(time.Second, func(time.Duration, any) { fired = true }, nil)
+	if h2.it != h.it {
+		t.Skip("pool did not reuse the item; generation check not exercised")
+	}
+	if c.Cancel(h) {
+		t.Error("stale handle cancelled a reused item")
+	}
+	c.Run()
+	if !fired {
+		t.Error("live event killed by stale handle")
+	}
+}
+
+// TestScheduleArgDelivery checks the allocation-free form delivers the
+// argument and the firing instant.
+func TestScheduleArgDelivery(t *testing.T) {
+	c := NewClock()
+	type payload struct{ n int }
+	p := &payload{n: 7}
+	var gotNow time.Duration
+	var gotArg any
+	c.Schedule(3*time.Second, func(now time.Duration, arg any) {
+		gotNow, gotArg = now, arg
+	}, p)
+	c.Run()
+	if gotNow != 3*time.Second {
+		t.Errorf("now = %v", gotNow)
+	}
+	if gotArg != p {
+		t.Errorf("arg = %v, want %p", gotArg, p)
+	}
+}
+
+// TestRunBeforeBoundary pins the strict-inequality contract RunBefore
+// gives the streaming feed: events exactly at the deadline do not run,
+// and the clock stays at the last executed event (not the deadline), so
+// an arrival injected at t still precedes same-t queued events.
+func TestRunBeforeBoundary(t *testing.T) {
+	c := NewClock()
+	var fired []int
+	c.At(10*time.Millisecond, func(time.Duration) { fired = append(fired, 1) })
+	c.At(20*time.Millisecond, func(time.Duration) { fired = append(fired, 2) })
+	c.RunBefore(20 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want only the strictly-earlier event", fired)
+	}
+	if c.Now() != 10*time.Millisecond {
+		t.Errorf("Now = %v, want last event instant (not deadline)", c.Now())
+	}
+	// An event scheduled now, at the deadline instant, must precede the
+	// already-queued deadline event: arrival-before-completion.
+	c.At(20*time.Millisecond, func(time.Duration) { fired = append(fired, 3) })
+	c.Run()
+	if len(fired) != 3 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want FIFO among same-instant events", fired)
+	}
+}
+
+// TestFIFOAcrossWheelLevels schedules same-instant batches at deadlines
+// that land in level 0, a higher level, and the overflow heap, so FIFO
+// tie order is verified through cascade and overflow migration, not
+// just the due heap.
+func TestFIFOAcrossWheelLevels(t *testing.T) {
+	deadlines := []time.Duration{
+		time.Duration(1) << tickShift,                      // level 0
+		time.Duration(3) << (tickShift + slotBits),         // level 1
+		time.Duration(5) << (tickShift + 3*slotBits),       // level 3
+		time.Duration(1)<<(tickShift+horizonBits) + 981237, // overflow
+	}
+	c := NewClock()
+	var order []int
+	id := 0
+	for _, d := range deadlines {
+		for i := 0; i < 8; i++ {
+			n := id
+			id++
+			c.At(d, func(time.Duration) { order = append(order, n) })
+		}
+	}
+	c.Run()
+	if len(order) != id {
+		t.Fatalf("ran %d events, want %d", len(order), id)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, order)
+		}
+	}
+}
+
+// refClock is the pre-wheel binary-heap implementation, kept verbatim
+// as the differential oracle: dead items stay queued until their
+// deadline (the old behavior), which does not affect execution order.
+type refClock struct {
+	now time.Duration
+	seq uint64
+	q   []*refItem
+}
+
+type refItem struct {
+	at   time.Duration
+	seq  uint64
+	fn   Event
+	dead bool
+}
+
+func (c *refClock) less(i, j int) bool {
+	if c.q[i].at != c.q[j].at {
+		return c.q[i].at < c.q[j].at
+	}
+	return c.q[i].seq < c.q[j].seq
+}
+
+func (c *refClock) push(it *refItem) {
+	c.q = append(c.q, it)
+	i := len(c.q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !c.less(i, p) {
+			break
+		}
+		c.q[i], c.q[p] = c.q[p], c.q[i]
+		i = p
+	}
+}
+
+func (c *refClock) pop() *refItem {
+	it := c.q[0]
+	n := len(c.q) - 1
+	c.q[0] = c.q[n]
+	c.q = c.q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && c.less(r, l) {
+			m = r
+		}
+		if !c.less(m, i) {
+			break
+		}
+		c.q[i], c.q[m] = c.q[m], c.q[i]
+		i = m
+	}
+	return it
+}
+
+func (c *refClock) at(at time.Duration, fn Event) *refItem {
+	if at < c.now {
+		at = c.now
+	}
+	it := &refItem{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	c.push(it)
+	return it
+}
+
+func (c *refClock) step() bool {
+	for len(c.q) > 0 {
+		it := c.pop()
+		if it.dead {
+			continue
+		}
+		c.now = it.at
+		it.fn(c.now)
+		return true
+	}
+	return false
+}
+
+func (c *refClock) peekAt() (time.Duration, bool) {
+	for len(c.q) > 0 {
+		if !c.q[0].dead {
+			return c.q[0].at, true
+		}
+		c.pop()
+	}
+	return 0, false
+}
+
+func (c *refClock) runUntil(deadline time.Duration) {
+	for {
+		at, ok := c.peekAt()
+		if !ok || at > deadline {
+			break
+		}
+		c.step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+func (c *refClock) runBefore(deadline time.Duration) {
+	for {
+		at, ok := c.peekAt()
+		if !ok || at >= deadline {
+			return
+		}
+		c.step()
+	}
+}
+
+// TestWheelMatchesHeapDifferential drives the wheel and the reference
+// heap through identical randomized schedules — mixed deadlines across
+// every wheel level and the overflow horizon, in-callback rescheduling,
+// random cancels, interleaved RunBefore/RunUntil — and requires the
+// identical execution trace (event id, firing time) from both.
+func TestWheelMatchesHeapDifferential(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		w := NewClock()
+		r := &refClock{}
+
+		type fired struct {
+			id int
+			at time.Duration
+		}
+		var wTrace, rTrace []fired
+		nextID := 0
+
+		// spans exercise due-tick, every level, and overflow placement.
+		randDelay := func() time.Duration {
+			switch rng.Intn(6) {
+			case 0:
+				return time.Duration(rng.Int63n(1 << tickShift))
+			case 1:
+				return time.Duration(rng.Int63n(1 << (tickShift + slotBits)))
+			case 2:
+				return time.Duration(rng.Int63n(1 << (tickShift + 2*slotBits)))
+			case 3:
+				return time.Duration(rng.Int63n(1 << (tickShift + 3*slotBits)))
+			case 4:
+				return time.Duration(rng.Int63n(1 << (tickShift + 4*slotBits)))
+			default:
+				return time.Duration(rng.Int63n(1 << (tickShift + horizonBits + 2)))
+			}
+		}
+
+		var wTimers []*Timer
+		var rItems []*refItem
+		schedule := func() {
+			id := nextID
+			nextID++
+			d := randDelay()
+			wTimers = append(wTimers, w.At(w.Now()+d, func(now time.Duration) {
+				wTrace = append(wTrace, fired{id, now})
+			}))
+			rItems = append(rItems, r.at(r.now+d, func(now time.Duration) {
+				rTrace = append(rTrace, fired{id, now})
+			}))
+		}
+
+		// Interleave scheduling, cancellation, and partial runs.
+		for round := 0; round < 40; round++ {
+			for i := 0; i < 15; i++ {
+				schedule()
+			}
+			// Cancel a random subset; both sides must agree on the verdict.
+			for i := 0; i < 5; i++ {
+				k := rng.Intn(len(wTimers))
+				wOK := wTimers[k].Stop()
+				rOK := !rItems[k].dead
+				if rOK {
+					// Only count as cancelled if not already fired/cancelled.
+					found := false
+					for _, q := range r.q {
+						if q == rItems[k] && !q.dead {
+							found = true
+							break
+						}
+					}
+					rOK = found
+				}
+				rItems[k].dead = true
+				if wOK != rOK {
+					t.Fatalf("trial %d: Stop verdict diverged: wheel=%v ref=%v", trial, wOK, rOK)
+				}
+			}
+			d := time.Duration(rng.Int63n(1 << (tickShift + 3*slotBits)))
+			if rng.Intn(2) == 0 {
+				w.RunUntil(w.Now() + d)
+				r.runUntil(r.now + d)
+			} else {
+				w.RunBefore(w.Now() + d)
+				r.runBefore(r.now + d)
+			}
+			if w.Now() != r.now {
+				t.Fatalf("trial %d round %d: clocks diverged: wheel=%v ref=%v", trial, round, w.Now(), r.now)
+			}
+		}
+		w.Run()
+		for r.step() {
+		}
+
+		if len(wTrace) != len(rTrace) {
+			t.Fatalf("trial %d: trace lengths diverged: wheel=%d ref=%d", trial, len(wTrace), len(rTrace))
+		}
+		for i := range wTrace {
+			if wTrace[i] != rTrace[i] {
+				t.Fatalf("trial %d: traces diverge at %d: wheel=%+v ref=%+v", trial, i, wTrace[i], rTrace[i])
+			}
+		}
+	}
+}
+
+// TestOverflowMigration schedules events beyond the wheel horizon and
+// checks they fire in order once the cursor reaches them.
+func TestOverflowMigration(t *testing.T) {
+	c := NewClock()
+	far := time.Duration(1) << (tickShift + horizonBits) // past the horizon
+	var order []int
+	c.At(3*far, func(time.Duration) { order = append(order, 3) })
+	c.At(far, func(time.Duration) { order = append(order, 1) })
+	c.At(2*far, func(time.Duration) { order = append(order, 2) })
+	c.At(time.Millisecond, func(time.Duration) { order = append(order, 0) })
+	c.Run()
+	if len(order) != 4 {
+		t.Fatalf("ran %d events", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("overflow order violated: %v", order)
+		}
+	}
+	if c.Now() != 3*far {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+// TestScheduleBehindCursor pins the peek-ahead case: RunBefore against
+// a far deadline advances the wheel cursor past near ticks without
+// advancing the clock; a subsequent near-deadline schedule must still
+// fire first and in order.
+func TestScheduleBehindCursor(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.At(time.Hour, func(time.Duration) { order = append(order, 2) })
+	c.RunBefore(30 * time.Minute) // peeks, cursor moves toward the 1h event
+	if c.Now() != 0 {
+		t.Fatalf("Now = %v, want unchanged", c.Now())
+	}
+	c.At(time.Minute, func(time.Duration) { order = append(order, 1) })
+	c.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func BenchmarkWheelKeepAlive(b *testing.B) {
+	// The fleet's event mix: per request, schedule a completion, fire
+	// it, cancel a keep-alive expiry (warm hit) and schedule the next.
+	c := NewClock()
+	const sandboxes = 256
+	var timers [sandboxes]Handle
+	nop := func(time.Duration, any) {}
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb := i % sandboxes
+		now += 50 * time.Microsecond
+		done := c.Schedule(now+2*time.Millisecond, nop, nil)
+		_ = done
+		c.RunUntil(now + 2*time.Millisecond)
+		c.Cancel(timers[sb])
+		timers[sb] = c.Schedule(c.Now()+10*time.Minute, nop, nil)
+	}
+}
+
+func BenchmarkHeapKeepAlive(b *testing.B) {
+	// Same mix against the reference binary heap, for the DESIGN.md
+	// comparison table.
+	c := &refClock{}
+	const sandboxes = 256
+	var timers [sandboxes]*refItem
+	nop := func(time.Duration) {}
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb := i % sandboxes
+		now += 50 * time.Microsecond
+		c.at(now+2*time.Millisecond, nop)
+		c.runUntil(now + 2*time.Millisecond)
+		if timers[sb] != nil {
+			timers[sb].dead = true
+		}
+		timers[sb] = c.at(c.now+10*time.Minute, nop)
+	}
+}

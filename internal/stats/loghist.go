@@ -52,8 +52,12 @@ func (c LogHistConfig) Validate() error {
 // Bucket maps an observation to its bucket index. Non-finite input is
 // clamped rather than propagated into the index arithmetic: NaN and
 // -Inf land in bucket 0 (a nominal observation), +Inf in the top
-// bucket — int(math.Log2(NaN)) would otherwise produce a negative
-// index and panic the observe path.
+// bucket. The index rule decomposes x/Origin into a power-of-two
+// doubling (Frexp) plus a sub-doubling position against the geometric
+// edges Exp2(k/BucketsPerDoubling) — no log on the observe path.
+// LogHist.Observe applies the identical rule through a cached edge
+// table; this per-call form recomputes the edges and is for tests and
+// tools.
 func (c LogHistConfig) Bucket(x float64) int {
 	if math.IsNaN(x) || x <= c.Origin {
 		return 0
@@ -61,14 +65,34 @@ func (c LogHistConfig) Bucket(x float64) int {
 	if math.IsInf(x, 1) {
 		return c.Buckets - 1
 	}
-	idx := 1 + int(math.Log2(x/c.Origin)*float64(c.BucketsPerDoubling))
+	m, e := math.Frexp(x / c.Origin)
+	m2 := m + m // x/Origin = m2 * 2^(e-1), m2 in [1, 2)
+	k := 0
+	for k+1 < c.BucketsPerDoubling && math.Exp2(float64(k+1)/float64(c.BucketsPerDoubling)) <= m2 {
+		k++
+	}
+	return c.clampIdx(1 + (e-1)*c.BucketsPerDoubling + k)
+}
+
+func (c LogHistConfig) clampIdx(idx int) int {
 	if idx >= c.Buckets {
 		idx = c.Buckets - 1
 	}
 	if idx < 1 {
-		idx = 1 // x barely above Origin can round log2 down to zero
+		idx = 1 // x barely above Origin can quantize below the first edge
 	}
 	return idx
+}
+
+// edges returns the sub-doubling bucket edges Exp2(k/BucketsPerDoubling)
+// for k = 0..BucketsPerDoubling-1 — the table Observe binary-searches
+// instead of taking a logarithm per observation.
+func (c LogHistConfig) edges() []float64 {
+	thr := make([]float64, c.BucketsPerDoubling)
+	for k := range thr {
+		thr[k] = math.Exp2(float64(k) / float64(c.BucketsPerDoubling))
+	}
+	return thr
 }
 
 // Value returns the observation a bucket reads back as: the Origin for
@@ -87,6 +111,7 @@ func (c LogHistConfig) Value(idx int) float64 {
 // construct with NewLogHist.
 type LogHist struct {
 	cfg    LogHistConfig
+	thr    []float64 // cached sub-doubling edges (cfg.edges())
 	counts []int
 	n      int
 	sum    float64
@@ -102,7 +127,7 @@ func NewLogHist(cfg LogHistConfig) *LogHist {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &LogHist{cfg: cfg, counts: make([]int, cfg.Buckets)}
+	return &LogHist{cfg: cfg, thr: cfg.edges(), counts: make([]int, cfg.Buckets)}
 }
 
 // Config returns the histogram's bucket layout.
@@ -124,7 +149,7 @@ func (h *LogHist) Observe(x float64) {
 	case math.IsInf(v, 1):
 		v = h.cfg.Value(h.cfg.Buckets - 1)
 	}
-	h.counts[h.cfg.Bucket(x)]++
+	h.counts[h.bucket(x)]++
 	if h.n == 0 || v < h.min {
 		h.min = v
 	}
@@ -134,6 +159,30 @@ func (h *LogHist) Observe(x float64) {
 	h.n++
 	h.sum += v
 	h.sumSq += v * v
+}
+
+// bucket is cfg.Bucket over the cached edge table: identical indices
+// (both walk the same Exp2 edges), but a Frexp plus a short binary
+// search instead of recomputing the edges per call.
+func (h *LogHist) bucket(x float64) int {
+	if math.IsNaN(x) || x <= h.cfg.Origin {
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return h.cfg.Buckets - 1
+	}
+	m, e := math.Frexp(x / h.cfg.Origin)
+	m2 := m + m
+	lo, hi := 0, len(h.thr)
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.thr[mid] <= m2 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return h.cfg.clampIdx(1 + (e-1)*h.cfg.BucketsPerDoubling + lo)
 }
 
 // Merge folds another histogram into h. Both must share the same

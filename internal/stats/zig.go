@@ -1,0 +1,146 @@
+package stats
+
+import "math"
+
+// Ziggurat tables for the normal (128 layers) and exponential (256
+// layers) samplers, after Marsaglia & Tsang (2000). The tables are
+// computed once at package init from closed-form recurrences rather
+// than embedded as literals; init order is deterministic, so every
+// process builds bit-identical tables and the generated streams stay
+// reproducible across runs and platforms.
+//
+// The fast path of each sampler is one Uint64 draw, one table compare,
+// and one multiply — roughly 5× cheaper than the Box–Muller and
+// log-inversion forms they replace, which matters because the trace
+// generator draws per request and runs inside the simulation hot loop.
+
+const (
+	zigNormR = 3.442619855899    // rightmost layer edge, normal
+	zigExpR  = 7.697117470131487 // rightmost layer edge, exponential
+)
+
+var (
+	zigNormK [128]uint32
+	zigNormW [128]float64
+	zigNormF [128]float64
+
+	zigExpK [256]uint32
+	zigExpW [256]float64
+	zigExpF [256]float64
+)
+
+func init() {
+	// Normal: layer areas v = 9.91256303526217e-3, magnitudes scaled to
+	// int32 range (2^31).
+	const m1 = 2147483648.0
+	const vn = 9.91256303526217e-3
+	dn, tn := zigNormR, zigNormR
+	q := vn / math.Exp(-0.5*dn*dn)
+	zigNormK[0] = uint32(dn / q * m1)
+	zigNormK[1] = 0
+	zigNormW[0] = q / m1
+	zigNormW[127] = dn / m1
+	zigNormF[0] = 1
+	zigNormF[127] = math.Exp(-0.5 * dn * dn)
+	for i := 126; i >= 1; i-- {
+		dn = math.Sqrt(-2 * math.Log(vn/dn+math.Exp(-0.5*dn*dn)))
+		zigNormK[i+1] = uint32(dn / tn * m1)
+		tn = dn
+		zigNormF[i] = math.Exp(-0.5 * dn * dn)
+		zigNormW[i] = dn / m1
+	}
+
+	// Exponential: layer areas v = 3.949659822581572e-3, magnitudes
+	// scaled to uint32 range (2^32).
+	const m2 = 4294967296.0
+	const ve = 3.949659822581572e-3
+	de, te := zigExpR, zigExpR
+	q = ve / math.Exp(-de)
+	zigExpK[0] = uint32(de / q * m2)
+	zigExpK[1] = 0
+	zigExpW[0] = q / m2
+	zigExpW[255] = de / m2
+	zigExpF[0] = 1
+	zigExpF[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(ve/de + math.Exp(-de))
+		zigExpK[i+1] = uint32(de / te * m2)
+		te = de
+		zigExpF[i] = math.Exp(-de)
+		zigExpW[i] = de / m2
+	}
+}
+
+// normZig returns a standard normal variate.
+func (r *Rand) normZig() float64 {
+	for {
+		u := r.Uint64()
+		hz := int32(u >> 32)
+		iz := uint32(hz) & 127
+		a := uint32(hz)
+		if hz < 0 {
+			a = uint32(-int64(hz))
+		}
+		if a < zigNormK[iz] {
+			return float64(hz) * zigNormW[iz]
+		}
+		// Slow path: tail or layer-edge rejection.
+		for {
+			x := float64(hz) * zigNormW[iz]
+			if iz == 0 {
+				// Tail beyond ±R via the standard exponential trick.
+				for {
+					x = -math.Log(r.openFloat64()) / zigNormR
+					y := -math.Log(r.openFloat64())
+					if y+y >= x*x {
+						if hz > 0 {
+							return zigNormR + x
+						}
+						return -(zigNormR + x)
+					}
+				}
+			}
+			if zigNormF[iz]+r.Float64()*(zigNormF[iz-1]-zigNormF[iz]) < math.Exp(-0.5*x*x) {
+				return x
+			}
+			u = r.Uint64()
+			hz = int32(u >> 32)
+			iz = uint32(hz) & 127
+			a = uint32(hz)
+			if hz < 0 {
+				a = uint32(-int64(hz))
+			}
+			if a < zigNormK[iz] {
+				return float64(hz) * zigNormW[iz]
+			}
+		}
+	}
+}
+
+// expZig returns a standard (mean-1) exponential variate.
+func (r *Rand) expZig() float64 {
+	jz := uint32(r.Uint64() >> 32)
+	iz := jz & 255
+	if jz < zigExpK[iz] {
+		return float64(jz) * zigExpW[iz]
+	}
+	for {
+		if iz == 0 {
+			return zigExpR - math.Log(r.openFloat64())
+		}
+		x := float64(jz) * zigExpW[iz]
+		if zigExpF[iz]+r.Float64()*(zigExpF[iz-1]-zigExpF[iz]) < math.Exp(-x) {
+			return x
+		}
+		jz = uint32(r.Uint64() >> 32)
+		iz = jz & 255
+		if jz < zigExpK[iz] {
+			return float64(jz) * zigExpW[iz]
+		}
+	}
+}
+
+// openFloat64 returns a uniform value in (0, 1], safe as a log argument.
+func (r *Rand) openFloat64() float64 {
+	return float64(r.Uint64()>>11+1) / (1 << 53)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZigguratNormalMoments checks the ziggurat normal sampler against
+// the first four moments of N(0,1) at statistical tolerance.
+func TestZigguratNormalMoments(t *testing.T) {
+	r := NewRand(42)
+	const n = 2_000_000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(0, 1)
+		sum += x
+		sum2 += x * x
+		sum3 += x * x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	skew := sum3 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.003 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.005 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.01 {
+		t.Errorf("third moment = %v, want ~0", skew)
+	}
+	if math.Abs(kurt-3) > 0.03 {
+		t.Errorf("fourth moment = %v, want ~3", kurt)
+	}
+}
+
+// TestZigguratNormalTail checks the sampler produces tail values beyond
+// the rightmost ziggurat layer (|x| > 3.442) at roughly the true rate
+// (2·Φ(-3.4426) ≈ 5.75e-4).
+func TestZigguratNormalTail(t *testing.T) {
+	r := NewRand(7)
+	const n = 4_000_000
+	tail := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.Normal(0, 1)) > zigNormR {
+			tail++
+		}
+	}
+	rate := float64(tail) / n
+	if rate < 3e-4 || rate > 9e-4 {
+		t.Errorf("tail rate = %v, want ≈5.75e-4", rate)
+	}
+}
+
+// TestZigguratExpMoments checks the exponential sampler's mean,
+// variance, and tail mass.
+func TestZigguratExpMoments(t *testing.T) {
+	r := NewRand(99)
+	const n = 2_000_000
+	const mean = 200.0
+	var sum, sum2 float64
+	beyond := 0
+	for i := 0; i < n; i++ {
+		x := r.Exp(mean)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+		sum2 += x * x
+		if x > 3*mean {
+			beyond++
+		}
+	}
+	m := sum / n
+	v := sum2/n - m*m
+	if math.Abs(m-mean)/mean > 0.005 {
+		t.Errorf("mean = %v, want ~%v", m, mean)
+	}
+	if math.Abs(v-mean*mean)/(mean*mean) > 0.02 {
+		t.Errorf("variance = %v, want ~%v", v, mean*mean)
+	}
+	rate := float64(beyond) / n
+	if math.Abs(rate-math.Exp(-3)) > 0.005 {
+		t.Errorf("P(X>3·mean) = %v, want ≈%v", rate, math.Exp(-3))
+	}
+}
+
+// TestZigguratDeterminism pins that identical seeds produce identical
+// variate streams — the property every recorded experiment relies on.
+func TestZigguratDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 10_000; i++ {
+		if x, y := a.Normal(5, 2), b.Normal(5, 2); x != y {
+			t.Fatalf("normal stream diverged at %d: %v != %v", i, x, y)
+		}
+		if x, y := a.Exp(300), b.Exp(300); x != y {
+			t.Fatalf("exp stream diverged at %d: %v != %v", i, x, y)
+		}
+	}
+}
+
+func BenchmarkNormalZiggurat(b *testing.B) {
+	r := NewRand(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Normal(0, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkExpZiggurat(b *testing.B) {
+	r := NewRand(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(200)
+	}
+	_ = sink
+}

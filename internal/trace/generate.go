@@ -148,12 +148,27 @@ type fnProfile struct {
 	initMs      float64 // cold-start initialization mean
 	podSizeMean float64 // mean requests per pod (geometric)
 	weight      float64 // popularity
+
+	// Derived constants, computed once per profile so the per-request
+	// hot loop does no logs or square roots of fixed parameters.
+	logMeanDur float64          // log(meanDurMs), the lognormal mu
+	cpuGA      stats.GammaParam // Marsaglia–Tsang constants for the
+	cpuGB      stats.GammaParam // four per-function Beta shapes
+	memGA      stats.GammaParam
+	memGB      stats.GammaParam
 }
 
+// sharedUtilG are the gamma constants of the shared latent Beta(1.6, 3.2)
+// factor every function's utilization pair mixes in.
+var sharedUtilG = [2]stats.GammaParam{stats.NewGammaParam(1.6), stats.NewGammaParam(3.2)}
+
 // buildProfiles draws every function's latent profile from the shared
-// stream. The draw order is part of the generator's determinism
-// contract: Generate and GenerateStream both start from this exact
-// sequence, so the two paths emit identical traces.
+// profile stream (seeded with cfg.Seed directly). The draw order is part
+// of the generator's determinism contract: every generation path starts
+// from this exact sequence. Per-request randomness does NOT continue on
+// this stream — each function draws from two private streams derived
+// from (Seed, function), so emission, calibration, and pod scans can
+// each walk exactly the draws they need.
 func buildProfiles(rng *stats.Rand, cfg GeneratorConfig) ([]fnProfile, float64) {
 	profiles := make([]fnProfile, cfg.Functions)
 	var totalWeight float64
@@ -199,6 +214,13 @@ func buildProfiles(rng *stats.Rand, cfg GeneratorConfig) ([]fnProfile, float64) 
 		// Zipf-ish popularity.
 		p.weight = 1 / math.Pow(float64(i+1), cfg.ZipfExponent)
 		totalWeight += p.weight
+
+		// Pure arithmetic (no draws), so the profile stream stays aligned.
+		p.logMeanDur = math.Log(p.meanDurMs)
+		p.cpuGA = stats.NewGammaParam(p.cpuUtilA)
+		p.cpuGB = stats.NewGammaParam(p.cpuUtilB)
+		p.memGA = stats.NewGammaParam(p.memUtilA)
+		p.memGB = stats.NewGammaParam(p.memUtilB)
 	}
 	return profiles, totalWeight
 }
@@ -220,83 +242,190 @@ func requestCounts(cfg GeneratorConfig, profiles []fnProfile, totalWeight float6
 	return counts
 }
 
+// timingSeed and utilSeed derive a function's two private streams from
+// the trace seed. Timing (pod boundaries, arrivals, durations, inits)
+// and utilization (the three Betas per request) are decorrelated
+// streams, so a walker that only needs the trace's shape — the
+// calibration sweep, the pod-metadata scan — replays the timing stream
+// alone and never pays for the gamma draws.
+func timingSeed(seed uint64, fn int) uint64 {
+	return stats.MixSeed(stats.MixSeed(seed, 1), uint64(fn))
+}
+
+func utilSeed(seed uint64, fn int) uint64 {
+	return stats.MixSeed(stats.MixSeed(seed, 2), uint64(fn))
+}
+
 // fnEmitter generates one function's request block pod by pod. Both the
 // materialized path (Generate) and the streaming path (GenerateStream,
 // GenerateByFunction) drive their draws through this one type, so the
 // pseudo-random draw order — and therefore the emitted trace — is
 // identical by construction.
 type fnEmitter struct {
-	rng       *stats.Rand
+	timing    *stats.Rand // pod/arrival/duration stream
+	util      *stats.Rand // per-request utilization stream
 	p         fnProfile
 	fn        int
 	corr      float64 // cfg.UtilCorrelation
 	remaining int
 	arrival   float64 // ms offset of the next request
 	podID     int     // id of the most recently generated pod (global numbering)
+
+	podLeft  int     // requests still to emit from the current pod
+	podFirst bool    // next emission is the pod's cold-start request
+	initMs   float64 // current pod's initialization draw
 }
 
 // newFnEmitter positions an emitter at the start of function fn's
-// generation block. It consumes the block-leading arrival-offset draw,
-// which happens for every function — even one with a zero request
-// budget — so the shared stream stays aligned across blocks.
-func newFnEmitter(rng *stats.Rand, fn int, p fnProfile, count int, corr float64, podBase int) *fnEmitter {
+// generation block, deriving the function's private streams from the
+// trace seed. It consumes the block-leading arrival-offset draw.
+func newFnEmitter(seed uint64, fn int, p fnProfile, count int, corr float64, podBase int) *fnEmitter {
+	timing := stats.NewRand(timingSeed(seed, fn))
 	return &fnEmitter{
-		rng:       rng,
+		timing:    timing,
+		util:      stats.NewRand(utilSeed(seed, fn)),
 		p:         p,
 		fn:        fn,
 		corr:      corr,
 		remaining: count,
-		arrival:   rng.Uniform(0, 60_000), // ms offset for function's first pod
+		arrival:   timing.Uniform(0, 60_000), // ms offset for function's first pod
 		podID:     podBase,
 	}
 }
 
-// nextPod generates the function's next sandbox worth of raw
-// (unrescaled) requests into buf's backing array, reusing it across
-// calls. It returns nil once the function's request budget is
-// exhausted. Within a pod, requests are emitted in strictly increasing
-// arrival order, and consecutive pods never move backwards in time, so
-// a function's whole emission is time-ordered.
-func (e *fnEmitter) nextPod(buf []Request) []Request {
-	if e.remaining <= 0 {
-		return nil
+// next writes the function's next raw (unrescaled) request into *r and
+// reports whether one was emitted; the function's request budget
+// exhausts to false. Within a pod, requests are emitted in strictly
+// increasing arrival order, and consecutive pods never move backwards
+// in time, so a function's whole emission is time-ordered. Emitting
+// straight into the caller's Request keeps the hot path free of
+// per-pod buffers (and their reallocation churn).
+//
+// The timing draws here (pod size, init, durations, think times, gap)
+// must stay in lockstep with timingEmitter.nextPod, which walks the
+// same stream without materializing requests.
+func (e *fnEmitter) next(r *Request) bool {
+	if e.podLeft == 0 {
+		if e.remaining <= 0 {
+			return false
+		}
+		e.podID++
+		size := podSize(e.timing, e.p.podSizeMean)
+		if size > e.remaining {
+			size = e.remaining
+		}
+		e.initMs = math.Max(20, e.timing.Normal(e.p.initMs, e.p.initMs*0.25))
+		e.podLeft = size
+		e.podFirst = true
+		e.remaining -= size
 	}
-	e.podID++
+	durMs := e.timing.LogNormal(e.p.logMeanDur, e.p.sigma)
+	if durMs < 0.05 {
+		durMs = 0.05
+	}
+	cpuU, memU := correlatedUtils(e.util, &e.p, e.corr)
+	*r = Request{
+		FnID:       e.fn,
+		PodID:      e.podID,
+		Start:      time.Duration(e.arrival * float64(time.Millisecond)),
+		Duration:   time.Duration(durMs * float64(time.Millisecond)),
+		AllocCPU:   e.p.flavor.VCPU,
+		AllocMemMB: e.p.flavor.MemMB,
+		MemUsedMB:  memU * e.p.flavor.MemMB,
+	}
+	r.CPUTime = time.Duration(cpuU * e.p.flavor.VCPU * durMs * float64(time.Millisecond))
+	if e.podFirst {
+		r.ColdStart = true
+		r.InitDuration = time.Duration(e.initMs * float64(time.Millisecond))
+		e.podFirst = false
+	}
+	// Next arrival within the pod: short think time keeps the pod warm;
+	// occasionally long gaps end pods in reality but pod membership is
+	// already decided here.
+	e.arrival += durMs + e.timing.Exp(200)
+	e.podLeft--
+	if e.podLeft == 0 {
+		e.arrival += e.timing.Exp(2000) // idle gap between pods
+	}
+	return true
+}
+
+// timingEmitter walks a function's timing stream without drawing
+// utilizations or materializing requests: the shape of the emission —
+// pod boundaries, arrivals, truncated durations — at a fraction of full
+// generation's cost. The calibration sweep (scale == 0) and the
+// pod-metadata scan (scale > 0) both use it; its draw sequence must
+// stay in lockstep with fnEmitter.nextPod's timing draws.
+type timingEmitter struct {
+	rng       *stats.Rand
+	p         fnProfile
+	remaining int
+	arrival   float64
+}
+
+func newTimingEmitter(seed uint64, fn int, p fnProfile, count int) *timingEmitter {
+	rng := stats.NewRand(timingSeed(seed, fn))
+	return &timingEmitter{
+		rng:       rng,
+		p:         p,
+		remaining: count,
+		arrival:   rng.Uniform(0, 60_000),
+	}
+}
+
+// podShape is one pod's placement-relevant extent from a timing walk.
+type podShape struct {
+	first    time.Duration
+	init     time.Duration
+	last     time.Duration // latest request turnaround end, scaled
+	nreqs    int
+	durSumMs float64 // sum of truncated raw durations, for calibration
+}
+
+// nextPod walks one pod. With scale > 0 the reported last applies the
+// duration rescale exactly as FunctionStream.Next does (scaling the
+// nanosecond-truncated duration, flooring at 1µs); durSumMs always
+// accumulates the raw truncated durations rescaleDurations averages.
+func (e *timingEmitter) nextPod(scale float64) (podShape, bool) {
+	if e.remaining <= 0 {
+		return podShape{}, false
+	}
 	size := podSize(e.rng, e.p.podSizeMean)
 	if size > e.remaining {
 		size = e.remaining
 	}
 	initMs := math.Max(20, e.rng.Normal(e.p.initMs, e.p.initMs*0.25))
-	buf = buf[:0]
+	sh := podShape{
+		first: time.Duration(e.arrival * float64(time.Millisecond)),
+		init:  time.Duration(initMs * float64(time.Millisecond)),
+		nreqs: size,
+	}
 	for j := 0; j < size; j++ {
-		durMs := e.rng.LogNormal(math.Log(e.p.meanDurMs), e.p.sigma)
+		durMs := e.rng.LogNormal(e.p.logMeanDur, e.p.sigma)
 		if durMs < 0.05 {
 			durMs = 0.05
 		}
-		cpuU, memU := correlatedUtils(e.rng, e.p, e.corr)
-		r := Request{
-			FnID:       e.fn,
-			PodID:      e.podID,
-			Start:      time.Duration(e.arrival * float64(time.Millisecond)),
-			Duration:   time.Duration(durMs * float64(time.Millisecond)),
-			AllocCPU:   e.p.flavor.VCPU,
-			AllocMemMB: e.p.flavor.MemMB,
-			MemUsedMB:  memU * e.p.flavor.MemMB,
+		raw := time.Duration(durMs * float64(time.Millisecond))
+		sh.durSumMs += float64(raw) / float64(time.Millisecond)
+		dur := raw
+		if scale > 0 {
+			dur = time.Duration(float64(raw) * scale)
+			if dur <= 0 {
+				dur = time.Microsecond
+			}
 		}
-		r.CPUTime = time.Duration(cpuU * e.p.flavor.VCPU * durMs * float64(time.Millisecond))
+		end := time.Duration(e.arrival*float64(time.Millisecond)) + dur
 		if j == 0 {
-			r.ColdStart = true
-			r.InitDuration = time.Duration(initMs * float64(time.Millisecond))
+			end += sh.init
 		}
-		buf = append(buf, r)
-		// Next arrival within the pod: short think time keeps the
-		// pod warm; occasionally long gaps end pods in reality but
-		// pod membership is already decided here.
+		if end > sh.last {
+			sh.last = end
+		}
 		e.arrival += durMs + e.rng.Exp(200)
 	}
 	e.remaining -= size
-	e.arrival += e.rng.Exp(2000) // idle gap between pods
-	return buf
+	e.arrival += e.rng.Exp(2000)
+	return sh, true
 }
 
 // Generate produces a synthetic trace under cfg. The result is sorted by
@@ -312,13 +441,12 @@ func Generate(cfg GeneratorConfig) *Trace {
 	counts := requestCounts(cfg, profiles, totalWeight)
 
 	reqs := make([]Request, 0, cfg.Requests)
-	var scratch []Request
 	podBase := 0
 	for fn, p := range profiles {
-		e := newFnEmitter(rng, fn, p, counts[fn], cfg.UtilCorrelation, podBase)
-		for buf := e.nextPod(scratch); buf != nil; buf = e.nextPod(buf) {
-			reqs = append(reqs, buf...)
-			scratch = buf
+		e := newFnEmitter(cfg.Seed, fn, p, counts[fn], cfg.UtilCorrelation, podBase)
+		var r Request
+		for e.next(&r) {
+			reqs = append(reqs, r)
 		}
 		podBase = e.podID
 	}
@@ -367,11 +495,12 @@ func podSize(rng *stats.Rand, mean float64) int {
 
 // correlatedUtils draws a (cpu, mem) utilization pair with a shared latent
 // Beta factor so the pair exhibits the trace's moderate positive
-// correlation without a strong linear relationship.
-func correlatedUtils(rng *stats.Rand, p fnProfile, w float64) (cpuU, memU float64) {
-	shared := rng.Beta(1.6, 3.2)
-	cpu := rng.Beta(p.cpuUtilA, p.cpuUtilB)
-	mem := rng.Beta(p.memUtilA, p.memUtilB)
+// correlation without a strong linear relationship. All shapes are ≥ 1,
+// so every Beta goes through the precomputed gamma constants.
+func correlatedUtils(rng *stats.Rand, p *fnProfile, w float64) (cpuU, memU float64) {
+	shared := rng.BetaP(sharedUtilG[0], sharedUtilG[1])
+	cpu := rng.BetaP(p.cpuGA, p.cpuGB)
+	mem := rng.BetaP(p.memGA, p.memGB)
 	cpuU = clamp01(w*shared + (1-w)*cpu)
 	memU = clamp01(w*shared + (1-w)*mem)
 	return cpuU, memU

@@ -1,7 +1,7 @@
 package trace
 
 import (
-	"container/heap"
+	"sort"
 	"time"
 
 	"slscost/internal/stats"
@@ -25,6 +25,33 @@ type Stream interface {
 	Next() (Request, bool)
 }
 
+// IntoStream is an optional Stream fast path. NextInto writes the next
+// request into *r instead of returning it by value, so a chain of
+// stream wrappers moves one pointer instead of re-copying the ~100-byte
+// Request struct at every hop. Semantics are otherwise identical to
+// Next; *r is unspecified when NextInto returns false.
+type IntoStream interface {
+	Stream
+	NextInto(r *Request) bool
+}
+
+// NextIntoFunc returns the stream's NextInto method when it has one, or
+// an adapter over Next. Hot consumers resolve the fast path once and
+// call through the returned func per request.
+func NextIntoFunc(s Stream) func(*Request) bool {
+	if is, ok := s.(IntoStream); ok {
+		return is.NextInto
+	}
+	return func(r *Request) bool {
+		rr, ok := s.Next()
+		if !ok {
+			return false
+		}
+		*r = rr
+		return true
+	}
+}
+
 // Source produces a fresh Stream positioned at the beginning. The
 // streaming cluster simulator opens its input twice — once for the
 // placement scan, once for the replay — so anything fed to it must be
@@ -45,6 +72,15 @@ func (s *sliceStream) Next() (Request, bool) {
 	r := s.reqs[s.pos]
 	s.pos++
 	return r, true
+}
+
+func (s *sliceStream) NextInto(r *Request) bool {
+	if s.pos >= len(s.reqs) {
+		return false
+	}
+	*r = s.reqs[s.pos]
+	s.pos++
+	return true
 }
 
 // FromTrace adapts a materialized trace to the Stream interface. The
@@ -84,8 +120,6 @@ type FunctionStream struct {
 	count int
 	scale float64 // duration rescale factor; 0 disables rescaling
 	em    *fnEmitter
-	buf   []Request
-	pos   int
 }
 
 // FnID returns the function the stream belongs to.
@@ -96,15 +130,17 @@ func (f *FunctionStream) Len() int { return f.count }
 
 // Next returns the function's next request in arrival order.
 func (f *FunctionStream) Next() (Request, bool) {
-	if f.pos >= len(f.buf) {
-		f.buf = f.em.nextPod(f.buf)
-		f.pos = 0
-		if len(f.buf) == 0 {
-			return Request{}, false
-		}
+	var r Request
+	ok := f.NextInto(&r)
+	return r, ok
+}
+
+// NextInto writes the function's next request into *r — the IntoStream
+// fast path, sparing the value-return copy at every consumer hop.
+func (f *FunctionStream) NextInto(r *Request) bool {
+	if !f.em.next(r) {
+		return false
 	}
-	r := f.buf[f.pos]
-	f.pos++
 	if f.scale > 0 {
 		// Mirror rescaleDurations exactly: scale wall clock and CPU time
 		// by the same factor (preserving utilization rates) and floor the
@@ -115,24 +151,22 @@ func (f *FunctionStream) Next() (Request, bool) {
 			r.Duration = time.Microsecond
 		}
 	}
-	return r, true
+	return true
 }
 
 // Calibration is the generator's reusable calibration state: the
-// per-function latent profiles, request counts, block-entry RNG
-// snapshots, pod-ID bases, and the duration-rescale factor. The
-// generator draws every function's randomness from one shared
-// sequential stream, so lazy per-function emission needs a calibration
-// sweep first — each function's block replayed once (cheaply, nothing
-// retained) to record those artifacts. A Calibration is a pure
-// function of its GeneratorConfig and can instantiate any number of
-// independent stream openings without re-running the sweep; memory is
-// O(Functions), not O(Requests).
+// per-function latent profiles, request counts, pod-ID bases, and the
+// duration-rescale factor. The rescale factor depends on every raw
+// duration, so lazy emission needs a calibration sweep first — but the
+// sweep only walks each function's timing stream (arrivals, pod
+// boundaries, durations), never the ~3× costlier utilization draws. A
+// Calibration is a pure function of its GeneratorConfig and can
+// instantiate any number of independent stream openings without
+// re-running the sweep; memory is O(Functions), not O(Requests).
 type Calibration struct {
 	cfg      GeneratorConfig // sanitized
 	profiles []fnProfile
 	counts   []int
-	snaps    []*stats.Rand
 	podBases []int
 	scale    float64
 	pods     int
@@ -153,28 +187,22 @@ func Calibrate(cfg GeneratorConfig) *Calibration {
 		cfg:      cfg,
 		profiles: profiles,
 		counts:   counts,
-		snaps:    make([]*stats.Rand, cfg.Functions),
 		podBases: make([]int, cfg.Functions),
 	}
 	var durSumMs float64
-	var scratch []Request
-	podBase := 0
+	pods := 0
 	for fn, p := range profiles {
-		c.snaps[fn] = rng.Clone()
-		c.podBases[fn] = podBase
-		e := newFnEmitter(rng, fn, p, counts[fn], cfg.UtilCorrelation, podBase)
-		for buf := e.nextPod(scratch); buf != nil; buf = e.nextPod(buf) {
-			for i := range buf {
-				durSumMs += float64(buf[i].Duration) / float64(time.Millisecond)
-			}
-			scratch = buf
+		c.podBases[fn] = pods
+		e := newTimingEmitter(cfg.Seed, fn, p, counts[fn])
+		for sh, ok := e.nextPod(0); ok; sh, ok = e.nextPod(0) {
+			durSumMs += sh.durSumMs
+			pods++
 		}
-		podBase = e.podID
 	}
 	if mean := durSumMs / float64(cfg.Requests); mean > 0 {
 		c.scale = cfg.MeanDurationMs / mean
 	}
-	c.pods = podBase
+	c.pods = pods
 	return c
 }
 
@@ -182,8 +210,9 @@ func Calibrate(cfg GeneratorConfig) *Calibration {
 func (c *Calibration) Pods() int { return c.pods }
 
 // Streams instantiates one fresh time-ordered stream per function,
-// each positioned at its function's beginning (the RNG snapshots are
-// cloned, so repeated calls yield independent, identical openings).
+// each positioned at its function's beginning (emitters re-derive the
+// per-function streams from the seed, so repeated calls yield
+// independent, identical openings).
 func (c *Calibration) Streams() []*FunctionStream {
 	out := make([]*FunctionStream, len(c.profiles))
 	for fn, p := range c.profiles {
@@ -191,21 +220,97 @@ func (c *Calibration) Streams() []*FunctionStream {
 			fn:    fn,
 			count: c.counts[fn],
 			scale: c.scale,
-			em:    newFnEmitter(c.snaps[fn].Clone(), fn, p, c.counts[fn], c.cfg.UtilCorrelation, c.podBases[fn]),
+			em:    newFnEmitter(c.cfg.Seed, fn, p, c.counts[fn], c.cfg.UtilCorrelation, c.podBases[fn]),
 		}
 	}
 	return out
 }
 
 // Stream instantiates a fresh merged stream over the whole calibrated
-// trace.
+// trace. The result implements PodScanner: the streaming cluster
+// simulator's placement pass reads pod metadata from a timing-only
+// walk instead of generating (and discarding) every request.
 func (c *Calibration) Stream() Stream {
 	fns := c.Streams()
 	srcs := make([]Stream, len(fns))
 	for i, f := range fns {
 		srcs[i] = f
 	}
-	return Merge(srcs...)
+	m := Merge(srcs...)
+	return &calStream{Stream: m, into: NextIntoFunc(m), c: c}
+}
+
+// PodMeta describes one sandbox of a generated trace: identity, flavor,
+// cold-start initialization, arrival extent, and request count — the
+// placement-relevant shape of the pod, with durations already rescaled.
+// It carries exactly what a full scan of the emitted requests would
+// reconstruct per pod.
+type PodMeta struct {
+	ID    int
+	FnID  int
+	VCPU  float64
+	MemMB float64
+	Init  time.Duration
+	First time.Duration
+	Last  time.Duration
+	NReqs int
+}
+
+// PodScanner is implemented by streams that can enumerate their pod
+// population up front without being consumed. The streaming cluster
+// simulator's placement pass uses it to skip materializing every
+// request of its first pass.
+type PodScanner interface {
+	PodScan() []PodMeta
+}
+
+// calStream is the calibrated merged stream; it adds the PodScan fast
+// path to the plain merge and forwards the merge's NextInto.
+type calStream struct {
+	Stream
+	into func(*Request) bool
+	c    *Calibration
+}
+
+func (s *calStream) NextInto(r *Request) bool { return s.into(r) }
+
+func (s *calStream) PodScan() []PodMeta { return s.c.PodMetas() }
+
+// PodMetas walks every function's timing stream and returns the pods of
+// the calibrated trace in order of first arrival — the order a full
+// scan of the merged stream would first encounter them. The walk draws
+// no utilizations, so it costs a fraction of an emission pass. The
+// slice is freshly built per call; callers own it.
+func (c *Calibration) PodMetas() []PodMeta {
+	metas := make([]PodMeta, 0, c.pods)
+	for fn, p := range c.profiles {
+		e := newTimingEmitter(c.cfg.Seed, fn, p, c.counts[fn])
+		id := c.podBases[fn]
+		for sh, ok := e.nextPod(c.scale); ok; sh, ok = e.nextPod(c.scale) {
+			id++
+			metas = append(metas, PodMeta{
+				ID:    id,
+				FnID:  fn,
+				VCPU:  p.flavor.VCPU,
+				MemMB: p.flavor.MemMB,
+				Init:  sh.init,
+				First: sh.first,
+				Last:  sh.last,
+				NReqs: sh.nreqs,
+			})
+		}
+	}
+	// First-appearance order in the merged stream: ascending first
+	// arrival, ties to the lower pod ID — IDs are function-major and the
+	// merge breaks ties toward the lower function index, while within a
+	// function pod arrivals strictly increase.
+	sort.Slice(metas, func(i, j int) bool {
+		if metas[i].First != metas[j].First {
+			return metas[i].First < metas[j].First
+		}
+		return metas[i].ID < metas[j].ID
+	})
+	return metas
 }
 
 // GenerateByFunction returns one time-ordered stream per function of
@@ -240,64 +345,92 @@ func GenerateSource(cfg GeneratorConfig) Source {
 	return func() (Stream, error) { return c.Stream(), nil }
 }
 
-// mergeItem is one source's buffered head inside a Merge.
-type mergeItem struct {
-	r   Request
-	src int
+// mergeEntry is one source's buffered-head key inside a Merge: just the
+// ordering fields, 16 bytes. The buffered Request itself lives in a
+// per-source slot (merged.heads), so heap sifts move small keys instead
+// of ~90-byte Request copies.
+type mergeEntry struct {
+	start time.Duration
+	src   int32
 }
 
-// mergeHeap orders buffered heads by (Start, source index): earliest
-// arrival first, ties broken toward the lower-indexed source so the
-// merge is deterministic.
-type mergeHeap []mergeItem
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if h[i].r.Start != h[j].r.Start {
-		return h[i].r.Start < h[j].r.Start
-	}
-	return h[i].src < h[j].src
-}
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old) - 1
-	top := old[n]
-	*h = old[:n]
-	return top
-}
-
-// merged is a k-way merge of time-ordered streams.
+// merged is a k-way merge of time-ordered streams over a hand-rolled
+// binary heap of (Start, source index) keys: earliest arrival first,
+// ties broken toward the lower-indexed source so the merge is
+// deterministic.
 type merged struct {
-	srcs []Stream
-	h    mergeHeap
+	srcs  []func(*Request) bool // per-source NextInto fast paths
+	heads []Request             // heads[src] is src's buffered next request
+	h     []mergeEntry
+}
+
+func (m *merged) less(a, b mergeEntry) bool {
+	if a.start != b.start {
+		return a.start < b.start
+	}
+	return a.src < b.src
+}
+
+// siftDown restores the heap property from the root.
+func (m *merged) siftDown(i int) {
+	n := len(m.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && m.less(m.h[right], m.h[left]) {
+			least = right
+		}
+		if !m.less(m.h[least], m.h[i]) {
+			return
+		}
+		m.h[i], m.h[least] = m.h[least], m.h[i]
+		i = least
+	}
 }
 
 func (m *merged) Next() (Request, bool) {
+	var r Request
+	ok := m.NextInto(&r)
+	return r, ok
+}
+
+func (m *merged) NextInto(out *Request) bool {
 	if len(m.h) == 0 {
-		return Request{}, false
+		return false
 	}
-	top := m.h[0]
-	if r, ok := m.srcs[top.src].Next(); ok {
-		m.h[0] = mergeItem{r: r, src: top.src}
-		heap.Fix(&m.h, 0)
+	src := m.h[0].src
+	*out = m.heads[src]
+	if m.srcs[src](&m.heads[src]) {
+		m.h[0].start = m.heads[src].Start
 	} else {
-		heap.Pop(&m.h)
+		n := len(m.h) - 1
+		m.h[0] = m.h[n]
+		m.h = m.h[:n]
 	}
-	return top.r, true
+	m.siftDown(0)
+	return true
 }
 
 // Merge combines time-ordered streams into one time-ordered stream.
 // Each source must be non-decreasing in Start; simultaneous arrivals
 // across sources are emitted in source order. Memory is O(len(srcs)).
 func Merge(srcs ...Stream) Stream {
-	m := &merged{srcs: srcs, h: make(mergeHeap, 0, len(srcs))}
+	m := &merged{
+		srcs:  make([]func(*Request) bool, len(srcs)),
+		heads: make([]Request, len(srcs)),
+		h:     make([]mergeEntry, 0, len(srcs)),
+	}
 	for i, s := range srcs {
-		if r, ok := s.Next(); ok {
-			m.h = append(m.h, mergeItem{r: r, src: i})
+		m.srcs[i] = NextIntoFunc(s)
+		if m.srcs[i](&m.heads[i]) {
+			m.h = append(m.h, mergeEntry{start: m.heads[i].Start, src: int32(i)})
 		}
 	}
-	heap.Init(&m.h)
+	for i := len(m.h)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
 	return m
 }
