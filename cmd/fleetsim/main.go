@@ -15,6 +15,15 @@
 // against the independent differential replay (internal/scenario/
 // diffsim) before printing it.
 //
+// -faults injects a named fault profile from the internal/scenario/
+// faults catalog — host crashes, spot preemptions, AZ outages,
+// rolling-deploy drains, correlated cold-start storms. The profile
+// compiles into a per-host schedule keyed to the seed and the scenario
+// horizon, replayed identically on the materialized, streamed, sweep,
+// and differential-replay paths:
+//
+//	fleetsim -scenario diurnal -faults chaos -verify
+//
 // -stream runs the same simulation through the streaming pipeline:
 // the workload is synthesized lazily and host shards simulate
 // concurrently with generation, so memory stays bounded by the pod
@@ -66,6 +75,7 @@ import (
 	"slscost/internal/opt"
 	"slscost/internal/scenario"
 	"slscost/internal/scenario/diffsim"
+	"slscost/internal/scenario/faults"
 	"slscost/internal/trace"
 )
 
@@ -118,6 +128,8 @@ func run(args []string, w io.Writer) error {
 	scenarioName := fs.String("scenario", "steady",
 		"workload scenario: "+strings.Join(scenario.Names(), ", ")+`, or "raw" for the unshaped generator`)
 	tenants := fs.Int("tenants", 1, "fan the scenario into N phase-shifted tenants (>= 1)")
+	faultsName := fs.String("faults", "",
+		"inject a catalog fault profile: "+strings.Join(faults.Names(), ", "))
 	horizon := fs.Duration("horizon", 0, "scenario shape period (0 = auto-scale to the workload)")
 	verify := fs.Bool("verify", false, "cross-check the report against the independent differential replay")
 	stream := fs.Bool("stream", false,
@@ -176,6 +188,14 @@ func run(args []string, w io.Writer) error {
 				*scenarioName, strings.Join(scenario.Names(), ", "))
 		}
 	}
+	var faultProfile *faults.Profile
+	if *faultsName != "" {
+		p, err := faults.ByName(*faultsName)
+		if err != nil {
+			return err
+		}
+		faultProfile = &p
+	}
 
 	if *remote != "" {
 		if sweepMode && *format != "json" {
@@ -206,12 +226,18 @@ func run(args []string, w io.Writer) error {
 				}
 				sw.Overcommits = ocs
 			}
+			if faultProfile != nil {
+				sw.Faults = &faultProfile.Spec
+			}
 		}
 		sim := api.SimulateParams{
 			Platform: *platform, Policy: *policy, Hosts: *hosts, Requests: *requests,
 			Scenario: *scenarioName, Tenants: *tenants, Horizon: api.Duration(*horizon),
 			Overcommit: *overcommit, Elastic: *elastic,
 			HostVCPU: *hostVCPU, HostMemMB: *hostMem,
+		}
+		if faultProfile != nil {
+			sim.Faults = &faultProfile.Spec
 		}
 		return runRemote(w, *remote, *seed, *verify, sweepMode, *pareto, sim, sw)
 	}
@@ -233,6 +259,17 @@ func run(args []string, w io.Writer) error {
 	gen := trace.DefaultGeneratorConfig()
 	gen.Requests = *requests
 	gen.Seed = *seed
+	scfg := scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants}
+
+	// Fault schedules compile once, keyed to the scenario horizon, and
+	// feed the materialized, streamed, and sweep paths identically.
+	if faultProfile != nil {
+		plan, err := faults.Compile(&faultProfile.Spec, *hosts, scfg.EffectiveHorizon(), *seed)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
+	}
 
 	if sweepMode {
 		// Sweeping "raw" makes no sense (there is no scenario to price
@@ -270,9 +307,10 @@ func run(args []string, w io.Writer) error {
 			Host:      fleet.HostSpec{VCPU: *hostVCPU, MemMB: *hostMem},
 			Hosts:     *hosts,
 			Scenarios: scs,
-			Scenario:  scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants},
+			Scenario:  scfg,
 			Seed:      *seed,
 			Workers:   *workers,
+			Faults:    cfg.Faults,
 		}
 		return runSweep(w, ocfg, space, *pareto, *refine, *format)
 	}
@@ -284,7 +322,7 @@ func run(args []string, w io.Writer) error {
 			src = trace.GenerateSource(gen)
 			fmt.Fprintf(w, "streaming %d-request synthetic trace (seed %d)\n", *requests, *seed)
 		} else {
-			src = sc.Source(scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants})
+			src = sc.Source(scfg)
 			scenarioLabel = sc.Name
 			fmt.Fprintf(w, "streaming %d-request %s scenario trace (seed %d, %d tenants)\n",
 				*requests, sc.Name, *seed, *tenants)
@@ -335,7 +373,6 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "generated %d-request synthetic trace (seed %d) in %v\n",
 			tr.Len(), *seed, time.Since(genStart).Round(time.Millisecond))
 	default:
-		scfg := scenario.Config{Base: gen, Horizon: *horizon, Tenants: *tenants}
 		var err error
 		if tr, err = sc.Trace(scfg); err != nil {
 			return err
@@ -375,9 +412,10 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 		flags  map[string]bool
 	}{
 		{tracePath != "", "-trace replays the CSV unshaped",
-			map[string]bool{"scenario": true, "tenants": true, "horizon": true}},
-		{tracePath == "" && scenarioName == "raw", `-scenario raw is the unshaped generator`,
-			map[string]bool{"tenants": true, "horizon": true}},
+			map[string]bool{"scenario": true, "tenants": true, "horizon": true, "faults": true}},
+		{tracePath == "" && scenarioName == "raw",
+			`-scenario raw is the unshaped generator (fault schedules key to a scenario horizon)`,
+			map[string]bool{"tenants": true, "horizon": true, "faults": true}},
 		{stream, "-stream synthesizes its workload lazily and cannot replay a CSV",
 			map[string]bool{"trace": true}},
 		{sweepMode, "-sweep/-pareto evaluate the whole policy grid (the swept knobs replace the single-run flags)",

@@ -11,6 +11,7 @@ import (
 	"slscost/internal/fleet"
 	"slscost/internal/opt"
 	"slscost/internal/scenario"
+	"slscost/internal/scenario/faults"
 	"slscost/internal/trace"
 )
 
@@ -118,6 +119,11 @@ type SimulateParams struct {
 	// Tolerance is scenario.verify's differential-replay tolerance;
 	// zero means diffsim.DefaultTolerance. fleet.simulate ignores it.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// Faults, when present, is the fault-injection spec compiled into a
+	// per-host schedule keyed to the scenario horizon and the job seed.
+	// Incompatible with the "raw" scenario (a raw trace carries no
+	// horizon to key schedules to).
+	Faults *faults.Spec `json:"faults,omitempty"`
 }
 
 // withDefaults resolves the zero values to the CLI defaults.
@@ -177,6 +183,9 @@ type SweepParams struct {
 	// HostVCPU/HostMemMB shape each host.
 	HostVCPU  float64 `json:"host_vcpu,omitempty"`
 	HostMemMB float64 `json:"host_mem_mb,omitempty"`
+	// Faults, when present, injects the same compiled fault schedule
+	// into every evaluation of the sweep.
+	Faults *faults.Spec `json:"faults,omitempty"`
 }
 
 // decodeParams strictly decodes a raw params object into dst. A nil
@@ -257,9 +266,14 @@ func SimulateConfigs(p SimulateParams, seed uint64) (fleet.Config, scenario.Scen
 				fmt.Errorf("unknown scenario %q (have %s, or raw)", p.Scenario, strings.Join(scenario.Names(), ", "))
 		}
 	}
+	if p.Faults != nil && p.Scenario == "raw" {
+		return fleet.Config{}, scenario.Scenario{}, scenario.Config{},
+			fmt.Errorf("faults need a scenario horizon to key schedules to; not usable with scenario \"raw\"")
+	}
 	gen := trace.DefaultGeneratorConfig()
 	gen.Requests = p.Requests
 	gen.Seed = seed
+	scfg := scenario.Config{Base: gen, Horizon: time.Duration(p.Horizon), Tenants: p.Tenants}
 	fc := fleet.Config{
 		Hosts:      p.Hosts,
 		Host:       fleet.HostSpec{VCPU: p.HostVCPU, MemMB: p.HostMemMB},
@@ -270,7 +284,14 @@ func SimulateConfigs(p SimulateParams, seed uint64) (fleet.Config, scenario.Scen
 		Elastic:    p.Elastic,
 		Seed:       seed,
 	}
-	return fc, sc, scenario.Config{Base: gen, Horizon: time.Duration(p.Horizon), Tenants: p.Tenants}, nil
+	if p.Faults != nil {
+		plan, err := faults.Compile(p.Faults, fc.Hosts, scfg.EffectiveHorizon(), seed)
+		if err != nil {
+			return fleet.Config{}, scenario.Scenario{}, scenario.Config{}, err
+		}
+		fc.Faults = plan
+	}
+	return fc, sc, scfg, nil
 }
 
 // SweepConfigs resolves SweepParams into the optimizer configuration
@@ -325,6 +346,17 @@ func SweepConfigs(p SweepParams, seed uint64) (opt.Config, opt.Space, error) {
 		Scenarios: scs,
 		Scenario:  scenario.Config{Base: gen, Horizon: time.Duration(p.Horizon), Tenants: p.Tenants},
 		Seed:      seed,
+	}
+	if p.Faults != nil {
+		hosts := cfg.Hosts
+		if hosts == 0 {
+			hosts = 16 // opt.Config.withDefaults' pool size
+		}
+		plan, err := faults.Compile(p.Faults, hosts, cfg.Scenario.EffectiveHorizon(), seed)
+		if err != nil {
+			return opt.Config{}, opt.Space{}, err
+		}
+		cfg.Faults = plan
 	}
 	return cfg, space, nil
 }

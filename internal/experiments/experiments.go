@@ -81,6 +81,7 @@ func All() []Experiment {
 		{"ext-fleet", "Cluster-scale placement policies' cost/latency trade-offs", RunFleetExperiment},
 		{"ext-scenarios", "Workload scenarios × placement, differentially verified", RunScenarioExperiment},
 		{"ext-opt", "Policy sweep: Pareto frontier over cost, cold rate, tail slowdown", RunOptExperiment},
+		{"ext-faults", "Fault profiles × placement: recovery cost, differentially verified", RunFaultsExperiment},
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"slscost/internal/autoscale"
 	"slscost/internal/core"
+	"slscost/internal/scenario/faults"
 	"slscost/internal/stats"
 	"slscost/internal/trace"
 )
@@ -75,6 +76,13 @@ type Config struct {
 	// aggregation lag applies, so a burst can reject sandboxes a fixed
 	// fleet would have absorbed.
 	Elastic bool
+	// Faults is the compiled fault plan the hosts replay (nil or empty
+	// for a healthy cluster). The plan must have been compiled for
+	// exactly Hosts hosts; every host schedules its events on its
+	// private clock, and the placement pass masks hosts that are
+	// draining or down at a pod's first arrival, so fault replay is as
+	// worker-count-independent as the rest of the simulation.
+	Faults *faults.Plan
 	// Seed drives every random stream in the simulation.
 	Seed uint64
 }
@@ -103,6 +111,9 @@ func (c Config) Validate() error {
 	}
 	if c.Overcommit != 0 && c.Overcommit < 1 {
 		return fmt.Errorf("fleet: overcommit ratio %v below 1", c.Overcommit)
+	}
+	if c.Faults != nil && c.Faults.Hosts() != c.Hosts {
+		return fmt.Errorf("fleet: fault plan compiled for %d hosts, cluster has %d", c.Faults.Hosts(), c.Hosts)
 	}
 	return c.Profile.Validate()
 }
@@ -218,6 +229,12 @@ type placeStats struct {
 	rejected   int
 	meanActive float64
 	peakActive int
+	// maskedPods counts pods whose first arrival fell inside at least
+	// one host's fault window — offers the policy made with part of the
+	// fleet masked out. Counted over the whole cluster (not just the
+	// elastic prefix) so the differential oracle can recompute it from
+	// the plan and the pod arrivals alone.
+	maskedPods int
 }
 
 // placeAll runs the sequential placement pass: pods are offered to the
@@ -305,6 +322,23 @@ func placeAll(cfg Config, pods []*pod) (view View, ps placeStats) {
 		}
 		activeIntegral += float64(active) * (p.first - lastAt).Seconds()
 		lastAt = p.first
+
+		// Fault masking: hosts draining or down at this pod's first
+		// arrival fit nothing, so the policy routes around them exactly
+		// as a production scheduler drops unhealthy nodes from its scan.
+		if plan := cfg.Faults; !plan.Empty() {
+			masked := false
+			for i := range view.Hosts {
+				u := plan.UnavailableAt(i, p.first)
+				view.Hosts[i].Unavailable = u
+				if u {
+					masked = true
+				}
+			}
+			if masked {
+				ps.maskedPods++
+			}
+		}
 
 		sub := View{Hosts: view.Hosts[:active]}
 		idx := cfg.Policy.Place(&sub, p.vcpu, p.memMB, rng)

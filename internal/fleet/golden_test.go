@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"slscost/internal/core"
+	"slscost/internal/scenario"
+	"slscost/internal/scenario/faults"
 	"slscost/internal/trace"
 )
 
@@ -84,6 +86,81 @@ func TestGoldenReports(t *testing.T) {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {
 					t.Fatal(err)
 				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("report drifted from fixture %s (regenerate with -update if intended):\ngot:\n%s\nwant:\n%s",
+					path, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenFaultReports pins the fault-injected report rendering the
+// same way: two catalog fault profiles over catalog scenario traces,
+// compared byte-for-byte (recovery quantiles, availability, and the
+// eviction tallies included). Regenerate with -update.
+func TestGoldenFaultReports(t *testing.T) {
+	cases := []struct {
+		name     string
+		scenario string
+		profile  string
+		policy   string
+		prof     core.Profile
+	}{
+		{name: "faults_diurnal_crashes", scenario: "diurnal",
+			profile: "crashes", policy: "least-loaded", prof: core.AWS()},
+		{name: "faults_flash_crowd_chaos", scenario: "flash-crowd",
+			profile: "chaos", policy: "bin-pack", prof: core.GCP()},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sc, ok := scenario.ByName(c.scenario)
+			if !ok {
+				t.Fatalf("unknown scenario %s", c.scenario)
+			}
+			scfg := scenario.DefaultConfig()
+			scfg.Base.Requests = 3000
+			scfg.Base.Seed = 7
+			tr, err := sc.Trace(scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol, err := NewPolicy(c.policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{
+				Hosts: 4, Host: DefaultHostSpec(), Policy: pol, Profile: c.prof,
+				Workers: 2, Overcommit: 2, Seed: 7,
+			}
+			fp, err := faults.ByName(c.profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Faults, err = faults.Compile(&fp.Spec, cfg.Hosts, scfg.EffectiveHorizon(), cfg.Seed); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Simulate(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.EvictedSandboxes+rep.KilledRequests+rep.DeferredRequests+rep.FaultMaskedPods == 0 {
+				t.Fatalf("profile %s perturbed nothing; the fixture would pin a fault-free run", c.profile)
+			}
+			var buf bytes.Buffer
+			rep.WriteText(&buf)
+
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
 				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 					t.Fatal(err)
 				}

@@ -6,6 +6,7 @@ import (
 
 	"slscost/internal/billing"
 	"slscost/internal/cfs"
+	"slscost/internal/scenario/faults"
 	"slscost/internal/simtime"
 	"slscost/internal/stats"
 	"slscost/internal/trace"
@@ -37,6 +38,18 @@ type hostResult struct {
 	busyVCPUSecs    float64
 	idleHeldCPUSecs float64
 	makespan        time.Duration
+
+	// Fault bookkeeping: sandboxes evicted by fault events (drain,
+	// crash, storm — keep-alive expiries stay in expired), requests
+	// killed mid-flight by a hard-down, requests that arrived while the
+	// host was unavailable and replayed at recovery (their queueing
+	// delay lands in recovHist, in ms), and seconds the host spent
+	// hard-down.
+	evicted      int
+	killed       int
+	deferredReqs int
+	downSecs     float64
+	recovHist    *stats.LogHist
 
 	// CFS cross-check probe (see probe below): the event-driven
 	// multi-tenant host's measured slowdown at this host's peak
@@ -78,6 +91,16 @@ func LatencyHistConfig() stats.LogHistConfig {
 	return stats.LogHistConfig{Origin: 1e-3, BucketsPerDoubling: 32, Buckets: 1280}
 }
 
+// RecoveryHistConfig is the bucket layout of the fault-recovery
+// histogram, in milliseconds: how long each deferred request waited
+// between arriving at an unavailable host and being admitted at the
+// host's recovery. Same layout as the latency histogram, and exported
+// for the same reason — the differential harness accumulates its own
+// copy from independent bookkeeping.
+func RecoveryHistConfig() stats.LogHistConfig {
+	return stats.LogHistConfig{Origin: 1e-3, BucketsPerDoubling: 32, Buckets: 1280}
+}
+
 // inflightRec is one executing request. Records are pooled per host
 // and travel inside the completion event (simtime's arg slot), so the
 // steady-state request loop performs no allocation; pos tracks the
@@ -88,6 +111,9 @@ type inflightRec struct {
 	alloc float64
 	cpu   time.Duration
 	pos   int32
+	// timer is the pending completion event, retained so a hard-down
+	// fault can cancel the completion when it kills the request.
+	timer simtime.Handle
 }
 
 // sandbox is one live pod runtime on the host. Sandboxes are pooled:
@@ -99,6 +125,13 @@ type sandbox struct {
 	activeReqs int
 	idle       bool
 	idleTimer  simtime.Handle
+	// lpos is the sandbox's index in the host's live list (O(1)
+	// swap-removal, mirroring inflightRec.pos).
+	lpos int32
+	// evictOnIdle marks a sandbox a cold-start storm flushed while it
+	// was serving: it evicts the moment its last request finishes,
+	// without drawing a keep-alive window.
+	evictOnIdle bool
 }
 
 // hostSim is the mutable state of one host shard.
@@ -125,6 +158,19 @@ type hostSim struct {
 	peakDemand float64
 	peakTasks  []ProbeTask
 
+	// Fault state. live tracks every resident sandbox (idle or active)
+	// so bulk fault evictions are O(residents); drainDepth and
+	// downDepth count overlapping drain/down windows (the host accepts
+	// work only when both are zero); downSince anchors the current
+	// hard-down stretch; deferred queues arrivals that hit the host
+	// while it was unavailable, replayed FIFO at the accepting
+	// transition.
+	live       []*sandbox
+	drainDepth int
+	downDepth  int
+	downSince  time.Duration
+	deferred   []deferredReq
+
 	// Free lists and the pre-bound event callbacks (method values are
 	// allocated once here, not per scheduled event).
 	recFree    []*inflightRec
@@ -132,6 +178,16 @@ type hostSim struct {
 	completeFn simtime.ArgEvent
 	expireFn   simtime.ArgEvent
 	arriveFn   simtime.ArgEvent
+	faultFn    simtime.ArgEvent
+}
+
+// deferredReq is one arrival queued while its host was draining or
+// down. The request is copied by value: the streaming path feeds
+// arrivals out of pooled batch buffers that are recycled long before
+// the host recovers.
+type deferredReq struct {
+	p *pod
+	r trace.Request
 }
 
 // account integrates the busy/idle-held vCPU curves up to now. The host
@@ -162,13 +218,29 @@ func newHostSim(cfg Config, hostIdx int) *hostSim {
 	}
 	s.res.latHist = stats.NewLogHist(LatencyHistConfig())
 	s.res.slowHist = stats.NewLogHist(SlowdownHistConfig())
+	s.res.recovHist = stats.NewLogHist(RecoveryHistConfig())
 	s.completeFn = func(now time.Duration, arg any) { s.complete(now, arg.(*inflightRec)) }
 	s.expireFn = func(now time.Duration, arg any) { s.expire(now, arg.(*sandbox)) }
 	s.arriveFn = func(now time.Duration, arg any) {
 		a := arg.(*arrival)
 		s.arrive(now, a.p, &a.r)
 	}
+	s.faultFn = func(now time.Duration, arg any) { s.fault(now, arg.(faults.Kind)) }
 	return s
+}
+
+// seedFaults schedules the host's fault plan on its private clock.
+// Both replay paths call it before the clock first runs — the batch
+// path right after seeding arrivals, the streaming path at the sim's
+// lazy creation — so fault events carry lower sequence numbers than
+// any runtime-scheduled completion or expiry: at an equal instant a
+// fault fires first, while a same-instant arrival (seeded earlier in
+// batch, fed directly in stream) still beats it. The tie order is
+// therefore identical on both paths and in the differential oracle.
+func (s *hostSim) seedFaults(hostIdx int) {
+	for _, ev := range s.cfg.Faults.HostEvents(hostIdx) {
+		s.clock.Schedule(ev.At, s.faultFn, ev.Kind)
+	}
 }
 
 // getRec takes an in-flight record from the free list or the heap.
@@ -245,6 +317,16 @@ func simulateHost(cfg Config, hostIdx int, pods []*pod, tr *trace.Trace) hostRes
 	for i, q := range seq {
 		arrs[i] = arrival{p: q.p, r: tr.Requests[q.ri]}
 		s.clock.Schedule(arrs[i].r.Start, s.arriveFn, &arrs[i])
+	}
+	// Faults seed after the arrivals: a same-instant arrival beats the
+	// fault (matching the stream path, which runs only strictly-earlier
+	// events before feeding an arrival), while same-instant completions
+	// and expiries — scheduled later, at runtime — fire after it. A
+	// pod-less host seeds nothing, matching the stream path's lazy sim
+	// creation (and the oracle's empty-host early return): faults on a
+	// host that never serves are unobservable everywhere.
+	if len(seq) > 0 {
+		s.seedFaults(hostIdx)
 	}
 	return s.finish()
 }
@@ -339,6 +421,14 @@ func CFSProbe(period time.Duration, tickHz int, hostVCPU, peakDemand float64, ta
 // completion event carries the record through the clock's arg slot.
 func (s *hostSim) arrive(now time.Duration, p *pod, r *trace.Request) {
 	s.account(now)
+	if s.drainDepth != 0 || s.downDepth != 0 {
+		// The host is draining or down: queue the arrival (copying the
+		// request — stream batch buffers are pooled) for FIFO replay at
+		// the accepting transition.
+		s.deferred = append(s.deferred, deferredReq{p: p, r: *r})
+		s.res.deferredReqs++
+		return
+	}
 	ka := s.cfg.Profile.KeepAlive
 
 	sb := p.sb
@@ -360,6 +450,8 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r *trace.Request) {
 		}
 		sb = s.getSandbox(p)
 		p.sb = sb
+		sb.lpos = int32(len(s.live))
+		s.live = append(s.live, sb)
 		if p.fnCount == nil {
 			c := s.fnInstances[p.fnID]
 			if c == nil {
@@ -446,7 +538,7 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r *trace.Request) {
 	s.res.billedCPUSeconds += ch.CPUSeconds
 	s.res.billedMemGBs += ch.MemGBSeconds
 
-	s.clock.Schedule(now+init+effective, s.completeFn, rec)
+	rec.timer = s.clock.Schedule(now+init+effective, s.completeFn, rec)
 }
 
 // complete finishes one request; the sandbox goes idle when it was the
@@ -471,6 +563,15 @@ func (s *hostSim) complete(now time.Duration, rec *inflightRec) {
 	if sb.activeReqs > 0 {
 		return
 	}
+	if s.drainDepth != 0 || sb.evictOnIdle {
+		// A draining host (or a storm-flushed sandbox) evicts the
+		// moment its last request finishes — and draws no keep-alive
+		// window, so the host's random stream stays aligned with the
+		// differential oracle's replay.
+		s.dropSandbox(sb)
+		s.res.evicted++
+		return
+	}
 	ka := s.cfg.Profile.KeepAlive
 	sb.idle = true
 	s.idleCount++
@@ -492,9 +593,135 @@ func (s *hostSim) expire(now time.Duration, sb *sandbox) {
 	} else {
 		s.idleHeldCPU -= s.cfg.Profile.KeepAlive.IdleCPU(p.vcpu)
 	}
+	s.dropSandbox(sb)
+	s.res.expired++
+}
+
+// dropSandbox removes a sandbox from the host entirely: out of the
+// live list (O(1) swap via lpos), detached from its pod, function
+// counter decremented, and recycled onto the free list. Idle
+// bookkeeping (idleCount/idleHeldCPU, the expiry timer) is the
+// caller's job.
+func (s *hostSim) dropSandbox(sb *sandbox) {
+	p := sb.pod
+	pos := sb.lpos
+	last := len(s.live) - 1
+	moved := s.live[last]
+	s.live[pos] = moved
+	moved.lpos = pos
+	s.live[last] = nil
+	s.live = s.live[:last]
 	p.sb = nil
 	sb.pod = nil
+	sb.evictOnIdle = false
 	s.sbFree = append(s.sbFree, sb)
 	*p.fnCount--
-	s.res.expired++
+}
+
+// fault applies one fault-plan event to the host. Every branch runs
+// account first, so the busy/idle integrals and the makespan advance
+// identically on the fleet and the oracle even when the event changes
+// nothing else.
+func (s *hostSim) fault(now time.Duration, k faults.Kind) {
+	s.account(now)
+	switch k {
+	case faults.DrainStart:
+		s.drainDepth++
+		s.evictIdle()
+	case faults.DrainEnd:
+		s.drainDepth--
+		s.replayDeferred(now)
+	case faults.Down:
+		if s.downDepth == 0 {
+			s.downSince = now
+		}
+		s.downDepth++
+		s.killInflight()
+		s.evictAllLive()
+	case faults.Up:
+		s.downDepth--
+		if s.downDepth == 0 {
+			s.res.downSecs += float64(now-s.downSince) * 1e-9
+		}
+		s.replayDeferred(now)
+	case faults.Flush:
+		s.evictIdle()
+		// What's left in the live list is serving; it re-cold-starts
+		// as soon as it drains.
+		for _, sb := range s.live {
+			sb.evictOnIdle = true
+		}
+	}
+}
+
+// evictIdle evicts every idle sandbox at once. The loop touches only
+// integers; the idle holdings then clamp to exactly zero — the same
+// exact-drain discipline the idleCount==0 paths use, made order-free
+// so bulk eviction cannot leave float residue.
+func (s *hostSim) evictIdle() {
+	for i := 0; i < len(s.live); {
+		sb := s.live[i]
+		if !sb.idle {
+			i++
+			continue
+		}
+		s.clock.Cancel(sb.idleTimer)
+		sb.idleTimer = simtime.Handle{}
+		sb.idle = false
+		s.dropSandbox(sb) // swap-removes; re-examine index i
+		s.res.evicted++
+	}
+	s.idleHeldCPU = 0
+	s.idleCount = 0
+}
+
+// killInflight cancels every executing request: a hard-down host
+// completes nothing. Killed requests stay billed (the platform charged
+// for the wall clock they consumed at admission — a deliberate
+// approximation, admission-time billing) and stay in the latency
+// histogram for the same reason.
+func (s *hostSim) killInflight() {
+	for _, rec := range s.inflight {
+		s.clock.Cancel(rec.timer)
+		rec.timer = simtime.Handle{}
+		rec.sb.activeReqs--
+		rec.sb = nil
+		s.recFree = append(s.recFree, rec)
+		s.res.killed++
+	}
+	s.inflight = s.inflight[:0]
+	s.inFlight = 0 // exact: no executing requests, no demand
+}
+
+// evictAllLive evicts every resident sandbox, idle or not (hard-down:
+// the machine is gone). Idle holdings clamp to exactly zero.
+func (s *hostSim) evictAllLive() {
+	for i := len(s.live) - 1; i >= 0; i-- {
+		sb := s.live[i]
+		if sb.idle {
+			s.clock.Cancel(sb.idleTimer)
+			sb.idleTimer = simtime.Handle{}
+			sb.idle = false
+		}
+		s.dropSandbox(sb)
+		s.res.evicted++
+	}
+	s.idleHeldCPU = 0
+	s.idleCount = 0
+}
+
+// replayDeferred re-admits the arrivals that hit the host while it was
+// unavailable, FIFO, once the host accepts again. Each records its
+// queueing delay in the recovery histogram, then goes through normal
+// admission at the recovery instant.
+func (s *hostSim) replayDeferred(now time.Duration) {
+	if s.drainDepth != 0 || s.downDepth != 0 {
+		return
+	}
+	for i := range s.deferred {
+		d := &s.deferred[i]
+		s.res.recovHist.Observe(float64(now-d.r.Start) * 1e-6) // ms
+		s.arrive(now, d.p, &d.r)
+	}
+	s.deferred = s.deferred[:0]
 }

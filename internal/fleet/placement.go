@@ -24,11 +24,17 @@ type HostLoad struct {
 	CommittedMemMB float64
 	// Sandboxes is the number of live sandboxes on the host.
 	Sandboxes int
+	// Unavailable marks a host the fault plan has draining or down at
+	// the placement instant; Fits fails, so every policy skips it.
+	Unavailable bool
 }
 
 // Fits reports whether a sandbox of the given flavor can be added without
-// over-committing either resource.
+// over-committing either resource. A fault-masked host fits nothing.
 func (h HostLoad) Fits(vcpu, memMB float64) bool {
+	if h.Unavailable {
+		return false
+	}
 	return h.CommittedVCPU+vcpu <= h.Spec.VCPU+capacityEpsilon &&
 		h.CommittedMemMB+memMB <= h.Spec.MemMB+capacityEpsilon
 }

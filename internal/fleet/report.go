@@ -85,6 +85,26 @@ type Report struct {
 	CFSCheckMeasured float64
 	CFSCheckLinear   float64
 
+	// Fault accounting (all zero for a healthy cluster, so no-fault
+	// reports are byte-identical to pre-fault ones). EvictedSandboxes
+	// counts sandboxes torn down by fault events — drains, crashes,
+	// storm flushes — as distinct from keep-alive reclaims
+	// (ExpiredSandboxes). KilledRequests were cancelled mid-flight by a
+	// hard-down; they stay billed and in the latency histogram
+	// (admission-time accounting). DeferredRequests arrived at an
+	// unavailable host and replayed at its recovery; Recovery
+	// summarizes their queueing delay in milliseconds
+	// (RecoveryHistConfig, merge-exact like the latency histogram).
+	// UnavailableHostSeconds is host-seconds spent hard-down, summed
+	// over serving hosts; FaultMaskedPods counts placement offers made
+	// with at least one host masked out by the fault plan.
+	EvictedSandboxes       int
+	KilledRequests         int
+	DeferredRequests       int
+	Recovery               stats.Summary
+	UnavailableHostSeconds float64
+	FaultMaskedPods        int
+
 	// Elastic reports whether the host pool was autoscaled;
 	// MeanActiveHosts/PeakActiveHosts describe the pool the placer saw
 	// (equal to Hosts for a fixed fleet).
@@ -121,6 +141,33 @@ func (r Report) CostPerMillion() float64 {
 	return r.TotalCost / float64(r.Served) * 1e6
 }
 
+// Availability is the fraction of host-time the cluster was not
+// hard-down: 1 − UnavailableHostSeconds / (Hosts × Makespan). A
+// cluster that never ran (zero makespan) is vacuously available.
+func (r Report) Availability() float64 {
+	span := r.Makespan.Seconds()
+	if span <= 0 || r.Hosts <= 0 {
+		return 1
+	}
+	a := 1 - r.UnavailableHostSeconds/(float64(r.Hosts)*span)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// AvailabilityWeightedCostPerMillion is the bill per million served
+// requests divided by availability: the effective price of served
+// capacity once unavailable host-time is charged against it. Equal to
+// CostPerMillion for a healthy cluster.
+func (r Report) AvailabilityWeightedCostPerMillion() float64 {
+	a := r.Availability()
+	if a <= 0 {
+		return 0
+	}
+	return r.CostPerMillion() / a
+}
+
 // mergeReport folds per-host results, strictly in host-index order so
 // floating-point sums are identical regardless of worker scheduling.
 func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs int, results []hostResult) (Report, error) {
@@ -133,12 +180,14 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 		Requests:          requests,
 		RejectedSandboxes: ps.rejected,
 		RejectedRequests:  rejectedReqs,
+		FaultMaskedPods:   ps.maskedPods,
 		Elastic:           cfg.Elastic,
 		MeanActiveHosts:   ps.meanActive,
 		PeakActiveHosts:   ps.peakActive,
 	}
 	lat := stats.NewLogHist(LatencyHistConfig())
 	slow := stats.NewLogHist(SlowdownHistConfig())
+	recov := stats.NewLogHist(RecoveryHistConfig())
 	for _, hr := range results {
 		// Hosts that never received a pod carry zero results with nil
 		// histograms; Merge treats nil as empty.
@@ -148,6 +197,13 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 		if err := slow.Merge(hr.slowHist); err != nil {
 			return rep, err
 		}
+		if err := recov.Merge(hr.recovHist); err != nil {
+			return rep, err
+		}
+		rep.EvictedSandboxes += hr.evicted
+		rep.KilledRequests += hr.killed
+		rep.DeferredRequests += hr.deferredReqs
+		rep.UnavailableHostSeconds += hr.downSecs
 		rep.Served += hr.served
 		rep.ColdStarts += hr.cold
 		rep.ReColdStarts += hr.reCold
@@ -178,6 +234,7 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 	}
 	rep.ContentionSlowdownP99 = slow.Quantile(0.99)
 	rep.Latency = lat.Summary()
+	rep.Recovery = recov.Summary()
 
 	span := rep.Makespan.Seconds()
 	if span > 0 {
@@ -227,6 +284,20 @@ func (r Report) WriteText(w io.Writer) {
 	if r.Elastic {
 		fmt.Fprintf(w, "  autoscaled host pool: mean %.1f active, peak %d of %d\n",
 			r.MeanActiveHosts, r.PeakActiveHosts, r.Hosts)
+	}
+	// The fault section only prints when faults actually touched the
+	// run, so healthy-cluster reports stay byte-identical to the
+	// pre-fault layout (and to a zero-rate fault axis).
+	if r.EvictedSandboxes+r.KilledRequests+r.DeferredRequests+r.FaultMaskedPods > 0 ||
+		r.UnavailableHostSeconds > 0 {
+		fmt.Fprintf(w, "  faults: %d sandboxes evicted, %d requests killed, %d deferred, %d placements masked\n",
+			r.EvictedSandboxes, r.KilledRequests, r.DeferredRequests, r.FaultMaskedPods)
+		fmt.Fprintf(w, "  availability: %.4f%% (%.0f unavailable host-s; $%.2f per 1M availability-weighted)\n",
+			r.Availability()*100, r.UnavailableHostSeconds, r.AvailabilityWeightedCostPerMillion())
+		if r.Recovery.N > 0 {
+			fmt.Fprintf(w, "  recovery ms: mean=%.3f p50=%.3f p99=%.3f max=%.3f over %d deferred\n",
+				r.Recovery.Mean, r.Recovery.Median, r.Recovery.P99, r.Recovery.Max, r.Recovery.N)
+		}
 	}
 	fmt.Fprintf(w, "  host vCPU utilization: mean %.2f%% (min %.2f%%, max %.2f%%); idle-held %.0f vCPU-s\n",
 		r.MeanHostUtilization*100, r.MinHostUtilization*100, r.MaxHostUtilization*100,

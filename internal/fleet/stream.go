@@ -273,6 +273,7 @@ func SimulateStream(ctx context.Context, cfg Config, src trace.Source) (Report, 
 			sim := sims[p.host]
 			if sim == nil {
 				sim = newHostSim(cfg, p.host)
+				sim.seedFaults(p.host)
 				sims[p.host] = sim
 			}
 			sim.feed(p, &r)
@@ -308,6 +309,7 @@ func SimulateStream(ctx context.Context, cfg Config, src trace.Source) (Report, 
 					sim := sims[it.p.host]
 					if sim == nil {
 						sim = newHostSim(cfg, it.p.host)
+						sim.seedFaults(it.p.host)
 						sims[it.p.host] = sim
 					}
 					sim.feed(it.p, &it.r)

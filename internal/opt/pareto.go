@@ -20,6 +20,12 @@ type Objectives struct {
 	// worker count, with ~2.2% bucket resolution — so sweep output
 	// stays byte-identical at any parallelism.
 	SlowdownP99 float64 `json:"slowdown_p99"`
+	// Unavailability is 1 − Report.Availability(): the fraction of
+	// host-time the cluster was hard-down under the sweep's fault plan.
+	// Exactly zero (and therefore Pareto-neutral: it never changes
+	// which vectors dominate) when the sweep injects no faults, so
+	// fault-free frontiers are unchanged by the extra axis.
+	Unavailability float64 `json:"unavailability"`
 }
 
 // objectivesOf extracts the minimized metrics from a report.
@@ -28,6 +34,7 @@ func objectivesOf(rep fleet.Report) Objectives {
 		CostPerMillion: rep.CostPerMillion(),
 		ColdStartRate:  rep.ColdStartRate(),
 		SlowdownP99:    rep.ContentionSlowdownP99,
+		Unavailability: 1 - rep.Availability(),
 	}
 }
 
@@ -36,12 +43,14 @@ func objectivesOf(rep fleet.Report) Objectives {
 func (a Objectives) Dominates(b Objectives) bool {
 	if a.CostPerMillion > b.CostPerMillion ||
 		a.ColdStartRate > b.ColdStartRate ||
-		a.SlowdownP99 > b.SlowdownP99 {
+		a.SlowdownP99 > b.SlowdownP99 ||
+		a.Unavailability > b.Unavailability {
 		return false
 	}
 	return a.CostPerMillion < b.CostPerMillion ||
 		a.ColdStartRate < b.ColdStartRate ||
-		a.SlowdownP99 < b.SlowdownP99
+		a.SlowdownP99 < b.SlowdownP99 ||
+		a.Unavailability < b.Unavailability
 }
 
 // ParetoFrontier returns the indices of the non-dominated objective
@@ -93,6 +102,7 @@ func summarize(c Candidate, results []Result) Summary {
 		s.Objectives.CostPerMillion += r.Objectives.CostPerMillion
 		s.Objectives.ColdStartRate += r.Objectives.ColdStartRate
 		s.Objectives.SlowdownP99 += r.Objectives.SlowdownP99
+		s.Objectives.Unavailability += r.Objectives.Unavailability
 		if rep := r.Report; rep.Requests > 0 {
 			s.RejectedShare += float64(rep.RejectedRequests) / float64(rep.Requests)
 		}
@@ -105,6 +115,7 @@ func summarize(c Candidate, results []Result) Summary {
 		s.Objectives.CostPerMillion /= n
 		s.Objectives.ColdStartRate /= n
 		s.Objectives.SlowdownP99 /= n
+		s.Objectives.Unavailability /= n
 		s.RejectedShare /= n
 	}
 	return s

@@ -12,10 +12,10 @@ func TestDominates(t *testing.T) {
 		b    Objectives
 		want bool
 	}{
-		{"strictly worse on all", Objectives{2, 0.2, 2}, true},
-		{"worse on one, equal otherwise", Objectives{1, 0.2, 1}, true},
+		{"strictly worse on all", Objectives{2, 0.2, 2, 0}, true},
+		{"worse on one, equal otherwise", Objectives{1, 0.2, 1, 0}, true},
 		{"identical", a, false},
-		{"better on one axis", Objectives{0.5, 0.2, 2}, false},
+		{"better on one axis", Objectives{0.5, 0.2, 2, 0}, false},
 	}
 	for _, c := range cases {
 		if got := a.Dominates(c.b); got != c.want {
@@ -29,18 +29,18 @@ func TestDominates(t *testing.T) {
 
 func TestParetoFrontier(t *testing.T) {
 	objs := []Objectives{
-		{1.0, 0.10, 2.0}, // frontier: cheapest
-		{2.0, 0.05, 2.0}, // frontier: fewest cold starts
-		{2.0, 0.10, 2.0}, // dominated by 0 and 1
-		{1.5, 0.08, 1.0}, // frontier: best tail
-		{1.5, 0.09, 1.5}, // dominated by 3
+		{1.0, 0.10, 2.0, 0}, // frontier: cheapest
+		{2.0, 0.05, 2.0, 0}, // frontier: fewest cold starts
+		{2.0, 0.10, 2.0, 0}, // dominated by 0 and 1
+		{1.5, 0.08, 1.0, 0}, // frontier: best tail
+		{1.5, 0.09, 1.5, 0}, // dominated by 3
 	}
 	got := ParetoFrontier(objs)
 	if want := []int{0, 1, 3}; !reflect.DeepEqual(got, want) {
 		t.Fatalf("frontier = %v, want %v", got, want)
 	}
 	// Duplicated vectors both survive.
-	dup := []Objectives{{1, 0.1, 1}, {1, 0.1, 1}, {2, 0.2, 2}}
+	dup := []Objectives{{1, 0.1, 1, 0}, {1, 0.1, 1, 0}, {2, 0.2, 2, 0}}
 	if got := ParetoFrontier(dup); !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Errorf("duplicate frontier = %v, want both witnesses", got)
 	}
@@ -52,11 +52,11 @@ func TestParetoFrontier(t *testing.T) {
 func TestSummarizeAveragesAndFlagsWorstScenario(t *testing.T) {
 	c := Candidate{Policy: "random", KeepAliveTTL: PlatformTTL, Overcommit: 1}
 	results := []Result{
-		{Scenario: "steady", Objectives: Objectives{1, 0.1, 1}},
-		{Scenario: "flash-crowd", Objectives: Objectives{3, 0.3, 2}},
+		{Scenario: "steady", Objectives: Objectives{1, 0.1, 1, 0}},
+		{Scenario: "flash-crowd", Objectives: Objectives{3, 0.3, 2, 0}},
 	}
 	s := summarize(c, results)
-	if s.Objectives != (Objectives{2, 0.2, 1.5}) {
+	if s.Objectives != (Objectives{2, 0.2, 1.5, 0}) {
 		t.Errorf("mean objectives = %+v", s.Objectives)
 	}
 	if s.WorstScenario != "flash-crowd" {

@@ -9,6 +9,7 @@ import (
 	"slscost/internal/core"
 	"slscost/internal/fleet"
 	"slscost/internal/scenario"
+	"slscost/internal/scenario/faults"
 )
 
 // Config parameterizes one sweep or refinement: everything an
@@ -32,6 +33,12 @@ type Config struct {
 	Scenario scenario.Config
 	// Seed drives the fleet simulation's random streams.
 	Seed uint64
+	// Faults, when non-nil, is the compiled fault schedule every
+	// evaluation replays. It must be compiled for the same host count
+	// the candidates run with (fleet.Config.Validate enforces the
+	// match), so sweeps that vary Candidate.Hosts must leave it nil and
+	// compile per-candidate instead.
+	Faults *faults.Plan
 	// Workers bounds how many evaluations run concurrently; zero means
 	// GOMAXPROCS. Each evaluation itself runs single-threaded, so the
 	// pool is the only parallelism — and it never affects any result.
@@ -115,6 +122,7 @@ func (c Candidate) fleetConfig(cfg Config) (fleet.Config, error) {
 		Overcommit: c.Overcommit,
 		Elastic:    c.Elastic,
 		Seed:       cfg.Seed,
+		Faults:     cfg.Faults,
 	}, nil
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"slscost/internal/billing"
 	"slscost/internal/fleet"
+	"slscost/internal/scenario/faults"
 	"slscost/internal/stats"
 	"slscost/internal/trace"
 )
@@ -74,6 +75,22 @@ type Aggregate struct {
 
 	CFSCheckLinear   float64
 	CFSCheckMeasured float64
+
+	// Fault accounting, re-derived by the independent sweep: fault
+	// evictions, mid-flight kills, deferred arrivals with their
+	// recovery-delay quantiles (read from this replay's own
+	// fleet.RecoveryHistConfig histogram), hard-down host-seconds, and
+	// the placement offers made with masked hosts — the last recomputed
+	// directly from the fault plan's closed windows and each pod's
+	// first arrival, without consulting the placement pass.
+	EvictedSandboxes       int
+	KilledRequests         int
+	DeferredRequests       int
+	RecoveryMeanMs         float64
+	RecoveryP50Ms          float64
+	RecoveryP99Ms          float64
+	UnavailableHostSeconds float64
+	FaultMaskedPods        int
 
 	Makespan time.Duration
 }
@@ -198,6 +215,14 @@ func Diff(rep fleet.Report, agg Aggregate) *Result {
 	add("max-host-utilization", rep.MaxHostUtilization, agg.MaxHostUtilization)
 	add("cfs-check-linear", rep.CFSCheckLinear, agg.CFSCheckLinear)
 	add("cfs-check-measured", rep.CFSCheckMeasured, agg.CFSCheckMeasured)
+	add("evicted-sandboxes", float64(rep.EvictedSandboxes), float64(agg.EvictedSandboxes))
+	add("killed-requests", float64(rep.KilledRequests), float64(agg.KilledRequests))
+	add("deferred-requests", float64(rep.DeferredRequests), float64(agg.DeferredRequests))
+	add("recovery-mean-ms", rep.Recovery.Mean, agg.RecoveryMeanMs)
+	add("recovery-p50-ms", rep.Recovery.Median, agg.RecoveryP50Ms)
+	add("recovery-p99-ms", rep.Recovery.P99, agg.RecoveryP99Ms)
+	add("unavailable-host-seconds", rep.UnavailableHostSeconds, agg.UnavailableHostSeconds)
+	add("fault-masked-pods", float64(rep.FaultMaskedPods), float64(agg.FaultMaskedPods))
 	add("makespan-seconds", rep.Makespan.Seconds(), agg.Makespan.Seconds())
 	return res
 }
@@ -244,9 +269,29 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 		perHost[p.Host] = append(perHost[p.Host], p)
 	}
 
+	// Fault-masked placement offers, recomputed independently: a pod is
+	// masked when its first arrival falls inside any host's closed
+	// window — a pure function of the plan and the trace, never of the
+	// placement pass's internals.
+	if plan := cfg.Faults; !plan.Empty() {
+		for _, p := range pods {
+			if len(p.Requests) == 0 {
+				continue
+			}
+			first := tr.Requests[p.Requests[0]].Start
+			for hi := 0; hi < cfg.Hosts; hi++ {
+				if plan.UnavailableAt(hi, first) {
+					agg.FaultMaskedPods++
+					break
+				}
+			}
+		}
+	}
+
 	busy := make([]float64, cfg.Hosts)
 	lat := stats.NewLogHist(fleet.LatencyHistConfig())
 	slow := stats.NewLogHist(fleet.SlowdownHistConfig())
+	recov := stats.NewLogHist(fleet.RecoveryHistConfig())
 	for hi := 0; hi < cfg.Hosts; hi++ {
 		h := replayHost(cfg, hi, perHost[hi], tr)
 		busy[hi] = h.busyVCPUSecs
@@ -256,6 +301,13 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 		if err := slow.Merge(h.slow); err != nil {
 			return Aggregate{}, err
 		}
+		if err := recov.Merge(h.recov); err != nil {
+			return Aggregate{}, err
+		}
+		agg.EvictedSandboxes += h.evicted
+		agg.KilledRequests += h.killed
+		agg.DeferredRequests += h.deferredReqs
+		agg.UnavailableHostSeconds += h.downSecs
 		agg.Served += h.served
 		agg.ColdStarts += h.cold
 		agg.ReColdStarts += h.reCold
@@ -288,6 +340,12 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 		agg.LatencyP99Ms = sum.P99
 		agg.ContentionSlowdownP99 = slow.Quantile(0.99)
 	}
+	if recov.N() > 0 {
+		sum := recov.Summary()
+		agg.RecoveryMeanMs = sum.Mean
+		agg.RecoveryP50Ms = sum.Median
+		agg.RecoveryP99Ms = sum.P99
+	}
 	if span := agg.Makespan.Seconds(); span > 0 {
 		agg.MinHostUtilization = 1
 		for _, b := range busy {
@@ -310,22 +368,25 @@ const (
 	evArrive = iota
 	evComplete
 	evExpire
+	evFault
 )
 
 // event is one entry in the host's chronological heap. seq breaks
 // same-instant ties FIFO, matching simtime.Clock's scheduling-order
-// rule: all arrivals are seeded before the sweep starts, so runtime-
-// scheduled completions and expiries sort after arrivals at the same
-// instant.
+// rule: all arrivals are seeded before the sweep starts, then the
+// fault plan, so at one instant arrivals fire first, then faults, then
+// runtime-scheduled completions and expiries — the exact order both
+// fleet replay paths produce.
 type event struct {
 	at   time.Duration
 	seq  uint64
 	kind int
 
-	pod   int // pod slot (index into the host's pod list)
-	req   int // trace request index (evArrive)
-	reqID int // in-flight id (evComplete)
-	gen   int // sandbox generation (evExpire); stale events are skipped
+	pod   int         // pod slot (index into the host's pod list)
+	req   int         // trace request index (evArrive)
+	reqID int         // in-flight id (evComplete)
+	gen   int         // sandbox generation (evExpire); stale events are skipped
+	fkind faults.Kind // fault effect (evFault)
 }
 
 type eventHeap []event
@@ -353,14 +414,26 @@ type sandboxState struct {
 	idle       bool
 	activeReqs int
 	gen        int // bumped on every warm hit and reclaim to invalidate expiries
+	// evictOnIdle marks a storm-flushed serving sandbox: it evicts as
+	// soon as its last request finishes, without a keep-alive draw.
+	evictOnIdle bool
 }
 
 // inflightTask mirrors the fleet's in-flight set entry for the peak-
-// co-tenancy snapshot.
+// co-tenancy snapshot and for hard-down kills (pod resolves the
+// sandbox whose activeReqs a kill decrements).
 type inflightTask struct {
 	id    int
+	pod   int
 	alloc float64
 	cpu   time.Duration
+}
+
+// deferredArrival is one request queued while its host was draining or
+// down, replayed FIFO at the accepting transition.
+type deferredArrival struct {
+	pod int
+	req int
 }
 
 // hostState is the independent interpreter's per-host accumulator.
@@ -394,6 +467,17 @@ type hostState struct {
 	peakDemand  float64
 	peakTasks   []inflightTask
 
+	// Fault bookkeeping, mirroring the fleet host's state machine.
+	drainDepth   int
+	downDepth    int
+	downSince    time.Duration
+	deferred     []deferredArrival
+	evicted      int
+	killed       int
+	deferredReqs int
+	downSecs     float64
+	recov        *stats.LogHist
+
 	probeLinear   float64
 	probeMeasured float64
 }
@@ -409,6 +493,7 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 	}
 	h.lat = stats.NewLogHist(fleet.LatencyHistConfig())
 	h.slow = stats.NewLogHist(fleet.SlowdownHistConfig())
+	h.recov = stats.NewLogHist(fleet.RecoveryHistConfig())
 	rng := stats.NewRand(fleet.ShardSeed(cfg.Seed, hostIdx))
 	ka := cfg.Profile.KeepAlive
 
@@ -423,6 +508,15 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			seq++
 		}
 	}
+	// The fault plan seeds after the arrivals (and only on hosts that
+	// serve — this function early-returns above on an empty pod list,
+	// matching the fleet's lazy sim creation): at one instant an
+	// arrival beats a fault, and a fault beats any runtime-scheduled
+	// completion or expiry.
+	for _, fe := range cfg.Faults.HostEvents(hostIdx) {
+		heap.Push(&q, event{at: fe.At, seq: seq, kind: evFault, fkind: fe.Kind})
+		seq++
+	}
 
 	account := func(now time.Duration) {
 		// Mirrors the fleet's convert-multiply (not Duration.Seconds):
@@ -436,6 +530,120 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			h.idleHeldCPUSecs += h.idleHeldCPU * dt
 		}
 		h.lastAccount = now
+	}
+
+	// admit runs the admission path for one request at one instant —
+	// shared by live arrivals and the deferred replays a recovery
+	// triggers, exactly as the fleet's arrive() serves both.
+	admit := func(now time.Duration, pi, ri int) {
+		p := &pods[pi]
+		sb := &sandboxes[pi]
+		r := tr.Requests[ri]
+		cold := false
+		var init time.Duration
+		switch {
+		case !sb.live:
+			cold = true
+			init = p.InitDuration
+			if init <= 0 {
+				init = ka.ResidualColdStart
+			}
+			if !r.ColdStart {
+				h.reCold++
+			}
+			sb.live = true
+			sb.idle = false
+			sb.activeReqs = 0
+			fnInstances[p.FnID]++
+			h.sandboxes++
+		case sb.idle:
+			sb.idle = false
+			sb.gen++ // cancels the pending expiry
+			h.idleCount--
+			if h.idleCount == 0 {
+				h.idleHeldCPU = 0 // exact: no float residue once nothing is idle
+			} else {
+				h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+			}
+		}
+
+		demand := h.inFlight + p.VCPU
+		factor := 1.0
+		if demand > cfg.Host.VCPU {
+			factor = demand / cfg.Host.VCPU
+		}
+		effective := time.Duration(float64(r.Duration) * factor)
+		h.contentionSecs += float64(effective-r.Duration) * 1e-9
+		h.slow.Observe(factor)
+
+		reqID := h.nextReqID
+		h.nextReqID++
+		h.inflightPos[reqID] = len(h.inflight)
+		h.inflight = append(h.inflight, inflightTask{id: reqID, pod: pi, alloc: p.VCPU, cpu: r.CPUTime})
+		if demand > h.peakDemand {
+			h.peakDemand = demand
+			snap := h.inflight
+			if len(snap) > fleet.MaxProbeTasks {
+				snap = snap[:fleet.MaxProbeTasks] // mirror the fleet's capped snapshot
+			}
+			h.peakTasks = append(h.peakTasks[:0], snap...)
+		}
+
+		h.inFlight += p.VCPU
+		sb.activeReqs++
+		h.served++
+		if cold {
+			h.cold++
+		}
+		latency := cfg.Profile.ServingOverhead + init + effective
+		h.lat.Observe(float64(latency) * 1e-6)
+
+		billed := r
+		billed.Duration = effective
+		billed.ColdStart = cold
+		billed.InitDuration = 0
+		if cold {
+			billed.InitDuration = init
+		}
+		ch := cfg.Profile.Billing.Bill(billing.MapRequest(cfg.Profile.Billing, billed))
+		h.cost += ch.Total()
+		h.fees += ch.Fee
+		h.billedCPUSeconds += ch.CPUSeconds
+		h.billedMemGBs += ch.MemGBSeconds
+
+		heap.Push(&q, event{at: now + init + effective, seq: seq, kind: evComplete, pod: pi, reqID: reqID})
+		seq++
+	}
+
+	// evictIdle mirrors the fleet's bulk idle eviction: integer-only
+	// loop, then the idle holdings clamp to exactly zero.
+	evictIdle := func() {
+		for pi := range sandboxes {
+			sb := &sandboxes[pi]
+			if !sb.live || !sb.idle {
+				continue
+			}
+			sb.live = false
+			sb.idle = false
+			sb.gen++ // the pending expiry never fires
+			fnInstances[pods[pi].FnID]--
+			h.evicted++
+		}
+		h.idleHeldCPU = 0
+		h.idleCount = 0
+	}
+
+	// replayDeferred re-admits queued arrivals FIFO once the host
+	// accepts again, recording each one's recovery delay.
+	replayDeferred := func(now time.Duration) {
+		if h.drainDepth != 0 || h.downDepth != 0 {
+			return
+		}
+		for _, d := range h.deferred {
+			h.recov.Observe(float64(now-tr.Requests[d.req].Start) * 1e-6) // ms
+			admit(now, d.pod, d.req)
+		}
+		h.deferred = h.deferred[:0]
 	}
 
 	for q.Len() > 0 {
@@ -462,17 +670,31 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			h.expired++
 
 		case evComplete:
+			pos, ok := h.inflightPos[ev.reqID]
+			if !ok {
+				continue // killed by a hard-down: the fleet cancelled this timer
+			}
 			h.now = ev.at
 			account(ev.at)
 			h.inFlight -= p.VCPU
 			sb.activeReqs--
-			pos := h.inflightPos[ev.reqID]
 			last := len(h.inflight) - 1
 			h.inflight[pos] = h.inflight[last]
 			h.inflightPos[h.inflight[pos].id] = pos
 			h.inflight = h.inflight[:last]
 			delete(h.inflightPos, ev.reqID)
 			if sb.activeReqs > 0 {
+				continue
+			}
+			if h.drainDepth != 0 || sb.evictOnIdle {
+				// Draining host or storm-flushed sandbox: evict on the
+				// spot, drawing no keep-alive window (the skipped draw
+				// keeps this stream aligned with the fleet's).
+				sb.live = false
+				sb.gen++
+				sb.evictOnIdle = false
+				fnInstances[p.FnID]--
+				h.evicted++
 				continue
 			}
 			sb.idle = true
@@ -485,81 +707,63 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 		case evArrive:
 			h.now = ev.at
 			account(ev.at)
-			r := tr.Requests[ev.req]
-			cold := false
-			var init time.Duration
-			switch {
-			case !sb.live:
-				cold = true
-				init = p.InitDuration
-				if init <= 0 {
-					init = ka.ResidualColdStart
+			if h.drainDepth != 0 || h.downDepth != 0 {
+				h.deferred = append(h.deferred, deferredArrival{pod: ev.pod, req: ev.req})
+				h.deferredReqs++
+				continue
+			}
+			admit(ev.at, ev.pod, ev.req)
+
+		case evFault:
+			h.now = ev.at
+			account(ev.at)
+			switch ev.fkind {
+			case faults.DrainStart:
+				h.drainDepth++
+				evictIdle()
+			case faults.DrainEnd:
+				h.drainDepth--
+				replayDeferred(ev.at)
+			case faults.Down:
+				if h.downDepth == 0 {
+					h.downSince = ev.at
 				}
-				if !r.ColdStart {
-					h.reCold++
+				h.downDepth++
+				for _, t := range h.inflight {
+					sandboxes[t.pod].activeReqs--
+					delete(h.inflightPos, t.id)
+					h.killed++
 				}
-				sb.live = true
-				sb.idle = false
-				sb.activeReqs = 0
-				fnInstances[p.FnID]++
-				h.sandboxes++
-			case sb.idle:
-				sb.idle = false
-				sb.gen++ // cancels the pending expiry
-				h.idleCount--
-				if h.idleCount == 0 {
-					h.idleHeldCPU = 0 // exact: no float residue once nothing is idle
-				} else {
-					h.idleHeldCPU -= ka.IdleCPU(p.VCPU)
+				h.inflight = h.inflight[:0]
+				h.inFlight = 0 // exact: nothing executes on a dead host
+				for pi := range sandboxes {
+					s := &sandboxes[pi]
+					if !s.live {
+						continue
+					}
+					s.live = false
+					s.idle = false
+					s.gen++
+					s.evictOnIdle = false
+					fnInstances[pods[pi].FnID]--
+					h.evicted++
+				}
+				h.idleHeldCPU = 0
+				h.idleCount = 0
+			case faults.Up:
+				h.downDepth--
+				if h.downDepth == 0 {
+					h.downSecs += float64(ev.at-h.downSince) * 1e-9
+				}
+				replayDeferred(ev.at)
+			case faults.Flush:
+				evictIdle()
+				for pi := range sandboxes {
+					if s := &sandboxes[pi]; s.live {
+						s.evictOnIdle = true
+					}
 				}
 			}
-
-			demand := h.inFlight + p.VCPU
-			factor := 1.0
-			if demand > cfg.Host.VCPU {
-				factor = demand / cfg.Host.VCPU
-			}
-			effective := time.Duration(float64(r.Duration) * factor)
-			h.contentionSecs += float64(effective-r.Duration) * 1e-9
-			h.slow.Observe(factor)
-
-			reqID := h.nextReqID
-			h.nextReqID++
-			h.inflightPos[reqID] = len(h.inflight)
-			h.inflight = append(h.inflight, inflightTask{id: reqID, alloc: p.VCPU, cpu: r.CPUTime})
-			if demand > h.peakDemand {
-				h.peakDemand = demand
-				snap := h.inflight
-				if len(snap) > fleet.MaxProbeTasks {
-					snap = snap[:fleet.MaxProbeTasks] // mirror the fleet's capped snapshot
-				}
-				h.peakTasks = append(h.peakTasks[:0], snap...)
-			}
-
-			h.inFlight += p.VCPU
-			sb.activeReqs++
-			h.served++
-			if cold {
-				h.cold++
-			}
-			latency := cfg.Profile.ServingOverhead + init + effective
-			h.lat.Observe(float64(latency) * 1e-6)
-
-			billed := r
-			billed.Duration = effective
-			billed.ColdStart = cold
-			billed.InitDuration = 0
-			if cold {
-				billed.InitDuration = init
-			}
-			ch := cfg.Profile.Billing.Bill(billing.MapRequest(cfg.Profile.Billing, billed))
-			h.cost += ch.Total()
-			h.fees += ch.Fee
-			h.billedCPUSeconds += ch.CPUSeconds
-			h.billedMemGBs += ch.MemGBSeconds
-
-			heap.Push(&q, event{at: ev.at + init + effective, seq: seq, kind: evComplete, pod: ev.pod, reqID: reqID})
-			seq++
 		}
 	}
 	account(h.now)

@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile is one named catalog entry: a fault spec with a stable name
+// the CLI's -faults flag and the experiment matrices reference.
+type Profile struct {
+	Name        string
+	Description string
+	Spec        Spec
+}
+
+// catalog lists the built-in fault profiles. Rates are per host per
+// horizon period; instants are fractions of the horizon.
+var catalog = []Profile{
+	{
+		Name:        "crashes",
+		Description: "independent host crash/restart cycles (3 per host per horizon, 2m restart)",
+		Spec: Spec{
+			Crash: &CrashSpec{Rate: 3, Restart: dur("2m")},
+		},
+	},
+	{
+		Name:        "spot",
+		Description: "spot preemptions with a 2m notice drain and 1m replacement delay (2 per host per horizon)",
+		Spec: Spec{
+			Preempt: &PreemptSpec{Rate: 2, Notice: dur("2m"), Restart: dur("1m")},
+		},
+	},
+	{
+		Name:        "az-outage",
+		Description: "one of four availability zones dark for 5m mid-horizon",
+		Spec: Spec{
+			AZOutage: &AZOutageSpec{Zones: 4, Zone: 1, At: 0.45, Duration: dur("5m")},
+		},
+	},
+	{
+		Name:        "rolling-deploy",
+		Description: "rolling deploy draining every host across the middle half of the horizon (1m grace, 30s restart)",
+		Spec: Spec{
+			Drains: []DrainSpec{{From: 0.2, To: 0.7, Grace: dur("1m"), Restart: dur("30s")}},
+		},
+	},
+	{
+		Name:        "storm",
+		Description: "correlated cold-start storm flushing every resident sandbox at mid-horizon",
+		Spec: Spec{
+			Storm: &StormSpec{At: 0.5},
+		},
+	},
+	{
+		Name:        "chaos",
+		Description: "everything at once: crashes, preemptions, an AZ outage, a rolling deploy, and a storm",
+		Spec: Spec{
+			Crash:    &CrashSpec{Rate: 2, Restart: dur("90s")},
+			Preempt:  &PreemptSpec{Rate: 1, Notice: dur("2m"), Restart: dur("1m")},
+			AZOutage: &AZOutageSpec{Zones: 4, Zone: 2, At: 0.8, Duration: dur("3m")},
+			Drains:   []DrainSpec{{From: 0.1, To: 0.35, Grace: dur("30s"), Restart: dur("30s")}},
+			Storm:    &StormSpec{At: 0.66},
+		},
+	},
+}
+
+// dur parses a literal catalog duration; the catalog is validated by
+// tests, so a parse failure is a programming error.
+func dur(s string) Duration {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"` + s + `"`)); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Catalog returns copies of all built-in fault profiles, sorted by
+// name.
+func Catalog() []Profile {
+	out := make([]Profile, len(catalog))
+	copy(out, catalog)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names lists the catalog profile names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for _, p := range catalog {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named catalog profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range catalog {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("faults: unknown profile %q (have %v)", name, Names())
+}

@@ -60,6 +60,12 @@ type Config struct {
 // DefaultConfig returns the calibrated generator under an auto horizon.
 func DefaultConfig() Config { return Config{Base: trace.DefaultGeneratorConfig()} }
 
+// EffectiveHorizon resolves the effective period length: the explicit
+// Horizon when set, otherwise the workload-density-derived default.
+// Exported because the fault compiler (internal/scenario/faults) keys
+// its fraction-of-horizon instants to the same period the shapes use.
+func (c Config) EffectiveHorizon() time.Duration { return c.horizon() }
+
 // horizon resolves the effective period length.
 func (c Config) horizon() time.Duration {
 	if c.Horizon > 0 {
