@@ -50,6 +50,19 @@
 //	fleetsim -pareto -scenario flash-crowd -format csv
 //	fleetsim -sweep -refine -sweep-ttls platform,30s,120s,600s
 //
+// -distribute N runs the sweep through the distributed coordinator
+// (internal/distsweep): N local worker processes are spawned, the
+// grid is partitioned into checkpointed shards, and the merged output
+// is byte-identical to the in-process sweep — -verify proves it by
+// running both and comparing. -worker -connect addr runs the bare
+// worker loop against a coordinator elsewhere (multi-host use);
+// -checkpoint-dir persists shard logs so an interrupted distributed
+// sweep resumes instead of recomputing:
+//
+//	fleetsim -sweep -distribute 4 -format json
+//	fleetsim -sweep -distribute 4 -verify -checkpoint-dir /tmp/ckpt
+//	fleetsim -worker -connect coordinator:9999
+//
 // The report is deterministic for a given seed regardless of -workers:
 // host shards simulate on private clocks and random streams and merge in
 // host order; sweep evaluations are likewise placed by grid index, so
@@ -65,12 +78,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
 
 	"slscost/internal/api"
 	"slscost/internal/core"
+	"slscost/internal/distsweep"
 	"slscost/internal/fleet"
 	"slscost/internal/opt"
 	"slscost/internal/scenario"
@@ -142,6 +157,15 @@ func run(args []string, w io.Writer) error {
 	sweepTTLs := fs.String("sweep-ttls", "", `comma-separated keep-alive TTLs to sweep, durations or "platform" (default: platform,60s,600s)`)
 	sweepOvercommits := fs.String("sweep-overcommits", "", "comma-separated overcommit ratios to sweep (default: 1,2)")
 	format := fs.String("format", "text", "sweep output format: text, csv, or json")
+	distribute := fs.Int("distribute", 0,
+		"run -sweep/-pareto across N spawned local worker processes (0 = in-process; see internal/distsweep)")
+	workerMode := fs.Bool("worker", false,
+		"run as a distributed-sweep worker: dial a coordinator and evaluate assigned shards until the sweep completes")
+	connect := fs.String("connect", "", "coordinator address a -worker dials (host:port)")
+	listen := fs.String("listen", "127.0.0.1:0",
+		"coordinator bind address for -distribute (port 0 = ephemeral; bind a routable address to accept remote -worker processes)")
+	checkpointDir := fs.String("checkpoint-dir", "",
+		"distributed-sweep checkpoint directory (default: a temporary one; set it to resume an interrupted sweep)")
 	remote := fs.String("remote", "",
 		"run on a slscostd daemon at this address (host:port or URL) instead of in-process")
 	version := fs.Bool("version", false, "print version and exit")
@@ -177,8 +201,20 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-horizon %v negative", *horizon)
 	}
 	sweepMode := *sweep || *pareto
-	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream, sweepMode, *remote != ""); err != nil {
+	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream, sweepMode, *remote != "", *distribute, *workerMode); err != nil {
 		return err
+	}
+	if *workerMode {
+		if *connect == "" {
+			return fmt.Errorf("-worker needs -connect host:port to find its coordinator")
+		}
+		return distsweep.RunWorker(context.Background(), distsweep.WorkerConfig{
+			Addr:    *connect,
+			Workers: *workers,
+		})
+	}
+	if *distribute < 0 {
+		return fmt.Errorf("-distribute %d negative", *distribute)
 	}
 	var sc scenario.Scenario
 	if *scenarioName != "raw" {
@@ -203,31 +239,10 @@ func run(args []string, w io.Writer) error {
 		}
 		var sw api.SweepParams
 		if sweepMode {
-			sw = api.SweepParams{
-				Platform: *platform, Hosts: *hosts, Requests: *requests,
-				Tenants: *tenants, Horizon: api.Duration(*horizon),
-				HostVCPU: *hostVCPU, HostMemMB: *hostMem,
-			}
-			fs.Visit(func(f *flag.Flag) {
-				if f.Name == "scenario" {
-					sw.Scenarios = []string{*scenarioName}
-				}
-			})
-			if *sweepPolicies != "" {
-				sw.Policies = splitList(*sweepPolicies)
-			}
-			if *sweepTTLs != "" {
-				sw.TTLs = splitList(*sweepTTLs)
-			}
-			if *sweepOvercommits != "" {
-				ocs, err := parseFloats(splitList(*sweepOvercommits))
-				if err != nil {
-					return err
-				}
-				sw.Overcommits = ocs
-			}
-			if faultProfile != nil {
-				sw.Faults = &faultProfile.Spec
+			var err error
+			if sw, err = buildSweepParams(fs, *platform, *hosts, *requests, *tenants, *horizon,
+				*hostVCPU, *hostMem, *scenarioName, *sweepPolicies, *sweepTTLs, *sweepOvercommits, faultProfile); err != nil {
+				return err
 			}
 		}
 		sim := api.SimulateParams{
@@ -277,6 +292,18 @@ func run(args []string, w io.Writer) error {
 		// default, one named scenario the restriction.
 		if *scenarioName == "raw" {
 			return fmt.Errorf(`-sweep needs workload scenarios; -scenario raw cannot be swept`)
+		}
+		if *distribute > 0 {
+			// The distributed path resolves its configuration from the
+			// canonical spec (the same resolution the daemon and every
+			// worker use), so coordinator and workers cannot disagree.
+			sw, err := buildSweepParams(fs, *platform, *hosts, *requests, *tenants, *horizon,
+				*hostVCPU, *hostMem, *scenarioName, *sweepPolicies, *sweepTTLs, *sweepOvercommits, faultProfile)
+			if err != nil {
+				return err
+			}
+			return runDistributed(w, distsweep.Spec{Sweep: sw, Seed: *seed},
+				*distribute, *listen, *checkpointDir, *workers, *pareto, *verify, *format)
 		}
 		scenarios := []string(nil) // full catalog
 		fs.Visit(func(f *flag.Flag) {
@@ -401,7 +428,34 @@ func run(args []string, w io.Writer) error {
 // flagConflicts rejects contradictory flag combinations up front,
 // naming every offending flag explicitly so the fix is obvious from
 // the message alone.
-func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, sweepMode, remote bool) error {
+func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, sweepMode, remote bool,
+	distribute int, workerMode bool) error {
+	// A worker's entire task arrives over the wire from its
+	// coordinator; any workload- or output-shaping flag set locally
+	// would be silently ignored, so only the connection and pool-size
+	// flags are legal alongside -worker.
+	if workerMode {
+		allowed := map[string]bool{"worker": true, "connect": true, "workers": true}
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-worker takes its entire task from the coordinator; drop %s", strings.Join(conflict, ", "))
+		}
+		return nil
+	}
+	// -verify normally conflicts with sweep mode (there is no
+	// differential replay for a grid), but a distributed sweep
+	// repurposes it: run the in-process sweep too and require byte
+	// identity.
+	sweepConflicts := map[string]bool{"policy": true, "overcommit": true, "elastic": true,
+		"trace": true, "stream": true}
+	if distribute == 0 {
+		sweepConflicts["verify"] = true
+	}
 	// A recorded trace replays as-is, "raw" bypasses the shaping layer,
 	// and the streaming pipeline synthesizes its workload lazily;
 	// explicitly asking for a combination that contradicts the chosen
@@ -419,13 +473,19 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 		{stream, "-stream synthesizes its workload lazily and cannot replay a CSV",
 			map[string]bool{"trace": true}},
 		{sweepMode, "-sweep/-pareto evaluate the whole policy grid (the swept knobs replace the single-run flags)",
-			map[string]bool{"policy": true, "overcommit": true, "elastic": true,
-				"trace": true, "stream": true, "verify": true}},
-		{!sweepMode, "-refine, -sweep-*, and -format configure -sweep/-pareto",
+			sweepConflicts},
+		{!sweepMode, "-refine, -sweep-*, -distribute, and -format configure -sweep/-pareto",
 			map[string]bool{"refine": true, "sweep-policies": true, "sweep-ttls": true,
-				"sweep-overcommits": true, "format": true}},
+				"sweep-overcommits": true, "format": true, "distribute": true}},
+		{distribute == 0, "-listen and -checkpoint-dir configure -distribute",
+			map[string]bool{"listen": true, "checkpoint-dir": true}},
+		{distribute > 0, "-distribute runs the fixed grid across worker processes; -refine is a follow-on in-process pass",
+			map[string]bool{"refine": true}},
+		{!workerMode, "-connect names the coordinator a -worker dials",
+			map[string]bool{"connect": true}},
 		{remote, "-remote runs on the daemon; local-only flags do not apply there",
-			map[string]bool{"trace": true, "workers": true, "stream": true, "refine": true}},
+			map[string]bool{"trace": true, "workers": true, "stream": true, "refine": true,
+				"distribute": true, "listen": true, "checkpoint-dir": true}},
 	}
 	for _, ru := range rules {
 		if !ru.active {
@@ -442,6 +502,190 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 		}
 	}
 	return nil
+}
+
+// buildSweepParams translates the sweep-shaping flags into the
+// canonical api.SweepParams document. The daemon (-remote) and the
+// distributed coordinator (-distribute) both resolve their grids from
+// this spec through api.SweepConfigs — the same resolution every
+// worker applies — so the flag path and the spec path cannot drift.
+func buildSweepParams(fs *flag.FlagSet, platform string, hosts, requests, tenants int,
+	horizon time.Duration, hostVCPU, hostMem float64, scenarioName,
+	sweepPolicies, sweepTTLs, sweepOvercommits string, faultProfile *faults.Profile) (api.SweepParams, error) {
+	sw := api.SweepParams{
+		Platform: platform, Hosts: hosts, Requests: requests,
+		Tenants: tenants, Horizon: api.Duration(horizon),
+		HostVCPU: hostVCPU, HostMemMB: hostMem,
+	}
+	// Only an explicit -scenario narrows the sweep; the default value
+	// must not shadow the full-catalog default.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "scenario" {
+			sw.Scenarios = []string{scenarioName}
+		}
+	})
+	if sweepPolicies != "" {
+		sw.Policies = splitList(sweepPolicies)
+	}
+	if sweepTTLs != "" {
+		sw.TTLs = splitList(sweepTTLs)
+	}
+	if sweepOvercommits != "" {
+		ocs, err := parseFloats(splitList(sweepOvercommits))
+		if err != nil {
+			return api.SweepParams{}, err
+		}
+		sw.Overcommits = ocs
+	}
+	if faultProfile != nil {
+		sw.Faults = &faultProfile.Spec
+	}
+	return sw, nil
+}
+
+// runDistributed runs the sweep through the distributed coordinator:
+// spawn n copies of this binary in -worker mode against an in-process
+// coordinator, wait for the merged result, and render it exactly as
+// the in-process sweep would. All chatter goes to stderr so stdout
+// stays byte-identical to the single-process run — the property the
+// CI gate cmp's and -verify proves in-process.
+func runDistributed(w io.Writer, spec distsweep.Spec, n int, listen, dir string,
+	evalWorkers int, paretoOnly, verify bool, format string) error {
+	// Reject output-shape errors before any evaluation runs, exactly
+	// like runSweep.
+	switch format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (have text, csv, json)", format)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "fleetsim-distsweep-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	coord, err := distsweep.Start(distsweep.CoordinatorConfig{
+		Spec: spec,
+		Dir:  dir,
+		Trace: func(event string, shard, index int) {
+			if event == "shard-done" {
+				fmt.Fprintf(os.Stderr, "fleetsim: shard %d durable\n", shard)
+			}
+		},
+	}, listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleetsim: coordinator on %s (%d shards, spec %.12s), spawning %d workers\n",
+		coord.Addr(), len(coord.Shards()), coord.SpecHash(), n)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type waitResult struct {
+		sr  *opt.SweepResult
+		err error
+	}
+	waitCh := make(chan waitResult, 1)
+	go func() {
+		sr, err := coord.Wait(ctx)
+		waitCh <- waitResult{sr, err}
+	}()
+
+	workerArgs := []string{"-worker", "-connect", coord.Addr()}
+	if evalWorkers > 0 {
+		workerArgs = append(workerArgs, "-workers", strconv.Itoa(evalWorkers))
+	}
+	exited := make(chan error, n)
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			p.Process.Kill()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self, workerArgs...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			cancel()
+			<-waitCh
+			return fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+		go func(c *exec.Cmd) { exited <- c.Wait() }(cmd)
+	}
+
+	var res waitResult
+	exits := 0
+	var lastExit error
+arbitrate:
+	for {
+		select {
+		case res = <-waitCh:
+			break arbitrate
+		case err := <-exited:
+			exits++
+			if err != nil {
+				lastExit = err
+				fmt.Fprintf(os.Stderr, "fleetsim: worker exited: %v (%d/%d gone)\n", err, exits, n)
+			}
+			if exits < n {
+				// Surviving workers reclaim the dead one's shards via
+				// the heartbeat timeout; the sweep continues.
+				continue
+			}
+			// Every worker is gone. After a clean completion they all
+			// exit zero and Wait is already unblocking — give it a
+			// moment before declaring the run dead.
+			select {
+			case res = <-waitCh:
+				break arbitrate
+			case <-time.After(5 * time.Second):
+				cancel()
+				<-waitCh
+				if lastExit != nil {
+					return fmt.Errorf("all %d workers exited before the sweep completed (last: %v)", n, lastExit)
+				}
+				return fmt.Errorf("all %d workers exited before the sweep completed", n)
+			}
+		}
+	}
+	if res.err != nil {
+		return res.err
+	}
+	sr := res.sr
+
+	if verify {
+		// The distributed path's whole promise is byte identity with
+		// the in-process sweep; -verify proves it by running both.
+		ocfg, space, err := spec.Configs()
+		if err != nil {
+			return err
+		}
+		ref, err := opt.Sweep(context.Background(), ocfg, space)
+		if err != nil {
+			return err
+		}
+		var got, want bytes.Buffer
+		if err := sr.WriteJSON(&got); err != nil {
+			return err
+		}
+		if err := ref.WriteJSON(&want); err != nil {
+			return err
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			return &verifyFailure{fmt.Errorf("distributed sweep diverged from the in-process sweep (%d vs %d JSON bytes)",
+				got.Len(), want.Len())}
+		}
+		fmt.Fprintln(os.Stderr, "fleetsim: distributed result verified byte-identical to the in-process sweep")
+	}
+	return renderSweep(w, sr, paretoOnly, format)
 }
 
 // runRemote runs the requested mode on a slscostd daemon instead of
@@ -559,22 +803,8 @@ func runSweep(w io.Writer, ocfg opt.Config, space opt.Space, paretoOnly, refine 
 	if err != nil {
 		return err
 	}
-	switch format {
-	case "text":
-		if paretoOnly {
-			writeParetoText(w, sr)
-		} else {
-			sr.WriteText(w)
-		}
-	case "csv":
-		if paretoOnly {
-			return sr.WriteFrontierCSV(w)
-		}
-		return sr.WriteCSV(w)
-	case "json":
-		// The JSON document always carries both the grid and the
-		// frontier; -pareto needs no variant.
-		return sr.WriteJSON(w)
+	if err := renderSweep(w, sr, paretoOnly, format); err != nil {
+		return err
 	}
 	if refine {
 		start, ok := sr.CheapestFrontier()
@@ -589,6 +819,31 @@ func runSweep(w io.Writer, ocfg opt.Config, space opt.Space, paretoOnly, refine 
 		rr.WriteText(w)
 	}
 	return nil
+}
+
+// renderSweep writes a sweep result in the chosen format — the single
+// rendering path shared by the in-process and distributed sweeps, so
+// the two modes cannot drift apart byte-wise.
+func renderSweep(w io.Writer, sr *opt.SweepResult, paretoOnly bool, format string) error {
+	switch format {
+	case "text":
+		if paretoOnly {
+			writeParetoText(w, sr)
+		} else {
+			sr.WriteText(w)
+		}
+		return nil
+	case "csv":
+		if paretoOnly {
+			return sr.WriteFrontierCSV(w)
+		}
+		return sr.WriteCSV(w)
+	case "json":
+		// The JSON document always carries both the grid and the
+		// frontier; -pareto needs no variant.
+		return sr.WriteJSON(w)
+	}
+	return fmt.Errorf("unknown -format %q (have text, csv, json)", format)
 }
 
 // writeParetoText renders only the frontier: the aggregate decision

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -341,6 +342,16 @@ func TestRunSweepErrorsAndConflicts(t *testing.T) {
 		{"bad sweep policy", []string{"-sweep", "-sweep-policies", "nope", "-hosts", "4", "-requests", "2000"}, "nope"},
 		{"refine with csv", []string{"-sweep", "-refine", "-format", "csv"}, "-refine"},
 		{"bad format", []string{"-sweep", "-format", "xml"}, "xml"},
+		{"distribute without sweep", []string{"-distribute", "2"}, "-distribute"},
+		{"negative distribute", []string{"-sweep", "-distribute", "-1"}, "negative"},
+		{"listen without distribute", []string{"-sweep", "-listen", "127.0.0.1:0"}, "-listen"},
+		{"checkpoint-dir without distribute", []string{"-sweep", "-checkpoint-dir", "d"}, "-checkpoint-dir"},
+		{"distribute with refine", []string{"-sweep", "-distribute", "2", "-refine"}, "-refine"},
+		{"distribute bad format", []string{"-sweep", "-distribute", "2", "-format", "xml"}, "xml"},
+		{"connect without worker", []string{"-connect", "localhost:9"}, "-connect"},
+		{"worker without connect", []string{"-worker"}, "-connect"},
+		{"worker with workload flag", []string{"-worker", "-connect", "localhost:9", "-sweep"}, "-sweep"},
+		{"remote distribute", []string{"-sweep", "-remote", "localhost:9", "-format", "json", "-distribute", "2"}, "-distribute"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -353,6 +364,40 @@ func TestRunSweepErrorsAndConflicts(t *testing.T) {
 				t.Errorf("%v: error %q does not mention %q", c.args, err, c.wantInErr)
 			}
 		})
+	}
+}
+
+// TestDistributedCLIByteIdentity is the CLI half of the distributed
+// acceptance gate: the real binary (built here because the test
+// binary cannot re-exec itself as a -worker) run with -distribute 4
+// -verify prints bytes identical to the in-process sweep. -verify
+// additionally makes the binary itself compare the merged result
+// against an in-process run before printing.
+func TestDistributedCLIByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "fleetsim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	base := []string{"-sweep", "-hosts", "4", "-requests", "2000", "-scenario", "bursty",
+		"-sweep-policies", "least-loaded,bin-pack", "-sweep-ttls", "platform,60s",
+		"-sweep-overcommits", "2", "-format", "json"}
+	runBin := func(extra ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(bin, append(append([]string(nil), base...), extra...)...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\n%s", extra, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	want := runBin()
+	got := runBin("-distribute", "4", "-verify")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-distribute 4 output differs from in-process sweep:\n%s\nvs\n%s", got, want)
 	}
 }
 

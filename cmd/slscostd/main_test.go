@@ -136,6 +136,11 @@ func TestDaemonSmoke(t *testing.T) {
 	if !strings.Contains(log, "listening on http://") || !strings.Contains(log, "opt.sweep") {
 		t.Fatalf("startup log missing expected lines:\n%s", log)
 	}
+	// The distributed-sweep namespace is registered by this binary (it
+	// is not a builtin); the banner proves the wiring.
+	if !strings.Contains(log, "opt.distsweep") {
+		t.Fatalf("startup log missing opt.distsweep method:\n%s", log)
+	}
 }
 
 // TestDaemonGracefulDrain checks shutdown waits for a running job.

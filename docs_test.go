@@ -71,6 +71,7 @@ func TestExportedDocComments(t *testing.T) {
 		"internal/stats",
 		"internal/api",
 		"internal/jobs",
+		"internal/distsweep",
 	}
 	for _, dir := range audited {
 		fset := token.NewFileSet()

@@ -1,0 +1,210 @@
+package distsweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"slscost/internal/opt"
+)
+
+// manifest pins a checkpoint directory to one sweep: resuming with a
+// different spec or shard layout is a typed error, never a silent
+// merge of two different grids.
+type manifest struct {
+	SpecHash string `json:"spec_hash"`
+	Shards   int    `json:"shards"`
+	Jobs     int    `json:"jobs"`
+}
+
+// logRecord is one NDJSON line of a shard log: either a durable
+// evaluation (Result non-empty) or the shard trailer (Done true).
+// The opt.ResultRow duplicates the headline objectives so the logs
+// are auditable with standard line tools; the merge itself uses only
+// the full Result JSON.
+type logRecord struct {
+	Shard  int             `json:"shard"`
+	Index  int             `json:"index"`
+	Row    *opt.ResultRow  `json:"row,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Done   bool            `json:"done,omitempty"`
+	Rows   int             `json:"rows,omitempty"`
+}
+
+// checkpoint owns the per-shard append logs under one directory.
+type checkpoint struct {
+	dir   string
+	files map[int]*os.File
+}
+
+// checkpointState is what loading a directory recovers: the durable
+// result bytes per shard keyed by grid index, and which shards
+// already carry a verified completion trailer.
+type checkpointState struct {
+	durable []map[int]json.RawMessage
+	done    []bool
+}
+
+func shardLogName(shard int) string {
+	return fmt.Sprintf("shard-%04d.ndjson", shard)
+}
+
+// openCheckpoint binds dir to (hash, ranges) — creating the manifest
+// on first use, verifying it on resume — and loads whatever durable
+// state previous runs left behind. Corrupt or truncated log lines
+// discard themselves and everything after them (a torn append means
+// the tail is untrustworthy), and the file is compacted to the
+// surviving prefix so the shard can be re-dispatched cleanly.
+func openCheckpoint(dir, hash string, ranges []Range, jobs int) (*checkpoint, *checkpointState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	want := manifest{SpecHash: hash, Shards: len(ranges), Jobs: jobs}
+	manifestPath := filepath.Join(dir, "manifest.json")
+	if raw, err := os.ReadFile(manifestPath); err == nil {
+		var got manifest
+		if err := json.Unmarshal(raw, &got); err != nil || got != want {
+			gotDesc := fmt.Sprintf("spec %s (%d shards, %d jobs)", got.SpecHash, got.Shards, got.Jobs)
+			if err != nil {
+				gotDesc = "an unreadable manifest"
+			}
+			return nil, nil, &CheckpointMismatchError{
+				Dir: dir,
+				Got: gotDesc,
+				Want: fmt.Sprintf("spec %s (%d shards, %d jobs)",
+					want.SpecHash, want.Shards, want.Jobs),
+			}
+		}
+	} else if os.IsNotExist(err) {
+		raw, merr := json.Marshal(want)
+		if merr != nil {
+			return nil, nil, merr
+		}
+		if err := os.WriteFile(manifestPath, append(raw, '\n'), 0o644); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		return nil, nil, err
+	}
+
+	cp := &checkpoint{dir: dir, files: make(map[int]*os.File, len(ranges))}
+	st := &checkpointState{
+		durable: make([]map[int]json.RawMessage, len(ranges)),
+		done:    make([]bool, len(ranges)),
+	}
+	for shard, r := range ranges {
+		st.durable[shard] = make(map[int]json.RawMessage)
+		if err := cp.loadShard(shard, r, st); err != nil {
+			cp.Close()
+			return nil, nil, err
+		}
+	}
+	return cp, st, nil
+}
+
+// loadShard replays one shard log into st and leaves the file open
+// for appends. Only a prefix of well-formed, in-range, non-conflicting
+// lines survives; if anything after that prefix existed, the file is
+// rewritten to just the prefix before reopening.
+func (cp *checkpoint) loadShard(shard int, r Range, st *checkpointState) error {
+	path := filepath.Join(cp.dir, shardLogName(shard))
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	var surviving [][]byte
+	durable := st.durable[shard]
+	lines := bytes.Split(raw, []byte("\n"))
+	for i, line := range lines {
+		if len(line) == 0 {
+			// Blank separators are fine mid-file; a missing final
+			// newline shows up as a non-empty last element instead.
+			continue
+		}
+		var rec logRecord
+		if i == len(lines)-1 || json.Unmarshal(line, &rec) != nil {
+			// A non-terminated last line is a torn append even if it
+			// happens to parse; drop it and everything after.
+			break
+		}
+		if rec.Shard != shard {
+			break
+		}
+		if rec.Done {
+			if len(durable) != r.Len() || rec.Rows != r.Len() {
+				break // trailer without full coverage: untrustworthy tail
+			}
+			st.done[shard] = true
+			surviving = append(surviving, line)
+			continue
+		}
+		if rec.Index < r.Start || rec.Index >= r.End || len(rec.Result) == 0 {
+			break
+		}
+		if prev, ok := durable[rec.Index]; ok {
+			if !bytes.Equal(prev, rec.Result) {
+				break
+			}
+			continue // byte-equal duplicate: keep the first, drop the echo
+		}
+		durable[rec.Index] = append([]byte(nil), rec.Result...)
+		surviving = append(surviving, line)
+	}
+	compact := bytes.NewBuffer(nil)
+	for _, line := range surviving {
+		compact.Write(line)
+		compact.WriteByte('\n')
+	}
+	if !bytes.Equal(compact.Bytes(), raw) {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, compact.Bytes(), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cp.files[shard] = f
+	return nil
+}
+
+// appendRecord writes one NDJSON line to the shard's log in a single
+// Write call, so a crashed coordinator tears at most the final line —
+// exactly what loadShard is built to discard.
+func (cp *checkpoint) appendRecord(shard int, rec logRecord) error {
+	f, ok := cp.files[shard]
+	if !ok {
+		return fmt.Errorf("distsweep: no checkpoint log open for shard %d", shard)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(line, '\n'))
+	return err
+}
+
+// appendTrailer marks the shard complete and syncs the log; the
+// trailer is the durable completion fact duplicate ShardDone frames
+// are resolved against.
+func (cp *checkpoint) appendTrailer(shard, rows int) error {
+	if err := cp.appendRecord(shard, logRecord{Shard: shard, Done: true, Rows: rows}); err != nil {
+		return err
+	}
+	return cp.files[shard].Sync()
+}
+
+// Close releases the shard logs; the files themselves persist for
+// resume.
+func (cp *checkpoint) Close() {
+	for _, f := range cp.files {
+		f.Close()
+	}
+	cp.files = nil
+}

@@ -1,0 +1,100 @@
+package distsweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// helperAddrEnv tells a spawned copy of this test binary to act as a
+// worker process instead of running the suite.
+const helperAddrEnv = "DISTSWEEP_HELPER_ADDR"
+
+// TestHelperWorker is not a test: it is the worker process
+// TestKillWorkerRedispatch spawns (the canonical helper-process
+// pattern — the test binary re-execs itself with -test.run pinned to
+// this function). Without the env var it skips immediately.
+func TestHelperWorker(t *testing.T) {
+	addr := os.Getenv(helperAddrEnv)
+	if addr == "" {
+		t.Skip("spawned only as a helper worker process")
+	}
+	err := RunWorker(context.Background(), WorkerConfig{
+		Addr:         addr,
+		Workers:      2,
+		PingInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestKillWorkerRedispatch is the CI failure-path gate run as a
+// plain test: a real worker process is SIGKILLed after its first
+// evaluation lands, a second process picks up the reclaimed work, and
+// the merged document still matches the single-process sweep
+// byte-for-byte.
+func TestKillWorkerRedispatch(t *testing.T) {
+	spec := testSpec()
+	wantJSON, _, _ := refDocs(t, spec)
+
+	firstRow := make(chan struct{}, 1)
+	coord, err := Start(CoordinatorConfig{
+		Spec:             spec,
+		Dir:              t.TempDir(),
+		HeartbeatTimeout: 5 * time.Second,
+		Trace: func(event string, shard, index int) {
+			if event == "row" {
+				select {
+				case firstRow <- struct{}{}:
+				default:
+				}
+			}
+		},
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawn := func() *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestHelperWorker$")
+		cmd.Env = append(os.Environ(), helperAddrEnv+"="+coord.Addr())
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+
+	victim := spawn()
+	select {
+	case <-firstRow:
+	case <-time.After(90 * time.Second):
+		victim.Process.Kill()
+		victim.Wait()
+		t.Fatal("victim worker produced no rows")
+	}
+	victim.Process.Kill() // SIGKILL: no cleanup, the connection just dies
+	victim.Wait()
+
+	survivor := spawn()
+	defer func() {
+		survivor.Process.Kill()
+		survivor.Wait()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sr, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _, _ := renderDocs(t, sr)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatal("output after SIGKILL and re-dispatch differs from single-process sweep")
+	}
+}

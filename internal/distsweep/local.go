@@ -1,0 +1,156 @@
+package distsweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"slscost/internal/opt"
+)
+
+// LocalConfig parameterizes Local.
+type LocalConfig struct {
+	// Spec is the sweep to run.
+	Spec Spec
+	// Dir is the checkpoint directory; empty uses a temporary
+	// directory removed on return (no resume across calls).
+	Dir string
+	// Workers is how many protocol workers to run in-process; zero
+	// means 2.
+	Workers int
+	// EvalWorkers bounds each worker's evaluation pool; zero keeps
+	// the optimizer default. With several local workers sharing the
+	// machine, set this to roughly GOMAXPROCS / Workers.
+	EvalWorkers int
+	// Shards, HeartbeatTimeout and Trace pass through to the
+	// coordinator.
+	Shards           int
+	HeartbeatTimeout time.Duration
+	Trace            func(event string, shard, index int)
+}
+
+// Local runs a complete distributed sweep inside one process: a
+// coordinator on an ephemeral localhost port plus N in-process
+// workers. It is the daemon's opt.distsweep engine and the reference
+// harness for the byte-identity tests; fleetsim -distribute spawns
+// real worker processes instead.
+func Local(ctx context.Context, lcfg LocalConfig) (*opt.SweepResult, error) {
+	n := lcfg.Workers
+	if n <= 0 {
+		n = 2
+	}
+	dir := lcfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "distsweep-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	coord, err := Start(CoordinatorConfig{
+		Spec:             lcfg.Spec,
+		Dir:              dir,
+		Shards:           lcfg.Shards,
+		HeartbeatTimeout: lcfg.HeartbeatTimeout,
+		Trace:            lcfg.Trace,
+	}, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	wctx, cancelWorkers := context.WithCancel(ctx)
+	defer cancelWorkers()
+	workerErrs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			workerErrs <- RunWorker(wctx, WorkerConfig{
+				Addr:    coord.Addr(),
+				Workers: lcfg.EvalWorkers,
+			})
+		}()
+	}
+
+	// The coordinator waits on its own cancellable context so that
+	// "every worker failed" can abort a run the parent ctx would let
+	// hang forever.
+	cctx, cancelCoord := context.WithCancel(ctx)
+	defer cancelCoord()
+	type waitResult struct {
+		sr  *opt.SweepResult
+		err error
+	}
+	waitCh := make(chan waitResult, 1)
+	go func() {
+		sr, err := coord.Wait(cctx)
+		waitCh <- waitResult{sr, err}
+	}()
+
+	var workerErr error
+	failed := 0
+	for {
+		select {
+		case r := <-waitCh:
+			cancelWorkers()
+			if r.err != nil && workerErr != nil && errors.Is(r.err, context.Canceled) {
+				// The abort above cancelled the coordinator; the
+				// worker failure is the real story.
+				return nil, workerErr
+			}
+			return r.sr, r.err
+		case err := <-workerErrs:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				failed++
+				if workerErr == nil {
+					workerErr = err
+				}
+				if failed == n {
+					// Nobody is left to compute; unblock the
+					// coordinator and surface the first failure.
+					cancelCoord()
+				}
+			}
+		}
+	}
+}
+
+// LocalVerified runs Local and then the single-process opt.Sweep on
+// the same spec, failing with a diff summary if the two disagree —
+// the in-process analogue of fleetsim -distribute -verify.
+func LocalVerified(ctx context.Context, lcfg LocalConfig) (*opt.SweepResult, error) {
+	sr, err := Local(ctx, lcfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg, space, err := lcfg.Spec.Configs()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := opt.Sweep(ctx, cfg, space)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyEqual(sr, ref); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// verifyEqual compares the full rendered sweep documents, the same
+// bytes the CLI and daemon emit.
+func verifyEqual(got, want *opt.SweepResult) error {
+	gb, err := sweepDocBytes(got)
+	if err != nil {
+		return err
+	}
+	wb, err := sweepDocBytes(want)
+	if err != nil {
+		return err
+	}
+	if string(gb) != string(wb) {
+		return fmt.Errorf("distsweep: verify failed: distributed sweep document differs from single-process run (%d vs %d bytes)", len(gb), len(wb))
+	}
+	return nil
+}

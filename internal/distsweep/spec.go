@@ -1,0 +1,114 @@
+package distsweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"slscost/internal/api"
+	"slscost/internal/opt"
+)
+
+// Spec is the complete, self-contained description of one
+// distributed sweep: the same api.SweepParams the daemon's opt.sweep
+// accepts, plus the seed. Everything both sides need — shard layout,
+// checkpoint identity, the handshake hash — derives from its
+// canonical form, so a coordinator and worker that agree on the hash
+// agree on every evaluation.
+type Spec struct {
+	Sweep api.SweepParams `json:"sweep"`
+	Seed  uint64          `json:"seed"`
+}
+
+// Canonical returns the spec's canonical JSON encoding. Go's
+// encoding/json marshals struct fields in declaration order with
+// shortest-round-trip numbers, so equal specs always produce equal
+// bytes.
+func (s Spec) Canonical() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// Hash returns the hex SHA-256 of the canonical encoding; it keys the
+// handshake and the checkpoint manifest.
+func (s Spec) Hash() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Configs resolves the spec to the optimizer configuration and search
+// space through the same path the daemon uses, so a distributed run
+// and an opt.sweep job with identical params evaluate identical
+// grids.
+func (s Spec) Configs() (opt.Config, opt.Space, error) {
+	return api.SweepConfigs(s.Sweep, s.Seed)
+}
+
+// decodeSpec strictly parses a canonical spec; a worker re-encodes
+// and re-hashes the result to prove both sides see the same sweep.
+func decodeSpec(raw []byte) (Spec, error) {
+	var s Spec
+	if err := decodeMsg(raw, &s); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Range is one shard's contiguous run [Start, End) of grid indices,
+// in the optimizer's candidate-major, scenario-minor order.
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of evaluations in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// shardRanges splits jobs evaluations into n contiguous near-equal
+// ranges; the first jobs%n shards take the extra evaluation. The
+// layout is a pure function of (jobs, n), so every participant — and
+// every resumed run — derives the same assignment.
+func shardRanges(jobs, n int) []Range {
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	ranges := make([]Range, 0, n)
+	base, extra := jobs/n, jobs%n
+	start := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		ranges = append(ranges, Range{Start: start, End: start + size})
+		start += size
+	}
+	return ranges
+}
+
+// defaultShards picks a shard count with enough granularity that a
+// re-dispatched shard costs a small fraction of the run, without
+// fragmenting tiny grids.
+func defaultShards(jobs int) int {
+	const target = 16
+	if jobs < target {
+		return jobs
+	}
+	return target
+}
+
+// validateRange checks an assignment against the grid before a worker
+// computes it.
+func validateRange(r Range, jobs int) error {
+	if r.Start < 0 || r.End > jobs || r.Start >= r.End {
+		return &ProtocolError{Reason: fmt.Sprintf("assignment [%d, %d) outside grid of %d evaluations", r.Start, r.End, jobs)}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package distsweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slscost/internal/api"
+	"slscost/internal/opt"
+	"slscost/internal/scenario"
+)
+
+// DefaultPingInterval is how often an assigned worker heartbeats
+// between rows; it must stay well under the coordinator's
+// DefaultHeartbeatTimeout so a long evaluation is never mistaken for
+// a hang.
+const DefaultPingInterval = time.Second
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// Addr is the coordinator to dial.
+	Addr string
+	// Workers bounds the evaluation pool for each shard; zero keeps
+	// the optimizer's GOMAXPROCS default.
+	Workers int
+	// PingInterval overrides DefaultPingInterval; zero keeps the
+	// default.
+	PingInterval time.Duration
+}
+
+// RunWorker dials the coordinator, proves it is computing the same
+// sweep (protocol version, then spec hash over the re-canonicalized
+// spec), and evaluates assigned shards through opt.SweepRange until
+// the coordinator declares the run complete. Cancelling ctx tears
+// down the connection and returns ctx.Err().
+func RunWorker(ctx context.Context, wcfg WorkerConfig) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", wcfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Closing the connection is the cancellation signal: it unblocks
+	// any read or write the loop is parked in.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	ctxErr := func(err error) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+
+	var wmu sync.Mutex
+	if err := writeMsg(conn, &wmu, MsgHello, helloMsg{Version: ProtocolVersion}); err != nil {
+		return ctxErr(err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		return ctxErr(err)
+	}
+	var welcome welcomeMsg
+	switch f.Type {
+	case MsgReject:
+		var rej rejectMsg
+		if err := decodeMsg(f.Payload, &rej); err != nil {
+			return err
+		}
+		return &RejectError{Code: rej.Code, Message: rej.Message}
+	case MsgWelcome:
+		if err := decodeMsg(f.Payload, &welcome); err != nil {
+			return err
+		}
+	default:
+		return &ProtocolError{Reason: fmt.Sprintf("expected welcome, got message type %d", f.Type)}
+	}
+	if welcome.Version != ProtocolVersion {
+		return &VersionError{Got: welcome.Version, Want: ProtocolVersion}
+	}
+	spec, err := decodeSpec(welcome.Spec)
+	if err != nil {
+		return err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return err
+	}
+	if hash != welcome.SpecHash {
+		return &SpecHashError{Got: hash, Want: welcome.SpecHash}
+	}
+	cfg, space, err := spec.Configs()
+	if err != nil {
+		return err
+	}
+	if wcfg.Workers > 0 {
+		cfg.Workers = wcfg.Workers
+	}
+	jobs := cfg.GridSize(space)
+	if jobs != welcome.Jobs {
+		return &ProtocolError{Reason: fmt.Sprintf("spec resolves to %d evaluations, coordinator announced %d", jobs, welcome.Jobs)}
+	}
+
+	// Shards of one sweep share scenarios; memoize compilation so a
+	// worker that processes many shards compiles each scenario once.
+	plans := make(map[string]*scenario.Plan)
+	var plansMu sync.Mutex
+	cfg.Planner = func(sc scenario.Scenario, scfg scenario.Config) (*scenario.Plan, error) {
+		key := api.PlanKey(sc.Name, scfg)
+		plansMu.Lock()
+		p, ok := plans[key]
+		plansMu.Unlock()
+		if ok {
+			return p, nil
+		}
+		p, err := sc.Compile(scfg)
+		if err != nil {
+			return nil, err
+		}
+		plansMu.Lock()
+		plans[key] = p
+		plansMu.Unlock()
+		return p, nil
+	}
+
+	// Heartbeat for as long as the connection lives, so the
+	// coordinator can tell "still evaluating" from "dead or hung".
+	ping := wcfg.PingInterval
+	if ping <= 0 {
+		ping = DefaultPingInterval
+	}
+	pingCtx, stopPings := context.WithCancel(ctx)
+	defer stopPings()
+	go func() {
+		t := time.NewTicker(ping)
+		defer t.Stop()
+		for {
+			select {
+			case <-pingCtx.Done():
+				return
+			case <-t.C:
+				if writeMsg(conn, &wmu, MsgPing, pingMsg{}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return ctxErr(err)
+		}
+		switch f.Type {
+		case MsgAssign:
+			var a assignMsg
+			if err := decodeMsg(f.Payload, &a); err != nil {
+				return err
+			}
+			if err := validateRange(Range{Start: a.Start, End: a.End}, jobs); err != nil {
+				return err
+			}
+			if err := runAssignment(ctx, conn, &wmu, cfg, space, a); err != nil {
+				return ctxErr(err)
+			}
+		case MsgComplete:
+			return nil
+		default:
+			return &ProtocolError{Reason: fmt.Sprintf("unexpected message type %d awaiting assignment", f.Type)}
+		}
+	}
+}
+
+// runAssignment evaluates one shard and streams each result as it
+// clears the optimizer's in-order watermark, so rows arrive at the
+// coordinator in grid order and a kill mid-shard leaves a clean
+// prefix. Evaluation failures are reported as a ShardFail frame
+// (best effort) and returned.
+func runAssignment(ctx context.Context, conn net.Conn, wmu *sync.Mutex, cfg opt.Config, space opt.Space, a assignMsg) error {
+	next := a.Start
+	var sendErr error
+	cfg.OnResult = func(r opt.Result) {
+		if sendErr != nil {
+			return
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			sendErr = err
+			return
+		}
+		sendErr = writeMsg(conn, wmu, MsgRow, rowMsg{
+			Shard:  a.Shard,
+			Index:  next,
+			Row:    r.Row(),
+			Result: raw,
+		})
+		next++
+	}
+	if _, err := opt.SweepRange(ctx, cfg, space, a.Start, a.End); err != nil {
+		var se *opt.SweepError
+		if errors.As(err, &se) && ctx.Err() == nil {
+			writeMsg(conn, wmu, MsgShardFail, shardFailMsg{
+				Shard:   a.Shard,
+				Indices: se.Indices(),
+				Error:   se.Error(),
+			})
+		}
+		return err
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	return writeMsg(conn, wmu, MsgShardDone, shardDoneMsg{Shard: a.Shard, Rows: a.End - a.Start})
+}

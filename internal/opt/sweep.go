@@ -168,7 +168,9 @@ type SweepResult struct {
 //
 // Cancelling ctx abandons the sweep and returns ctx.Err() promptly:
 // workers stop picking up evaluations and the running ones unwind
-// through fleet.SimulateStream's own cancellation polling.
+// through fleet.SimulateStream's own cancellation polling. Evaluation
+// failures under a live context aggregate into a *SweepError naming
+// every failed grid index.
 func Sweep(ctx context.Context, cfg Config, space Space) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -178,10 +180,71 @@ func Sweep(ctx context.Context, cfg Config, space Space) (*SweepResult, error) {
 		return nil, err
 	}
 	cands := space.Candidates()
-	results, err := evaluateAll(ctx, cfg, cands)
+	results, err := evaluateRange(ctx, cfg, cands, 0, len(cands)*len(cfg.Scenarios))
 	if err != nil {
 		return nil, err
 	}
+	return assemble(cfg, cands, results), nil
+}
+
+// GridSize returns the number of (candidate, scenario) evaluations
+// the sweep of space under cfg enumerates — the index domain
+// SweepRange partitions. Defaults are resolved exactly as Sweep
+// resolves them, so a coordinator and its workers agree on the grid.
+func (cfg Config) GridSize(space Space) int {
+	cfg = cfg.withDefaults()
+	return space.Size() * len(cfg.Scenarios)
+}
+
+// SweepRange evaluates the contiguous grid-index range [start, end)
+// of the sweep grid — candidate-major, scenario-minor, the exact
+// enumeration order Sweep uses — and returns those evaluations in
+// index order. It is the shard primitive of distributed sweeps: the
+// concatenation of disjoint covering ranges is element-for-element
+// identical to Sweep's Results slice, for any worker counts, because
+// every evaluation is an independent pure function of (cfg, space,
+// index). cfg.OnResult, when set, receives the range's results in
+// index order.
+func SweepRange(ctx context.Context, cfg Config, space Space, start, end int) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	cands := space.Candidates()
+	total := len(cands) * len(cfg.Scenarios)
+	if start < 0 || end > total || start > end {
+		return nil, fmt.Errorf("opt: range [%d,%d) outside the %d-evaluation grid", start, end, total)
+	}
+	return evaluateRange(ctx, cfg, cands, start, end)
+}
+
+// AssembleSweep folds a fully evaluated grid — results in grid order,
+// as produced by Sweep or by concatenating SweepRange shards — into
+// the SweepResult Sweep would have returned. It recomputes the
+// per-candidate summaries from the results, so a coordinator that
+// merges shard results byte-identically reconstructs the
+// single-process sweep document.
+func AssembleSweep(cfg Config, space Space, results []Result) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	cands := space.Candidates()
+	if want := len(cands) * len(cfg.Scenarios); len(results) != want {
+		return nil, fmt.Errorf("opt: assembling %d results, want the full %d-evaluation grid", len(results), want)
+	}
+	return assemble(cfg, cands, results), nil
+}
+
+// assemble builds the SweepResult for a complete, grid-ordered result
+// slice. Callers have already resolved defaults and validated.
+func assemble(cfg Config, cands []Candidate, results []Result) *SweepResult {
 	sr := &SweepResult{
 		Profile:  cfg.Profile.Name,
 		Seed:     cfg.Seed,
@@ -195,7 +258,70 @@ func Sweep(ctx context.Context, cfg Config, space Space) (*SweepResult, error) {
 		sr.Summaries = append(sr.Summaries,
 			summarize(c, results[i*len(cfg.Scenarios):(i+1)*len(cfg.Scenarios)]))
 	}
-	return sr, nil
+	return sr
+}
+
+// IndexedError is one failed evaluation, pinned to its grid index so
+// a distributed coordinator can re-dispatch (or report) exactly the
+// cells that failed rather than the whole sweep.
+type IndexedError struct {
+	// Index is the evaluation's grid index (candidate-major,
+	// scenario-minor).
+	Index int
+	// Candidate and Scenario identify the cell.
+	Candidate Candidate
+	Scenario  string
+	// Err is the underlying evaluation failure.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *IndexedError) Error() string {
+	return fmt.Sprintf("opt: grid index %d (%s on %s): %v", e.Index, e.Candidate.Key(), e.Scenario, e.Err)
+}
+
+// Unwrap returns the underlying evaluation failure.
+func (e *IndexedError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every failed evaluation of a sweep or range.
+// Before it existed the pool surfaced only the lowest failing index,
+// which left a coordinator unable to tell one bad cell from a dead
+// shard; now every failure arrives with its grid index. Unwrap
+// returns the per-cell errors, so errors.Is/As reach through to the
+// underlying causes.
+type SweepError struct {
+	// Failed lists the failed evaluations in ascending grid order.
+	Failed []*IndexedError
+}
+
+// Error implements the error interface, naming every failed index.
+func (e *SweepError) Error() string {
+	if len(e.Failed) == 1 {
+		return e.Failed[0].Error()
+	}
+	msg := fmt.Sprintf("opt: %d evaluations failed:", len(e.Failed))
+	for _, f := range e.Failed {
+		msg += "\n  " + f.Error()
+	}
+	return msg
+}
+
+// Unwrap returns the per-evaluation errors for errors.Is/As traversal.
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f
+	}
+	return out
+}
+
+// Indices returns the failed grid indices in ascending order.
+func (e *SweepError) Indices() []int {
+	out := make([]int, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f.Index
+	}
+	return out
 }
 
 // compilePlans resolves every scenario of the sweep to its compiled
@@ -223,42 +349,38 @@ func compilePlans(cfg Config) ([]*scenario.Plan, error) {
 	return plans, nil
 }
 
-// evaluateAll runs the (candidate × scenario) job matrix over the
-// bounded pool. Results are placed by job index and errors are
-// reported for the lowest failing index, so both the success and the
-// failure path are deterministic in the worker count. Completed
-// results are handed to cfg.OnResult in index order behind a
-// watermark, so row streaming is deterministic too. A cancelled ctx
-// wins over any evaluation error: the sweep returns ctx.Err().
-func evaluateAll(ctx context.Context, cfg Config, cands []Candidate) ([]Result, error) {
+// evaluateRange runs the grid-index range [start, end) of the
+// (candidate × scenario) job matrix over the bounded pool. Results
+// are placed by grid index, so both the success and the failure path
+// are deterministic in the worker count. Completed results are handed
+// to cfg.OnResult in index order behind a watermark, so row streaming
+// is deterministic too. A cancelled ctx wins and returns ctx.Err();
+// evaluation failures under a live context aggregate into a
+// *SweepError carrying every failed grid index.
+func evaluateRange(ctx context.Context, cfg Config, cands []Candidate, start, end int) ([]Result, error) {
 	plans, err := compilePlans(cfg)
 	if err != nil {
 		return nil, err
 	}
-	type job struct{ ci, si int }
-	jobs := make([]job, 0, len(cands)*len(cfg.Scenarios))
-	for ci := range cands {
-		for si := range cfg.Scenarios {
-			jobs = append(jobs, job{ci, si})
-		}
-	}
-	results := make([]Result, len(jobs))
-	errs := make([]error, len(jobs))
+	nScen := len(cfg.Scenarios)
+	n := end - start
+	results := make([]Result, n)
+	errs := make([]error, n)
 
-	// The emission watermark: job j's result is emitted once every
-	// job < j has completed, so rows stream in grid order no matter
+	// The emission watermark: slot k's result is emitted once every
+	// slot < k has completed, so rows stream in grid order no matter
 	// which worker finishes first.
 	var emitMu sync.Mutex
 	emitted := 0
-	completed := make([]bool, len(jobs))
-	emit := func(j int) {
+	completed := make([]bool, n)
+	emit := func(k int) {
 		if cfg.OnResult == nil {
 			return
 		}
 		emitMu.Lock()
 		defer emitMu.Unlock()
-		completed[j] = true
-		for emitted < len(jobs) && completed[emitted] {
+		completed[k] = true
+		for emitted < n && completed[emitted] {
 			if errs[emitted] == nil {
 				cfg.OnResult(results[emitted])
 			}
@@ -272,29 +394,40 @@ func evaluateAll(ctx context.Context, cfg Config, cands []Candidate) ([]Result, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobCh {
+			for k := range jobCh {
 				if err := ctx.Err(); err != nil {
-					errs[j] = err
+					errs[k] = err
 					continue
 				}
-				c, si := cands[jobs[j].ci], jobs[j].si
-				results[j], errs[j] = evaluate(ctx, cfg, c, cfg.Scenarios[si], plans[si])
-				emit(j)
+				j := start + k
+				c, si := cands[j/nScen], j%nScen
+				results[k], errs[k] = evaluate(ctx, cfg, c, cfg.Scenarios[si], plans[si])
+				emit(k)
 			}
 		}()
 	}
-	for j := range jobs {
-		jobCh <- j
+	for k := 0; k < n; k++ {
+		jobCh <- k
 	}
 	close(jobCh)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for _, err := range errs {
+	var failed []*IndexedError
+	for k, err := range errs {
 		if err != nil {
-			return nil, err
+			j := start + k
+			failed = append(failed, &IndexedError{
+				Index:     j,
+				Candidate: cands[j/nScen],
+				Scenario:  cfg.Scenarios[j%nScen].Name,
+				Err:       err,
+			})
 		}
+	}
+	if len(failed) > 0 {
+		return nil, &SweepError{Failed: failed}
 	}
 	return results, nil
 }
@@ -324,7 +457,7 @@ func evaluate(ctx context.Context, cfg Config, c Candidate, sc scenario.Scenario
 // evaluations are not sweep rows.
 func evalMean(ctx context.Context, cfg Config, c Candidate) (Objectives, float64, error) {
 	cfg.OnResult = nil
-	results, err := evaluateAll(ctx, cfg, []Candidate{c})
+	results, err := evaluateRange(ctx, cfg, []Candidate{c}, 0, len(cfg.Scenarios))
 	if err != nil {
 		return Objectives{}, 0, err
 	}

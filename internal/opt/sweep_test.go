@@ -10,6 +10,7 @@ import (
 
 	"slscost/internal/core"
 	"slscost/internal/scenario"
+	"slscost/internal/scenario/faults"
 	"slscost/internal/trace"
 )
 
@@ -254,6 +255,130 @@ func TestSweepPlanner(t *testing.T) {
 	}
 	if len(cache) != 2 {
 		t.Fatalf("cache holds %d plans, want 2", len(cache))
+	}
+}
+
+// TestSweepRangeShardsConcatenateToFullGrid pins the shard primitive
+// distributed sweeps stand on: disjoint covering ranges, evaluated
+// independently (even with different worker counts), concatenate to
+// exactly Sweep's Results slice, and AssembleSweep folds them into a
+// byte-identical sweep document.
+func TestSweepRangeShardsConcatenateToFullGrid(t *testing.T) {
+	cfg := testConfig(t, 2)
+	space := testSpace()
+	full, err := Sweep(context.Background(), cfg, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cfg.GridSize(space)
+	if total != len(full.Results) {
+		t.Fatalf("GridSize = %d, Sweep produced %d results", total, len(full.Results))
+	}
+	// Uneven shard boundaries that split a candidate's scenarios across
+	// shards, evaluated with differing worker counts.
+	bounds := []int{0, 3, 4, total}
+	var merged []Result
+	for i := 0; i+1 < len(bounds); i++ {
+		scfg := testConfig(t, 1+i)
+		var streamed []Result
+		scfg.OnResult = func(r Result) { streamed = append(streamed, r) }
+		part, err := SweepRange(context.Background(), scfg, space, bounds[i], bounds[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(part) {
+			t.Fatalf("shard [%d,%d): %d streamed rows, %d results", bounds[i], bounds[i+1], len(streamed), len(part))
+		}
+		for k := range part {
+			if streamed[k].Row() != part[k].Row() {
+				t.Fatalf("shard [%d,%d): OnResult order diverges at %d", bounds[i], bounds[i+1], k)
+			}
+		}
+		merged = append(merged, part...)
+	}
+	for i := range merged {
+		if merged[i].Candidate != full.Results[i].Candidate ||
+			merged[i].Scenario != full.Results[i].Scenario ||
+			merged[i].Objectives != full.Results[i].Objectives {
+			t.Fatalf("merged result %d differs from Sweep's", i)
+		}
+	}
+	got, err := AssembleSweep(testConfig(t, 2), space, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := full.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("AssembleSweep document differs from Sweep's")
+	}
+
+	// Out-of-grid ranges and short result slices are rejected.
+	if _, err := SweepRange(context.Background(), testConfig(t, 1), space, 0, total+1); err == nil {
+		t.Error("out-of-grid range did not fail")
+	}
+	if _, err := SweepRange(context.Background(), testConfig(t, 1), space, -1, 0); err == nil {
+		t.Error("negative range did not fail")
+	}
+	if _, err := AssembleSweep(testConfig(t, 1), space, merged[:total-1]); err == nil {
+		t.Error("partial grid assembled")
+	}
+}
+
+// TestSweepErrorAggregatesGridIndices is the regression test for the
+// first-error-only failure path: when several evaluations fail, the
+// sweep returns a *SweepError naming every failed grid index, so a
+// distributed coordinator can tell exactly which cells (not just the
+// lowest one) went bad. The failure is provoked by a fault plan
+// compiled for the default pool while half the grid pins a different
+// host count — those evaluations fail at fleet validation.
+func TestSweepErrorAggregatesGridIndices(t *testing.T) {
+	cfg := testConfig(t, 2)
+	prof, err := faults.ByName("crashes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.Compile(&prof.Spec, cfg.Hosts, cfg.Scenario.EffectiveHorizon(), cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = plan
+	space := testSpace()
+	space.Policies = []string{"least-loaded"}
+	space.TTLs = []time.Duration{PlatformTTL}
+	space.Hosts = []int{cfg.Hosts, cfg.Hosts / 2} // second candidate mismatches the plan
+	_, err = Sweep(context.Background(), cfg, space)
+	if err == nil {
+		t.Fatal("mismatched fault plan did not fail")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *SweepError: %v", err, err)
+	}
+	// Candidate 1 (hosts=cfg.Hosts/2) fails on both scenarios: grid
+	// indices 2 and 3.
+	want := []int{2, 3}
+	got := se.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("failed indices %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("failed indices %v, want %v", got, want)
+		}
+	}
+	for _, f := range se.Failed {
+		if f.Scenario == "" || f.Err == nil {
+			t.Fatalf("indexed error missing detail: %+v", f)
+		}
+	}
+	if !strings.Contains(err.Error(), "grid index 2") || !strings.Contains(err.Error(), "grid index 3") {
+		t.Errorf("error text does not name both indices: %v", err)
 	}
 }
 
