@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// CLI wiring of the keep-alive decision layer: the -keepalive flag on
+// the single-run paths, the -sweep-keepalive axis on the sweep paths,
+// and the conflict rules between them.
+
+func TestRunKeepAliveModes(t *testing.T) {
+	// Strip the banner/timing lines, which legitimately differ run to
+	// run; everything below them is deterministic.
+	timing := regexp.MustCompile(`(?m)^(generated|synthesized|streaming|simulated).*\n`)
+	report := func(args ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		return timing.ReplaceAllString(out.String(), "")
+	}
+	base := []string{"-scenario", "bursty", "-hosts", "4", "-requests", "2000"}
+	plain := report(base...)
+	// Explicit static is byte-identical to the default, and neither
+	// prints the decision-layer telemetry section.
+	if static := report(append([]string{"-keepalive", "static"}, base...)...); static != plain {
+		t.Errorf("-keepalive static changed the default output:\n%s\nvs\n%s", static, plain)
+	}
+	if strings.Contains(plain, "keep-alive static:") {
+		t.Errorf("static report prints decision-layer telemetry:\n%s", plain)
+	}
+	// Adaptive modes print their telemetry section.
+	for mode, want := range map[string]string{
+		"adaptive": "adaptive:",
+		"bandit":   "bandit:",
+	} {
+		got := report(append([]string{"-keepalive", mode}, base...)...)
+		if !strings.Contains(got, "keep-alive "+mode+":") || !strings.Contains(got, want) {
+			t.Errorf("-keepalive %s report missing its telemetry section:\n%s", mode, got)
+		}
+		if got == plain {
+			t.Errorf("-keepalive %s output identical to static — the deciders never ran", mode)
+		}
+	}
+}
+
+func TestRunKeepAliveVerify(t *testing.T) {
+	for _, mode := range []string{"adaptive", "bandit"} {
+		var out bytes.Buffer
+		err := run([]string{"-scenario", "diurnal", "-hosts", "4", "-requests", "2000",
+			"-keepalive", mode, "-verify"}, &out)
+		if err != nil {
+			t.Fatalf("-keepalive %s -verify: %v", mode, err)
+		}
+		if !strings.Contains(out.String(), "report verified") {
+			t.Errorf("-keepalive %s -verify did not verify:\n%s", mode, out.String())
+		}
+	}
+}
+
+func TestRunKeepAliveErrorsAndConflicts(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown mode", []string{"-keepalive", "thermostat"}, "unknown -keepalive mode"},
+		{"sweep conflict", []string{"-sweep", "-keepalive", "adaptive"}, "-keepalive"},
+		{"axis without sweep", []string{"-sweep-keepalive", "adaptive"}, "-sweep-keepalive"},
+		{"bad axis mode", []string{"-sweep", "-scenario", "steady", "-requests", "1000",
+			"-sweep-keepalive", "thermostat"}, "keep-alive mode"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(c.args, &out)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("%v: error = %v, want substring %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+func TestRunSweepKeepAliveAxis(t *testing.T) {
+	args := []string{"-sweep", "-scenario", "steady", "-hosts", "4", "-requests", "2000",
+		"-sweep-policies", "least-loaded", "-sweep-ttls", "platform", "-sweep-overcommits", "2",
+		"-sweep-keepalive", "static,adaptive,bandit", "-format", "csv"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("sweep CSV has %d lines, want header + 3 mode rows:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], ",keepalive,") {
+		t.Errorf("CSV header missing keepalive column: %q", lines[0])
+	}
+	for _, mode := range []string{"static", "adaptive", "bandit"} {
+		if !strings.Contains(out.String(), ","+mode+",") {
+			t.Errorf("no sweep row for mode %s:\n%s", mode, out.String())
+		}
+	}
+}

@@ -24,6 +24,18 @@
 //
 //	fleetsim -scenario diurnal -faults chaos -verify
 //
+// -keepalive selects the per-function keep-alive decision layer
+// (internal/keepalive): "static" replays the platform's fixed window
+// distribution (the default, byte-identical to every run before the
+// flag existed), "adaptive" learns a per-function TTL from a windowed
+// idle-gap histogram, and "bandit" runs an epsilon-greedy choice over
+// the static policy catalog with regret tracked against realized cost.
+// All three verify under -verify — the differential oracle replays the
+// identical decider state machines:
+//
+//	fleetsim -scenario diurnal -keepalive adaptive -verify
+//	fleetsim -scenario bursty -keepalive bandit
+//
 // -stream runs the same simulation through the streaming pipeline:
 // the workload is synthesized lazily and host shards simulate
 // concurrently with generation, so memory stays bounded by the pod
@@ -87,6 +99,7 @@ import (
 	"slscost/internal/core"
 	"slscost/internal/distsweep"
 	"slscost/internal/fleet"
+	"slscost/internal/keepalive"
 	"slscost/internal/opt"
 	"slscost/internal/scenario"
 	"slscost/internal/scenario/diffsim"
@@ -145,6 +158,8 @@ func run(args []string, w io.Writer) error {
 	tenants := fs.Int("tenants", 1, "fan the scenario into N phase-shifted tenants (>= 1)")
 	faultsName := fs.String("faults", "",
 		"inject a catalog fault profile: "+strings.Join(faults.Names(), ", "))
+	keepAliveMode := fs.String("keepalive", "static",
+		"per-function keep-alive decision mode: static, adaptive, or bandit (internal/keepalive)")
 	horizon := fs.Duration("horizon", 0, "scenario shape period (0 = auto-scale to the workload)")
 	verify := fs.Bool("verify", false, "cross-check the report against the independent differential replay")
 	stream := fs.Bool("stream", false,
@@ -156,6 +171,8 @@ func run(args []string, w io.Writer) error {
 	sweepPolicies := fs.String("sweep-policies", "", "comma-separated placement policies to sweep (default: all)")
 	sweepTTLs := fs.String("sweep-ttls", "", `comma-separated keep-alive TTLs to sweep, durations or "platform" (default: platform,60s,600s)`)
 	sweepOvercommits := fs.String("sweep-overcommits", "", "comma-separated overcommit ratios to sweep (default: 1,2)")
+	sweepKeepAlive := fs.String("sweep-keepalive", "",
+		"comma-separated keep-alive decision modes to sweep (default: static only)")
 	format := fs.String("format", "text", "sweep output format: text, csv, or json")
 	distribute := fs.Int("distribute", 0,
 		"run -sweep/-pareto across N spawned local worker processes (0 = in-process; see internal/distsweep)")
@@ -200,6 +217,10 @@ func run(args []string, w io.Writer) error {
 	if *horizon < 0 {
 		return fmt.Errorf("-horizon %v negative", *horizon)
 	}
+	kaSpec, err := keepAliveSpec(*keepAliveMode, *seed)
+	if err != nil {
+		return err
+	}
 	sweepMode := *sweep || *pareto
 	if err := flagConflicts(fs, *tracePath, *scenarioName, *stream, sweepMode, *remote != "", *distribute, *workerMode); err != nil {
 		return err
@@ -241,7 +262,8 @@ func run(args []string, w io.Writer) error {
 		if sweepMode {
 			var err error
 			if sw, err = buildSweepParams(fs, *platform, *hosts, *requests, *tenants, *horizon,
-				*hostVCPU, *hostMem, *scenarioName, *sweepPolicies, *sweepTTLs, *sweepOvercommits, faultProfile); err != nil {
+				*hostVCPU, *hostMem, *scenarioName, *sweepPolicies, *sweepTTLs, *sweepOvercommits,
+				*sweepKeepAlive, faultProfile); err != nil {
 				return err
 			}
 		}
@@ -250,6 +272,7 @@ func run(args []string, w io.Writer) error {
 			Scenario: *scenarioName, Tenants: *tenants, Horizon: api.Duration(*horizon),
 			Overcommit: *overcommit, Elastic: *elastic,
 			HostVCPU: *hostVCPU, HostMemMB: *hostMem,
+			KeepAlive: kaSpec,
 		}
 		if faultProfile != nil {
 			sim.Faults = &faultProfile.Spec
@@ -266,6 +289,7 @@ func run(args []string, w io.Writer) error {
 		Overcommit: *overcommit,
 		Elastic:    *elastic,
 		Seed:       *seed,
+		KeepAlive:  kaSpec,
 	}
 
 	// The synthetic-generator configuration every non-CSV mode starts
@@ -298,7 +322,8 @@ func run(args []string, w io.Writer) error {
 			// canonical spec (the same resolution the daemon and every
 			// worker use), so coordinator and workers cannot disagree.
 			sw, err := buildSweepParams(fs, *platform, *hosts, *requests, *tenants, *horizon,
-				*hostVCPU, *hostMem, *scenarioName, *sweepPolicies, *sweepTTLs, *sweepOvercommits, faultProfile)
+				*hostVCPU, *hostMem, *scenarioName, *sweepPolicies, *sweepTTLs, *sweepOvercommits,
+				*sweepKeepAlive, faultProfile)
 			if err != nil {
 				return err
 			}
@@ -328,6 +353,9 @@ func run(args []string, w io.Writer) error {
 			if space.Overcommits, err = parseFloats(splitList(*sweepOvercommits)); err != nil {
 				return err
 			}
+		}
+		if *sweepKeepAlive != "" {
+			space.KeepAliveModes = splitList(*sweepKeepAlive)
 		}
 		ocfg := opt.Config{
 			Profile:   prof,
@@ -452,7 +480,7 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 	// repurposes it: run the in-process sweep too and require byte
 	// identity.
 	sweepConflicts := map[string]bool{"policy": true, "overcommit": true, "elastic": true,
-		"trace": true, "stream": true}
+		"trace": true, "stream": true, "keepalive": true}
 	if distribute == 0 {
 		sweepConflicts["verify"] = true
 	}
@@ -476,7 +504,7 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 			sweepConflicts},
 		{!sweepMode, "-refine, -sweep-*, -distribute, and -format configure -sweep/-pareto",
 			map[string]bool{"refine": true, "sweep-policies": true, "sweep-ttls": true,
-				"sweep-overcommits": true, "format": true, "distribute": true}},
+				"sweep-overcommits": true, "sweep-keepalive": true, "format": true, "distribute": true}},
 		{distribute == 0, "-listen and -checkpoint-dir configure -distribute",
 			map[string]bool{"listen": true, "checkpoint-dir": true}},
 		{distribute > 0, "-distribute runs the fixed grid across worker processes; -refine is a follow-on in-process pass",
@@ -511,7 +539,8 @@ func flagConflicts(fs *flag.FlagSet, tracePath, scenarioName string, stream, swe
 // worker applies — so the flag path and the spec path cannot drift.
 func buildSweepParams(fs *flag.FlagSet, platform string, hosts, requests, tenants int,
 	horizon time.Duration, hostVCPU, hostMem float64, scenarioName,
-	sweepPolicies, sweepTTLs, sweepOvercommits string, faultProfile *faults.Profile) (api.SweepParams, error) {
+	sweepPolicies, sweepTTLs, sweepOvercommits, sweepKeepAlive string,
+	faultProfile *faults.Profile) (api.SweepParams, error) {
 	sw := api.SweepParams{
 		Platform: platform, Hosts: hosts, Requests: requests,
 		Tenants: tenants, Horizon: api.Duration(horizon),
@@ -536,6 +565,9 @@ func buildSweepParams(fs *flag.FlagSet, platform string, hosts, requests, tenant
 			return api.SweepParams{}, err
 		}
 		sw.Overcommits = ocs
+	}
+	if sweepKeepAlive != "" {
+		sw.KeepAliveModes = splitList(sweepKeepAlive)
 	}
 	if faultProfile != nil {
 		sw.Faults = &faultProfile.Spec
@@ -868,6 +900,22 @@ func writeParetoText(w io.Writer, sr *opt.SweepResult) {
 				r.Objectives.ColdStartRate*100, r.Objectives.SlowdownP99)
 		}
 	}
+}
+
+// keepAliveSpec resolves the -keepalive flag: "static" is the nil
+// spec (the legacy direct-window path, byte-identical to every run
+// before the flag existed); adaptive modes build a default spec
+// carrying the run seed, so the per-function decider streams are as
+// reproducible as the rest of the simulation.
+func keepAliveSpec(mode string, seed uint64) (*keepalive.Spec, error) {
+	m := keepalive.Mode(mode)
+	if !m.Valid() {
+		return nil, fmt.Errorf("unknown -keepalive mode %q (have static, adaptive, bandit)", mode)
+	}
+	if m == keepalive.ModeStatic {
+		return nil, nil
+	}
+	return &keepalive.Spec{Mode: m, Seed: &seed}, nil
 }
 
 // splitList splits a comma-separated flag value, trimming whitespace

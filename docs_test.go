@@ -66,6 +66,7 @@ func TestExportedDocComments(t *testing.T) {
 		"internal/scenario",
 		"internal/scenario/diffsim",
 		"internal/fleet",
+		"internal/keepalive",
 		"internal/opt",
 		"internal/simtime",
 		"internal/stats",

@@ -9,6 +9,7 @@ import (
 
 	"slscost/internal/core"
 	"slscost/internal/fleet"
+	"slscost/internal/keepalive"
 	"slscost/internal/opt"
 	"slscost/internal/scenario"
 	"slscost/internal/scenario/faults"
@@ -124,6 +125,12 @@ type SimulateParams struct {
 	// Incompatible with the "raw" scenario (a raw trace carries no
 	// horizon to key schedules to).
 	Faults *faults.Spec `json:"faults,omitempty"`
+	// KeepAlive, when present, selects the per-function keep-alive
+	// decision layer (keepalive.Spec). Absent or static is the legacy
+	// static window. A spec without its own seed inherits the job seed,
+	// keeping "results are a function of spec and seed" true for the
+	// decider streams too.
+	KeepAlive *keepalive.Spec `json:"keepalive,omitempty"`
 }
 
 // withDefaults resolves the zero values to the CLI defaults.
@@ -186,6 +193,10 @@ type SweepParams struct {
 	// Faults, when present, injects the same compiled fault schedule
 	// into every evaluation of the sweep.
 	Faults *faults.Spec `json:"faults,omitempty"`
+	// KeepAliveModes adds the keep-alive decision mode as a sweep axis
+	// ("static", "adaptive", "bandit"); empty keeps the grid static
+	// only, exactly as before the axis existed.
+	KeepAliveModes []string `json:"keepalive_modes,omitempty"`
 }
 
 // decodeParams strictly decodes a raw params object into dst. A nil
@@ -222,7 +233,11 @@ type planKeyDoc struct {
 // horizon, and tenant fan-out — produce the same key regardless of
 // everything else in the spec (policy, hosts, TTL grid...), which is
 // exactly the sharing the cache wants: cluster knobs don't change the
-// trace, so they must not fragment the cache.
+// trace, so they must not fragment the cache. The keep-alive decider
+// spec is deliberately absent for the same reason: deciders act at
+// pod-expiry time inside the simulation and cannot affect the
+// synthesized trace, so a static and an adaptive job over the same
+// workload share one compiled plan.
 func PlanKey(scenarioName string, scfg scenario.Config) string {
 	b, err := json.Marshal(planKeyDoc{
 		Scenario: scenarioName,
@@ -291,6 +306,16 @@ func SimulateConfigs(p SimulateParams, seed uint64) (fleet.Config, scenario.Scen
 		}
 		fc.Faults = plan
 	}
+	if p.KeepAlive != nil {
+		spec := *p.KeepAlive // the caller's spec stays untouched
+		if spec.Seed == nil {
+			spec.Seed = &seed
+		}
+		if err := spec.Validate(); err != nil {
+			return fleet.Config{}, scenario.Scenario{}, scenario.Config{}, err
+		}
+		fc.KeepAlive = &spec
+	}
 	return fc, sc, scfg, nil
 }
 
@@ -335,6 +360,9 @@ func SweepConfigs(p SweepParams, seed uint64) (opt.Config, opt.Space, error) {
 	}
 	if len(p.Overcommits) > 0 {
 		space.Overcommits = p.Overcommits
+	}
+	if len(p.KeepAliveModes) > 0 {
+		space.KeepAliveModes = p.KeepAliveModes
 	}
 	gen := trace.DefaultGeneratorConfig()
 	gen.Requests = p.Requests

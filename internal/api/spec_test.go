@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"slscost/internal/keepalive"
 	"slscost/internal/scenario"
 	"slscost/internal/trace"
 )
@@ -97,6 +98,59 @@ func TestPlanKey(t *testing.T) {
 	}
 }
 
+// TestPlanKeyIgnoresKeepAliveSpec pins the cache-sharing contract: the
+// keep-alive decider spec acts inside the simulation and cannot change
+// the synthesized trace, so specs differing only in keep-alive mode
+// must resolve to the same compiled-plan key (a static and an adaptive
+// job over the same workload share one plan).
+func TestPlanKeyIgnoresKeepAliveSpec(t *testing.T) {
+	p := SimulateParams{Requests: 1000}
+	_, _, plain, err := SimulateConfigs(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.KeepAlive = &keepalive.Spec{Mode: keepalive.ModeAdaptive}
+	_, _, adaptive, err := SimulateConfigs(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PlanKey("steady", plain) != PlanKey("steady", adaptive) {
+		t.Fatal("keep-alive spec fragmented the plan cache key")
+	}
+}
+
+// TestSimulateConfigsKeepAlive: the spec is wired through with the job
+// seed inherited when absent, and a bad spec is rejected before any
+// run starts.
+func TestSimulateConfigsKeepAlive(t *testing.T) {
+	p := SimulateParams{KeepAlive: &keepalive.Spec{Mode: keepalive.ModeBandit}}
+	fc, _, _, err := SimulateConfigs(p, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.KeepAlive == nil || fc.KeepAlive.Mode != keepalive.ModeBandit {
+		t.Fatalf("spec not wired through: %+v", fc.KeepAlive)
+	}
+	if fc.KeepAlive.Seed == nil || *fc.KeepAlive.Seed != 123 {
+		t.Errorf("spec seed = %v, want inherited job seed 123", fc.KeepAlive.Seed)
+	}
+	if p.KeepAlive.Seed != nil {
+		t.Error("SimulateConfigs mutated the caller's spec")
+	}
+	own := uint64(9)
+	p.KeepAlive = &keepalive.Spec{Mode: keepalive.ModeAdaptive, Seed: &own}
+	if fc, _, _, err = SimulateConfigs(p, 123); err != nil {
+		t.Fatal(err)
+	}
+	if *fc.KeepAlive.Seed != 9 {
+		t.Errorf("explicit spec seed overridden: %d", *fc.KeepAlive.Seed)
+	}
+	p.KeepAlive = &keepalive.Spec{Mode: "thermostat"}
+	if _, _, _, err := SimulateConfigs(p, 123); err == nil {
+		t.Error("bad keep-alive spec accepted")
+	}
+}
+
 func TestSimulateConfigsDefaults(t *testing.T) {
 	fc, sc, scfg, err := SimulateConfigs(SimulateParams{}, 99)
 	if err != nil {
@@ -166,5 +220,24 @@ func TestSweepConfigs(t *testing.T) {
 	}
 	if _, _, err := SweepConfigs(SweepParams{TTLs: []string{"soon"}}, 1); err == nil {
 		t.Fatal("unparsable TTL accepted")
+	}
+	// The keep-alive mode axis passes through; garbage modes fail at
+	// space validation inside opt, before any evaluation runs.
+	_, space, err = SweepConfigs(SweepParams{KeepAliveModes: []string{"static", "adaptive"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space.KeepAliveModes) != 2 {
+		t.Fatalf("keep-alive modes not wired: %+v", space.KeepAliveModes)
+	}
+	if err := space.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, space, err = SweepConfigs(SweepParams{KeepAliveModes: []string{"thermostat"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := space.Validate(); err == nil {
+		t.Fatal("unknown keep-alive mode survived space validation")
 	}
 }

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"slscost/internal/core"
+	"slscost/internal/fleet"
+	"slscost/internal/keepalive"
+	"slscost/internal/scenario"
+	"slscost/internal/scenario/diffsim"
+	"slscost/internal/scenario/faults"
+)
+
+// RunAdaptiveExperiment prices the online keep-alive deciders against
+// the best static configuration on every catalog scenario: the static
+// baseline is the cheapest of the default TTL grid (platform window,
+// 60 s, 600 s — the same points ext-opt sweeps), and the adaptive
+// histogram and epsilon-greedy bandit run against it with their
+// decision telemetry shown. One fault case (diurnal traffic under the
+// "crashes" profile) checks that learning survives evictions and
+// deferred replays. Every adaptive and bandit run is then re-verified
+// by the differential harness — the oracle replays the identical
+// per-function decider state machines, so a zero delta means the
+// learned windows themselves are reproduced, not just the bill.
+func RunAdaptiveExperiment(opt Options) error {
+	header(opt.W, "Adaptive keep-alive: decider modes vs best static TTL (AWS profile, 16 hosts)")
+	requests := opt.scaled(50000, 2000)
+	const hosts = 16
+	staticTTLs := []struct {
+		label string
+		ttl   time.Duration
+	}{
+		{"platform", -1},
+		{"60s", 60 * time.Second},
+		{"600s", 600 * time.Second},
+	}
+
+	cluster := func(mode keepalive.Mode, ttl time.Duration, plan *faults.Plan) (fleet.Config, error) {
+		pol, err := fleet.NewPolicy("least-loaded")
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		prof := core.AWS()
+		if ttl >= 0 {
+			prof.KeepAlive = prof.KeepAlive.WithTTL(ttl)
+		}
+		cfg := fleet.Config{
+			Hosts:      hosts,
+			Host:       fleet.DefaultHostSpec(),
+			Policy:     pol,
+			Profile:    prof,
+			Overcommit: 2,
+			Seed:       opt.Seed,
+			Faults:     plan,
+		}
+		if mode != keepalive.ModeStatic {
+			seed := cfg.Seed
+			cfg.KeepAlive = &keepalive.Spec{Mode: mode, Seed: &seed}
+		}
+		return cfg, nil
+	}
+
+	type caseSpec struct {
+		name    string
+		trace   string
+		profile string // fault profile, "" for none
+	}
+	cases := make([]caseSpec, 0, 8)
+	for _, name := range scenario.Names() {
+		cases = append(cases, caseSpec{name: name, trace: name})
+	}
+	cases = append(cases, caseSpec{name: "diurnal+crashes", trace: "diurnal", profile: "crashes"})
+
+	t := newTable("scenario", "mode", "$/1M req", "cold %", "vs static",
+		"decisions", "learned %", "explore/exploit", "regret")
+	type verdict struct {
+		name  string
+		mode  string
+		delta float64
+		err   error
+	}
+	var verdicts []verdict
+	for _, cs := range cases {
+		sc, ok := scenario.ByName(cs.trace)
+		if !ok {
+			return fmt.Errorf("ext-adaptive: scenario %s missing from catalog", cs.trace)
+		}
+		scfg := scenario.DefaultConfig()
+		scfg.Base.Requests = requests
+		scfg.Base.Seed = opt.Seed
+		tr, err := sc.Trace(scfg)
+		if err != nil {
+			return err
+		}
+		var plan *faults.Plan
+		if cs.profile != "" {
+			fp, err := faults.ByName(cs.profile)
+			if err != nil {
+				return err
+			}
+			if plan, err = faults.Compile(&fp.Spec, hosts, scfg.EffectiveHorizon(), opt.Seed); err != nil {
+				return err
+			}
+		}
+
+		// The static baseline: cheapest of the default TTL grid.
+		bestCost, bestLabel := 0.0, ""
+		var bestCold float64
+		for _, s := range staticTTLs {
+			cfg, err := cluster(keepalive.ModeStatic, s.ttl, plan)
+			if err != nil {
+				return err
+			}
+			rep, err := fleet.Simulate(cfg, tr)
+			if err != nil {
+				return err
+			}
+			if bestLabel == "" || rep.CostPerMillion() < bestCost {
+				bestCost, bestLabel = rep.CostPerMillion(), s.label
+				bestCold = rep.ColdStartRate()
+			}
+		}
+		t.add(cs.name, "static ttl="+bestLabel,
+			fmt.Sprintf("%.3f", bestCost),
+			fmt.Sprintf("%.2f", bestCold*100),
+			"-", "-", "-", "-", "-")
+
+		for _, mode := range []keepalive.Mode{keepalive.ModeAdaptive, keepalive.ModeBandit} {
+			cfg, err := cluster(mode, -1, plan)
+			if err != nil {
+				return err
+			}
+			rep, err := fleet.Simulate(cfg, tr)
+			if err != nil {
+				return err
+			}
+			learned, explore, regret := "-", "-", "-"
+			if mode == keepalive.ModeAdaptive && rep.PolicyDecisions > 0 {
+				learned = fmt.Sprintf("%.1f", 100*float64(rep.AdaptiveLearnedDecisions)/float64(rep.PolicyDecisions))
+			}
+			if mode == keepalive.ModeBandit {
+				explore = fmt.Sprintf("%d/%d", rep.BanditExplorations, rep.BanditExploitations)
+				regret = fmt.Sprintf("%.1f", rep.BanditRegret)
+			}
+			t.add(cs.name, string(mode),
+				fmt.Sprintf("%.3f", rep.CostPerMillion()),
+				fmt.Sprintf("%.2f", rep.ColdStartRate()*100),
+				fmt.Sprintf("%+.1f%%", 100*(rep.CostPerMillion()-bestCost)/bestCost),
+				fmt.Sprintf("%d", rep.PolicyDecisions),
+				learned, explore, regret)
+
+			agg, err := diffsim.Replay(cfg, tr)
+			if err != nil {
+				return err
+			}
+			res := diffsim.Diff(rep, agg)
+			v := verdict{name: cs.name, mode: string(mode), delta: res.MaxRelDelta}
+			if err := res.Check(diffsim.DefaultTolerance); err != nil {
+				v.err = err
+			}
+			verdicts = append(verdicts, v)
+		}
+	}
+	t.write(opt.W)
+	fmt.Fprintln(opt.W, "  the static baseline already sits on the TTL grid's Pareto frontier; the")
+	fmt.Fprintln(opt.W, "  deciders have to find comparable windows online, per function, with no oracle —")
+	fmt.Fprintln(opt.W, "  the histogram needs traffic regular enough to trust (min samples, overflow")
+	fmt.Fprintln(opt.W, "  guard), and the bandit pays an exploration tax that its regret column prices")
+
+	header(opt.W, "Differential verification: the oracle replays the identical decider state machines")
+	t2 := newTable("scenario", "mode", "max rel delta", "verdict")
+	for _, v := range verdicts {
+		if v.err != nil {
+			t2.add(v.name, v.mode, "-", "DISAGREE: "+v.err.Error())
+			continue
+		}
+		t2.add(v.name, v.mode, fmt.Sprintf("%.3g", v.delta), "agree")
+	}
+	t2.write(opt.W)
+	for _, v := range verdicts {
+		if v.err != nil {
+			return fmt.Errorf("ext-adaptive: differential verification failed on %s/%s: %w", v.name, v.mode, v.err)
+		}
+	}
+	fmt.Fprintln(opt.W, "  every adaptive and bandit run — fault case included — is reproduced to zero")
+	fmt.Fprintln(opt.W, "  delta, decision counters included, by the independent per-host replay")
+	return nil
+}

@@ -82,6 +82,7 @@ func All() []Experiment {
 		{"ext-scenarios", "Workload scenarios × placement, differentially verified", RunScenarioExperiment},
 		{"ext-opt", "Policy sweep: Pareto frontier over cost, cold rate, tail slowdown", RunOptExperiment},
 		{"ext-faults", "Fault profiles × placement: recovery cost, differentially verified", RunFaultsExperiment},
+		{"ext-adaptive", "Adaptive keep-alive deciders vs best static TTL, differentially verified", RunAdaptiveExperiment},
 	}
 }
 

@@ -17,7 +17,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"fig8", "fig9", "table2", "fig10", "fig11", "fig12", "table3",
 		"exploit", "ext-billing-modes", "ext-rightsize", "ext-sched",
 		"ext-composition", "ext-cotenancy", "ext-fleet", "ext-scenarios",
-		"ext-opt", "ext-faults",
+		"ext-opt", "ext-faults", "ext-adaptive",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -71,6 +71,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"ext-scenarios":     {"flash-crowd", "diurnal", "multi-tenant", "max rel delta", "agree"},
 		"ext-opt":           {"Pareto-optimal", "ttl=platform", "Flash-crowd frontier", "refinement", "best:"},
 		"ext-faults":        {"crashes", "spot", "az-outage", "chaos", "avail %", "max rel delta", "agree"},
+		"ext-adaptive":      {"adaptive", "bandit", "static ttl=", "diurnal+crashes", "regret", "max rel delta", "agree"},
 	}
 	for _, e := range All() {
 		e := e

@@ -30,6 +30,7 @@ import (
 
 	"slscost/internal/autoscale"
 	"slscost/internal/core"
+	"slscost/internal/keepalive"
 	"slscost/internal/scenario/faults"
 	"slscost/internal/stats"
 	"slscost/internal/trace"
@@ -83,6 +84,14 @@ type Config struct {
 	// draining or down at a pod's first arrival, so fault replay is as
 	// worker-count-independent as the rest of the simulation.
 	Faults *faults.Plan
+	// KeepAlive selects the per-function keep-alive decision layer
+	// (internal/keepalive). Nil — or an explicit static spec — keeps
+	// the platform's policy on the legacy draw path, byte-identical to
+	// a pre-decider run. The adaptive modes build one decider per
+	// (host, function) pair, seeded by the spec's mandatory seed, and
+	// never touch the host's shared stream, so their runs are as
+	// worker-count-independent as static ones.
+	KeepAlive *keepalive.Spec
 	// Seed drives every random stream in the simulation.
 	Seed uint64
 }
@@ -115,6 +124,11 @@ func (c Config) Validate() error {
 	if c.Faults != nil && c.Faults.Hosts() != c.Hosts {
 		return fmt.Errorf("fleet: fault plan compiled for %d hosts, cluster has %d", c.Faults.Hosts(), c.Hosts)
 	}
+	if c.KeepAlive != nil {
+		if err := c.KeepAlive.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.Profile.Validate()
 }
 
@@ -137,6 +151,14 @@ type pod struct {
 	// transitions draw their keep-alive window from it every request, so
 	// the counter is reached through the pod instead of a map lookup.
 	fnCount *int
+
+	// decider caches the owning host's keep-alive decider for this pod's
+	// function (adaptive modes only; nil in static mode). idleFrom is
+	// the instant the pod's sandbox last went idle, or -1 when there is
+	// no pending idle gap to observe — the decider observes the gap at
+	// the pod's next arrival, whether the sandbox survived or not.
+	decider  keepalive.Decider
+	idleFrom time.Duration
 }
 
 // buildPods groups the trace into pods in order of first arrival.

@@ -6,6 +6,7 @@ import (
 
 	"slscost/internal/billing"
 	"slscost/internal/cfs"
+	"slscost/internal/keepalive"
 	"slscost/internal/scenario/faults"
 	"slscost/internal/simtime"
 	"slscost/internal/stats"
@@ -56,6 +57,13 @@ type hostResult struct {
 	// co-tenancy instant, against the linear fair-share prediction.
 	probeLinear   float64
 	probeMeasured float64
+
+	// Keep-alive decider telemetry (all zero in static mode): the
+	// host's per-function decision counters, summed in function-ID
+	// order so the float fields accumulate identically for any worker
+	// count, and the number of functions that built a decider.
+	ka          keepalive.Stats
+	kaFunctions int
 }
 
 // Per-request measurements are accumulated in fixed logarithmic
@@ -136,10 +144,19 @@ type sandbox struct {
 
 // hostSim is the mutable state of one host shard.
 type hostSim struct {
-	cfg   Config
-	clock *simtime.Clock
-	rng   *stats.Rand
-	res   hostResult
+	cfg     Config
+	hostIdx int
+	clock   *simtime.Clock
+	rng     *stats.Rand
+	res     hostResult
+
+	// deciders holds the per-function keep-alive deciders, allocated
+	// only when cfg.KeepAlive selects an adaptive mode; nil means the
+	// legacy static draw path, untouched. Each decider is seeded by
+	// keepalive.FunctionSeed(spec seed, hostIdx, fnID), so its stream
+	// depends on what it decides for, never on which worker runs the
+	// host.
+	deciders map[int]keepalive.Decider
 
 	// fnInstances holds one live-sandbox counter per function; pods cache
 	// the pointer (pod.fnCount) at their first cold start so the per-event
@@ -212,9 +229,13 @@ func (s *hostSim) account(now time.Duration) {
 func newHostSim(cfg Config, hostIdx int) *hostSim {
 	s := &hostSim{
 		cfg:         cfg,
+		hostIdx:     hostIdx,
 		clock:       simtime.NewClock(),
 		rng:         stats.NewRand(mix(cfg.Seed, uint64(hostIdx)+1)),
 		fnInstances: make(map[int]*int),
+	}
+	if cfg.KeepAlive != nil && cfg.KeepAlive.Mode != keepalive.ModeStatic {
+		s.deciders = make(map[int]keepalive.Decider)
 	}
 	s.res.latHist = stats.NewLogHist(LatencyHistConfig())
 	s.res.slowHist = stats.NewLogHist(SlowdownHistConfig())
@@ -284,7 +305,43 @@ func (s *hostSim) finish() hostResult {
 	s.account(s.clock.Now())
 	s.res.makespan = s.clock.Now()
 	s.probe()
+	if len(s.deciders) > 0 {
+		// Sum decider telemetry in function-ID order: the float fields
+		// must accumulate in a worker-count-independent order, and the
+		// map's iteration order is neither.
+		ids := make([]int, 0, len(s.deciders))
+		for id := range s.deciders {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			s.res.ka.Add(s.deciders[id].Stats())
+		}
+		s.res.kaFunctions = len(ids)
+	}
 	return s.res
+}
+
+// decider returns the pod's keep-alive decider, building it at the
+// function's first use on this host. Call only in adaptive modes
+// (s.deciders non-nil).
+func (s *hostSim) decider(p *pod) keepalive.Decider {
+	d := p.decider
+	if d == nil {
+		d = s.deciders[p.fnID]
+		if d == nil {
+			spec := s.cfg.KeepAlive
+			var err error
+			d, err = spec.NewDecider(s.cfg.Profile.KeepAlive, keepalive.FunctionSeed(*spec.Seed, s.hostIdx, p.fnID))
+			if err != nil {
+				// Unreachable: Config.Validate accepted the spec.
+				panic(err)
+			}
+			s.deciders[p.fnID] = d
+		}
+		p.decider = d
+	}
+	return d
 }
 
 // simulateHost replays the host's pods to completion (the batch path:
@@ -428,6 +485,16 @@ func (s *hostSim) arrive(now time.Duration, p *pod, r *trace.Request) {
 		s.deferred = append(s.deferred, deferredReq{p: p, r: *r})
 		s.res.deferredReqs++
 		return
+	}
+	if s.deciders != nil && p.idleFrom >= 0 {
+		// Adaptive modes observe the realized idle gap at the next
+		// arrival — go-idle to now, whether the sandbox survived the
+		// window or was reclaimed in between (the decider learns the
+		// traffic, not the policy's own verdicts). Deferred arrivals
+		// observe at their replay instant: the recovery delay is part of
+		// the gap the host actually saw.
+		s.decider(p).ObserveIdle(now - p.idleFrom)
+		p.idleFrom = -1
 	}
 	ka := s.cfg.Profile.KeepAlive
 
@@ -576,7 +643,17 @@ func (s *hostSim) complete(now time.Duration, rec *inflightRec) {
 	sb.idle = true
 	s.idleCount++
 	s.idleHeldCPU += ka.IdleCPU(p.vcpu)
-	window := ka.Window(s.rng, *p.fnCount)
+	var window time.Duration
+	if s.deciders == nil {
+		window = ka.Window(s.rng, *p.fnCount)
+	} else {
+		// Adaptive modes: the per-function decider chooses the window
+		// (ignoring s.rng — the host stream is passed for the Static
+		// wrapper's benefit only) and the idle instant is remembered so
+		// the gap can be observed at the pod's next arrival.
+		window = s.decider(p).Window(s.rng, *p.fnCount)
+		p.idleFrom = now
+	}
 	sb.idleTimer = s.clock.Schedule(now+window, s.expireFn, sb)
 }
 

@@ -105,6 +105,29 @@ type Report struct {
 	UnavailableHostSeconds float64
 	FaultMaskedPods        int
 
+	// Keep-alive policy attribution (the decision layer's cost section;
+	// everything here is zero in static mode, so static reports stay
+	// byte-identical to the pre-decider layout). KeepAliveMode names
+	// the decider family ("static" when no spec was given).
+	// PolicyFunctions counts (host, function) deciders built;
+	// PolicyDecisions counts keep-alive windows chosen and
+	// PolicyObservations idle gaps fed back. AdaptiveLearnedDecisions
+	// is the subset of adaptive decisions made from a trustworthy
+	// histogram; BanditExplorations/BanditExploitations split the
+	// bandit's pulls; BanditRealizedCost is the realized cost (idle
+	// vCPU-seconds plus cold penalties) of its chosen arms and
+	// BanditRegret the cumulative excess over the best arm in
+	// hindsight.
+	KeepAliveMode            string
+	PolicyFunctions          int
+	PolicyDecisions          int
+	PolicyObservations       int
+	AdaptiveLearnedDecisions int
+	BanditExplorations       int
+	BanditExploitations      int
+	BanditRealizedCost       float64
+	BanditRegret             float64
+
 	// Elastic reports whether the host pool was autoscaled;
 	// MeanActiveHosts/PeakActiveHosts describe the pool the placer saw
 	// (equal to Hosts for a fixed fleet).
@@ -184,6 +207,10 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 		Elastic:           cfg.Elastic,
 		MeanActiveHosts:   ps.meanActive,
 		PeakActiveHosts:   ps.peakActive,
+		KeepAliveMode:     "static",
+	}
+	if cfg.KeepAlive != nil {
+		rep.KeepAliveMode = string(cfg.KeepAlive.Mode)
 	}
 	lat := stats.NewLogHist(LatencyHistConfig())
 	slow := stats.NewLogHist(SlowdownHistConfig())
@@ -215,6 +242,14 @@ func mergeReport(cfg Config, workers, requests int, ps placeStats, rejectedReqs 
 		rep.BilledMemGBs += hr.billedMemGBs
 		rep.ContentionDelaySeconds += hr.contentionSecs
 		rep.IdleHeldVCPUSeconds += hr.idleHeldCPUSecs
+		rep.PolicyFunctions += hr.kaFunctions
+		rep.PolicyDecisions += hr.ka.Decisions
+		rep.PolicyObservations += hr.ka.Observations
+		rep.AdaptiveLearnedDecisions += hr.ka.Learned
+		rep.BanditExplorations += hr.ka.Explored
+		rep.BanditExploitations += hr.ka.Exploited
+		rep.BanditRealizedCost += hr.ka.RealizedCost
+		rep.BanditRegret += hr.ka.Regret
 		if hr.probeLinear > rep.CFSCheckLinear {
 			rep.CFSCheckLinear = hr.probeLinear
 			rep.CFSCheckMeasured = hr.probeMeasured
@@ -284,6 +319,21 @@ func (r Report) WriteText(w io.Writer) {
 	if r.Elastic {
 		fmt.Fprintf(w, "  autoscaled host pool: mean %.1f active, peak %d of %d\n",
 			r.MeanActiveHosts, r.PeakActiveHosts, r.Hosts)
+	}
+	// The keep-alive policy section only prints for the adaptive modes,
+	// so static-mode reports stay byte-identical to the pre-decider
+	// layout (and a static spec to no spec at all).
+	if r.KeepAliveMode != "" && r.KeepAliveMode != "static" {
+		fmt.Fprintf(w, "  keep-alive %s: %d deciders, %d decisions from %d observations\n",
+			r.KeepAliveMode, r.PolicyFunctions, r.PolicyDecisions, r.PolicyObservations)
+		if r.KeepAliveMode == "adaptive" {
+			fmt.Fprintf(w, "  adaptive: %.1f%% of decisions from a learned histogram\n",
+				safePct(float64(r.AdaptiveLearnedDecisions), float64(r.PolicyDecisions)))
+		}
+		if r.KeepAliveMode == "bandit" {
+			fmt.Fprintf(w, "  bandit: %d explored / %d exploited; realized cost %.1f idle-vCPU-s, regret %.1f\n",
+				r.BanditExplorations, r.BanditExploitations, r.BanditRealizedCost, r.BanditRegret)
+		}
 	}
 	// The fault section only prints when faults actually touched the
 	// run, so healthy-cluster reports stay byte-identical to the

@@ -125,15 +125,16 @@ func scanPods(ctx context.Context, s trace.Stream) ([]*pod, int, error) {
 		for i, m := range metas {
 			p := &podArr[i]
 			*p = pod{
-				id:     m.ID,
-				fnID:   m.FnID,
-				vcpu:   m.VCPU,
-				memMB:  m.MemMB,
-				initMs: m.Init,
-				first:  m.First,
-				last:   m.Last,
-				nreqs:  m.NReqs,
-				host:   -1,
+				id:       m.ID,
+				fnID:     m.FnID,
+				vcpu:     m.VCPU,
+				memMB:    m.MemMB,
+				initMs:   m.Init,
+				first:    m.First,
+				last:     m.Last,
+				nreqs:    m.NReqs,
+				host:     -1,
+				idleFrom: -1,
 			}
 			pods[i] = p
 			total += m.NReqs
@@ -166,14 +167,15 @@ func scanPodsSlow(ctx context.Context, s trace.Stream) ([]*pod, int, error) {
 		p := byID[r.PodID]
 		if p == nil {
 			p = &pod{
-				id:     r.PodID,
-				fnID:   r.FnID,
-				vcpu:   r.AllocCPU,
-				memMB:  r.AllocMemMB,
-				initMs: r.InitDuration,
-				first:  r.Start,
-				last:   r.Start + r.Turnaround(),
-				host:   -1,
+				id:       r.PodID,
+				fnID:     r.FnID,
+				vcpu:     r.AllocCPU,
+				memMB:    r.AllocMemMB,
+				initMs:   r.InitDuration,
+				first:    r.Start,
+				last:     r.Start + r.Turnaround(),
+				host:     -1,
+				idleFrom: -1,
 			}
 			byID[r.PodID] = p
 			pods = append(pods, p)

@@ -1,0 +1,147 @@
+package keepalive
+
+import (
+	"time"
+
+	"slscost/internal/stats"
+)
+
+// This file is the per-function keep-alive decision layer: the Decider
+// interface the fleet consults once per idle transition, and the seed
+// derivation that gives every (host, function) pair its own
+// decorrelated random stream. The three implementations live next to
+// it: Static (this file) wraps a Table 2 Policy unchanged, Adaptive
+// (adaptive.go) learns a windowed idle-time histogram, and Bandit
+// (bandit.go) runs epsilon-greedy over the static catalog.
+//
+// The determinism contract every implementation must honor: a
+// decider's decisions are a pure function of its observation stream
+// and its own construction-time seed. Static is the one exception by
+// design — it draws from the host's shared stream (the hostRNG
+// argument), which is exactly what makes a static-mode run
+// byte-identical to the pre-decider fleet. Adaptive and Bandit must
+// ignore hostRNG entirely; the differential oracle
+// (internal/scenario/diffsim) replays the same decider state machines
+// against the fleet's, so any hidden dependence on shared state shows
+// up as a report disagreement.
+
+// Mode names a decider family. The fleet, the optimizer grid, and the
+// job API all select deciders by Mode.
+type Mode string
+
+const (
+	// ModeStatic is the Table 2 policy unchanged: every window drawn
+	// from the platform's own distribution on the host's shared stream.
+	ModeStatic Mode = "static"
+	// ModeAdaptive is the windowed-histogram TTL decider (Adaptive).
+	ModeAdaptive Mode = "adaptive"
+	// ModeBandit is the epsilon-greedy catalog bandit (Bandit).
+	ModeBandit Mode = "bandit"
+)
+
+// Valid reports whether the mode names a known decider family.
+func (m Mode) Valid() bool {
+	switch m {
+	case ModeStatic, ModeAdaptive, ModeBandit:
+		return true
+	}
+	return false
+}
+
+// Decider decides keep-alive windows for one function on one host. The
+// fleet consults it at every idle transition and feeds it the idle gaps
+// it later observes; both call sequences are in host event order, so a
+// decider's state is worker-count independent by construction.
+type Decider interface {
+	// Name identifies the decider family and its base policy.
+	Name() string
+	// ObserveIdle records one realized idle gap: the time between a
+	// sandbox of this function going idle and the next request for the
+	// same pod arriving (whether it hit warm or found the sandbox
+	// reclaimed).
+	ObserveIdle(gap time.Duration)
+	// Window returns the keep-alive window for a sandbox going idle
+	// now, given the function's current live-instance count. hostRNG is
+	// the host's shared stream: Static draws from it (preserving the
+	// pre-decider byte stream); every other implementation must ignore
+	// it and use only its own construction-time seeded stream.
+	Window(hostRNG *stats.Rand, instances int) time.Duration
+	// Stats returns the decider's cumulative decision telemetry.
+	Stats() Stats
+}
+
+// Stats is a decider's decision telemetry, merged per host and then
+// cluster-wide into the fleet report. Static deciders report all
+// zeros, so static-mode reports stay byte-identical to the pre-decider
+// layout.
+type Stats struct {
+	// Decisions counts Window calls; Observations counts ObserveIdle
+	// calls.
+	Decisions    int
+	Observations int
+	// Learned counts adaptive decisions made from a trustworthy
+	// histogram (the remainder fell back to the static window).
+	Learned int
+	// Explored and Exploited split the bandit's pulls; RealizedCost is
+	// the cumulative realized cost of its chosen arms and Regret the
+	// cumulative excess over the best arm in hindsight.
+	Explored     int
+	Exploited    int
+	RealizedCost float64
+	Regret       float64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Decisions += other.Decisions
+	s.Observations += other.Observations
+	s.Learned += other.Learned
+	s.Explored += other.Explored
+	s.Exploited += other.Exploited
+	s.RealizedCost += other.RealizedCost
+	s.Regret += other.Regret
+}
+
+// deciderSalt decorrelates decider streams from every other consumer
+// of the simulation seed (host shards, the placer, fault schedules).
+const deciderSalt = 0x6b612d6465636964 // "ka-decid"
+
+// FunctionSeed derives the RNG seed of the (host, function) decider
+// from the spec seed. Deciders are per host per function, so this is
+// the whole worker-count-independence argument: the stream depends
+// only on (seed, host, fnID), never on which worker simulates the
+// host. The differential oracle derives its replay deciders with the
+// same function.
+func FunctionSeed(seed uint64, host, fnID int) uint64 {
+	return stats.MixSeed(stats.MixSeed(stats.MixSeed(seed, deciderSalt), uint64(host)+1), uint64(fnID)+1)
+}
+
+// Static wraps a Policy as a Decider: every window comes from
+// Policy.Window on the host's shared stream, so a static-mode fleet
+// run consumes exactly the random draws the pre-decider fleet consumed
+// and produces byte-identical output. It learns nothing and reports
+// zero telemetry.
+type Static struct {
+	policy Policy
+}
+
+// NewStatic wraps the policy.
+func NewStatic(p Policy) *Static { return &Static{policy: p} }
+
+// Name identifies the wrapped policy.
+func (d *Static) Name() string { return "static:" + d.policy.Name }
+
+// ObserveIdle discards the observation: the static window depends on
+// nothing the fleet can measure.
+func (d *Static) ObserveIdle(time.Duration) {}
+
+// Window draws from the wrapped policy's own distribution on the
+// host's shared stream — the exact pre-decider draw.
+func (d *Static) Window(hostRNG *stats.Rand, instances int) time.Duration {
+	return d.policy.Window(hostRNG, instances)
+}
+
+// Stats returns zeros: static decisions carry no adaptive state, and
+// zero telemetry is what keeps static reports byte-identical to the
+// pre-decider fixtures.
+func (d *Static) Stats() Stats { return Stats{} }

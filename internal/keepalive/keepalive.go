@@ -116,10 +116,14 @@ func (p Policy) Window(rng *stats.Rand, instances int) time.Duration {
 // fixed duration ttl: MinWindow and MaxWindow both become ttl and the
 // scaled-out override is cleared, so Window always returns ttl while
 // the idle resource-retention behavior, shutdown mode, and residual
-// cold start stay as authored. This is the knob a policy optimizer
-// (internal/opt) turns when it sweeps keep-alive TTLs against a
-// platform's billing and retention model.
+// cold start stay as authored. A negative ttl clamps to zero, so the
+// result always passes Validate — ttl is a free optimizer axis
+// (internal/opt sweeps it) and a descent step must not be able to
+// construct an invalid window.
 func (p Policy) WithTTL(ttl time.Duration) Policy {
+	if ttl < 0 {
+		ttl = 0
+	}
 	p.MinWindow = ttl
 	p.MaxWindow = ttl
 	p.ScaledOutWindow = 0

@@ -178,3 +178,47 @@ func TestWithTTLFixesWindow(t *testing.T) {
 		t.Errorf("WithTTL(0) window = %v, want 0 (keep-alive disabled)", w)
 	}
 }
+
+// TestWithTTLClampingEdges pins WithTTL against the edges of every
+// catalog policy's authored window: a TTL below MinWindow or above
+// MaxWindow simply becomes the fixed window (TTL is an override, not a
+// clamp into the authored range), exactly zero disables keep-alive,
+// and a negative TTL clamps to zero instead of producing a policy that
+// fails Validate. The scaled-out override must be cleared in every
+// case — a fixed TTL that silently stretched at 3+ instances would
+// corrupt every optimizer sweep over Azure.
+func TestWithTTLClampingEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		ttl  time.Duration
+		want time.Duration
+	}{
+		{"below-min", 30 * time.Second, 30 * time.Second},
+		{"above-max", 2 * time.Hour, 2 * time.Hour},
+		{"exactly-zero", 0, 0},
+		{"negative", -time.Minute, 0},
+	}
+	for _, base := range Catalog() {
+		for _, tc := range cases {
+			p := base.WithTTL(tc.ttl)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%s: WithTTL(%v) invalid: %v", base.Name, tc.name, tc.ttl, err)
+				continue
+			}
+			if p.MinWindow != tc.want || p.MaxWindow != tc.want {
+				t.Errorf("%s/%s: window bounds = [%v, %v], want both %v",
+					base.Name, tc.name, p.MinWindow, p.MaxWindow, tc.want)
+			}
+			if p.ScaledOutWindow != 0 || p.ScaledOutInstances != 0 {
+				t.Errorf("%s/%s: scaled-out override survived WithTTL", base.Name, tc.name)
+			}
+			rng := stats.NewRand(9)
+			for _, instances := range []int{1, 3, 100} {
+				if w := p.Window(rng, instances); w != tc.want {
+					t.Errorf("%s/%s: window(instances=%d) = %v, want %v",
+						base.Name, tc.name, instances, w, tc.want)
+				}
+			}
+		}
+	}
+}

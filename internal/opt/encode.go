@@ -22,6 +22,11 @@ func ttlLabel(c Candidate) string {
 	return strconv.FormatFloat(c.KeepAliveTTL.Seconds(), 'g', -1, 64) + "s"
 }
 
+// kaLabel renders a candidate's keep-alive mode column; legacy
+// candidates (empty mode) render as "static", matching their runtime
+// behavior.
+func kaLabel(c Candidate) string { return string(c.keepAliveMode()) }
+
 // ftoa renders a float for CSV/JSON-adjacent output with full
 // round-trip precision.
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -31,7 +36,7 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 func (sr *SweepResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"scenario", "policy", "ttl", "overcommit", "hosts", "elastic",
+		"scenario", "policy", "ttl", "overcommit", "hosts", "elastic", "keepalive",
 		"cost_per_million", "cold_start_rate", "slowdown_p99",
 		"rejected_share", "p50_ms", "p99_ms", "total_cost",
 		"served", "rejected_requests", "cold_starts", "re_cold_starts", "makespan_s",
@@ -46,7 +51,7 @@ func (sr *SweepResult) WriteCSV(w io.Writer) error {
 		}
 		if err := cw.Write([]string{
 			r.Scenario, c.Policy, ttlLabel(c), ftoa(c.Overcommit),
-			strconv.Itoa(rep.Hosts), strconv.FormatBool(c.Elastic),
+			strconv.Itoa(rep.Hosts), strconv.FormatBool(c.Elastic), kaLabel(c),
 			ftoa(r.Objectives.CostPerMillion), ftoa(r.Objectives.ColdStartRate),
 			ftoa(r.Objectives.SlowdownP99), ftoa(rejShare),
 			// p50_ms/p99_ms come from the report's latency histogram:
@@ -69,7 +74,7 @@ func (sr *SweepResult) WriteCSV(w io.Writer) error {
 func (sr *SweepResult) WriteFrontierCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"policy", "ttl", "overcommit", "hosts", "elastic",
+		"policy", "ttl", "overcommit", "hosts", "elastic", "keepalive",
 		"cost_per_million", "cold_start_rate", "slowdown_p99",
 		"rejected_share", "worst_scenario",
 	}); err != nil {
@@ -79,7 +84,7 @@ func (sr *SweepResult) WriteFrontierCSV(w io.Writer) error {
 		c := s.Candidate
 		if err := cw.Write([]string{
 			c.Policy, ttlLabel(c), ftoa(c.Overcommit),
-			strconv.Itoa(c.Hosts), strconv.FormatBool(c.Elastic),
+			strconv.Itoa(c.Hosts), strconv.FormatBool(c.Elastic), kaLabel(c),
 			ftoa(s.Objectives.CostPerMillion), ftoa(s.Objectives.ColdStartRate),
 			ftoa(s.Objectives.SlowdownP99), ftoa(s.RejectedShare), s.WorstScenario,
 		}); err != nil {
@@ -98,6 +103,7 @@ type jsonCandidate struct {
 	Overcommit    float64    `json:"overcommit"`
 	Hosts         int        `json:"hosts,omitempty"`
 	Elastic       bool       `json:"elastic,omitempty"`
+	KeepAlive     string     `json:"keepalive,omitempty"`
 	Objectives    Objectives `json:"objectives"`
 	RejectedShare float64    `json:"rejected_share"`
 	WorstScenario string     `json:"worst_scenario"`
@@ -151,6 +157,10 @@ func (sr *SweepResult) WriteJSON(w io.Writer) error {
 		doc.Frontier = append(doc.Frontier, s.Candidate.Key())
 	}
 	for _, s := range sr.Summaries {
+		ka := kaLabel(s.Candidate)
+		if ka == "static" {
+			ka = "" // omitted: static is the default, and legacy documents stay byte-identical
+		}
 		doc.Candidates = append(doc.Candidates, jsonCandidate{
 			Key:           s.Candidate.Key(),
 			Policy:        s.Candidate.Policy,
@@ -158,6 +168,7 @@ func (sr *SweepResult) WriteJSON(w io.Writer) error {
 			Overcommit:    s.Candidate.Overcommit,
 			Hosts:         s.Candidate.Hosts,
 			Elastic:       s.Candidate.Elastic,
+			KeepAlive:     ka,
 			Objectives:    s.Objectives,
 			RejectedShare: s.RejectedShare,
 			WorstScenario: s.WorstScenario,

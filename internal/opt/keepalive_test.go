@@ -1,0 +1,169 @@
+package opt
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"slscost/internal/core"
+	"slscost/internal/keepalive"
+)
+
+// Tests for the keep-alive mode axis of the sweep grid: static
+// candidates must stay byte-for-byte what they were before the axis
+// existed, and adaptive candidates must actually run their deciders.
+
+func TestSpaceKeepAliveModesAxis(t *testing.T) {
+	s := testSpace()
+	s.KeepAliveModes = []string{"static", "adaptive", "bandit"}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cands := s.Candidates()
+	if len(cands) != 12 || len(cands) != s.Size() {
+		t.Fatalf("3-mode space: %d candidates, Size()=%d, want 12", len(cands), s.Size())
+	}
+	// The mode is the innermost axis, so the first three candidates are
+	// the same knobs across the three modes.
+	if cands[0].KeepAliveMode != "static" || cands[1].KeepAliveMode != "adaptive" || cands[2].KeepAliveMode != "bandit" {
+		t.Errorf("mode is not the innermost axis: %q %q %q",
+			cands[0].KeepAliveMode, cands[1].KeepAliveMode, cands[2].KeepAliveMode)
+	}
+	if key := cands[0].Key(); strings.Contains(key, "ka=") {
+		t.Errorf("static key %q carries a ka= suffix", key)
+	}
+	if key := cands[1].Key(); !strings.Contains(key, " ka=adaptive") {
+		t.Errorf("adaptive key %q missing ka= suffix", key)
+	}
+	// An unknown mode is rejected, and a mode-less candidate keys
+	// identically to an explicit static one (same runtime behavior,
+	// same row identity).
+	bad := cands[0]
+	bad.KeepAliveMode = "thermostat"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown keep-alive mode validated")
+	}
+	implicit := cands[0]
+	implicit.KeepAliveMode = ""
+	if implicit.Key() != cands[0].Key() {
+		t.Errorf("implicit static key %q != explicit static key %q", implicit.Key(), cands[0].Key())
+	}
+}
+
+func TestFleetConfigAttachesDeciderSpec(t *testing.T) {
+	cfg := Config{Profile: core.AWS(), Hosts: 8, Seed: 99}.withDefaults()
+	c := Candidate{Policy: "least-loaded", KeepAliveTTL: PlatformTTL, Overcommit: 2}
+	fc, err := c.fleetConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.KeepAlive != nil {
+		t.Errorf("static candidate attached a spec: %+v", fc.KeepAlive)
+	}
+	c.KeepAliveMode = "bandit"
+	fc, err = c.fleetConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.KeepAlive == nil || fc.KeepAlive.Mode != keepalive.ModeBandit {
+		t.Fatalf("bandit candidate spec = %+v", fc.KeepAlive)
+	}
+	if fc.KeepAlive.Seed == nil || *fc.KeepAlive.Seed != cfg.Seed {
+		t.Errorf("spec seed = %v, want the sweep seed %d", fc.KeepAlive.Seed, cfg.Seed)
+	}
+}
+
+// TestSweepOverKeepAliveModes runs a small grid across all three modes
+// and checks the rows carry the right telemetry and serialized labels.
+func TestSweepOverKeepAliveModes(t *testing.T) {
+	space := Space{
+		Policies:       []string{"least-loaded"},
+		TTLs:           []time.Duration{PlatformTTL},
+		Overcommits:    []float64{2},
+		KeepAliveModes: []string{"static", "adaptive", "bandit"},
+	}
+	sr, err := Sweep(context.Background(), testConfig(t, 2), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 6 {
+		t.Fatalf("%d results, want 3 candidates x 2 scenarios", len(sr.Results))
+	}
+	for _, r := range sr.Results {
+		rep := r.Report
+		switch r.Candidate.KeepAliveMode {
+		case "static":
+			if rep.KeepAliveMode != "static" || rep.PolicyDecisions != 0 {
+				t.Errorf("static row carries decider telemetry: %+v", rep)
+			}
+		default:
+			if rep.KeepAliveMode != r.Candidate.KeepAliveMode || rep.PolicyDecisions == 0 {
+				t.Errorf("%s row made no decisions: mode=%q decisions=%d",
+					r.Candidate.Key(), rep.KeepAliveMode, rep.PolicyDecisions)
+			}
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := sr.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if !strings.Contains(lines[0], ",keepalive,") {
+		t.Errorf("CSV header missing keepalive column: %q", lines[0])
+	}
+	for _, mode := range []string{"static", "adaptive", "bandit"} {
+		found := false
+		for _, l := range lines[1:] {
+			if strings.Contains(l, ","+mode+",") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no CSV row labeled %s:\n%s", mode, csvBuf.String())
+		}
+	}
+	var jsonBuf bytes.Buffer
+	if err := sr.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := jsonBuf.String()
+	if !strings.Contains(got, `"keepalive": "adaptive"`) || !strings.Contains(got, `"keepalive": "bandit"`) {
+		t.Error("JSON document missing adaptive/bandit keepalive labels")
+	}
+	if strings.Contains(got, `"keepalive": "static"`) {
+		t.Error("JSON document spells out the static default")
+	}
+}
+
+// TestStaticModeRowsUnchanged pins the no-axis compatibility: a sweep
+// without KeepAliveModes serializes byte-identically to one with an
+// explicit ["static"], and neither mentions adaptive machinery.
+func TestStaticModeRowsUnchanged(t *testing.T) {
+	encode := func(space Space) string {
+		t.Helper()
+		sr, err := Sweep(context.Background(), testConfig(t, 2), space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sr.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sr.WriteText(&buf)
+		if err := sr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	implicit := encode(testSpace())
+	explicit := testSpace()
+	explicit.KeepAliveModes = []string{"static"}
+	if got := encode(explicit); got != implicit {
+		t.Error("explicit static axis changed the serialized sweep")
+	}
+	if strings.Contains(implicit, "ka=") {
+		t.Error("static sweep keys mention a keep-alive mode")
+	}
+}

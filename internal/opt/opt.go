@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"slscost/internal/fleet"
+	"slscost/internal/keepalive"
 )
 
 // PlatformTTL is the KeepAliveTTL sentinel selecting the platform
@@ -55,6 +56,13 @@ type Candidate struct {
 	Hosts int
 	// Elastic puts the host pool behind the cluster autoscaler.
 	Elastic bool
+	// KeepAliveMode selects the per-function keep-alive decision layer
+	// (keepalive.Mode). Empty or "static" is the legacy static window —
+	// the keep-alive policy the TTL knob shapes. Adaptive modes run
+	// with the sweep seed and the spec defaults; their TTL override
+	// still applies to the base policy the deciders fall back to (or,
+	// for the bandit, ignore in favor of the catalog arms).
+	KeepAliveMode string
 }
 
 // Key renders the candidate as a stable, human-readable identifier,
@@ -69,7 +77,19 @@ func (c Candidate) Key() string {
 	if c.Elastic {
 		key += " elastic"
 	}
+	if m := c.keepAliveMode(); m != keepalive.ModeStatic {
+		key += fmt.Sprintf(" ka=%s", m)
+	}
 	return key
+}
+
+// keepAliveMode resolves the candidate's keep-alive mode, defaulting
+// empty to static so legacy candidates keep their exact keys.
+func (c Candidate) keepAliveMode() keepalive.Mode {
+	if c.KeepAliveMode == "" {
+		return keepalive.ModeStatic
+	}
+	return keepalive.Mode(c.KeepAliveMode)
 }
 
 // Validate reports whether the candidate's knobs are in range.
@@ -82,6 +102,9 @@ func (c Candidate) Validate() error {
 	}
 	if c.Hosts < 0 {
 		return fmt.Errorf("opt: candidate %s: negative host count %d", c.Key(), c.Hosts)
+	}
+	if !c.keepAliveMode().Valid() {
+		return fmt.Errorf("opt: candidate %s: unknown keep-alive mode %q", c.Key(), c.KeepAliveMode)
 	}
 	return nil
 }
@@ -102,6 +125,10 @@ type Space struct {
 	Hosts []int
 	// Elastic lists autoscaling settings; empty means fixed pools only.
 	Elastic []bool
+	// KeepAliveModes lists keep-alive decision modes (keepalive.Mode
+	// names); empty means static only, so pre-existing spaces enumerate
+	// exactly the candidates they always did.
+	KeepAliveModes []string
 }
 
 // DefaultSpace is the grid cmd/fleetsim -sweep starts from: every
@@ -124,6 +151,9 @@ func (s Space) Size() int {
 	}
 	if len(s.Elastic) > 0 {
 		n *= len(s.Elastic)
+	}
+	if len(s.KeepAliveModes) > 0 {
+		n *= len(s.KeepAliveModes)
 	}
 	return n
 }
@@ -153,8 +183,8 @@ func (s Space) Validate() error {
 }
 
 // Candidates enumerates the grid in deterministic order:
-// policy-major, then TTL, overcommit, hosts, elastic — the row order
-// of every serialized sweep.
+// policy-major, then TTL, overcommit, hosts, elastic, keep-alive mode
+// — the row order of every serialized sweep.
 func (s Space) Candidates() []Candidate {
 	hosts := s.Hosts
 	if len(hosts) == 0 {
@@ -164,16 +194,22 @@ func (s Space) Candidates() []Candidate {
 	if len(elastic) == 0 {
 		elastic = []bool{false}
 	}
+	modes := s.KeepAliveModes
+	if len(modes) == 0 {
+		modes = []string{string(keepalive.ModeStatic)}
+	}
 	out := make([]Candidate, 0, s.Size())
 	for _, pol := range s.Policies {
 		for _, ttl := range s.TTLs {
 			for _, oc := range s.Overcommits {
 				for _, h := range hosts {
 					for _, el := range elastic {
-						out = append(out, Candidate{
-							Policy: pol, KeepAliveTTL: ttl, Overcommit: oc,
-							Hosts: h, Elastic: el,
-						})
+						for _, mode := range modes {
+							out = append(out, Candidate{
+								Policy: pol, KeepAliveTTL: ttl, Overcommit: oc,
+								Hosts: h, Elastic: el, KeepAliveMode: mode,
+							})
+						}
 					}
 				}
 			}

@@ -8,6 +8,7 @@ import (
 
 	"slscost/internal/core"
 	"slscost/internal/fleet"
+	"slscost/internal/keepalive"
 	"slscost/internal/scenario"
 	"slscost/internal/scenario/faults"
 )
@@ -113,7 +114,7 @@ func (c Candidate) fleetConfig(cfg Config) (fleet.Config, error) {
 	if hosts == 0 {
 		hosts = cfg.Hosts
 	}
-	return fleet.Config{
+	fc := fleet.Config{
 		Hosts:      hosts,
 		Host:       cfg.Host,
 		Policy:     pol,
@@ -123,7 +124,16 @@ func (c Candidate) fleetConfig(cfg Config) (fleet.Config, error) {
 		Elastic:    c.Elastic,
 		Seed:       cfg.Seed,
 		Faults:     cfg.Faults,
-	}, nil
+	}
+	// A static candidate takes the legacy nil-spec path (byte-identical
+	// reports and rows); adaptive modes attach a spec seeded by the
+	// sweep seed, so the per-function decider streams are as
+	// reproducible as everything else in the grid.
+	if mode := c.keepAliveMode(); mode != keepalive.ModeStatic {
+		seed := cfg.Seed
+		fc.KeepAlive = &keepalive.Spec{Mode: mode, Seed: &seed}
+	}
+	return fc, nil
 }
 
 // Result is one (candidate, scenario) evaluation.

@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sort"
 	"time"
 
 	"slscost/internal/billing"
 	"slscost/internal/fleet"
+	"slscost/internal/keepalive"
 	"slscost/internal/scenario/faults"
 	"slscost/internal/stats"
 	"slscost/internal/trace"
@@ -91,6 +93,19 @@ type Aggregate struct {
 	RecoveryP99Ms          float64
 	UnavailableHostSeconds float64
 	FaultMaskedPods        int
+
+	// Keep-alive decision-layer counters, re-derived by replaying the
+	// identical decider state machines (internal/keepalive) against
+	// this sweep's own idle observations and decision points. All zero
+	// in static mode, matching the fleet report.
+	PolicyFunctions          int
+	PolicyDecisions          int
+	PolicyObservations       int
+	AdaptiveLearnedDecisions int
+	BanditExplorations       int
+	BanditExploitations      int
+	BanditRealizedCost       float64
+	BanditRegret             float64
 
 	Makespan time.Duration
 }
@@ -223,6 +238,14 @@ func Diff(rep fleet.Report, agg Aggregate) *Result {
 	add("recovery-p99-ms", rep.Recovery.P99, agg.RecoveryP99Ms)
 	add("unavailable-host-seconds", rep.UnavailableHostSeconds, agg.UnavailableHostSeconds)
 	add("fault-masked-pods", float64(rep.FaultMaskedPods), float64(agg.FaultMaskedPods))
+	add("policy-functions", float64(rep.PolicyFunctions), float64(agg.PolicyFunctions))
+	add("policy-decisions", float64(rep.PolicyDecisions), float64(agg.PolicyDecisions))
+	add("policy-observations", float64(rep.PolicyObservations), float64(agg.PolicyObservations))
+	add("adaptive-learned-decisions", float64(rep.AdaptiveLearnedDecisions), float64(agg.AdaptiveLearnedDecisions))
+	add("bandit-explorations", float64(rep.BanditExplorations), float64(agg.BanditExplorations))
+	add("bandit-exploitations", float64(rep.BanditExploitations), float64(agg.BanditExploitations))
+	add("bandit-realized-cost", rep.BanditRealizedCost, agg.BanditRealizedCost)
+	add("bandit-regret", rep.BanditRegret, agg.BanditRegret)
 	add("makespan-seconds", rep.Makespan.Seconds(), agg.Makespan.Seconds())
 	return res
 }
@@ -319,6 +342,14 @@ func Replay(cfg fleet.Config, tr *trace.Trace) (Aggregate, error) {
 		agg.BilledMemGBs += h.billedMemGBs
 		agg.ContentionDelaySeconds += h.contentionSecs
 		agg.IdleHeldVCPUSeconds += h.idleHeldCPUSecs
+		agg.PolicyFunctions += h.kaFunctions
+		agg.PolicyDecisions += h.ka.Decisions
+		agg.PolicyObservations += h.ka.Observations
+		agg.AdaptiveLearnedDecisions += h.ka.Learned
+		agg.BanditExplorations += h.ka.Explored
+		agg.BanditExploitations += h.ka.Exploited
+		agg.BanditRealizedCost += h.ka.RealizedCost
+		agg.BanditRegret += h.ka.Regret
 		if h.now > agg.Makespan {
 			agg.Makespan = h.now
 		}
@@ -480,12 +511,22 @@ type hostState struct {
 
 	probeLinear   float64
 	probeMeasured float64
+
+	// Keep-alive decision-layer tally, summed from this replay's own
+	// decider instances in function-ID order (mirroring the fleet's
+	// merge discipline). Zero in static mode.
+	ka          keepalive.Stats
+	kaFunctions int
 }
 
 // replayHost sweeps one host's pods chronologically and returns its
 // tally. The keep-alive stream is stats.NewRand(fleet.ShardSeed(seed,
 // host)) with windows drawn in event order — the fleet's documented
-// shard-stream contract.
+// shard-stream contract. In adaptive modes the replay constructs its
+// own decider per function from keepalive.FunctionSeed and feeds it
+// the identical observation/decision sequence, so every counter the
+// fleet reports is re-derived by an independent instance of the same
+// state machine.
 func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *trace.Trace) hostState {
 	h := hostState{inflightPos: make(map[int]int)}
 	if len(pods) == 0 {
@@ -499,6 +540,33 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 
 	sandboxes := make([]sandboxState, len(pods))
 	fnInstances := make(map[int]int)
+
+	// Adaptive keep-alive modes: this replay's own per-function decider
+	// instances, plus each pod's pending go-idle instant (-1 when there
+	// is no gap to observe). Nil/static specs leave deciders nil and
+	// the legacy draw path untouched.
+	var deciders map[int]keepalive.Decider
+	var idleFrom []time.Duration
+	if cfg.KeepAlive != nil && cfg.KeepAlive.Mode != keepalive.ModeStatic {
+		deciders = make(map[int]keepalive.Decider)
+		idleFrom = make([]time.Duration, len(pods))
+		for i := range idleFrom {
+			idleFrom[i] = -1
+		}
+	}
+	getDecider := func(fnID int) keepalive.Decider {
+		d := deciders[fnID]
+		if d == nil {
+			var err error
+			d, err = cfg.KeepAlive.NewDecider(ka, keepalive.FunctionSeed(*cfg.KeepAlive.Seed, hostIdx, fnID))
+			if err != nil {
+				// Unreachable: fleet.Place validated the config.
+				panic(err)
+			}
+			deciders[fnID] = d
+		}
+		return d
+	}
 
 	var q eventHeap
 	var seq uint64
@@ -539,6 +607,13 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 		p := &pods[pi]
 		sb := &sandboxes[pi]
 		r := tr.Requests[ri]
+		if deciders != nil && idleFrom[pi] >= 0 {
+			// Mirror the fleet's observation point: the realized idle gap
+			// is fed back at the pod's next admission, deferred replays
+			// included.
+			getDecider(p.FnID).ObserveIdle(now - idleFrom[pi])
+			idleFrom[pi] = -1
+		}
 		cold := false
 		var init time.Duration
 		switch {
@@ -700,7 +775,13 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 			sb.idle = true
 			h.idleCount++
 			h.idleHeldCPU += ka.IdleCPU(p.VCPU)
-			window := ka.Window(rng, fnInstances[p.FnID])
+			var window time.Duration
+			if deciders == nil {
+				window = ka.Window(rng, fnInstances[p.FnID])
+			} else {
+				window = getDecider(p.FnID).Window(rng, fnInstances[p.FnID])
+				idleFrom[ev.pod] = ev.at
+			}
 			heap.Push(&q, event{at: ev.at + window, seq: seq, kind: evExpire, pod: ev.pod, gen: sb.gen})
 			seq++
 
@@ -767,6 +848,19 @@ func replayHost(cfg fleet.Config, hostIdx int, pods []fleet.PodAssignment, tr *t
 		}
 	}
 	account(h.now)
+	if len(deciders) > 0 {
+		// Sum decider telemetry in function-ID order, mirroring the
+		// fleet host's merge so the float fields compare exactly.
+		ids := make([]int, 0, len(deciders))
+		for id := range deciders {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			h.ka.Add(deciders[id].Stats())
+		}
+		h.kaFunctions = len(ids)
+	}
 	// The peak-co-tenancy snapshot was rebuilt by this replay's own
 	// admission bookkeeping; the probe arithmetic on top of it is the
 	// fleet's exported CFSProbe (the snapshot is the verified artifact).
